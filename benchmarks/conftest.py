@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each figure benchmark runs its experiment driver once (``pedantic`` with a
+single round — the drivers are deterministic simulations, not
+microbenchmarks), prints the regenerated table, and asserts the
+qualitative shape facts recorded in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_PAPER_SCALE=1`` to run at the paper's full parameters
+(3,200 machines, 70 clients, 236,222 samples) — slower but closer to the
+published magnitudes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale() -> bool:
+    return paper_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

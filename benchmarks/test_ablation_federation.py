@@ -1,0 +1,62 @@
+"""Ablation — cross-domain delegation cost (the federation claim).
+
+Section 6: the pipeline "lends itself to distribution across multiple
+administrative domains because it schedules resources in a completely
+decentralized manner; all state information is carried with the query
+itself."  This bench quantifies what that decentralization costs: a query
+resolvable locally vs one that must be delegated to a remote domain over
+a WAN link.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.deploy.federation import DomainSpec, FederatedDeployment
+from repro.fleet import ArchProfile, FleetSpec, build_database
+
+
+def domain_db(arch: str, size: int, seed: int):
+    spec = FleetSpec(
+        size=size, domain=arch + "dom",
+        profiles=(ArchProfile(arch, "anyos", 1.0),), seed=seed,
+    )
+    db, _ = build_database(spec)
+    return db
+
+
+def run_federation():
+    """Returns (local_mean, delegated_mean, wan_base)."""
+    def fresh():
+        return FederatedDeployment([
+            DomainSpec("purdue", domain_db("sun", 120, 3)),
+            DomainSpec("upc", domain_db("hp", 120, 4)),
+        ], seed=6)
+
+    fed_local = fresh()
+    local = fed_local.run_clients(
+        client_domain="purdue", entry_domain="purdue",
+        payload_fn=lambda ci, it, rng: "punch.rsrc.arch = sun",
+        clients=4, queries_per_client=12,
+    )
+    fed_remote = fresh()
+    remote = fed_remote.run_clients(
+        client_domain="purdue", entry_domain="purdue",
+        payload_fn=lambda ci, it, rng: "punch.rsrc.arch = hp",
+        clients=4, queries_per_client=12,
+    )
+    assert local.failures == 0 and remote.failures == 0
+    return local.mean, remote.mean, fed_remote.config.latency.wan_base_s
+
+
+def test_delegation_pays_one_wan_detour(benchmark):
+    local, delegated, wan = run_once(benchmark, run_federation)
+    print(f"\nlocal     mean = {local * 1e3:7.2f} ms")
+    print(f"delegated mean = {delegated * 1e3:7.2f} ms")
+    print(f"wan one-way    = {wan * 1e3:7.2f} ms")
+
+    # Delegation works (asserted in run_federation) and costs at least
+    # one WAN round trip beyond local resolution...
+    assert delegated >= local + 2 * wan * 0.9
+    # ...but not an unbounded number of detours: the visited-list keeps
+    # the query from ping-ponging (<= ~3 RTTs of overhead here).
+    assert delegated <= local + 6 * wan + 0.05

@@ -1,0 +1,64 @@
+"""Ablation — temporal locality and the self-optimizing claim.
+
+Section 6: "Large computing environments often exhibit a temporal
+locality of runs ...  The described architecture exploits this locality
+by dynamically aggregating resources on the basis of past history, which
+allows it to optimize its response to (anticipated) future requests for
+resources of the same type."
+
+This bench replays a bursty classroom trace and measures the *pool hit
+rate* — the fraction of queries answered by an already-existing pool
+(no white-pages walk).  High locality ⇒ high hit rate ⇒ the per-query
+creation cost amortises away, which is exactly the self-optimizing
+mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.deploy.simulated import SimulatedDeployment
+from repro.fleet import FleetSpec, build_database
+from repro.sim.trace import ClassSession, ToolMix, TraceGenerator
+
+TOOLS = [
+    ToolMix("spice", "punch.rsrc.arch = sun", weight=3.0),
+    ToolMix("tsuprem4", "punch.rsrc.arch = hp", weight=1.0),
+    ToolMix("matlab", "punch.rsrc.arch = x86", weight=1.0),
+]
+SESSIONS = [
+    ClassSession("spice", 20.0, 80.0, dominance=0.95),
+    ClassSession("matlab", 100.0, 160.0, dominance=0.95),
+]
+
+
+def replay(horizon_s: float = 200.0, rate: float = 2.0):
+    db, _ = build_database(FleetSpec(size=400, seed=7))
+    deployment = SimulatedDeployment(db, seed=5)
+    gen = TraceGenerator(TOOLS, rate_per_s=rate, sessions=SESSIONS)
+    trace = gen.generate(np.random.default_rng(11), horizon_s=horizon_s)
+    report = deployment.replay_trace(trace)
+    return trace, report, gen
+
+
+def test_locality_amortises_pool_creation(benchmark):
+    trace, report, gen = run_once(benchmark, replay)
+    locality = TraceGenerator.tool_locality(trace)
+    print(f"\njobs={len(trace)} tool-locality={locality:.3f} "
+          f"pool-hit-rate={report.hit_rate:.3f} "
+          f"creations={report.pool_creations}")
+
+    # The classroom trace is highly local...
+    assert locality > 0.9
+    # ...so almost every query is served by an existing pool: creations
+    # happen once per distinct signature, not per query.
+    distinct = len({e.query_text for e in trace})
+    assert report.pool_creations == distinct
+    assert report.hit_rate > 0.95
+    assert report.stats.failures == 0
+
+    # And the steady-state response time excludes the creation walk: the
+    # slowest queries (which include creations) sit well above the median.
+    summary = report.stats.summary()
+    assert summary.maximum > summary.p50 * 2

@@ -1,0 +1,83 @@
+"""Ablation — composite-query QoS: first-match vs full reintegration.
+
+Section 6: "the response time for composite queries could be minimized by
+returning the first available match — as opposed to waiting for results
+from different components to be reintegrated."  This bench runs the same
+composite workload under both reintegration policies and measures the
+latency gap.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.config import PipelineConfig, QueryManagerConfig
+from repro.deploy.simulated import ClientSpec, DeploymentSpec, SimulatedDeployment
+from repro.fleet import FleetSpec, build_database
+
+# One small pool and one large pool: under "all", every query waits for
+# the slow component; under "first_match", the fast one answers.
+COMPOSITE = "punch.rsrc.pool = p00|p01"
+
+
+def run_policy(policy: str) -> float:
+    db, _ = build_database(FleetSpec(size=880, stripe_pools=0, seed=7))
+    # Re-stripe by hand: 80 machines in p00, 800 in p01.
+    for i, name in enumerate(db.names()):
+        rec = db.get(name)
+        params = dict(rec.admin_parameters)
+        params["pool"] = "p00" if i < 80 else "p01"
+        import dataclasses
+        db.update(dataclasses.replace(rec, admin_parameters=params))
+    cfg = PipelineConfig(
+        query_manager=QueryManagerConfig(reintegration_policy=policy))
+    dep = SimulatedDeployment(db, spec=DeploymentSpec(config=cfg), seed=3)
+    dep.precreate_pool("punch.rsrc.pool = p00")
+    dep.precreate_pool("punch.rsrc.pool = p01")
+    stats = dep.run_clients(
+        ClientSpec(count=8, queries_per_client=12, domain="actyp"),
+        lambda ci, it, rng: COMPOSITE,
+    )
+    assert stats.failures == 0
+    return stats.mean
+
+
+def test_first_match_beats_full_reintegration(benchmark):
+    first = run_once(benchmark, run_policy, "first_match")
+    full = run_policy("all")
+    print(f"\nfirst_match mean = {first * 1e3:.2f} ms")
+    print(f"all         mean = {full * 1e3:.2f} ms")
+    # Waiting for the slow component costs measurably more.
+    assert full > first * 1.3
+
+
+def test_full_reintegration_prefers_listed_order(benchmark):
+    """Under "all", the lowest component index among successes wins —
+    the user's stated preference — even when it is the slower pool."""
+    db, _ = build_database(FleetSpec(size=200, stripe_pools=2, seed=7))
+    cfg = PipelineConfig(
+        query_manager=QueryManagerConfig(reintegration_policy="all"))
+    dep = SimulatedDeployment(db, spec=DeploymentSpec(config=cfg), seed=3)
+    dep.precreate_pool("punch.rsrc.pool = p00")
+    dep.precreate_pool("punch.rsrc.pool = p01")
+
+    picked = []
+
+    def payload(ci, it, rng):
+        return "punch.rsrc.pool = p01|p00"  # prefer p01
+
+    stats = run_once(
+        benchmark, dep.run_clients,
+        ClientSpec(count=2, queries_per_client=10, domain="actyp"),
+        payload,
+    )
+    assert stats.failures == 0
+    # Every allocation came from the preferred pool p01.
+    sizes = dep.pool_sizes()
+    p01 = next(s for s in dep._pool_servers.values()
+               if "p01" in s.pool.name.identifier)
+    p00 = next(s for s in dep._pool_servers.values()
+               if "p00" in s.pool.name.identifier)
+    assert p01.pool.queries_served == 20
+    # p00 also served (redundant component) but its allocations were
+    # surplus-released; the preferred pool satisfied the client.
+    assert p00.pool.queries_served == 20

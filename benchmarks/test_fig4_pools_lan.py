@@ -1,0 +1,32 @@
+"""Figure 4 — striping queries across pools cuts response time (LAN).
+
+Paper: on 3,200 machines, going from 2 to 16 pools drops mean response
+time from ~1.2 s to ~0.2 s — a large win early, diminishing returns later.
+Shape facts asserted: strictly decreasing curve; >= 3x total improvement
+from 1 to 16 pools; the 1→4 gain exceeds the 4→16 gain.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_pools_reduce_response_time_lan(benchmark, scale):
+    result = run_once(benchmark, run_fig4, paper_scale=scale)
+    print("\n" + result.format_table())
+
+    curve = dict(result.curve("lan"))
+    pools = sorted(curve)
+    means = [curve[p] for p in pools]
+
+    # Monotone decreasing in the number of pools.
+    assert all(a >= b for a, b in zip(means, means[1:])), means
+    # Total improvement 1 -> 16 pools is large (paper: ~6x over 2 -> 16).
+    assert curve[pools[0]] / curve[pools[-1]] >= 3.0
+    # Diminishing returns: the early doubling buys more than the late one.
+    gain_early = curve[1] - curve[4]
+    gain_late = curve[4] - curve[16]
+    assert gain_early > gain_late
+    # No failed queries in a healthy configuration.
+    assert all(p.failures == 0 for p in result.series["lan"])

@@ -1,0 +1,47 @@
+"""Figure 5 — the pools sweep repeated across a WAN.
+
+Paper: with clients at Purdue and ActYP at UPC, "multiple pools still
+help, but network latency limits the reduction in the response times".
+Shape facts: every curve is floored near the WAN round-trip; the relative
+improvement from pools is smaller than in the LAN configuration; more
+clients give equal-or-higher curves.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.config import LatencyConfig
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_wan_latency_limits_pool_benefit(benchmark, scale):
+    result = run_once(benchmark, run_fig5, paper_scale=scale)
+    print("\n" + result.format_table())
+
+    wan_floor = 2 * LatencyConfig().wan_base_s  # client->QM + reply
+    for series, points in result.series.items():
+        curve = dict((p.x, p.mean) for p in points)
+        pools = sorted(curve)
+        # Monotone non-increasing in pools (within jitter tolerance).
+        for a, b in zip(pools, pools[1:]):
+            assert curve[b] <= curve[a] * 1.10, (series, curve)
+        # Every point sits above the WAN round-trip floor.
+        assert all(m >= wan_floor for m in curve.values()), series
+
+    # WAN improvement ratio is smaller than LAN improvement ratio.
+    lan = dict(run_fig4(paper_scale=scale).curve("lan"))
+    lan_ratio = lan[min(lan)] / lan[max(lan)]
+    biggest = max(result.series)
+    wan_curve = dict((p.x, p.mean) for p in result.series[biggest])
+    wan_ratio = wan_curve[min(wan_curve)] / wan_curve[max(wan_curve)]
+    assert wan_ratio < lan_ratio
+
+    # More clients => equal-or-higher curves at the single-pool point.
+    by_clients = {}
+    for series, points in result.series.items():
+        n = int(series.split("=")[1])
+        by_clients[n] = dict((p.x, p.mean) for p in points)
+    counts = sorted(by_clients)
+    for a, b in zip(counts, counts[1:]):
+        assert by_clients[b][1] >= by_clients[a][1] * 0.95

@@ -1,0 +1,53 @@
+"""Figure 6 — response time grows linearly with pool size and client count.
+
+Paper: single pool, clients continuously querying; "the linear plots are
+simply a function of the linear search algorithms employed for
+scheduling".  Shape facts: response time increases with the client count
+for every pool size; bigger pools are strictly slower at every client
+count; the curve is near-linear (good straight-line fit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_linear_growth_with_pool_size(benchmark, scale):
+    result = run_once(benchmark, run_fig6, paper_scale=scale)
+    print("\n" + result.format_table())
+
+    curves = {name: dict((p.x, p.mean) for p in pts)
+              for name, pts in result.series.items()}
+    sizes = sorted(curves, key=lambda s: int(s.split("=")[1]))
+
+    for name in sizes:
+        xs = sorted(curves[name])
+        ys = [curves[name][x] for x in xs]
+        # Monotone increasing in clients.
+        assert all(b >= a * 0.98 for a, b in zip(ys, ys[1:])), (name, ys)
+        # Near-linear: straight-line fit explains almost all variance.
+        coeffs = np.polyfit(xs, ys, 1)
+        fit = np.polyval(coeffs, xs)
+        ss_res = float(np.sum((np.array(ys) - fit) ** 2))
+        ss_tot = float(np.sum((np.array(ys) - np.mean(ys)) ** 2))
+        r2 = 1 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        assert r2 >= 0.98, (name, r2)
+        assert coeffs[0] > 0  # positive slope
+
+    # Bigger pools strictly slower at every client count.
+    for smaller, bigger in zip(sizes, sizes[1:]):
+        for x in curves[smaller]:
+            assert curves[bigger][x] > curves[smaller][x], (smaller, bigger, x)
+
+    # Slope scales with pool size (double machines ~ double slope).
+    slopes = {}
+    for name in sizes:
+        xs = sorted(curves[name])
+        ys = [curves[name][x] for x in xs]
+        slopes[name] = np.polyfit(xs, ys, 1)[0]
+    s = [slopes[n] for n in sizes]
+    assert 1.4 <= s[1] / s[0] <= 2.6
+    assert 1.4 <= s[2] / s[1] <= 2.6

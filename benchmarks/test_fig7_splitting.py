@@ -1,0 +1,38 @@
+"""Figure 7 — splitting a pool improves response time.
+
+Paper: the 3,200-machine pool is split into 2x1,600 and 4x800; fragments
+are searched concurrently and results aggregated; "clearly, splitting
+improves the response time".  Shape facts: at every client count,
+split-4 <= split-2 <= unsplit; the improvement grows with load.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_splitting_improves_response_time(benchmark, scale):
+    result = run_once(benchmark, run_fig7, paper_scale=scale)
+    print("\n" + result.format_table())
+
+    names = sorted(result.series)
+    unsplit = next(n for n in names if n.startswith("unsplit"))
+    split2 = next(n for n in names if n.startswith("split=2"))
+    split4 = next(n for n in names if n.startswith("split=4"))
+    c0 = dict((p.x, p.mean) for p in result.series[unsplit])
+    c2 = dict((p.x, p.mean) for p in result.series[split2])
+    c4 = dict((p.x, p.mean) for p in result.series[split4])
+
+    for x in c0:
+        assert c2[x] <= c0[x] * 1.02, (x, c0[x], c2[x])
+        assert c4[x] <= c2[x] * 1.05, (x, c2[x], c4[x])
+
+    # At the highest load the win is substantial (paper: ~2x for split-2).
+    top = max(c0)
+    assert c0[top] / c2[top] >= 1.4
+    assert c0[top] / c4[top] >= 2.0
+
+    # No allocation failures (fragments cover the whole machine set).
+    for pts in result.series.values():
+        assert all(p.failures == 0 for p in pts)

@@ -1,0 +1,49 @@
+"""Figure 8 — replicating a pool improves throughput under load.
+
+Paper: the 3,200-machine pool runs as 1, 2 or 4 concurrent instances;
+"replicated pools contain the same set of machines; scheduling integrity
+is maintained by introducing an instance-specific bias".  Shape facts:
+more replicas give equal-or-lower response time at every client count;
+the slope (queueing growth) shrinks with replication; low-load intercepts
+stay similar (each instance still scans the full pool).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_replication_improves_throughput(benchmark, scale):
+    result = run_once(benchmark, run_fig8, paper_scale=scale)
+    print("\n" + result.format_table())
+
+    curves = {}
+    for name, pts in result.series.items():
+        replicas = int(name.split("=")[1])
+        curves[replicas] = dict((p.x, p.mean) for p in pts)
+    reps = sorted(curves)
+    assert reps == [1, 2, 4]
+
+    # More replicas => equal-or-lower response time at every client count.
+    for a, b in zip(reps, reps[1:]):
+        for x in curves[a]:
+            assert curves[b][x] <= curves[a][x] * 1.02, (a, b, x)
+
+    # Queueing slope shrinks with replication.
+    slopes = {}
+    for r in reps:
+        xs = sorted(curves[r])
+        ys = [curves[r][x] for x in xs]
+        slopes[r] = np.polyfit(xs, ys, 1)[0]
+    assert slopes[2] < slopes[1]
+    assert slopes[4] < slopes[2]
+    # Roughly proportional: 4 replicas cut the slope by >= 2.5x.
+    assert slopes[1] / slopes[4] >= 2.5
+
+    # Similar low-load intercepts: a lone query still scans the full pool.
+    lowest = min(curves[1])
+    base = curves[1][lowest]
+    assert curves[4][lowest] >= base * 0.3

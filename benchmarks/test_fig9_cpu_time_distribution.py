@@ -1,0 +1,48 @@
+"""Figure 9 — the PUNCH CPU-time distribution.
+
+Paper: histogram of 236,222 production runs; the mass sits at seconds
+scale ("large numbers of jobs with run-times in the range of a few
+seconds"), the y-axis peaks at 19,756 runs in the modal bin, and observed
+CPU times extend "out to more than 10^6 seconds".  Shape facts: modal bin
+at the left edge; majority of viewed runs under 100 s; heavy tail past
+10^6 s; at paper scale the modal-bin count is within ~25% of 19,756.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9 import PAPER_SAMPLE_COUNT, run_fig9, shape_facts
+from repro.sim.rng import RandomStreams
+from repro.sim.workload import PunchCpuTimeModel
+
+
+def test_fig9_cpu_time_distribution(benchmark, scale):
+    result = run_once(benchmark, run_fig9, paper_scale=scale)
+    print("\n" + result.format_table()[:2000])
+
+    facts = shape_facts(result)
+    # The modal bin is at the left edge (seconds-scale body).
+    assert facts["modal_bin_left_edge_s"] <= 10.0
+    # Most of the in-view mass is short jobs.
+    assert facts["fraction_below_100s_of_view"] >= 0.5
+    # Counts decay monotonically (within noise) beyond the mode.
+    assert facts["monotone_tail"]
+
+
+def test_fig9_tail_extends_past_1e6_seconds(benchmark):
+    model = PunchCpuTimeModel()
+    rng = RandomStreams(seed=3).get("fig9.tail")
+    times = run_once(benchmark, model.sample, rng, PAPER_SAMPLE_COUNT)
+    assert float(times.max()) > 1e6
+    # And the bulk is still seconds-scale.
+    assert float(np.median(times)) < 60.0
+
+
+def test_fig9_modal_bin_matches_caption_at_paper_scale(benchmark):
+    """The caption: "the Y-axis extends to 19756 runs" for 236,222 runs."""
+    result = run_once(benchmark, run_fig9, paper_scale=True, seed=1)
+    counts = [p.mean for p in result.series["runs"]]
+    modal = max(counts)
+    assert 0.75 * 19_756 <= modal <= 1.25 * 19_756, modal

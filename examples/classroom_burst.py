@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Classroom burst: the hot-spot scenario that motivates pool replication.
+
+Section 6/7 of the paper: "a large class is working on a lab or homework
+assignment" — many users suddenly request resources with the *same*
+specification, so one pool becomes a hot spot.  This example reproduces
+the scenario on the discrete-event deployment and shows the paper's two
+remedies side by side:
+
+ - replicating the pool (Figure 8), and
+ - splitting the pool (Figure 7),
+
+each against the single-instance baseline.
+
+Run:  python examples/classroom_burst.py
+"""
+
+from repro.deploy.simulated import ClientSpec, SimulatedDeployment
+from repro.fleet import FleetSpec, build_database
+
+CLASS_SIZE = 40          # students all launching the same tool
+QUERIES_EACH = 10        # runs per student during the lab
+FLEET = 800              # machines matching the assignment's requirements
+
+ASSIGNMENT_QUERY = "punch.rsrc.arch = sun\npunch.rsrc.memory = >=128"
+
+
+def run_scenario(label: str, *, replicas: int = 1, split: int = 0) -> float:
+    db, _ = build_database(FleetSpec(size=FLEET, domain="purdue", seed=7))
+    deployment = SimulatedDeployment(db, seed=1)
+    deployment.precreate_pool(ASSIGNMENT_QUERY, replicas=replicas)
+    if split >= 2:
+        deployment.split_pool(ASSIGNMENT_QUERY, split)
+
+    stats = deployment.run_clients(
+        ClientSpec(count=CLASS_SIZE, queries_per_client=QUERIES_EACH,
+                   domain=deployment.spec.service_domain),
+        lambda ci, it, rng: ASSIGNMENT_QUERY,
+    )
+    summary = stats.summary()
+    print(f"{label:<28} mean={summary.mean * 1e3:7.1f} ms   "
+          f"p95={summary.p95 * 1e3:7.1f} ms   "
+          f"queries={summary.count}   failures={stats.failures}")
+    return summary.mean
+
+
+def main() -> None:
+    print(f"{CLASS_SIZE} students x {QUERIES_EACH} runs against a "
+          f"{FLEET}-machine sun pool\n")
+    base = run_scenario("single pool instance")
+    rep2 = run_scenario("replicated x2 (fig 8)", replicas=2)
+    rep4 = run_scenario("replicated x4 (fig 8)", replicas=4)
+    spl2 = run_scenario("split 2 fragments (fig 7)", split=2)
+    spl4 = run_scenario("split 4 fragments (fig 7)", split=4)
+
+    print()
+    print(f"replication x4 speedup: {base / rep4:0.2f}x")
+    print(f"splitting   x4 speedup: {base / spl4:0.2f}x")
+    assert rep4 < rep2 < base
+    assert spl4 < spl2 < base
+    print("hot spot mitigated — both remedies beat the single instance, "
+          "as in the paper's Figures 7 and 8.")
+
+
+if __name__ == "__main__":
+    main()

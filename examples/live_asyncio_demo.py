@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Live service demo: the asyncio runtime on real localhost sockets.
+
+Starts the ActYP TCP server (length-prefixed JSON protocol), then runs a
+burst of concurrent clients that query, hold, and release machines — the
+deployment form of the paper's production prototype ("the network desktop
+simply asks ActYP for resources ... and it gets back an IP address, a TCP
+port number, and a session-specific access key").
+
+Run:  python examples/live_asyncio_demo.py
+"""
+
+import asyncio
+import time
+
+from repro.core.pipeline import build_service
+from repro.fleet import FleetSpec, build_database
+from repro.runtime import ActYPClient, ActYPServer
+
+N_CLIENTS = 12
+QUERIES_PER_CLIENT = 8
+
+QUERY = """
+punch.rsrc.arch = sun
+punch.rsrc.memory = >=128
+punch.user.login = student
+punch.user.accessgroup = public
+"""
+
+
+async def client_task(port: int, index: int, latencies: list) -> None:
+    async with ActYPClient("127.0.0.1", port) as client:
+        for _ in range(QUERIES_PER_CLIENT):
+            start = time.perf_counter()
+            result = await client.query(QUERY, origin=f"client{index}")
+            latencies.append(time.perf_counter() - start)
+            if result["ok"]:
+                # Hold the machine briefly, then relinquish.
+                await asyncio.sleep(0.001)
+                await client.release(result["allocation"]["access_key"])
+
+
+async def main() -> None:
+    database, _ = build_database(FleetSpec(size=300, domain="purdue"))
+    service = build_service(database, n_pool_managers=2)
+
+    async with ActYPServer(service) as server:
+        print(f"ActYP service listening on 127.0.0.1:{server.port}")
+        latencies: list = []
+        started = time.perf_counter()
+        await asyncio.gather(*[
+            client_task(server.port, i, latencies)
+            for i in range(N_CLIENTS)
+        ])
+        elapsed = time.perf_counter() - started
+
+        total = N_CLIENTS * QUERIES_PER_CLIENT
+        latencies.sort()
+        print(f"{total} queries from {N_CLIENTS} concurrent clients "
+              f"in {elapsed:0.2f}s ({total / elapsed:0.0f} q/s)")
+        print(f"latency p50={latencies[len(latencies) // 2] * 1e3:0.2f} ms  "
+              f"p95={latencies[int(len(latencies) * 0.95)] * 1e3:0.2f} ms")
+        print(f"server stats: {service.stats()}")
+        busy = sum(database.get(n).active_jobs for n in database.names())
+        print(f"machines still busy after release: {busy}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

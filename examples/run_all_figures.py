@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation in one run.
+
+Prints each figure's data table and an ASCII rendering of its curves.
+Pass ``--paper-scale`` to use the paper's full parameters (slower).
+
+Run:  python examples/run_all_figures.py [--paper-scale]
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+from repro.experiments.plotting import ascii_plot
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args()
+
+    runners = [run_fig4, run_fig5, run_fig6, run_fig7, run_fig8, run_fig9]
+    for runner in runners:
+        started = time.perf_counter()
+        result = runner(paper_scale=args.paper_scale)
+        elapsed = time.perf_counter() - started
+        print("=" * 78)
+        print(result.format_table())
+        print()
+        if result.figure_id != "fig9":  # the histogram reads better as a table
+            print(ascii_plot(result, width=68, height=16))
+            print()
+        print(f"[{result.figure_id} regenerated in {elapsed:.1f}s]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

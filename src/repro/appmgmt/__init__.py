@@ -1,0 +1,41 @@
+"""The application management component (paper Figure 2).
+
+Sits between the network desktop and the ActYP service: parses the user's
+tool-invocation request, extracts relevant parameters using a knowledge
+base, estimates the run time via a performance-modeling service, ranks and
+selects solution algorithms, determines hardware requirements, and
+composes the ActYP query.
+
+Public API:
+
+- :class:`~repro.appmgmt.knowledge_base.ToolDescription`,
+  :class:`~repro.appmgmt.knowledge_base.KnowledgeBase`
+- :class:`~repro.appmgmt.parser.ToolRequest`,
+  :func:`~repro.appmgmt.parser.parse_tool_request`
+- :class:`~repro.appmgmt.perf_model.PerformanceModel`
+- :class:`~repro.appmgmt.query_builder.ApplicationManager`
+"""
+
+from repro.appmgmt.knowledge_base import (
+    AlgorithmSpec,
+    KnowledgeBase,
+    ParameterSpec,
+    ToolDescription,
+    default_knowledge_base,
+)
+from repro.appmgmt.parser import ToolRequest, parse_tool_request
+from repro.appmgmt.perf_model import PerformanceModel, RunEstimate
+from repro.appmgmt.query_builder import ApplicationManager
+
+__all__ = [
+    "AlgorithmSpec",
+    "KnowledgeBase",
+    "ParameterSpec",
+    "ToolDescription",
+    "default_knowledge_base",
+    "ToolRequest",
+    "parse_tool_request",
+    "PerformanceModel",
+    "RunEstimate",
+    "ApplicationManager",
+]

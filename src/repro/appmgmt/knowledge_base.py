@@ -1,0 +1,203 @@
+"""The knowledge base driving input parsing and algorithm selection.
+
+Figure 2's flow starts with "Parse user input / Extract relevant
+parameters / Qualify extracted information" against a knowledge base that
+knows, per tool: which input parameters matter (the figure's example — a
+semiconductor device simulation — extracts ``#carriers``, ``#nodes in
+grid``, ``device size``, ``convergence norm``), which solution algorithms
+exist (Monte Carlo, hydrodynamic, drift-diffusion), and what hardware each
+algorithm needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ParameterSpec",
+    "AlgorithmSpec",
+    "ToolDescription",
+    "KnowledgeBase",
+    "default_knowledge_base",
+]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One extractable input parameter of a tool."""
+
+    name: str
+    kind: str = "number"          # "number" | "string"
+    default: Optional[float | str] = None
+    required: bool = False
+    description: str = ""
+
+    def qualify(self, raw: str) -> float | str:
+        """Coerce a raw extracted token to the declared kind."""
+        if self.kind == "number":
+            try:
+                return float(raw)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"parameter {self.name!r} expects a number, got {raw!r}"
+                ) from exc
+        return raw
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One solution algorithm a tool can use, with its hardware envelope.
+
+    ``cpu_units`` and ``memory_mb`` are callables over the qualified
+    parameter mapping — the figure's ``cpuUnits = f(parameters)`` and
+    ``memReqd = g(parameters)``.  ``rank`` orders algorithms for a given
+    run (lower = preferred); the figure: "Rank algorithms: f(parameters,
+    available algorithms)".
+    """
+
+    name: str
+    cpu_units: Callable[[Mapping[str, float | str]], float]
+    memory_mb: Callable[[Mapping[str, float | str]], float]
+    rank: Callable[[Mapping[str, float | str]], float]
+    architectures: Tuple[str, ...] = ("sun", "hp")
+    min_speed: float = 0.0
+    license: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ToolDescription:
+    """Everything the knowledge base knows about one tool."""
+
+    tool_name: str
+    tool_group: str
+    parameters: Tuple[ParameterSpec, ...]
+    algorithms: Tuple[AlgorithmSpec, ...]
+    description: str = ""
+
+    def parameter(self, name: str) -> ParameterSpec:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise ConfigError(f"tool {self.tool_name!r} has no parameter {name!r}")
+
+
+class KnowledgeBase:
+    """Registry of tool descriptions."""
+
+    def __init__(self):
+        self._tools: Dict[str, ToolDescription] = {}
+
+    def register(self, tool: ToolDescription) -> None:
+        if tool.tool_name in self._tools:
+            raise ConfigError(f"tool {tool.tool_name!r} already registered")
+        if not tool.algorithms:
+            raise ConfigError(f"tool {tool.tool_name!r} needs >= 1 algorithm")
+        self._tools[tool.tool_name] = tool
+
+    def get(self, tool_name: str) -> ToolDescription:
+        tool = self._tools.get(tool_name)
+        if tool is None:
+            raise ConfigError(f"unknown tool {tool_name!r}")
+        return tool
+
+    def tools(self) -> List[str]:
+        return sorted(self._tools)
+
+    def __contains__(self, tool_name: str) -> bool:
+        return tool_name in self._tools
+
+
+def default_knowledge_base() -> KnowledgeBase:
+    """Tools mirroring the paper's examples.
+
+    - ``tsuprem4`` — the licensed semiconductor process simulator named in
+      the paper's sample query.
+    - ``carrier_transport`` — Figure 2's device-simulation example, with
+      the three algorithm choices the figure lists.
+    - ``spice`` — a short-running circuit simulator standing in for the
+      large population of seconds-scale PUNCH jobs.
+    """
+    kb = KnowledgeBase()
+
+    kb.register(ToolDescription(
+        tool_name="tsuprem4",
+        tool_group="general",
+        description="2-D semiconductor process simulation (licensed)",
+        parameters=(
+            ParameterSpec("grid_points", "number", default=1e4),
+            ParameterSpec("num_steps", "number", default=100),
+        ),
+        algorithms=(
+            AlgorithmSpec(
+                name="implicit",
+                cpu_units=lambda p: 1e-4 * float(p["grid_points"]) *
+                float(p["num_steps"]),
+                memory_mb=lambda p: 8 + 2e-3 * float(p["grid_points"]),
+                rank=lambda p: 0.0,
+                architectures=("sun",),
+                license="tsuprem4",
+            ),
+        ),
+    ))
+
+    kb.register(ToolDescription(
+        tool_name="carrier_transport",
+        tool_group="general",
+        description="carrier transport simulation for given device specs "
+                    "(Figure 2's example)",
+        parameters=(
+            ParameterSpec("carriers", "number", default=1e5),
+            ParameterSpec("grid_nodes", "number", default=5e3),
+            ParameterSpec("device_size", "number", default=1.0),
+            ParameterSpec("convergence_norm", "number", default=1e-6),
+        ),
+        algorithms=(
+            AlgorithmSpec(
+                name="drift_diffusion",
+                cpu_units=lambda p: 2e-3 * float(p["grid_nodes"]),
+                memory_mb=lambda p: 16 + 4e-3 * float(p["grid_nodes"]),
+                # Cheap but inaccurate for many carriers.
+                rank=lambda p: 0.0 if float(p["carriers"]) < 1e5 else 2.0,
+            ),
+            AlgorithmSpec(
+                name="hydrodynamic",
+                cpu_units=lambda p: 1e-2 * float(p["grid_nodes"]),
+                memory_mb=lambda p: 32 + 8e-3 * float(p["grid_nodes"]),
+                rank=lambda p: 1.0,
+            ),
+            AlgorithmSpec(
+                name="monte_carlo",
+                cpu_units=lambda p: 5e-3 * float(p["carriers"]),
+                memory_mb=lambda p: 64 + 1e-3 * float(p["carriers"]),
+                # Preferred for large carrier counts, needs fast machines.
+                rank=lambda p: 0.5 if float(p["carriers"]) >= 1e5 else 3.0,
+                min_speed=300.0,
+            ),
+        ),
+    ))
+
+    kb.register(ToolDescription(
+        tool_name="spice",
+        tool_group="general",
+        description="circuit simulation; the short-job workhorse",
+        parameters=(
+            ParameterSpec("num_devices", "number", default=100),
+            ParameterSpec("sim_time_ns", "number", default=100),
+        ),
+        algorithms=(
+            AlgorithmSpec(
+                name="transient",
+                cpu_units=lambda p: 1e-3 * float(p["num_devices"]) *
+                float(p["sim_time_ns"]) ** 0.5,
+                memory_mb=lambda p: 4 + 1e-2 * float(p["num_devices"]),
+                rank=lambda p: 0.0,
+                architectures=("sun", "hp", "x86"),
+                license="spice",
+            ),
+        ),
+    ))
+
+    return kb

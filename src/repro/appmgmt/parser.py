@@ -1,0 +1,75 @@
+"""Parsing the user's tool-invocation request (Figure 2, first box).
+
+A :class:`ToolRequest` is what the network desktop forwards: the tool
+name, the raw command/input text, and the user's stated preferences
+("preference specified in terms of priority, version, architecture,
+etc.").  :func:`parse_tool_request` extracts ``name=value`` tokens from
+the input text and qualifies them against the tool's parameter specs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.appmgmt.knowledge_base import KnowledgeBase
+from repro.errors import ConfigError
+
+__all__ = ["ToolRequest", "parse_tool_request"]
+
+_TOKEN_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([^\s,;]+)")
+
+
+@dataclass(frozen=True)
+class ToolRequest:
+    """A parsed, qualified tool-run request."""
+
+    tool_name: str
+    parameters: Mapping[str, float | str]
+    login: str = "guest"
+    access_group: str = "public"
+    #: User preferences: priority, version, architecture, domain...
+    preferences: Mapping[str, str] = field(default_factory=dict)
+
+    def parameter(self, name: str, default=None):
+        return self.parameters.get(name, default)
+
+
+def parse_tool_request(
+    kb: KnowledgeBase,
+    tool_name: str,
+    input_text: str,
+    *,
+    login: str = "guest",
+    access_group: str = "public",
+    preferences: Optional[Mapping[str, str]] = None,
+) -> ToolRequest:
+    """Extract and qualify the tool's relevant parameters from raw input.
+
+    Unknown tokens in the input are ignored (real tool decks carry far
+    more than the knowledge base needs); missing parameters fall back to
+    their declared defaults; missing *required* parameters raise.
+    """
+    tool = kb.get(tool_name)
+    raw: Dict[str, str] = {}
+    for match in _TOKEN_RE.finditer(input_text):
+        raw[match.group(1).lower()] = match.group(2)
+
+    qualified: Dict[str, float | str] = {}
+    for spec in tool.parameters:
+        if spec.name in raw:
+            qualified[spec.name] = spec.qualify(raw[spec.name])
+        elif spec.default is not None:
+            qualified[spec.name] = spec.default
+        elif spec.required:
+            raise ConfigError(
+                f"tool {tool_name!r} requires parameter {spec.name!r}"
+            )
+    return ToolRequest(
+        tool_name=tool_name,
+        parameters=qualified,
+        login=login,
+        access_group=access_group,
+        preferences=dict(preferences or {}),
+    )

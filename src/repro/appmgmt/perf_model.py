@@ -1,0 +1,119 @@
+"""The performance-modeling service (paper references [14, 18]).
+
+PUNCH "estimates the run-time for the application (via a performance
+modeling service)" before building the query.  The production service
+learned resource-usage predictors from historical runs; our substitute
+evaluates the knowledge base's per-algorithm cost functions
+(``cpuUnits = f(parameters)``, ``memReqd = g(parameters)``) and applies a
+learned-error model: a multiplicative calibration factor per (tool,
+algorithm) pair that an :class:`PerformanceModel` can update online from
+observed runs — preserving the feedback loop the real service had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.appmgmt.knowledge_base import AlgorithmSpec, KnowledgeBase, ToolDescription
+from repro.appmgmt.parser import ToolRequest
+from repro.errors import ConfigError
+
+__all__ = ["RunEstimate", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class RunEstimate:
+    """Predicted resource usage of one run on the reference machine.
+
+    The paper's protocol "assumes the existence of a 'reference' machine
+    for time-related estimates"; ``cpu_seconds`` is on that reference.
+    """
+
+    tool_name: str
+    algorithm: str
+    cpu_seconds: float
+    memory_mb: float
+    architectures: Tuple[str, ...]
+    min_speed: float
+    license: Optional[str]
+
+
+class PerformanceModel:
+    """Evaluates and calibrates the knowledge base's cost functions."""
+
+    def __init__(self, kb: KnowledgeBase, reference_speed: float = 300.0):
+        if reference_speed <= 0:
+            raise ConfigError("reference_speed must be > 0")
+        self.kb = kb
+        self.reference_speed = reference_speed
+        #: (tool, algorithm) -> multiplicative calibration on CPU estimate.
+        self._calibration: Dict[Tuple[str, str], float] = {}
+        self._observations: Dict[Tuple[str, str], int] = {}
+
+    # -- estimation -----------------------------------------------------------
+
+    def calibration(self, tool: str, algorithm: str) -> float:
+        return self._calibration.get((tool, algorithm), 1.0)
+
+    def estimate(self, request: ToolRequest,
+                 algorithm: Optional[str] = None) -> RunEstimate:
+        """Estimate the preferred (or named) algorithm for a request."""
+        tool = self.kb.get(request.tool_name)
+        spec = self._select_algorithm(tool, request, algorithm)
+        factor = self.calibration(tool.tool_name, spec.name)
+        cpu = spec.cpu_units(request.parameters) * factor
+        memory = spec.memory_mb(request.parameters)
+        return RunEstimate(
+            tool_name=tool.tool_name,
+            algorithm=spec.name,
+            cpu_seconds=max(cpu, 0.0),
+            memory_mb=max(memory, 0.0),
+            architectures=spec.architectures,
+            min_speed=spec.min_speed,
+            license=spec.license,
+        )
+
+    def rank_algorithms(self, request: ToolRequest) -> list[str]:
+        """Algorithm names, best first (Figure 2's "Rank algorithms")."""
+        tool = self.kb.get(request.tool_name)
+        ranked = sorted(tool.algorithms,
+                        key=lambda a: (a.rank(request.parameters), a.name))
+        return [a.name for a in ranked]
+
+    def _select_algorithm(self, tool: ToolDescription, request: ToolRequest,
+                          algorithm: Optional[str]) -> AlgorithmSpec:
+        if algorithm is not None:
+            for a in tool.algorithms:
+                if a.name == algorithm:
+                    return a
+            raise ConfigError(
+                f"tool {tool.tool_name!r} has no algorithm {algorithm!r}"
+            )
+        best = self.rank_algorithms(request)[0]
+        return self._select_algorithm(tool, request, best)
+
+    # -- online calibration ------------------------------------------------------
+
+    def observe(self, tool: str, algorithm: str, predicted_cpu_s: float,
+                actual_cpu_s: float, smoothing: float = 0.2) -> float:
+        """Fold one observed run into the calibration factor (EWMA).
+
+        Returns the new factor.  This is the reproduction of the learning
+        loop in the paper's performance-modeling service: predictions
+        drift toward observed behaviour.
+        """
+        if predicted_cpu_s <= 0:
+            raise ConfigError("predicted_cpu_s must be > 0 to calibrate")
+        if not 0 < smoothing <= 1:
+            raise ConfigError("smoothing must be in (0, 1]")
+        key = (tool, algorithm)
+        ratio = actual_cpu_s / predicted_cpu_s
+        old = self._calibration.get(key, 1.0)
+        new = (1 - smoothing) * old + smoothing * old * ratio
+        self._calibration[key] = new
+        self._observations[key] = self._observations.get(key, 0) + 1
+        return new
+
+    def observation_count(self, tool: str, algorithm: str) -> int:
+        return self._observations.get((tool, algorithm), 0)

@@ -1,0 +1,96 @@
+"""Composing the ActYP query (Figure 2's last two boxes).
+
+The :class:`ApplicationManager` is the whole application-management
+component in one object: it parses the request, runs the performance
+model, determines hardware requirements (the figure's example: "SPARC or
+HP architecture with >=256MB RAM and >=300 SPECfp"), and composes the
+query text that the resource-management pipeline receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.appmgmt.knowledge_base import KnowledgeBase, default_knowledge_base
+from repro.appmgmt.parser import ToolRequest, parse_tool_request
+from repro.appmgmt.perf_model import PerformanceModel, RunEstimate
+from repro.core.language import CompositeQuery, QueryLanguage, default_language
+
+__all__ = ["ApplicationManager", "ComposedQuery"]
+
+
+@dataclass(frozen=True)
+class ComposedQuery:
+    """The query text plus the estimate that shaped it."""
+
+    text: str
+    estimate: RunEstimate
+    request: ToolRequest
+
+    def parse(self, language: Optional[QueryLanguage] = None) -> CompositeQuery:
+        return (language or default_language()).parse(self.text)
+
+
+class ApplicationManager:
+    """Figure 2, end to end: user input → ActYP query text."""
+
+    def __init__(self, kb: Optional[KnowledgeBase] = None,
+                 perf_model: Optional[PerformanceModel] = None):
+        self.kb = kb or default_knowledge_base()
+        self.perf_model = perf_model or PerformanceModel(self.kb)
+
+    def handle(
+        self,
+        tool_name: str,
+        input_text: str,
+        *,
+        login: str = "guest",
+        access_group: str = "public",
+        preferences: Optional[Mapping[str, str]] = None,
+        memory_headroom: float = 1.25,
+    ) -> ComposedQuery:
+        """Parse, estimate, and compose the query for one tool run.
+
+        ``memory_headroom`` scales the predicted footprint into the memory
+        requirement (production systems over-provision predictions).
+        Preferences understood: ``architecture`` (overrides the
+        algorithm's architecture list; alternatives joined with ``|``),
+        ``domain``, ``version``, ``priority``.
+        """
+        request = parse_tool_request(
+            self.kb, tool_name, input_text,
+            login=login, access_group=access_group,
+            preferences=preferences,
+        )
+        estimate = self.perf_model.estimate(request)
+
+        lines: List[str] = []
+        arch_pref = request.preferences.get("architecture")
+        architectures = ([arch_pref] if arch_pref
+                         else list(estimate.architectures))
+        lines.append(f"punch.rsrc.arch = {'|'.join(architectures)}")
+        memory_req = max(1, int(round(estimate.memory_mb * memory_headroom)))
+        lines.append(f"punch.rsrc.memory = >={memory_req}")
+        if estimate.min_speed > 0:
+            lines.append(f"punch.rsrc.speed = >={estimate.min_speed:g}")
+        if estimate.license:
+            lines.append(f"punch.rsrc.license = {estimate.license}")
+        domain = request.preferences.get("domain")
+        if domain:
+            lines.append(f"punch.rsrc.domain = {domain}")
+        lines.append(
+            f"punch.appl.expectedcpuuse = {estimate.cpu_seconds:.6g}")
+        lines.append(
+            f"punch.appl.expectedmemoryuse = {estimate.memory_mb:.6g}")
+        version = request.preferences.get("version")
+        if version:
+            lines.append(f"punch.appl.version = {version}")
+        priority = request.preferences.get("priority")
+        if priority:
+            lines.append(f"punch.appl.priority = {priority}")
+        lines.append(f"punch.user.login = {login}")
+        lines.append(f"punch.user.accessgroup = {access_group}")
+        return ComposedQuery(
+            text="\n".join(lines), estimate=estimate, request=request,
+        )

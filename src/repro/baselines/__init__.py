@@ -1,0 +1,28 @@
+"""Baseline resource-management systems the paper compares against.
+
+Section 8 positions ActYP against three families; we implement the
+scheduling core of each so ablation benches can contrast them with the
+pipeline on identical fleets and workloads:
+
+- :class:`~repro.baselines.central.CentralizedScheduler` — a PBS/SGE/DQS
+  style centralized scheduler with multiple submit queues ("one queue for
+  short jobs; another for large ones").
+- :class:`~repro.baselines.matchmaker.Matchmaker` — a Condor-style
+  centralized matchmaker: every machine advertises a ClassAd-like record;
+  each query is matched against *all* advertisements (no aggregation).
+- :class:`~repro.baselines.static_pools.StaticPoolScheduler` — yellow
+  pages with *static* aggregation: pools are fixed at configuration time,
+  so queries that fit no configured category fail or fall back; the
+  contrast that motivates the "active" directory.
+"""
+
+from repro.baselines.central import CentralizedScheduler, QueueSpec
+from repro.baselines.matchmaker import Matchmaker
+from repro.baselines.static_pools import StaticPoolScheduler
+
+__all__ = [
+    "CentralizedScheduler",
+    "QueueSpec",
+    "Matchmaker",
+    "StaticPoolScheduler",
+]

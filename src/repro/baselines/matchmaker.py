@@ -1,0 +1,139 @@
+"""Condor-style centralized matchmaking (paper reference [22]).
+
+"Condor employs a preemptive, centralized, receiver-initiated scheduling
+mechanism" built on matchmaking: machines *advertise* classified ads;
+a central matchmaker pairs each job request with the advertisement that
+satisfies its requirements and maximises its rank expression.
+
+Our reproduction keeps the two-sided structure — machine ads carry their
+own requirements (an owner policy, e.g. minimum keyboard-idle stand-in),
+and matching is symmetric: both the job's and the machine's requirements
+must hold — which is the essential difference from ActYP's one-sided
+pools.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.query import Allocation, Query
+from repro.database.records import MachineRecord
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import NoResourceAvailableError
+
+__all__ = ["MachineAd", "Matchmaker"]
+
+#: Machine-side requirement over the incoming query.
+AdRequirement = Callable[[MachineRecord, Query], bool]
+#: Job-side rank expression (higher = preferred).
+RankFn = Callable[[MachineRecord, Query], float]
+
+
+def _default_machine_requirement(record: MachineRecord, query: Query) -> bool:
+    """Machines accept jobs while lightly loaded (the idle-workstation
+    harvesting policy Condor was built around)."""
+    return record.current_load < record.max_allowed_load * 0.75
+
+
+def _default_rank(record: MachineRecord, query: Query) -> float:
+    return record.effective_speed - 10.0 * record.current_load
+
+
+@dataclass
+class MachineAd:
+    """One machine's advertisement to the matchmaker."""
+
+    record_name: str
+    requirement: AdRequirement = _default_machine_requirement
+    advertised_at: float = 0.0
+
+
+class Matchmaker:
+    """The central matchmaker: every query scans every advertisement."""
+
+    def __init__(self, database: WhitePagesDatabase,
+                 rank: RankFn = _default_rank):
+        self.database = database
+        self.rank = rank
+        self._ads: Dict[str, MachineAd] = {}
+        self._allocations: Dict[str, str] = {}
+        self.matches = 0
+        self.ads_scanned = 0
+
+    # -- advertisement ---------------------------------------------------------
+
+    def advertise(self, machine_name: str,
+                  requirement: Optional[AdRequirement] = None,
+                  now: float = 0.0) -> MachineAd:
+        """(Re-)publish a machine's ad; Condor ads refresh periodically."""
+        ad = MachineAd(
+            record_name=machine_name,
+            requirement=requirement or _default_machine_requirement,
+            advertised_at=now,
+        )
+        self._ads[machine_name] = ad
+        return ad
+
+    def advertise_all(self, now: float = 0.0) -> int:
+        for name in self.database.names():
+            self.advertise(name, now=now)
+        return len(self._ads)
+
+    def withdraw(self, machine_name: str) -> None:
+        self._ads.pop(machine_name, None)
+
+    @property
+    def ad_count(self) -> int:
+        return len(self._ads)
+
+    # -- matching ---------------------------------------------------------------
+
+    def match(self, query: Query) -> Allocation:
+        """Two-sided match: job requirements AND machine requirements."""
+        self.matches += 1
+        best: Optional[MachineRecord] = None
+        best_rank = float("-inf")
+        for name in sorted(self._ads):
+            self.ads_scanned += 1
+            ad = self._ads[name]
+            record = self.database.get(name)
+            if not record.is_up or record.is_overloaded:
+                continue
+            if not query.matches_machine(record):
+                continue  # job-side requirements
+            if not ad.requirement(record, query):
+                continue  # machine-side requirements
+            r = self.rank(record, query)
+            if r > best_rank:
+                best, best_rank = record, r
+        if best is None:
+            raise NoResourceAvailableError(
+                f"matchmaker found no match for query {query.query_id}"
+            )
+        access_key = secrets.token_hex(16)
+        self.database.update_dynamic(
+            best.machine_name,
+            current_load=best.current_load + 1.0 / best.num_cpus,
+            active_jobs=best.active_jobs + 1,
+        )
+        self._allocations[access_key] = best.machine_name
+        return Allocation(
+            machine_name=best.machine_name,
+            address=best.machine_name,
+            execution_unit_port=best.execution_unit_port,
+            access_key=access_key,
+            pool_name="matchmaker",
+        )
+
+    def release(self, access_key: str) -> None:
+        machine = self._allocations.pop(access_key, None)
+        if machine is None:
+            raise NoResourceAvailableError("unknown access key")
+        record = self.database.get(machine)
+        self.database.update_dynamic(
+            machine,
+            current_load=max(0.0, record.current_load - 1.0 / record.num_cpus),
+            active_jobs=max(0, record.active_jobs - 1),
+        )

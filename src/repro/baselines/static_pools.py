@@ -1,0 +1,98 @@
+"""Static aggregation: the strawman the *active* yellow pages replaces.
+
+"Traditional yellow pages directories are based on the implicit
+assumption that the listings can be classified according to fixed and
+well-established criteria ...  In a computing environment, however, it is
+impractical to anticipate all possible permutations" (Section 4).
+
+:class:`StaticPoolScheduler` aggregates machines into pools *once*, from
+an administrator-supplied category list.  Queries whose pool name matches
+a configured category are served exactly like ActYP pools; anything else
+fails (or, optionally, falls back to a full database scan — the behaviour
+knob the ablation bench sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.language import parse_query
+from repro.core.query import Allocation, Query
+from repro.core.resource_pool import ResourcePool
+from repro.core.signature import pool_name_for
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import NoResourceAvailableError, NoSuchPoolError
+
+__all__ = ["StaticPoolScheduler"]
+
+
+class StaticPoolScheduler:
+    """Fixed categories decided at configuration time."""
+
+    def __init__(self, database: WhitePagesDatabase,
+                 category_queries: Sequence[str],
+                 *, fallback_scan: bool = False):
+        self.database = database
+        self.fallback_scan = fallback_scan
+        self._pools: Dict[str, ResourcePool] = {}
+        self._allocations: Dict[str, ResourcePool] = {}
+        self.misses = 0
+        for text in category_queries:
+            query = parse_query(text).basic()
+            name = pool_name_for(query)
+            pool = ResourcePool(name, database, exemplar_query=query)
+            pool.initialize()
+            self._pools[name.full] = pool
+
+    @property
+    def pool_names(self) -> List[str]:
+        return sorted(self._pools)
+
+    def pool(self, full_name: str) -> ResourcePool:
+        p = self._pools.get(full_name)
+        if p is None:
+            raise NoSuchPoolError(full_name)
+        return p
+
+    def submit(self, query: Query, now: float = 0.0) -> Allocation:
+        """Serve from the matching static pool, else miss."""
+        name = pool_name_for(query)
+        pool = self._pools.get(name.full)
+        if pool is not None:
+            allocation = pool.allocate(query, now=now)
+            self._allocations[allocation.access_key] = pool
+            return allocation
+        self.misses += 1
+        if not self.fallback_scan:
+            raise NoSuchPoolError(
+                f"no static category for pool name {name.full!r}"
+            )
+        # Fallback: scan the leftover (untaken) machines directly.
+        for record in self.database.scan():
+            if not record.is_up or record.is_overloaded:
+                continue
+            if query.matches_machine(record):
+                # Ad-hoc allocation outside any pool.
+                import secrets
+                access_key = secrets.token_hex(16)
+                self.database.update_dynamic(
+                    record.machine_name,
+                    current_load=record.current_load + 1.0 / record.num_cpus,
+                    active_jobs=record.active_jobs + 1,
+                )
+                return Allocation(
+                    machine_name=record.machine_name,
+                    address=record.machine_name,
+                    execution_unit_port=record.execution_unit_port,
+                    access_key=access_key,
+                    pool_name="fallback-scan",
+                )
+        raise NoResourceAvailableError(
+            f"fallback scan found nothing for query {query.query_id}"
+        )
+
+    def release(self, access_key: str) -> None:
+        pool = self._allocations.pop(access_key, None)
+        if pool is None:
+            raise NoResourceAvailableError("unknown access key")
+        pool.release(access_key)

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+- ``experiment figN [--paper-scale]`` — regenerate one paper figure and
+  print its table.
+- ``fleet --size N --out fleet.json`` — generate and save a synthetic
+  white-pages snapshot.
+- ``serve --fleet fleet.json --port P`` — run the asyncio ActYP service.
+- ``query --host H --port P "<query text>"`` — submit a query to a live
+  service and print the allocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from repro.fleet import FleetSpec, build_fleet
+from repro.database.persistence import load_database, save_database
+from repro.database.whitepages import WhitePagesDatabase
+
+__all__ = ["main"]
+
+_FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments
+    runner = getattr(experiments, f"run_{args.figure}")
+    result = runner(paper_scale=args.paper_scale)
+    print(result.format_table())
+    if args.plot:
+        from repro.experiments.plotting import ascii_plot
+        print()
+        print(ascii_plot(result))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    spec = FleetSpec(size=args.size, domain=args.domain,
+                     stripe_pools=args.stripe_pools, seed=args.seed)
+    db = WhitePagesDatabase(build_fleet(spec))
+    save_database(db, args.out)
+    print(f"wrote {len(db)} machines to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import build_service
+    from repro.runtime.server import ActYPServer
+
+    if args.fleet:
+        db = load_database(args.fleet)
+    else:
+        db = WhitePagesDatabase(build_fleet(FleetSpec(size=args.size)))
+    service = build_service(db, n_pool_managers=args.pool_managers)
+
+    async def run() -> None:
+        server = ActYPServer(service)
+        await server.start(args.host, args.port)
+        print(f"ActYP service on {args.host}:{server.port} "
+              f"({len(db)} machines); Ctrl-C to stop")
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except asyncio.CancelledError:  # pragma: no cover
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("stopped")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.runtime.client import ActYPClient
+
+    async def run() -> int:
+        async with ActYPClient(args.host, args.port) as client:
+            result = await client.query(args.text, format_name=args.format)
+            print(json.dumps(result, indent=2))
+            if result.get("ok") and args.release:
+                await client.release(result["allocation"]["access_key"])
+                print("released")
+            return 0 if result.get("ok") else 1
+
+    return asyncio.run(run())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Active Yellow Pages reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    p_exp.add_argument("figure", choices=_FIGURES)
+    p_exp.add_argument("--paper-scale", action="store_true",
+                       help="use the paper's full parameters")
+    p_exp.add_argument("--plot", action="store_true",
+                       help="render an ASCII plot of the series")
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_fleet = sub.add_parser("fleet", help="generate a fleet snapshot")
+    p_fleet.add_argument("--size", type=int, default=200)
+    p_fleet.add_argument("--domain", default="purdue")
+    p_fleet.add_argument("--stripe-pools", type=int, default=0)
+    p_fleet.add_argument("--seed", type=int, default=7)
+    p_fleet.add_argument("--out", required=True)
+    p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_serve = sub.add_parser("serve", help="run the asyncio service")
+    p_serve.add_argument("--fleet", help="fleet snapshot JSON")
+    p_serve.add_argument("--size", type=int, default=200,
+                         help="synthetic fleet size when no snapshot given")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7070)
+    p_serve.add_argument("--pool-managers", type=int, default=2)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_query = sub.add_parser("query", help="query a live service")
+    p_query.add_argument("text")
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, default=7070)
+    p_query.add_argument("--format", default="punch",
+                         choices=("punch", "dict", "classad"))
+    p_query.add_argument("--release", action="store_true",
+                         help="release the allocation immediately")
+    p_query.set_defaults(fn=_cmd_query)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: the ActYP resource-management pipeline.
+
+Stages (Section 5.2), each independently replicable and distributable:
+
+``client → QueryManager → PoolManager → ResourcePool → client``
+
+- :mod:`~repro.core.query` / :mod:`~repro.core.language` — the hierarchical
+  key-value query language (``punch.rsrc.arch = sun``).
+- :mod:`~repro.core.signature` — pool naming: signature + identifier from
+  the sorted ``rsrc`` keys of a query.
+- :mod:`~repro.core.query_manager` — translation, composite decomposition,
+  pool-manager selection, result reintegration.
+- :mod:`~repro.core.pool_manager` — query→pool mapping, pool creation,
+  delegation with TTL and visited-list.
+- :mod:`~repro.core.resource_pool` — dynamically created active objects
+  holding machine caches; splitting and replication with instance bias.
+- :mod:`~repro.core.scheduling` — pluggable scheduling objectives.
+- :mod:`~repro.core.pipeline` — builders wiring a deployment together and
+  the in-process :class:`~repro.core.pipeline.ActYPService` facade.
+- :mod:`~repro.core.qos` — QoS modes from Section 6 (redundant fan-out,
+  first-match composite handling).
+"""
+
+from repro.core.operators import Op
+from repro.core.query import Clause, Query, QueryResult, Allocation
+from repro.core.language import QueryLanguage, punch_language, parse_query
+from repro.core.signature import PoolName, pool_name_for
+from repro.core.scheduling import SchedulingObjective, get_objective
+from repro.core.pipeline import ActYPService, build_service
+
+__all__ = [
+    "Op",
+    "Clause",
+    "Query",
+    "QueryResult",
+    "Allocation",
+    "QueryLanguage",
+    "punch_language",
+    "parse_query",
+    "PoolName",
+    "pool_name_for",
+    "SchedulingObjective",
+    "get_objective",
+    "ActYPService",
+    "build_service",
+]

@@ -1,0 +1,141 @@
+"""Composite-query decomposition and result reintegration (Section 5.2.1).
+
+"A composite query is one which contains 'or' clauses.  Such queries are
+decomposed into multiple basic queries that are processed concurrently by
+subsequent stages ...  The process ... is analogous to the fragmentation
+of datagrams in TCP/IP; appropriate state information is propagated along
+with each query component in order to allow reintegration at the end of
+the pipeline."
+
+:func:`decompose` expands the cartesian product of a composite's
+alternative groups into basic :class:`~repro.core.query.Query` components,
+stamping each with ``(component_index, component_count)``.
+:class:`ReintegrationBuffer` is the end-of-pipeline state that collects
+component results; its policy mirrors Section 6's QoS discussion —
+``first_match`` returns the first success immediately, ``all`` waits for
+every component and picks the best.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.language import CompositeQuery
+from repro.core.query import Query, QueryResult
+from repro.errors import ReintegrationError
+
+__all__ = ["decompose", "ReintegrationBuffer"]
+
+
+def decompose(composite: CompositeQuery, *, query_id: int, origin: str,
+              submitted_at: float, ttl: int) -> List[Query]:
+    """Expand a composite into basic components, cheapest-first order.
+
+    The expansion order is deterministic: alternatives are taken in the
+    order they appeared in the query text, so "preferred" alternatives
+    (listed first) get component index 0.
+    """
+    combos = list(itertools.product(*composite.groups))
+    count = len(combos)
+    return [
+        Query(clauses=tuple(combo)).with_identity(
+            query_id=query_id,
+            origin=origin,
+            submitted_at=submitted_at,
+            component_index=i,
+            component_count=count,
+            ttl=ttl,
+        )
+        for i, combo in enumerate(combos)
+    ]
+
+
+@dataclass
+class ReintegrationBuffer:
+    """Collects the component results of one composite query.
+
+    ``policy``:
+
+    - ``"first_match"`` — complete on the first successful component ("the
+      response time for composite queries could be minimized by returning
+      the first available match", Section 6); later results are dropped.
+    - ``"all"`` — wait for every component; prefer the lowest component
+      index among successes (the query's stated preference order).
+
+    Either way, the buffer completes with a failure only after *all*
+    components have reported and none succeeded.
+    """
+
+    query_id: int
+    component_count: int
+    policy: str = "first_match"
+    _results: Dict[int, QueryResult] = field(default_factory=dict)
+    _completed: Optional[QueryResult] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("first_match", "all"):
+            raise ReintegrationError(f"unknown reintegration policy {self.policy!r}")
+        if self.component_count < 1:
+            raise ReintegrationError("component_count must be >= 1")
+
+    @property
+    def done(self) -> bool:
+        return self._completed is not None
+
+    @property
+    def result(self) -> QueryResult:
+        if self._completed is None:
+            raise ReintegrationError("reintegration is not complete")
+        return self._completed
+
+    def offer(self, result: QueryResult) -> Optional[QueryResult]:
+        """Feed one component result; returns the final result when ready."""
+        if result.query_id != self.query_id:
+            raise ReintegrationError(
+                f"result for query {result.query_id} offered to buffer "
+                f"for query {self.query_id}"
+            )
+        if not (0 <= result.component_index < self.component_count):
+            raise ReintegrationError(
+                f"component index {result.component_index} out of range "
+                f"0..{self.component_count - 1}"
+            )
+        if result.component_index in self._results:
+            raise ReintegrationError(
+                f"duplicate result for component {result.component_index}"
+            )
+        self._results[result.component_index] = result
+        if self._completed is not None:
+            return None  # late arrival after first_match completion
+
+        if self.policy == "first_match" and result.ok:
+            self._completed = result
+            return self._completed
+
+        if len(self._results) == self.component_count:
+            successes = [r for r in self._results.values() if r.ok]
+            if successes:
+                best = min(successes, key=lambda r: r.component_index)
+            else:
+                # Aggregate the component errors for diagnosis.
+                errors = "; ".join(
+                    f"[{i}] {self._results[i].error}"
+                    for i in sorted(self._results)
+                )
+                best = QueryResult(
+                    query_id=self.query_id,
+                    component_index=-1 if self.component_count > 1 else 0,
+                    component_count=self.component_count,
+                    error=f"all components failed: {errors}",
+                    completed_at=max(r.completed_at
+                                     for r in self._results.values()),
+                )
+            self._completed = best
+            return self._completed
+        return None
+
+    @property
+    def outstanding(self) -> int:
+        return self.component_count - len(self._results)

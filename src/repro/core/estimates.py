@@ -1,0 +1,127 @@
+"""Reference-machine-qualified CPU estimates (the paper's footnote 5).
+
+"The current protocol assumes the existence of a 'reference' machine for
+time-related estimates.  In the future, the protocol will be extended to
+include relevant meta-information — for example, one could specify the
+expected CPU time as ``1000s@sun.iu:sparc:ultra-510:333MHz`` and include
+multiple estimates when appropriate."
+
+This module implements that future extension: a :class:`CpuEstimate`
+carries one or more ``(seconds, reference)`` pairs; references declare
+their effective speed; :func:`normalise_for` converts an estimate to an
+expected duration on a *target* machine by speed ratio, preferring the
+reference whose architecture matches the target.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.database.records import MachineRecord
+from repro.errors import QuerySyntaxError
+
+__all__ = ["ReferenceMachine", "CpuEstimate", "parse_cpu_estimate",
+           "normalise_for"]
+
+
+@dataclass(frozen=True)
+class ReferenceMachine:
+    """A named calibration point: ``site:arch:model:clock``."""
+
+    site: str
+    arch: str
+    model: str
+    clock_mhz: float
+    #: Effective speed in the same units as MachineRecord.effective_speed.
+    effective_speed: float
+
+    @property
+    def spec(self) -> str:
+        return f"{self.site}:{self.arch}:{self.model}:{self.clock_mhz:g}MHz"
+
+
+#: Well-known references; administrators extend this table.  Speeds are
+#: SPECfp-like, consistent with repro.fleet's 200-500 range.
+KNOWN_REFERENCES: Dict[str, ReferenceMachine] = {
+    "sun.iu:sparc:ultra-510:333MHz": ReferenceMachine(
+        "sun.iu", "sparc", "ultra-510", 333.0, effective_speed=300.0),
+    "purdue:sparc:ultra-60:450MHz": ReferenceMachine(
+        "purdue", "sparc", "ultra-60", 450.0, effective_speed=400.0),
+    "upc:alpha:es40:524MHz": ReferenceMachine(
+        "upc", "alpha", "es40", 524.0, effective_speed=450.0),
+    "reference": ReferenceMachine(
+        "default", "any", "reference", 300.0, effective_speed=300.0),
+}
+
+_ESTIMATE_RE = re.compile(
+    r"^\s*(?P<value>[0-9]+(?:\.[0-9]+)?)\s*s?\s*(?:@(?P<ref>[^,\s]+))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class CpuEstimate:
+    """Expected CPU seconds, possibly against several references."""
+
+    #: ``(seconds, reference)`` alternatives, most specific first.
+    alternatives: Tuple[Tuple[float, ReferenceMachine], ...]
+
+    @property
+    def primary_seconds(self) -> float:
+        return self.alternatives[0][0]
+
+    def __str__(self) -> str:
+        return ",".join(f"{sec:g}s@{ref.spec}"
+                        for sec, ref in self.alternatives)
+
+
+def parse_cpu_estimate(
+    text: str,
+    references: Optional[Dict[str, ReferenceMachine]] = None,
+) -> CpuEstimate:
+    """Parse ``1000``, ``1000s``, ``1000s@<ref>``, or a comma list.
+
+    Unqualified values are taken against the default ``reference``
+    machine, preserving the paper's current-protocol behaviour.
+    """
+    refs = references if references is not None else KNOWN_REFERENCES
+    parts = [p for p in text.split(",") if p.strip()]
+    if not parts:
+        raise QuerySyntaxError(f"empty CPU estimate {text!r}")
+    alternatives = []
+    for part in parts:
+        m = _ESTIMATE_RE.match(part)
+        if not m:
+            raise QuerySyntaxError(f"cannot parse CPU estimate {part!r}")
+        seconds = float(m.group("value"))
+        ref_name = m.group("ref") or "reference"
+        ref = refs.get(ref_name)
+        if ref is None:
+            raise QuerySyntaxError(
+                f"unknown reference machine {ref_name!r} in estimate"
+            )
+        alternatives.append((seconds, ref))
+    return CpuEstimate(alternatives=tuple(alternatives))
+
+
+def normalise_for(estimate: CpuEstimate, machine: MachineRecord) -> float:
+    """Expected duration of the run on ``machine``, in seconds.
+
+    Chooses the alternative whose reference architecture matches the
+    machine's ``arch`` admin parameter when one exists (the "multiple
+    estimates when appropriate" case); otherwise uses the primary.
+    Scaling is by effective-speed ratio.
+    """
+    arch = (machine.parameter("arch") or "").lower()
+    chosen: Optional[Tuple[float, ReferenceMachine]] = None
+    for seconds, ref in estimate.alternatives:
+        if ref.arch.lower() == arch:
+            chosen = (seconds, ref)
+            break
+    if chosen is None:
+        chosen = estimate.alternatives[0]
+    seconds, ref = chosen
+    if machine.effective_speed <= 0:  # pragma: no cover - record validates
+        return seconds
+    return seconds * ref.effective_speed / machine.effective_speed

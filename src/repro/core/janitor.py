@@ -1,0 +1,90 @@
+"""Idle-pool reclamation: the dis-aggregation half of "active" pools.
+
+The paper's directory aggregates on the fly but its prototype never
+*releases* aggregations, which makes overlapping criteria starve (a
+``arch=sun`` pool holds every sun machine forever, so a later
+``arch=sun AND memory>=256`` pool finds nothing to take).  The
+:class:`PoolJanitor` completes the adaptation loop the paper's
+"continuously optimizes system response" claim implies: pools idle past a
+timeout are destroyed, their machines return to the white pages, and the
+next query mix re-aggregates them into whatever shapes it needs.
+
+Used two ways:
+
+- periodically (a sweep process in the DES / an asyncio task), and
+- on demand: a pool manager whose creation walk finds nothing can sweep
+  and retry (``PoolManagerConfig.reclaim_on_miss``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.net.address import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pool_manager import PoolManager
+
+__all__ = ["PoolJanitor"]
+
+
+class PoolJanitor:
+    """Destroys idle pools hosted by one pool manager.
+
+    Parameters
+    ----------
+    manager:
+        The pool manager whose local pools are swept.
+    idle_timeout_s:
+        A pool is reclaimable when it has no active runs and saw no
+        allocation for this long.
+    unbind_hook:
+        Called with each destroyed instance's endpoint so a deployment
+        can tear down the server bound there.
+    """
+
+    def __init__(self, manager: "PoolManager", idle_timeout_s: float = 300.0,
+                 unbind_hook: Optional[Callable[[Endpoint], None]] = None):
+        self.manager = manager
+        self.idle_timeout_s = idle_timeout_s
+        self.unbind_hook = unbind_hook
+        self.pools_reclaimed = 0
+        self.machines_reclaimed = 0
+
+    def sweep(self, now: float,
+              idle_timeout_s: Optional[float] = None) -> List[str]:
+        """Destroy every idle local pool; returns the destroyed names.
+
+        All instances of a pool must be idle before any is destroyed —
+        replicas share machines, so destroying one while a sibling is
+        serving would release machines out from under it.
+        """
+        timeout = self.idle_timeout_s if idle_timeout_s is None \
+            else idle_timeout_s
+        by_name: dict = {}
+        for (name, instance), pool in self.manager.local_pools.items():
+            by_name.setdefault(name, []).append((instance, pool))
+
+        destroyed: List[str] = []
+        for name, instances in by_name.items():
+            if not all(pool.is_idle(now, timeout)
+                       for _i, pool in instances):
+                continue
+            # Destroy highest instance first so directory entries and
+            # machine releases stay consistent.
+            for instance, pool in sorted(instances, reverse=True):
+                released = pool.destroy()
+                self.machines_reclaimed += released
+                try:
+                    entries = self.manager.directory.lookup(name)
+                    entry = next(e for e in entries
+                                 if e.instance_number == instance)
+                    self.manager.directory.deregister(name, instance)
+                    if self.unbind_hook is not None:
+                        self.unbind_hook(entry.endpoint)
+                except StopIteration:  # pragma: no cover - defensive
+                    pass
+                del self.manager.local_pools[(name, instance)]
+                self.pools_reclaimed += 1
+            destroyed.append(name)
+        return destroyed

@@ -1,0 +1,332 @@
+"""The hierarchical key-value query language (Section 5.1).
+
+Grammar, per line::
+
+    <family>.<type>.<name> = [<op>]<value>["|"<alt-value>...]
+
+The *family* (``punch``) defines the semantics for its *types* (``rsrc``,
+``appl``, ``user``); "valid words for the final part of the key and the
+interpretation of the value part of the key-value pairs (e.g., numeric,
+string, range, etc.) are specified by administrators".  That registration
+lives in :class:`QueryLanguage`; :func:`punch_language` builds the family
+the paper uses, pre-loaded with the keys the production PUNCH system
+exercises (arch, memory, ostype, osversion, owner, swap, cms, domain,
+license, ...).
+
+Alternation ``sun|hp`` in a value makes the query *composite*; the query
+manager decomposes it (see :mod:`repro.core.decompose`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.operators import Op, RangeValue
+from repro.core.query import Clause, Query
+from repro.errors import (
+    OperatorError,
+    QuerySyntaxError,
+    UnknownFamilyError,
+    UnknownKeyError,
+)
+
+__all__ = [
+    "ValueKind",
+    "KeySpec",
+    "QueryLanguage",
+    "punch_language",
+    "parse_query",
+    "CompositeQuery",
+]
+
+
+class ValueKind(enum.Enum):
+    """Administrator-declared interpretation of a key's value part."""
+
+    STRING = "string"
+    NUMBER = "number"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """Declaration of one valid key within a family/type."""
+
+    family: str
+    type: str
+    name: str
+    kind: ValueKind = ValueKind.STRING
+    #: Operators admins allow on this key (None = all).
+    allowed_ops: Optional[FrozenSet[Op]] = None
+    description: str = ""
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.family}.{self.type}.{self.name}"
+
+
+#: Operator spellings, longest first so ``>=`` wins over ``>``.
+_OP_PREFIXES: Tuple[Tuple[str, Op], ...] = (
+    ("==", Op.EQ), ("!=", Op.NE), (">=", Op.GE), ("<=", Op.LE),
+    (">", Op.GT), ("<", Op.LT),
+)
+
+
+@dataclass(frozen=True)
+class CompositeQuery:
+    """A query whose clauses may carry per-key alternatives.
+
+    ``groups[i]`` is the tuple of alternative clauses for one key; a basic
+    query is the special case where every group has exactly one member.
+    Expansion into basic queries is the query manager's job
+    (:mod:`repro.core.decompose`).
+    """
+
+    groups: Tuple[Tuple[Clause, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise QuerySyntaxError("empty query")
+        for group in self.groups:
+            if not group:
+                raise QuerySyntaxError("empty alternative group")
+            keys = {c.key for c in group}
+            if len(keys) != 1:
+                raise QuerySyntaxError(
+                    f"alternative group mixes keys: {sorted(keys)}"
+                )
+
+    @property
+    def is_composite(self) -> bool:
+        return any(len(g) > 1 for g in self.groups)
+
+    @property
+    def component_count(self) -> int:
+        n = 1
+        for g in self.groups:
+            n *= len(g)
+        return n
+
+    def basic(self) -> Query:
+        """The single basic query, when not composite."""
+        if self.is_composite:
+            raise QuerySyntaxError(
+                "composite query has no single basic form; decompose it"
+            )
+        return Query(clauses=tuple(g[0] for g in self.groups))
+
+
+class QueryLanguage:
+    """Registry of families, types, and key specs; parser/validator."""
+
+    def __init__(self):
+        self._families: Dict[str, Dict[str, Dict[str, KeySpec]]] = {}
+
+    # -- registration ------------------------------------------------------------
+
+    def register_family(self, family: str, types: Sequence[str]) -> None:
+        if family in self._families:
+            raise QuerySyntaxError(f"family {family!r} already registered")
+        self._families[family] = {t: {} for t in types}
+
+    def register_key(self, spec: KeySpec) -> None:
+        types = self._families.get(spec.family)
+        if types is None:
+            raise UnknownFamilyError(spec.family)
+        if spec.type not in types:
+            raise UnknownKeyError(
+                f"type {spec.type!r} not valid in family {spec.family!r}"
+            )
+        if spec.name in types[spec.type]:
+            raise QuerySyntaxError(f"key {spec.dotted!r} already registered")
+        types[spec.type][spec.name] = spec
+
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    def keys_for(self, family: str, type_: str) -> List[KeySpec]:
+        types = self._families.get(family)
+        if types is None:
+            raise UnknownFamilyError(family)
+        if type_ not in types:
+            raise UnknownKeyError(f"type {type_!r} not in family {family!r}")
+        return [types[type_][k] for k in sorted(types[type_])]
+
+    def spec(self, family: str, type_: str, name: str) -> KeySpec:
+        types = self._families.get(family)
+        if types is None:
+            raise UnknownFamilyError(family)
+        keys = types.get(type_)
+        if keys is None:
+            raise UnknownKeyError(f"type {type_!r} not in family {family!r}")
+        spec = keys.get(name)
+        if spec is None:
+            raise UnknownKeyError(f"key {family}.{type_}.{name} not registered")
+        return spec
+
+    # -- parsing -----------------------------------------------------------------
+
+    def parse(self, text: str) -> CompositeQuery:
+        """Parse multi-line query text into a :class:`CompositeQuery`.
+
+        Blank lines and ``#`` comments are ignored.  Duplicate keys are a
+        syntax error (the model is a conjunction; a duplicated key is
+        almost always a typo for alternation).
+        """
+        groups: List[Tuple[Clause, ...]] = []
+        seen: set[str] = set()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise QuerySyntaxError(
+                    f"line {lineno}: expected 'key = value', got {line!r}"
+                )
+            key_txt, value_txt = line.split("=", 1)
+            key_txt = key_txt.strip()
+            value_txt = value_txt.strip()
+            # Tolerate 'key == value' spelling: the first '=' consumed by the
+            # split leaves a dangling '=' that is not an operator prefix.
+            if value_txt.startswith("=") and not value_txt.startswith("=="):
+                value_txt = value_txt[1:].strip()
+            parts = key_txt.split(".")
+            if len(parts) != 3:
+                raise QuerySyntaxError(
+                    f"line {lineno}: key must be family.type.name, got {key_txt!r}"
+                )
+            family, type_, name = (p.strip() for p in parts)
+            spec = self.spec(family, type_, name)
+            if spec.dotted in seen:
+                raise QuerySyntaxError(
+                    f"line {lineno}: duplicate key {spec.dotted!r}"
+                )
+            seen.add(spec.dotted)
+            groups.append(self._parse_value(spec, value_txt, lineno))
+        if not groups:
+            raise QuerySyntaxError("query text contained no clauses")
+        return CompositeQuery(groups=tuple(groups))
+
+    def _parse_value(self, spec: KeySpec, value_txt: str, lineno: int
+                     ) -> Tuple[Clause, ...]:
+        if not value_txt:
+            raise QuerySyntaxError(f"line {lineno}: empty value for {spec.dotted}")
+        alternatives = [v.strip() for v in value_txt.split("|")]
+        if any(not v for v in alternatives):
+            raise QuerySyntaxError(f"line {lineno}: empty alternative")
+        clauses = tuple(
+            self._parse_single(spec, alt, lineno) for alt in alternatives
+        )
+        return clauses
+
+    def _parse_single(self, spec: KeySpec, text: str, lineno: int) -> Clause:
+        op = Op.EQ
+        for prefix, candidate in _OP_PREFIXES:
+            if text.startswith(prefix):
+                op = candidate
+                text = text[len(prefix):].strip()
+                break
+        value: Any
+        if ".." in text and spec.kind is ValueKind.NUMBER:
+            lo_txt, hi_txt = text.split("..", 1)
+            try:
+                value = RangeValue(float(lo_txt), float(hi_txt))
+            except ValueError as exc:
+                raise QuerySyntaxError(
+                    f"line {lineno}: bad range {text!r} for {spec.dotted}"
+                ) from exc
+            if op is not Op.EQ:
+                raise QuerySyntaxError(
+                    f"line {lineno}: ranges take no comparative operator"
+                )
+            op = Op.RANGE
+        elif spec.kind is ValueKind.NUMBER:
+            try:
+                value = float(text)
+            except ValueError as exc:
+                raise QuerySyntaxError(
+                    f"line {lineno}: {spec.dotted} expects a number, got {text!r}"
+                ) from exc
+        else:
+            if op.is_ordered:
+                raise OperatorError(
+                    f"line {lineno}: ordered operator {op} on string key "
+                    f"{spec.dotted}"
+                )
+            value = text
+        if spec.allowed_ops is not None and op not in spec.allowed_ops:
+            raise OperatorError(
+                f"line {lineno}: operator {op} not allowed on {spec.dotted}"
+            )
+        return Clause(family=spec.family, type=spec.type, name=spec.name,
+                      op=op, value=value)
+
+
+def punch_language() -> QueryLanguage:
+    """The ``punch`` family as deployed on production PUNCH.
+
+    The ``rsrc`` keys cover the admin parameters Section 4.1 lists (arch,
+    memory, ostype, osversion, owner, swap, cms) plus the query examples'
+    ``domain`` and ``license``, and the monitoring-backed dynamic keys the
+    scheduler can constrain on.
+    """
+    lang = QueryLanguage()
+    lang.register_family("punch", ["rsrc", "appl", "user"])
+    S, N = ValueKind.STRING, ValueKind.NUMBER
+    rsrc_keys = [
+        ("arch", S, "machine architecture (e.g. sun, hp, sparc-ultra)"),
+        ("memory", N, "installed memory, MB (default unit)"),
+        ("swap", N, "installed swap, MB"),
+        ("ostype", S, "operating system type"),
+        ("osversion", S, "operating system version"),
+        ("owner", S, "machine owner"),
+        ("cms", S, "cluster management system (sge, pbs, condor)"),
+        ("domain", S, "administrative domain"),
+        ("license", S, "software license available on the machine"),
+        ("tool", S, "tool group the machine must support"),
+        ("speed", N, "effective speed, SPECfp-like units"),
+        ("cpus", N, "number of CPUs"),
+        ("load", N, "current load (monitoring-backed)"),
+        ("freememory", N, "available memory, MB (monitoring-backed)"),
+        ("pool", S, "explicit pool tag (experiment striping)"),
+    ]
+    for name, kind, desc in rsrc_keys:
+        lang.register_key(KeySpec("punch", "rsrc", name, kind, description=desc))
+    appl_keys = [
+        ("expectedcpuuse", N, "predicted CPU seconds on the reference machine"),
+        ("cpuestimate", S, "reference-qualified CPU estimate(s), e.g. "
+                           "1000s@sun.iu:sparc:ultra-510:333MHz (footnote 5)"),
+        ("expectedmemoryuse", N, "predicted memory footprint, MB"),
+        ("priority", N, "user-specified priority"),
+        ("version", S, "requested application version"),
+    ]
+    for name, kind, desc in appl_keys:
+        lang.register_key(KeySpec("punch", "appl", name, kind, description=desc))
+    user_keys = [
+        ("login", S, "user login"),
+        ("accessgroup", S, "user access group"),
+        ("accesskey", S, "session access key / password token"),
+    ]
+    for name, kind, desc in user_keys:
+        lang.register_key(KeySpec("punch", "user", name, kind, description=desc))
+    return lang
+
+
+_DEFAULT_LANGUAGE: Optional[QueryLanguage] = None
+
+
+def default_language() -> QueryLanguage:
+    global _DEFAULT_LANGUAGE
+    if _DEFAULT_LANGUAGE is None:
+        _DEFAULT_LANGUAGE = punch_language()
+    return _DEFAULT_LANGUAGE
+
+
+def parse_query(text: str, language: Optional[QueryLanguage] = None
+                ) -> CompositeQuery:
+    """Parse query text with the given (default: punch) language."""
+    return (language or default_language()).parse(text)

@@ -1,0 +1,149 @@
+"""Comparative operators of the ActYP query language.
+
+The paper's pool-name signature encodes "a string that specifies the
+corresponding comparative operators (e.g., equal to, greater than, etc.)";
+its example uses ``==`` and ``>=``.  Values may be "numeric, string,
+range, etc." — we implement equality/inequality for strings, the full
+ordered set for numbers, an inclusive range, and set membership (used by
+administrators for keys like ``cms=sge,pbs,condor``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, Tuple, Union
+
+from repro.errors import OperatorError
+
+__all__ = ["Op", "coerce_number", "compare", "RangeValue"]
+
+Number = Union[int, float]
+
+
+class Op(enum.Enum):
+    """A comparative operator, with its query-text spelling as value."""
+
+    EQ = "=="
+    NE = "!="
+    GE = ">="
+    LE = "<="
+    GT = ">"
+    LT = "<"
+    IN = "in"        # value is a set of alternatives
+    RANGE = "range"  # value is an inclusive (lo, hi) pair
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "Op":
+        for op in cls:
+            if op.value == text:
+                return op
+        raise OperatorError(f"unknown operator {text!r}")
+
+    @property
+    def is_ordered(self) -> bool:
+        """True for operators that require numeric comparison."""
+        return self in (Op.GE, Op.LE, Op.GT, Op.LT, Op.RANGE)
+
+
+class RangeValue(Tuple[float, float]):
+    """Inclusive numeric range ``lo..hi`` (a tuple subclass for hashability)."""
+
+    def __new__(cls, lo: float, hi: float) -> "RangeValue":
+        if lo > hi:
+            raise OperatorError(f"empty range {lo}..{hi}")
+        return super().__new__(cls, (float(lo), float(hi)))
+
+    @property
+    def lo(self) -> float:
+        return self[0]
+
+    @property
+    def hi(self) -> float:
+        return self[1]
+
+    def __str__(self) -> str:
+        return f"{format_number(self.lo)}..{format_number(self.hi)}"
+
+
+def format_number(x: float) -> str:
+    """Render a number the way identifiers expect (no trailing ``.0``)."""
+    if float(x).is_integer():
+        return str(int(x))
+    return repr(float(x))
+
+
+def coerce_number(value: Any) -> Optional[float]:
+    """Best-effort numeric coercion; None when not a number.
+
+    Machine attribute views hold admin parameters as strings (``memory =
+    "512"``); ordered operators need them as numbers.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def compare(op: Op, machine_value: Any, query_value: Any) -> bool:
+    """Does ``machine_value`` satisfy ``op query_value``?
+
+    String comparison for EQ/NE is case-insensitive, matching the paper's
+    loosely-cased examples (``sun``, ``SPARC-ULTRA``).  Machine-side
+    values may be *multi-valued* — Section 4.1's example parameter is
+    ``cms=sge,pbs,condor`` — in which case EQ holds when any element
+    matches (and NE when none does).  Ordered operators coerce both sides
+    to numbers; an uncoercible side fails the clause (fail-closed: a
+    machine with ``memory = "unknown"`` does not satisfy ``memory >= 10``).
+    """
+    if machine_value is None:
+        return False
+    if op is Op.EQ or op is Op.NE:
+        eq = _any_element_equal(machine_value, query_value)
+        return eq if op is Op.EQ else not eq
+    if op is Op.IN:
+        if not isinstance(query_value, (frozenset, set, tuple, list)):
+            raise OperatorError("IN operator requires a collection value")
+        return any(_loose_equal(machine_value, alt) for alt in query_value)
+    if op is Op.RANGE:
+        if not isinstance(query_value, RangeValue):
+            raise OperatorError("RANGE operator requires a RangeValue")
+        mv = coerce_number(machine_value)
+        return mv is not None and query_value.lo <= mv <= query_value.hi
+    # Ordered comparison.
+    mv = coerce_number(machine_value)
+    qv = coerce_number(query_value)
+    if mv is None or qv is None:
+        return False
+    if op is Op.GE:
+        return mv >= qv
+    if op is Op.LE:
+        return mv <= qv
+    if op is Op.GT:
+        return mv > qv
+    if op is Op.LT:
+        return mv < qv
+    raise OperatorError(f"unhandled operator {op}")  # pragma: no cover
+
+
+def _loose_equal(a: Any, b: Any) -> bool:
+    na, nb = coerce_number(a), coerce_number(b)
+    if na is not None and nb is not None:
+        return na == nb
+    return str(a).strip().lower() == str(b).strip().lower()
+
+
+def _any_element_equal(machine_value: Any, query_value: Any) -> bool:
+    """Equality against a possibly multi-valued machine attribute."""
+    if isinstance(machine_value, str) and "," in machine_value:
+        return any(_loose_equal(element, query_value)
+                   for element in machine_value.split(","))
+    return _loose_equal(machine_value, query_value)

@@ -1,0 +1,295 @@
+"""In-process ActYP deployment: the :class:`ActYPService` facade.
+
+This wires query managers, pool managers, and resource pools together with
+direct method calls — no simulated or real network.  It is the quickstart
+backend, the reference for unit/integration tests, and the logic the DES
+(:mod:`repro.deploy.simulated`) and asyncio (:mod:`repro.runtime`)
+deployments both mirror with queueing and latency added.
+
+A minimal session::
+
+    from repro.core import build_service
+    from repro.database import WhitePagesDatabase
+
+    service = build_service(database)
+    result = service.submit(\"\"\"
+        punch.rsrc.arch = sun
+        punch.rsrc.memory = >=10
+        punch.user.login = kapadia
+    \"\"\")
+    print(result.allocation)
+    service.release(result.allocation.access_key)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.config import PipelineConfig
+from repro.core.pool_manager import (
+    Delegate,
+    FanoutToPools,
+    PoolManager,
+    RouteFailed,
+    RouteToPool,
+)
+from repro.core.query import Query, QueryResult
+from repro.core.query_manager import Dispatch, QueryManager
+from repro.core.resource_pool import ResourcePool
+from repro.database.directory import LocalDirectoryService
+from repro.database.policy import PolicyRegistry
+from repro.database.shadow import ShadowAccountRegistry
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import NoResourceAvailableError, PipelineError
+from repro.net.address import Endpoint
+
+__all__ = ["ActYPService", "build_service"]
+
+
+class ActYPService:
+    """Synchronous in-process deployment of the full pipeline."""
+
+    def __init__(
+        self,
+        database: WhitePagesDatabase,
+        query_manager: QueryManager,
+        pool_managers: Dict[Endpoint, PoolManager],
+    ):
+        self.database = database
+        self.query_manager = query_manager
+        self.pool_managers = pool_managers
+        #: access key -> owning pool, for release routing.
+        self._allocations: Dict[str, ResourcePool] = {}
+        self.completed = 0
+        self.failed = 0
+
+    # -- client API -----------------------------------------------------------------
+
+    def submit(self, payload: Any, *, format_name: str = "punch",
+               origin: str = "client", now: float = 0.0) -> QueryResult:
+        """Run one query through the whole pipeline and reintegrate."""
+        query_id, dispatches = self.query_manager.admit(
+            payload, format_name=format_name, origin=origin, now=now,
+        )
+        final: Optional[QueryResult] = None
+        for dispatch in dispatches:
+            if final is not None and final.ok:
+                # First-match already satisfied the query: report the
+                # remaining components as cancelled without executing them.
+                self.query_manager.complete_component(QueryResult(
+                    query_id=dispatch.component.query_id,
+                    component_index=dispatch.component.component_index,
+                    component_count=dispatch.component.component_count,
+                    error="cancelled after first match",
+                    completed_at=now,
+                ))
+                continue
+            result = self._run_component(dispatch, now=now)
+            outcome = self.query_manager.complete_component(result)
+            if outcome is not None and final is None:
+                final = outcome
+            elif outcome is None and result.ok:
+                # Redundant fan-out duplicate (or late success): the
+                # reintegration layer dropped it, so release the machine.
+                self.release(result.allocation.access_key)
+        if final is None:
+            raise PipelineError(
+                f"query {query_id} completed no reintegration result"
+            )
+        if final.ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        return final
+
+    def release(self, access_key: str) -> None:
+        """Relinquish the machine and shadow account of a finished run."""
+        pool = self._allocations.pop(access_key, None)
+        if pool is None:
+            raise NoResourceAvailableError(
+                f"unknown access key {access_key[:8]}..."
+            )
+        pool.release(access_key)
+
+    def co_allocate(self, payload: Any, count: int, *,
+                    format_name: str = "punch", now: float = 0.0):
+        """Extension: allocate ``count`` distinct machines for one run.
+
+        The paper's ActYP "does not support ... co-allocation of compute
+        resources" (Section 8, contrasting with Globus); this adds it on
+        top of the pool abstraction.  The query must be basic (no "or"
+        alternatives).  All-or-nothing; returns the allocation list.
+        """
+        composite = self.query_manager.translators.translate(
+            payload, format_name)
+        query = composite.basic().with_identity(
+            query_id=0, origin="co-allocate", submitted_at=now)
+        endpoint = self.query_manager.select_pool_manager(query)
+        manager = self.pool_managers[endpoint]
+        decision = manager.route(query, now=now)
+        if not isinstance(decision, RouteToPool):
+            raise NoResourceAvailableError(
+                f"co-allocation could not route: {decision}"
+            )
+        pool = self._resolve_pool(decision.entry.pool_name,
+                                  decision.entry.instance_number)
+        allocations = pool.allocate_many(query, count, now=now)
+        for alloc in allocations:
+            self._allocations[alloc.access_key] = pool
+        return allocations
+
+    def sweep_idle_pools(self, now: float, idle_timeout_s: float = 300.0
+                         ) -> int:
+        """Reclaim idle pools across all pool managers; returns the count
+        of destroyed pool names (see :mod:`repro.core.janitor`)."""
+        from repro.core.janitor import PoolJanitor
+        destroyed = 0
+        for manager in self.pool_managers.values():
+            janitor = PoolJanitor(manager, idle_timeout_s=idle_timeout_s)
+            destroyed += len(janitor.sweep(now))
+        return destroyed
+
+    # -- component execution -------------------------------------------------------------
+
+    def _run_component(self, dispatch: Dispatch, *, now: float) -> QueryResult:
+        """Walk one basic component through pool managers to allocation."""
+        endpoint = dispatch.pool_manager
+        query = dispatch.component
+        hops = 0
+        max_hops = 1 + query.ttl + len(self.pool_managers)
+        while True:
+            hops += 1
+            if hops > max_hops:
+                return self._failure(query, "delegation loop detected", now)
+            manager = self.pool_managers.get(endpoint)
+            if manager is None:
+                return self._failure(
+                    query, f"no pool manager at {endpoint}", now)
+            decision = manager.route(query, now=now)
+            if isinstance(decision, RouteToPool):
+                pool = self._resolve_pool(
+                    decision.entry.pool_name, decision.entry.instance_number)
+                try:
+                    allocation = pool.allocate(decision.query, now=now)
+                except NoResourceAvailableError as exc:
+                    return self._failure(query, str(exc), now)
+                self._allocations[allocation.access_key] = pool
+                return QueryResult(
+                    query_id=query.query_id,
+                    component_index=query.component_index,
+                    component_count=query.component_count,
+                    allocation=allocation,
+                    completed_at=now,
+                )
+            if isinstance(decision, FanoutToPools):
+                # Split pool: try every fragment, keep the best success
+                # (sequential here; the DES/asyncio deployments run the
+                # fragment searches concurrently).
+                last_error = "no fragments"
+                for entry in decision.entries:
+                    pool = self._resolve_pool(
+                        entry.pool_name, entry.instance_number)
+                    try:
+                        allocation = pool.allocate(decision.query, now=now)
+                    except NoResourceAvailableError as exc:
+                        last_error = str(exc)
+                        continue
+                    self._allocations[allocation.access_key] = pool
+                    return QueryResult(
+                        query_id=query.query_id,
+                        component_index=query.component_index,
+                        component_count=query.component_count,
+                        allocation=allocation,
+                        completed_at=now,
+                    )
+                return self._failure(query, last_error, now)
+            if isinstance(decision, Delegate):
+                endpoint = decision.peer
+                query = decision.query
+                continue
+            assert isinstance(decision, RouteFailed)
+            return self._failure(query, decision.reason, now)
+
+    def _failure(self, query: Query, reason: str, now: float) -> QueryResult:
+        return QueryResult(
+            query_id=query.query_id,
+            component_index=query.component_index,
+            component_count=query.component_count,
+            error=reason,
+            completed_at=now,
+        )
+
+    def _resolve_pool(self, pool_name: str, instance: int) -> ResourcePool:
+        for manager in self.pool_managers.values():
+            pool = manager.local_pools.get((pool_name, instance))
+            if pool is not None:
+                return pool
+        raise PipelineError(f"no hosted pool {pool_name}#{instance}")
+
+    # -- introspection -----------------------------------------------------------------
+
+    def pools(self) -> List[ResourcePool]:
+        out: List[ResourcePool] = []
+        for manager in self.pool_managers.values():
+            out.extend(manager.local_pools.values())
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "pools": len(self.pools()),
+            "open_queries": self.query_manager.open_queries(),
+        }
+
+
+def build_service(
+    database: WhitePagesDatabase,
+    *,
+    config: Optional[PipelineConfig] = None,
+    n_pool_managers: int = 1,
+    shadow_registry: Optional[ShadowAccountRegistry] = None,
+    policy_registry: Optional[PolicyRegistry] = None,
+    domain: str = "default",
+    seed: int = 0,
+) -> ActYPService:
+    """Assemble an in-process deployment.
+
+    One query manager fronting ``n_pool_managers`` pool managers, all
+    sharing one local directory service (the paper: "within a given
+    administrative domain, replicated instances share information via
+    directory services and databases").
+    """
+    cfg = (config or PipelineConfig()).validated()
+    directory = LocalDirectoryService(domain=domain)
+    rng = np.random.default_rng(seed)
+    endpoints = [
+        Endpoint(host=f"pm{i}", port=8100 + i, domain=domain)
+        for i in range(n_pool_managers)
+    ]
+    managers: Dict[Endpoint, PoolManager] = {}
+    for i, ep in enumerate(endpoints):
+        managers[ep] = PoolManager(
+            name=str(ep),
+            directory=directory,
+            database=database,
+            config=cfg.pool_manager,
+            pool_config=cfg.pool,
+            shadow_registry=shadow_registry,
+            policy_registry=policy_registry,
+            rng=np.random.default_rng(seed * 1000 + i + 1),
+        )
+    for ep in endpoints:
+        directory.add_peer_pool_manager(ep)
+    qm = QueryManager(
+        name="qm0",
+        pool_managers=endpoints,
+        config=cfg.query_manager,
+        reintegration_policy=cfg.query_manager.reintegration_policy,
+        fanout=cfg.query_manager.fanout,
+        default_ttl=cfg.pool_manager.delegation_ttl,
+        rng=rng,
+    )
+    return ActYPService(database, qm, managers)

@@ -1,0 +1,328 @@
+"""Pool managers: the pipeline's second stage (Section 5.2.2).
+
+A pool manager
+
+1. **maps** each basic query to a pool name (signature + identifier),
+2. **looks up** live instances of that pool in its local directory service
+   and randomly selects one,
+3. **creates** a pool when none exists (locally by fork, remotely through
+   a proxy server), and
+4. **delegates** the query to a peer pool manager when it can neither find
+   nor create the pool — attaching its own name to the query's visited
+   list and decrementing the TTL; "the request is considered to have
+   failed when the counter reaches zero".
+
+Like :mod:`repro.core.resource_pool`, this module is pure logic: routing
+*decisions* are returned as small result objects and the hosting
+deployment (in-process facade, DES, asyncio) executes them, charging
+whatever costs it models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config import PoolManagerConfig, ResourcePoolConfig
+from repro.core.query import Query
+from repro.core.resource_pool import ResourcePool
+from repro.core.signature import PoolName, pool_name_for
+from repro.database.directory import LocalDirectoryService, PoolInstanceEntry
+from repro.database.policy import PolicyRegistry
+from repro.database.shadow import ShadowAccountRegistry
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import (
+    DelegationExhaustedError,
+    PoolCreationError,
+)
+from repro.net.address import Endpoint
+
+__all__ = [
+    "RouteToPool",
+    "FanoutToPools",
+    "Delegate",
+    "RouteFailed",
+    "RoutingDecision",
+    "PoolManager",
+]
+
+
+@dataclass(frozen=True)
+class RouteToPool:
+    """Forward the query to the selected pool instance."""
+
+    entry: PoolInstanceEntry
+    query: Query
+
+
+@dataclass(frozen=True)
+class FanoutToPools:
+    """Forward the query to every fragment of a split pool and aggregate
+    the results (Figure 7: "concurrent searches whose results could then
+    be aggregated")."""
+
+    entries: Tuple[PoolInstanceEntry, ...]
+    query: Query
+
+
+@dataclass(frozen=True)
+class Delegate:
+    """Forward the query to a peer pool manager (TTL already decremented)."""
+
+    peer: Endpoint
+    query: Query
+
+
+@dataclass(frozen=True)
+class RouteFailed:
+    """The query cannot be routed (TTL exhausted / nothing to create)."""
+
+    query: Query
+    reason: str
+
+
+RoutingDecision = Union[RouteToPool, FanoutToPools, Delegate, RouteFailed]
+
+#: Hook invoked to build a pool instance.  The DES/asyncio deployments
+#: override it to spawn a server around the pool; the default builds the
+#: in-process object directly ("forks a process" in the paper).
+PoolFactory = Callable[[PoolName, Query, int, int], ResourcePool]
+
+
+class PoolManager:
+    """One pool-manager instance.
+
+    Parameters
+    ----------
+    name:
+        This manager's unique name (used in queries' visited lists).
+    directory:
+        The local directory service tracking pool instances and peers.
+    database:
+        White pages, consulted when creating pools.
+    pool_factory:
+        Optional override for how pool instances are materialised.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        directory: LocalDirectoryService,
+        database: WhitePagesDatabase,
+        *,
+        config: Optional[PoolManagerConfig] = None,
+        pool_config: Optional[ResourcePoolConfig] = None,
+        shadow_registry: Optional[ShadowAccountRegistry] = None,
+        policy_registry: Optional[PolicyRegistry] = None,
+        pool_factory: Optional[PoolFactory] = None,
+        rng: Optional[np.random.Generator] = None,
+        pool_endpoint_allocator: Optional[Callable[[PoolName, int], Endpoint]] = None,
+    ):
+        self.name = name
+        self.directory = directory
+        self.database = database
+        self.config = (config or PoolManagerConfig()).validated()
+        self.pool_config = (pool_config or ResourcePoolConfig()).validated()
+        self.shadow_registry = shadow_registry
+        self.policy_registry = policy_registry
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._pool_factory = pool_factory or self._default_pool_factory
+        self._pool_endpoint_allocator = (
+            pool_endpoint_allocator or self._default_endpoint
+        )
+        #: Locally hosted pool objects, by (pool full name, instance number).
+        self.local_pools: Dict[Tuple[str, int], ResourcePool] = {}
+        #: Deployment hook invoked with a destroyed pool's endpoint so its
+        #: server can be unbound (set by DES/asyncio deployments).
+        self.pool_unbind_hook: Optional[Callable[[Endpoint], None]] = None
+        self.queries_routed = 0
+        self.pools_created = 0
+        self.delegations = 0
+
+    # -- defaults -----------------------------------------------------------------
+
+    def _default_pool_factory(self, name: PoolName, exemplar: Query,
+                              instance: int, replicas: int) -> ResourcePool:
+        return ResourcePool(
+            name, self.database,
+            instance_number=instance, replica_count=replicas,
+            config=self.pool_config,
+            shadow_registry=self.shadow_registry,
+            policy_registry=self.policy_registry,
+            exemplar_query=exemplar,
+        )
+
+    def _default_endpoint(self, name: PoolName, instance: int) -> Endpoint:
+        # Deterministic per-manager port allocation keeps directory entries
+        # readable in tests and logs.  The manager name may be an endpoint
+        # string; keep only hostname-safe characters.
+        safe = "".join(c if c.isalnum() or c in "._-" else "-"
+                       for c in self.name).strip("-.") or "pm"
+        port = 9000 + (abs(hash((name.full, instance))) % 50000)
+        return Endpoint(host=f"poolhost-{safe}", port=port,
+                        domain=self.directory.domain)
+
+    # -- the paper's three steps ---------------------------------------------------
+
+    def map_query(self, query: Query) -> PoolName:
+        """Step 1: construct the pool name from the sorted rsrc keys."""
+        return pool_name_for(query)
+
+    def select_instance(self, name: PoolName
+                        ) -> Optional[PoolInstanceEntry]:
+        """Step 2: random choice among live instances (paper: "randomly
+        selects one of the instances")."""
+        entries = self.directory.lookup(name.full)
+        if not entries:
+            return None
+        idx = int(self.rng.integers(0, len(entries)))
+        return entries[idx]
+
+    def create_pool(self, name: PoolName, exemplar: Query,
+                    *, replicas: int = 1) -> List[PoolInstanceEntry]:
+        """Step 3: create ``replicas`` instances of a new pool.
+
+        Every instance shares the same machine cache semantics: the first
+        instance walks the white pages and takes the machines; subsequent
+        replicas *share* that cache (replicated pools "contain the same
+        set of machines").  Raises :class:`PoolCreationError` when the
+        walk aggregates zero machines.
+        """
+        if not self.config.may_create_pools:
+            raise PoolCreationError(
+                f"pool manager {self.name} may not create pools"
+            )
+        first = self._pool_factory(name, exemplar, 0, replicas)
+        aggregated = first.initialize()
+        if aggregated == 0:
+            first.destroy()
+            raise PoolCreationError(
+                f"no machines match pool criteria {name.full!r}"
+            )
+        instances = [first]
+        for i in range(1, replicas):
+            replica = self._pool_factory(name, exemplar, i, replicas)
+            # Replicas adopt the same machine list without re-taking them
+            # (take() is idempotent for the same pool name).
+            replica.adopt(first.cache)
+            instances.append(replica)
+        entries: List[PoolInstanceEntry] = []
+        for pool in instances:
+            endpoint = self._pool_endpoint_allocator(name, pool.instance_number)
+            entry = self.directory.register(
+                name.full, pool.instance_number, endpoint
+            )
+            self.local_pools[(name.full, pool.instance_number)] = pool
+            entries.append(entry)
+        self.pools_created += len(instances)
+        return entries
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(self, query: Query, now: float = 0.0) -> RoutingDecision:
+        """Full pool-manager step: map, select, create-or-delegate.
+
+        ``now`` is the deployment's clock, used only by the optional
+        on-miss reclamation (``reclaim_on_miss``).
+        """
+        self.queries_routed += 1
+        name = self.map_query(query)
+        entries = self.directory.lookup(name.full)
+        fragments = tuple(e for e in entries if e.mode == "fragment")
+        if fragments:
+            return FanoutToPools(entries=fragments, query=query)
+        entry = self.select_instance(name)
+        if entry is not None:
+            return RouteToPool(entry=entry, query=query)
+        # No live instance: try to create one.
+        if self.config.may_create_pools:
+            created = self._try_create(name, query, now)
+            if created:
+                idx = int(self.rng.integers(0, len(created)))
+                return RouteToPool(entry=created[idx], query=query)
+        # Cannot create: delegate to a peer not yet visited.
+        return self._delegate(query)
+
+    def _try_create(self, name: PoolName, query: Query, now: float
+                    ) -> List[PoolInstanceEntry]:
+        try:
+            return self.create_pool(name, query)
+        except PoolCreationError:
+            pass
+        if not self.config.reclaim_on_miss:
+            return []
+        # The walk found nothing free; idle aggregations may be hoarding
+        # matching machines.  Reclaim and retry once.
+        from repro.core.janitor import PoolJanitor
+        janitor = PoolJanitor(
+            self, idle_timeout_s=self.config.reclaim_idle_timeout_s,
+            unbind_hook=self.pool_unbind_hook,
+        )
+        if not janitor.sweep(now):
+            return []
+        try:
+            return self.create_pool(name, query)
+        except PoolCreationError:
+            return []
+
+    def _delegate(self, query: Query) -> RoutingDecision:
+        visited = set(query.visited_pool_managers) | {self.name}
+        if query.ttl <= 0:
+            return RouteFailed(
+                query=query,
+                reason=f"TTL exhausted at pool manager {self.name}",
+            )
+        peers = [p for p in self.directory.peer_pool_managers()
+                 if str(p) not in visited and p.host != self.name]
+        if not peers:
+            return RouteFailed(
+                query=query,
+                reason=f"no unvisited peer pool managers at {self.name}",
+            )
+        idx = int(self.rng.integers(0, len(peers)))
+        peer = peers[idx]
+        forwarded = query.with_routing(
+            ttl=query.ttl - 1,
+            visited=tuple(sorted(visited)),
+        )
+        self.delegations += 1
+        return Delegate(peer=peer, query=forwarded)
+
+    # -- splitting (Figure 7) ---------------------------------------------------------
+
+    def split_pool(self, name: PoolName, parts: int
+                   ) -> List[PoolInstanceEntry]:
+        """Split a locally hosted, unreplicated pool into fragments.
+
+        The original instance is deregistered; fragments are registered
+        under the *original* pool name in ``fragment`` mode so that
+        subsequent queries fan out across them.
+        """
+        original = self.local_pools.pop((name.full, 0), None)
+        if original is None:
+            raise PoolCreationError(
+                f"pool manager {self.name} does not host {name.full}#0"
+            )
+        fragments = original.split(parts)
+        self.directory.deregister(name.full, 0)
+        entries: List[PoolInstanceEntry] = []
+        for i, fragment in enumerate(fragments):
+            endpoint = self._pool_endpoint_allocator(fragment.name, i)
+            entry = self.directory.register(
+                name.full, i, endpoint, mode="fragment"
+            )
+            self.local_pools[(name.full, i)] = fragment
+            entries.append(entry)
+        return entries
+
+    # -- local pool access (used by in-process deployments) -------------------------
+
+    def local_pool(self, pool_name: str, instance: int) -> ResourcePool:
+        pool = self.local_pools.get((pool_name, instance))
+        if pool is None:
+            raise PoolCreationError(
+                f"pool manager {self.name} does not host {pool_name}#{instance}"
+            )
+        return pool

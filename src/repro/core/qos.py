@@ -1,0 +1,83 @@
+"""QoS mechanisms from the qualitative analysis (Section 6).
+
+"Higher levels of QoS could be provided by simultaneously forwarding a
+given query to multiple pool managers and pool objects, and utilizing the
+best response.  In contrast, the response time for composite queries could
+be minimized by returning the first available match."
+
+Two mechanisms are provided:
+
+- :class:`RedundantFanout` — duplicate a basic query across ``k`` targets
+  and keep the first (or best) response; the deployments use it to decide
+  how many pool managers receive each component.
+- Reintegration policy selection (``first_match`` vs ``all``) lives in
+  :class:`~repro.core.decompose.ReintegrationBuffer`; :func:`qos_profile`
+  maps a named service level to concrete settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["RedundantFanout", "QosProfile", "qos_profile"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RedundantFanout:
+    """Pick ``k`` distinct targets for redundant dispatch."""
+
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"fanout k must be >= 1, got {self.k}")
+
+    def choose(self, targets: Sequence[T], rng: np.random.Generator
+               ) -> List[T]:
+        """``min(k, len(targets))`` distinct targets, uniformly sampled."""
+        if not targets:
+            raise ConfigError("no targets to fan out to")
+        n = min(self.k, len(targets))
+        idx = rng.choice(len(targets), size=n, replace=False)
+        return [targets[int(i)] for i in idx]
+
+
+@dataclass(frozen=True)
+class QosProfile:
+    """A named service level's pipeline settings."""
+
+    name: str
+    fanout: int
+    reintegration_policy: str
+    description: str = ""
+
+
+_PROFILES: Dict[str, QosProfile] = {
+    "standard": QosProfile(
+        "standard", fanout=1, reintegration_policy="first_match",
+        description="single dispatch, first composite match wins"),
+    "low_latency": QosProfile(
+        "low_latency", fanout=2, reintegration_policy="first_match",
+        description="duplicate dispatch to two pool managers, first "
+                    "response wins (Section 6's higher-QoS mode)"),
+    "best_quality": QosProfile(
+        "best_quality", fanout=1, reintegration_policy="all",
+        description="wait for every composite component and take the "
+                    "highest-preference success"),
+}
+
+
+def qos_profile(name: str) -> QosProfile:
+    profile = _PROFILES.get(name)
+    if profile is None:
+        raise ConfigError(
+            f"unknown QoS profile {name!r}; known: {sorted(_PROFILES)}"
+        )
+    return profile

@@ -1,0 +1,218 @@
+"""Query data model.
+
+A *clause* constrains one hierarchical key (``family.type.name``), e.g.
+``punch.rsrc.memory >= 10``.  A *basic query* is a conjunction of clauses.
+A *composite query* contains "or" alternatives; the query-manager stage
+decomposes it into basic queries (see :mod:`repro.core.decompose`).
+
+Clause semantics by type (Section 5.1):
+
+- ``rsrc`` — resource requirements; unspecified keys default to
+  "don't care"; these keys define the pool name.
+- ``appl`` — predicted application behaviour (expected CPU use, memory);
+  default "undefined"; used by scheduling objectives, not pool naming.
+- ``user`` — login/access-group/access keys; default "undefined"; used by
+  access control and policies, not pool naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.core.operators import Op, RangeValue, compare, format_number
+from repro.database.records import MachineRecord
+from repro.errors import QuerySyntaxError
+
+__all__ = ["Clause", "Query", "Allocation", "QueryResult"]
+
+
+@dataclass(frozen=True, order=True)
+class Clause:
+    """One constraint: ``family.type.name <op> value``."""
+
+    family: str
+    type: str
+    name: str
+    op: Op = Op.EQ
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        for part, label in ((self.family, "family"), (self.type, "type"),
+                            (self.name, "name")):
+            if not part or "." in part or ":" in part:
+                raise QuerySyntaxError(
+                    f"invalid {label} component {part!r} in clause key"
+                )
+        # Normalise collections for hashability.
+        if isinstance(self.value, (set, list)):
+            object.__setattr__(self, "value", frozenset(self.value))
+
+    @property
+    def key(self) -> str:
+        return f"{self.family}.{self.type}.{self.name}"
+
+    def matches(self, machine_value: Any) -> bool:
+        return compare(self.op, machine_value, self.value)
+
+    def value_text(self) -> str:
+        """The value as it appears in identifiers and query text."""
+        v = self.value
+        if isinstance(v, frozenset):
+            return "|".join(sorted(str(x) for x in v))
+        if isinstance(v, RangeValue):
+            return str(v)
+        if isinstance(v, float):
+            return format_number(v)
+        return str(v)
+
+    def __str__(self) -> str:
+        op_txt = "" if self.op is Op.EQ else str(self.op)
+        return f"{self.key} = {op_txt}{self.value_text()}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A basic (conjunctive) query plus routing metadata.
+
+    ``origin``/``query_id`` identify the submission; ``component_index`` /
+    ``component_count`` carry the reintegration state a decomposed
+    composite propagates through the pipeline ("appropriate state
+    information is propagated along with each query component", Section
+    5.2.1).  ``visited_pool_managers`` and ``ttl`` implement delegation
+    loop-prevention (Section 5.2.2).
+    """
+
+    clauses: Tuple[Clause, ...]
+    query_id: int = 0
+    origin: str = ""
+    component_index: int = 0
+    component_count: int = 1
+    ttl: int = 4
+    visited_pool_managers: Tuple[str, ...] = ()
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.component_count < 1:
+            raise QuerySyntaxError("component_count must be >= 1")
+        if not (0 <= self.component_index < self.component_count):
+            raise QuerySyntaxError("component_index out of range")
+        keys = [c.key for c in self.clauses]
+        if len(keys) != len(set(keys)):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise QuerySyntaxError(f"duplicate clause keys: {dupes}")
+
+    # -- clause access -----------------------------------------------------------
+
+    def clauses_of_type(self, type_: str, family: str = "punch"
+                        ) -> Tuple[Clause, ...]:
+        return tuple(c for c in self.clauses
+                     if c.type == type_ and c.family == family)
+
+    @property
+    def rsrc_clauses(self) -> Tuple[Clause, ...]:
+        return self.clauses_of_type("rsrc")
+
+    @property
+    def appl_clauses(self) -> Tuple[Clause, ...]:
+        return self.clauses_of_type("appl")
+
+    @property
+    def user_clauses(self) -> Tuple[Clause, ...]:
+        return self.clauses_of_type("user")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value of the clause with dotted ``key``, or ``default``."""
+        for c in self.clauses:
+            if c.key == key:
+                return c.value
+        return default
+
+    @property
+    def login(self) -> str:
+        return str(self.get("punch.user.login", ""))
+
+    @property
+    def access_group(self) -> str:
+        return str(self.get("punch.user.accessgroup", "public"))
+
+    @property
+    def expected_cpu_use(self) -> Optional[float]:
+        v = self.get("punch.appl.expectedcpuuse")
+        return None if v is None else float(v)
+
+    # -- matching -----------------------------------------------------------------
+
+    def matches_machine(self, record: MachineRecord) -> bool:
+        """Do the ``rsrc`` clauses all hold against the machine's view?"""
+        view = record.attribute_view()
+        return all(c.matches(view.get(c.name)) for c in self.rsrc_clauses)
+
+    # -- evolution -----------------------------------------------------------------
+
+    def with_routing(self, *, ttl: Optional[int] = None,
+                     visited: Optional[Iterable[str]] = None) -> "Query":
+        """Copy with updated delegation state."""
+        return Query(
+            clauses=self.clauses,
+            query_id=self.query_id,
+            origin=self.origin,
+            component_index=self.component_index,
+            component_count=self.component_count,
+            ttl=self.ttl if ttl is None else ttl,
+            visited_pool_managers=tuple(visited)
+            if visited is not None else self.visited_pool_managers,
+            submitted_at=self.submitted_at,
+        )
+
+    def with_identity(self, *, query_id: int, origin: str,
+                      submitted_at: float, component_index: int = 0,
+                      component_count: int = 1, ttl: Optional[int] = None
+                      ) -> "Query":
+        return Query(
+            clauses=self.clauses,
+            query_id=query_id,
+            origin=origin,
+            component_index=component_index,
+            component_count=component_count,
+            ttl=self.ttl if ttl is None else ttl,
+            visited_pool_managers=self.visited_pool_managers,
+            submitted_at=submitted_at,
+        )
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in sorted(self.clauses))
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """What the client gets back: "an IP address, a TCP port number, and a
+    session-specific access key" (Section 2), plus the shadow account."""
+
+    machine_name: str
+    address: str
+    execution_unit_port: int
+    access_key: str
+    shadow_account: Optional[str] = None
+    pool_name: str = ""
+    pool_instance: int = -1
+
+    def __str__(self) -> str:
+        return (f"{self.machine_name} ({self.address}:"
+                f"{self.execution_unit_port}, key={self.access_key[:8]}...)")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Terminal outcome of one basic query component."""
+
+    query_id: int
+    component_index: int
+    component_count: int
+    allocation: Optional[Allocation] = None
+    error: Optional[str] = None
+    completed_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.allocation is not None

@@ -1,0 +1,211 @@
+"""Query managers: the pipeline's entry and exit stage (Section 5.2.1).
+
+On the way in, a query manager translates the client's native payload,
+decomposes composites into basic components, and selects a pool manager
+for each component ("on the basis of the values of one or more of the
+parameters specified within queries ... also possible ... in random or
+round-robin order").  On the way out (possibly a different query-manager
+instance), component results are reintegrated and returned to the client.
+
+Pure logic, like the other stages: :meth:`QueryManager.admit` returns the
+list of ``(pool_manager, component)`` dispatches, and
+:meth:`QueryManager.complete_component` feeds reintegration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.config import QueryManagerConfig
+from repro.core.decompose import ReintegrationBuffer, decompose
+from repro.core.language import CompositeQuery, QueryLanguage, default_language
+from repro.core.qos import RedundantFanout
+from repro.core.query import Query, QueryResult
+from repro.core.translation import TranslatorRegistry
+from repro.errors import ConfigError, PipelineError
+from repro.net.address import Endpoint
+
+__all__ = ["Dispatch", "QueryManager"]
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One basic component headed for one pool manager.
+
+    With redundant fan-out (Section 6's higher-QoS mode) the same
+    component is dispatched to several pool managers; ``duplicate_index``
+    distinguishes the copies.
+    """
+
+    pool_manager: Endpoint
+    component: Query
+    duplicate_index: int = 0
+
+
+class QueryManager:
+    """One query-manager instance.
+
+    Parameters
+    ----------
+    name:
+        Instance name (diagnostics).
+    pool_managers:
+        The pool-manager endpoints this instance may select among.
+    selection_rules:
+        For the ``"parameter"`` policy: ``{parameter_value: [endpoints]}``,
+        e.g. ``{"sun": [pm1, pm2], "hp": [pm3]}`` ("a query manager can be
+        configured to select one set of pool managers for sun machines and
+        a different set for hp machines").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pool_managers: Sequence[Endpoint],
+        *,
+        config: Optional[QueryManagerConfig] = None,
+        language: Optional[QueryLanguage] = None,
+        translators: Optional[TranslatorRegistry] = None,
+        selection_rules: Optional[Dict[str, Sequence[Endpoint]]] = None,
+        reintegration_policy: str = "first_match",
+        default_ttl: int = 4,
+        fanout: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not pool_managers:
+            raise ConfigError("query manager needs at least one pool manager")
+        if fanout < 1:
+            raise ConfigError("fanout must be >= 1")
+        self.name = name
+        self.pool_managers = list(pool_managers)
+        self.config = (config or QueryManagerConfig()).validated()
+        self.language = language or default_language()
+        self.translators = translators or TranslatorRegistry(self.language)
+        self.selection_rules = {
+            k: list(v) for k, v in (selection_rules or {}).items()
+        }
+        self.reintegration_policy = reintegration_policy
+        self.default_ttl = default_ttl
+        self.fanout = RedundantFanout(k=fanout)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._query_ids = itertools.count(1)
+        self._round_robin = itertools.cycle(range(len(self.pool_managers)))
+        self._buffers: Dict[int, ReintegrationBuffer] = {}
+        #: (query_id, component_index) pairs already offered — duplicate
+        #: responses from redundant fan-out are dropped, and their
+        #: allocations flagged for release.
+        self._offered: Set[Tuple[int, int]] = set()
+        #: Recently finished query ids (bounded), so very late duplicates
+        #: after buffer teardown are recognised rather than erroring.
+        self._finished: Set[int] = set()
+        self._finished_order: deque = deque()
+        self.queries_admitted = 0
+        self.components_dispatched = 0
+        self.redundant_results = 0
+
+    # -- admission -----------------------------------------------------------------
+
+    def admit(self, payload: Any, *, format_name: str = "punch",
+              origin: str = "", now: float = 0.0) -> Tuple[int, List[Dispatch]]:
+        """Translate, decompose, and route one client query.
+
+        Returns ``(query_id, dispatches)``; a reintegration buffer is
+        opened for the query and must be fed via
+        :meth:`complete_component`.
+        """
+        composite = self.translators.translate(payload, format_name)
+        return self.admit_composite(composite, origin=origin, now=now)
+
+    def admit_composite(self, composite: CompositeQuery, *, origin: str = "",
+                        now: float = 0.0) -> Tuple[int, List[Dispatch]]:
+        query_id = next(self._query_ids)
+        components = decompose(
+            composite, query_id=query_id, origin=origin,
+            submitted_at=now, ttl=self.default_ttl,
+        )
+        self._buffers[query_id] = ReintegrationBuffer(
+            query_id=query_id,
+            component_count=len(components),
+            policy=self.reintegration_policy,
+        )
+        dispatches: List[Dispatch] = []
+        for c in components:
+            if self.fanout.k == 1:
+                targets = [self.select_pool_manager(c)]
+            else:
+                # Section 6: "simultaneously forwarding a given query to
+                # multiple pool managers ... and utilizing the best
+                # response" — distinct targets per duplicate.
+                targets = self.fanout.choose(self.pool_managers, self.rng)
+            for dup, target in enumerate(targets):
+                dispatches.append(Dispatch(
+                    pool_manager=target, component=c, duplicate_index=dup,
+                ))
+        self.queries_admitted += 1
+        self.components_dispatched += len(dispatches)
+        return query_id, dispatches
+
+    # -- pool-manager selection --------------------------------------------------------
+
+    def select_pool_manager(self, component: Query) -> Endpoint:
+        policy = self.config.selection_policy
+        if policy == "round_robin":
+            return self.pool_managers[next(self._round_robin)]
+        if policy == "parameter":
+            key = f"punch.rsrc.{self.config.selection_parameter}"
+            value = component.get(key)
+            candidates = self.selection_rules.get(
+                str(value).lower() if value is not None else "",
+                self.pool_managers,
+            )
+            if not candidates:
+                candidates = self.pool_managers
+            idx = int(self.rng.integers(0, len(candidates)))
+            return candidates[idx]
+        # "random"
+        idx = int(self.rng.integers(0, len(self.pool_managers)))
+        return self.pool_managers[idx]
+
+    # -- reintegration -----------------------------------------------------------------
+
+    def complete_component(self, result: QueryResult
+                           ) -> Optional[QueryResult]:
+        """Feed one component's terminal result; returns the final result
+        of the whole query once reintegration completes.
+
+        Duplicate results (redundant fan-out) and results arriving after
+        the query finished return ``None``; if such a result carries an
+        allocation, the caller must release it.
+        """
+        key = (result.query_id, result.component_index)
+        if key in self._offered or result.query_id in self._finished:
+            self.redundant_results += 1
+            return None
+        buffer = self._buffers.get(result.query_id)
+        if buffer is None:
+            raise PipelineError(
+                f"no reintegration buffer for query {result.query_id} "
+                f"at query manager {self.name}"
+            )
+        self._offered.add(key)
+        final = buffer.offer(result)
+        if buffer.outstanding == 0:
+            del self._buffers[result.query_id]
+            self._offered -= {(result.query_id, i)
+                              for i in range(buffer.component_count)}
+            self._remember_finished(result.query_id)
+        return final
+
+    def _remember_finished(self, query_id: int, limit: int = 4096) -> None:
+        self._finished.add(query_id)
+        self._finished_order.append(query_id)
+        while len(self._finished_order) > limit:
+            self._finished.discard(self._finished_order.popleft())
+
+    def open_queries(self) -> int:
+        return len(self._buffers)

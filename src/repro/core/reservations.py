@@ -1,0 +1,196 @@
+"""Advance reservations (extension; paper Section 8 contrast).
+
+"[Globus] also supports advance reservations and co-allocation of compute
+resources, neither of which are currently supported by ActYP."
+Co-allocation lives in :meth:`ResourcePool.allocate_many`; this module
+adds the other half: a per-machine reservation calendar and a pool-level
+booking API.
+
+Model
+-----
+A :class:`Reservation` is a half-open interval ``[start_s, end_s)`` on
+one machine, identified by a token.  The :class:`ReservationBook` rejects
+overlapping reservations per machine and answers "is this machine
+committed at time t?".  :func:`reserve_in_pool` books the best machine of
+a pool that is *free over the whole window*; at start time the holder
+claims the reservation, which turns into an ordinary allocation (so
+release flows through the normal path).
+"""
+
+from __future__ import annotations
+
+import bisect
+import secrets
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.query import Allocation, Query
+from repro.core.resource_pool import ResourcePool
+from repro.errors import ReproError
+
+__all__ = ["Reservation", "ReservationBook", "ReservationError",
+           "reserve_in_pool", "claim_reservation"]
+
+
+class ReservationError(ReproError):
+    """Conflict, unknown token, or out-of-window claim."""
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A confirmed booking of one machine for a time window."""
+
+    token: str
+    machine_name: str
+    start_s: float
+    end_s: float
+    query_id: int = 0
+    login: str = ""
+
+    def overlaps(self, start_s: float, end_s: float) -> bool:
+        return self.start_s < end_s and start_s < self.end_s
+
+    def covers(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+class ReservationBook:
+    """Per-machine calendars with conflict detection."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        #: machine -> list of (start, reservation), sorted by start.
+        self._calendar: Dict[str, List[Tuple[float, Reservation]]] = {}
+        self._by_token: Dict[str, Reservation] = {}
+
+    # -- booking -----------------------------------------------------------------
+
+    def is_free(self, machine_name: str, start_s: float, end_s: float
+                ) -> bool:
+        with self._lock:
+            for _s, r in self._calendar.get(machine_name, []):
+                if r.overlaps(start_s, end_s):
+                    return False
+            return True
+
+    def reserve(self, machine_name: str, start_s: float, end_s: float,
+                *, query_id: int = 0, login: str = "") -> Reservation:
+        if not start_s < end_s:
+            raise ReservationError(
+                f"empty reservation window [{start_s}, {end_s})"
+            )
+        with self._lock:
+            if not self.is_free(machine_name, start_s, end_s):
+                raise ReservationError(
+                    f"{machine_name} already reserved in "
+                    f"[{start_s}, {end_s})"
+                )
+            reservation = Reservation(
+                token=secrets.token_hex(16),
+                machine_name=machine_name,
+                start_s=start_s, end_s=end_s,
+                query_id=query_id, login=login,
+            )
+            entries = self._calendar.setdefault(machine_name, [])
+            bisect.insort(entries, (start_s, reservation))
+            self._by_token[reservation.token] = reservation
+            return reservation
+
+    def cancel(self, token: str) -> Reservation:
+        with self._lock:
+            reservation = self._by_token.pop(token, None)
+            if reservation is None:
+                raise ReservationError(f"unknown reservation {token[:8]}...")
+            entries = self._calendar.get(reservation.machine_name, [])
+            entries.remove((reservation.start_s, reservation))
+            return reservation
+
+    # -- queries -----------------------------------------------------------------
+
+    def get(self, token: str) -> Reservation:
+        with self._lock:
+            reservation = self._by_token.get(token)
+            if reservation is None:
+                raise ReservationError(f"unknown reservation {token[:8]}...")
+            return reservation
+
+    def committed_at(self, machine_name: str, t: float) -> Optional[Reservation]:
+        """The reservation covering instant ``t`` on the machine, if any."""
+        with self._lock:
+            for _s, r in self._calendar.get(machine_name, []):
+                if r.covers(t):
+                    return r
+            return None
+
+    def reservations_on(self, machine_name: str) -> List[Reservation]:
+        with self._lock:
+            return [r for _s, r in self._calendar.get(machine_name, [])]
+
+    def expire_before(self, t: float) -> int:
+        """Drop reservations that ended before ``t``; returns the count."""
+        with self._lock:
+            dropped = 0
+            for machine, entries in list(self._calendar.items()):
+                keep = [(s, r) for s, r in entries if r.end_s > t]
+                dropped += len(entries) - len(keep)
+                for _s, r in entries:
+                    if r.end_s <= t:
+                        self._by_token.pop(r.token, None)
+                self._calendar[machine] = keep
+            return dropped
+
+
+def reserve_in_pool(pool: ResourcePool, book: ReservationBook, query: Query,
+                    start_s: float, duration_s: float) -> Reservation:
+    """Book the best machine of ``pool`` that is free over the window.
+
+    Machines are considered in the pool's scheduling order, so the
+    reservation lands on the machine the scheduler would pick today; only
+    calendar conflicts are checked (load at start time is unknowable).
+    """
+    if duration_s <= 0:
+        raise ReservationError("duration must be positive")
+    end_s = start_s + duration_s
+    for _idx, name in pool.scan_order(query):
+        record = pool.database.get(name)
+        if not query.matches_machine(record):
+            continue
+        if book.is_free(name, start_s, end_s):
+            return book.reserve(
+                name, start_s, end_s,
+                query_id=query.query_id, login=query.login,
+            )
+    raise ReservationError(
+        f"no machine in pool {pool.name} free in [{start_s}, {end_s})"
+    )
+
+
+def claim_reservation(pool: ResourcePool, book: ReservationBook,
+                      token: str, query: Query, now: float) -> Allocation:
+    """At start time, convert a reservation into a live allocation.
+
+    The claim must fall inside the reserved window; the reserved machine
+    is allocated directly (bypassing the scan — the point of reserving).
+    The reservation is consumed.
+    """
+    reservation = book.get(token)
+    if not reservation.covers(now):
+        raise ReservationError(
+            f"claim at t={now} outside window "
+            f"[{reservation.start_s}, {reservation.end_s})"
+        )
+    record = pool.database.get(reservation.machine_name)
+    if not record.is_up:
+        # The machine died since booking; the reservation is void.
+        book.cancel(token)
+        raise ReservationError(
+            f"reserved machine {reservation.machine_name} is not up"
+        )
+    allocation = pool.allocate(
+        query, now=now,
+        exclude=[m for m in pool.cache
+                 if m != reservation.machine_name],
+    )
+    book.cancel(token)
+    return allocation

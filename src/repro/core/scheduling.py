@@ -1,0 +1,149 @@
+"""Scheduling objectives for resource pools (Section 5.2.3).
+
+"Each pool object has one or more scheduling processes associated with it.
+The function of these processes is to sort machines within the object's
+cache using specified criteria (e.g., average load or available memory) ...
+Pool objects can be configured to utilize different scheduling objectives
+and policies" (the paper cites Krueger & Livny's catalogue of objectives).
+
+An objective is a *ranking*: machines with smaller key are preferred.  The
+query is available to the key function so objectives can use predicted
+application behaviour (``punch.appl.*``) — e.g. best-fit memory placement
+for a run with a known footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.query import Query
+from repro.database.records import MachineRecord
+from repro.errors import ConfigError
+
+__all__ = ["SchedulingObjective", "register_objective", "get_objective",
+           "objective_names"]
+
+KeyFn = Callable[[MachineRecord, Optional[Query]], Tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class SchedulingObjective:
+    """A named machine-ranking criterion (smaller key = preferred)."""
+
+    name: str
+    key: KeyFn
+    description: str = ""
+
+    def rank_key(self, record: MachineRecord, query: Optional[Query] = None
+                 ) -> Tuple[float, ...]:
+        return self.key(record, query)
+
+
+_REGISTRY: Dict[str, SchedulingObjective] = {}
+
+
+def register_objective(objective: SchedulingObjective) -> SchedulingObjective:
+    if objective.name in _REGISTRY:
+        raise ConfigError(f"objective {objective.name!r} already registered")
+    _REGISTRY[objective.name] = objective
+    return objective
+
+
+def get_objective(name: str) -> SchedulingObjective:
+    obj = _REGISTRY.get(name)
+    if obj is None:
+        raise ConfigError(
+            f"unknown scheduling objective {name!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        )
+    return obj
+
+
+def objective_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in objectives
+# ---------------------------------------------------------------------------
+
+def _least_load(record: MachineRecord, query: Optional[Query]
+                ) -> Tuple[float, ...]:
+    # Normalise by CPU count so an 8-CPU machine at load 2 beats a
+    # uniprocessor at load 1.
+    return (record.current_load / record.num_cpus,)
+
+
+def _most_memory(record: MachineRecord, query: Optional[Query]
+                 ) -> Tuple[float, ...]:
+    return (-record.available_memory_mb,)
+
+
+def _fastest(record: MachineRecord, query: Optional[Query]
+             ) -> Tuple[float, ...]:
+    return (-record.effective_speed, record.current_load / record.num_cpus)
+
+
+def _least_jobs(record: MachineRecord, query: Optional[Query]
+                ) -> Tuple[float, ...]:
+    return (float(record.active_jobs),)
+
+
+def _best_fit_memory(record: MachineRecord, query: Optional[Query]
+                     ) -> Tuple[float, ...]:
+    """Smallest adequate memory surplus; falls back to most-memory."""
+    need = None
+    if query is not None:
+        v = query.get("punch.appl.expectedmemoryuse")
+        need = None if v is None else float(v)
+    if need is None:
+        return (-record.available_memory_mb,)
+    surplus = record.available_memory_mb - need
+    # Inadequate machines rank last (huge key), adequate ones by surplus.
+    return (surplus if surplus >= 0 else float("inf"),)
+
+
+def _min_response_time(record: MachineRecord, query: Optional[Query]
+                       ) -> Tuple[float, ...]:
+    """Expected completion ~ duration_on_machine * (1 + load/cpus).
+
+    Prefers a reference-qualified estimate (``punch.appl.cpuestimate``,
+    the paper's footnote-5 extension) when present; otherwise falls back
+    to ``expectedcpuuse`` against the default reference machine.
+    """
+    duration: Optional[float] = None
+    if query is not None:
+        qualified = query.get("punch.appl.cpuestimate")
+        if qualified is not None:
+            from repro.core.estimates import normalise_for, parse_cpu_estimate
+            duration = normalise_for(parse_cpu_estimate(str(qualified)),
+                                     record)
+    if duration is None:
+        cpu_need = 1000.0
+        if query is not None and query.expected_cpu_use is not None:
+            cpu_need = query.expected_cpu_use
+        # expectedcpuuse is against the speed-300 default reference.
+        duration = cpu_need * 300.0 / record.effective_speed
+    slowdown = 1.0 + record.current_load / record.num_cpus
+    return (duration * slowdown,)
+
+
+register_objective(SchedulingObjective(
+    "least_load", _least_load,
+    "prefer the lowest per-CPU load (the paper's default example)"))
+register_objective(SchedulingObjective(
+    "most_memory", _most_memory,
+    "prefer the largest available memory"))
+register_objective(SchedulingObjective(
+    "fastest", _fastest,
+    "prefer the highest effective speed, tie-break on load"))
+register_objective(SchedulingObjective(
+    "least_jobs", _least_jobs,
+    "prefer the fewest active jobs"))
+register_objective(SchedulingObjective(
+    "best_fit_memory", _best_fit_memory,
+    "smallest adequate memory surplus for the predicted footprint"))
+register_objective(SchedulingObjective(
+    "min_response_time", _min_response_time,
+    "minimise predicted completion time from the appl estimate"))

@@ -1,0 +1,61 @@
+"""Pool naming: signature + identifier (Section 5.2.2).
+
+"A pool name is made up of two components: a signature and an identifier.
+... The signature is constructed by forming a colon-separated list of
+sorted rsrc keys in the query, and a string that specifies the
+corresponding comparative operators ... The identifier is constructed by
+forming a colon-separated list of the values associated with the sorted
+rsrc keys that make up the signature."
+
+For the paper's sample query the signature is
+``arch:domain:license:memory,==:==:==:>=`` and the identifier
+``sun:purdue:tsuprem4:10``; :func:`pool_name_for` reproduces exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.query import Clause, Query
+from repro.errors import QuerySyntaxError
+
+__all__ = ["PoolName", "pool_name_for"]
+
+
+@dataclass(frozen=True, order=True)
+class PoolName:
+    """``signature`` (keys + operators) and ``identifier`` (values)."""
+
+    signature: str
+    identifier: str
+
+    @property
+    def full(self) -> str:
+        """Canonical directory key for this pool."""
+        return f"{self.signature}/{self.identifier}"
+
+    def __str__(self) -> str:
+        return self.full
+
+    @staticmethod
+    def from_clauses(clauses: Tuple[Clause, ...]) -> "PoolName":
+        if not clauses:
+            raise QuerySyntaxError(
+                "cannot name a pool from a query with no rsrc clauses"
+            )
+        ordered = sorted(clauses, key=lambda c: c.name)
+        keys = ":".join(c.name for c in ordered)
+        ops = ":".join(str(c.op) for c in ordered)
+        values = ":".join(c.value_text() for c in ordered)
+        return PoolName(signature=f"{keys},{ops}", identifier=values)
+
+
+def pool_name_for(query: Query) -> PoolName:
+    """Map a basic query to its pool name from the sorted ``rsrc`` clauses.
+
+    ``appl`` and ``user`` clauses deliberately do not participate: two
+    users asking for the same kind of resource must land in the same pool
+    for aggregation to pay off.
+    """
+    return PoolName.from_clauses(query.rsrc_clauses)

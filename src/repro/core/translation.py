@@ -1,0 +1,184 @@
+"""Query translation: native formats → the internal query model.
+
+"Translating queries into a predefined internal format is an effective way
+of supporting interoperability.  This allows different network-computing
+systems to query the pipeline using their native resource specification
+languages as long as an appropriate translator has been implemented in the
+query manager" (Section 5.2.1).  The paper floats reusing Condor's
+ClassAds as an example of a new key-value family.
+
+Translators registered with a query manager are tried by declared format
+name.  Provided:
+
+- :class:`NativeTranslator` — the punch key-value text of Section 5.1.
+- :class:`DictTranslator` — ``{"punch.rsrc.arch": "sun", ...}`` mappings
+  (the form the application-management component emits programmatically).
+- :class:`ClassAdTranslator` — a useful subset of Condor ClassAd
+  requirement expressions (``Arch == "SUN4u" && Memory >= 64``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.language import CompositeQuery, QueryLanguage, default_language
+from repro.errors import QuerySyntaxError
+
+__all__ = [
+    "Translator",
+    "NativeTranslator",
+    "DictTranslator",
+    "ClassAdTranslator",
+    "TranslatorRegistry",
+]
+
+
+class Translator:
+    """Interface: turn one native payload into a :class:`CompositeQuery`."""
+
+    format_name: str = ""
+
+    def translate(self, payload: Any) -> CompositeQuery:
+        raise NotImplementedError
+
+
+class NativeTranslator(Translator):
+    """The pipeline's native key-value text (Section 5.1)."""
+
+    format_name = "punch"
+
+    def __init__(self, language: Optional[QueryLanguage] = None):
+        self.language = language or default_language()
+
+    def translate(self, payload: Any) -> CompositeQuery:
+        if not isinstance(payload, str):
+            raise QuerySyntaxError(
+                f"punch translator expects text, got {type(payload).__name__}"
+            )
+        return self.language.parse(payload)
+
+
+class DictTranslator(Translator):
+    """Programmatic ``{dotted_key: value_text}`` mappings."""
+
+    format_name = "dict"
+
+    def __init__(self, language: Optional[QueryLanguage] = None):
+        self.language = language or default_language()
+
+    def translate(self, payload: Any) -> CompositeQuery:
+        if not isinstance(payload, Mapping):
+            raise QuerySyntaxError(
+                f"dict translator expects a mapping, got {type(payload).__name__}"
+            )
+        lines = [f"{key} = {value}" for key, value in payload.items()]
+        return self.language.parse("\n".join(lines))
+
+
+# ClassAd attribute -> punch rsrc key, with value normalisation.
+_CLASSAD_ATTR_MAP: Dict[str, Tuple[str, Optional[Dict[str, str]]]] = {
+    "arch": ("punch.rsrc.arch", {"sun4u": "sun", "sun4m": "sun",
+                                 "intel": "x86", "x86_64": "x86"}),
+    "opsys": ("punch.rsrc.ostype", {"solaris": "solaris", "linux": "linux",
+                                    "hpux": "hpux"}),
+    "memory": ("punch.rsrc.memory", None),
+    "disk": ("punch.rsrc.swap", None),
+    "domain": ("punch.rsrc.domain", None),
+}
+
+_CLASSAD_CLAUSE_RE = re.compile(
+    r"""\s*(?P<attr>[A-Za-z_][A-Za-z0-9_]*)\s*
+        (?P<op>==|!=|>=|<=|>|<)\s*
+        (?P<value>"[^"]*"|[0-9.]+)\s*""",
+    re.VERBOSE,
+)
+
+
+class ClassAdTranslator(Translator):
+    """A subset of Condor ClassAd ``Requirements`` expressions.
+
+    Supports conjunctions (``&&``) of comparisons and disjunctions
+    (``||``) *within one attribute* (which map onto the native language's
+    alternation).  Attribute names are case-insensitive and mapped through
+    :data:`_CLASSAD_ATTR_MAP`.
+    """
+
+    format_name = "classad"
+
+    def __init__(self, language: Optional[QueryLanguage] = None):
+        self.language = language or default_language()
+
+    def translate(self, payload: Any) -> CompositeQuery:
+        if not isinstance(payload, str):
+            raise QuerySyntaxError(
+                f"classad translator expects text, got {type(payload).__name__}"
+            )
+        # attr -> list of (op, value_text)
+        constraints: Dict[str, List[Tuple[str, str]]] = {}
+        for conjunct in payload.split("&&"):
+            conjunct = conjunct.strip()
+            if not conjunct:
+                raise QuerySyntaxError("empty conjunct in ClassAd expression")
+            alternatives = [a.strip() for a in conjunct.split("||")]
+            attr_seen: Optional[str] = None
+            for alt in alternatives:
+                m = _CLASSAD_CLAUSE_RE.fullmatch(alt)
+                if not m:
+                    raise QuerySyntaxError(
+                        f"cannot parse ClassAd clause {alt!r}"
+                    )
+                attr = m.group("attr").lower()
+                if attr_seen is None:
+                    attr_seen = attr
+                elif attr != attr_seen:
+                    raise QuerySyntaxError(
+                        "ClassAd '||' across different attributes is not "
+                        f"supported ({attr_seen!r} vs {attr!r})"
+                    )
+                value = m.group("value").strip('"')
+                constraints.setdefault(attr, []).append((m.group("op"), value))
+        lines: List[str] = []
+        for attr, pairs in constraints.items():
+            mapped = _CLASSAD_ATTR_MAP.get(attr)
+            if mapped is None:
+                raise QuerySyntaxError(
+                    f"ClassAd attribute {attr!r} has no punch mapping"
+                )
+            key, value_map = mapped
+            rendered: List[str] = []
+            for op, value in pairs:
+                if value_map is not None:
+                    value = value_map.get(value.lower(), value.lower())
+                prefix = "" if op == "==" else op
+                rendered.append(f"{prefix}{value}")
+            lines.append(f"{key} = {'|'.join(rendered)}")
+        return self.language.parse("\n".join(lines))
+
+
+class TranslatorRegistry:
+    """The query manager's table of native-format translators."""
+
+    def __init__(self, language: Optional[QueryLanguage] = None):
+        lang = language or default_language()
+        self._translators: Dict[str, Translator] = {}
+        for t in (NativeTranslator(lang), DictTranslator(lang),
+                  ClassAdTranslator(lang)):
+            self.register(t)
+
+    def register(self, translator: Translator) -> None:
+        if not translator.format_name:
+            raise QuerySyntaxError("translator must declare format_name")
+        self._translators[translator.format_name] = translator
+
+    def translate(self, payload: Any, format_name: str = "punch"
+                  ) -> CompositeQuery:
+        t = self._translators.get(format_name)
+        if t is None:
+            raise QuerySyntaxError(
+                f"no translator registered for format {format_name!r}"
+            )
+        return t.translate(payload)
+
+    def formats(self) -> List[str]:
+        return sorted(self._translators)

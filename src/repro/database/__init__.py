@@ -1,0 +1,38 @@
+"""White-pages resource database and directory substrates (Section 4.1).
+
+The paper's ActYP service sits on top of a custom per-machine database —
+the "white pages" — whose 20 fields are listed in Figure 3.  Resource
+pools walk this database at initialisation time to aggregate machines
+matching their constraint, marking them ``taken``; pool managers track pool
+instances in a *local directory service*; shadow accounts on each machine
+are managed through a secondary database referenced by field 18.
+
+Public API:
+
+- :class:`~repro.database.records.MachineRecord` / ``MachineState`` — the
+  Figure 3 schema.
+- :class:`~repro.database.whitepages.WhitePagesDatabase` — registry with
+  scan/match/take/release operations.
+- :class:`~repro.database.directory.LocalDirectoryService` — pool-instance
+  registry used by pool managers.
+- :class:`~repro.database.shadow.ShadowAccountPool` — per-machine shadow
+  account allocation.
+- :mod:`~repro.database.policy` — usage-policy metaprograms (field 19).
+"""
+
+from repro.database.fields import FIELD_NAMES, MachineState
+from repro.database.records import MachineRecord
+from repro.database.whitepages import WhitePagesDatabase
+from repro.database.directory import LocalDirectoryService, PoolInstanceEntry
+from repro.database.shadow import ShadowAccount, ShadowAccountPool
+
+__all__ = [
+    "FIELD_NAMES",
+    "MachineState",
+    "MachineRecord",
+    "WhitePagesDatabase",
+    "LocalDirectoryService",
+    "PoolInstanceEntry",
+    "ShadowAccount",
+    "ShadowAccountPool",
+]

@@ -1,0 +1,119 @@
+"""The local directory service tracking resource-pool instances.
+
+"Pool managers keep track of resource pools via a local directory service.
+Once a query has been mapped to a pool name, the pool manager uses the
+directory service to retrieve pointers (i.e., machine names and TCP/UDP
+ports) to all instances of resource pools with the particular name"
+(Section 5.2.2).
+
+Entries are ``(pool_name, instance_number) -> endpoint``.  The directory
+also records sibling pool managers so delegation (TTL + visited list) has
+peers to forward to.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import DirectoryError
+from repro.net.address import Endpoint
+
+__all__ = ["PoolInstanceEntry", "LocalDirectoryService"]
+
+
+@dataclass(frozen=True)
+class PoolInstanceEntry:
+    """A pointer to one live resource-pool instance.
+
+    ``mode`` distinguishes the two multi-instance schemes of Section 7:
+
+    - ``"replica"`` — instances hold the *same* machines (Figure 8); a
+      pool manager picks one at random.
+    - ``"fragment"`` — instances partition the machines of a split pool
+      (Figure 7); a pool manager queries *all* of them concurrently and
+      aggregates the results.
+    """
+
+    pool_name: str
+    instance_number: int
+    endpoint: Endpoint
+    mode: str = "replica"
+
+    def __str__(self) -> str:
+        return f"{self.pool_name}#{self.instance_number}@{self.endpoint}"
+
+
+class LocalDirectoryService:
+    """Per-domain registry of pool instances and peer pool managers."""
+
+    def __init__(self, domain: str = "default"):
+        self.domain = domain
+        self._lock = threading.RLock()
+        self._pools: Dict[str, Dict[int, PoolInstanceEntry]] = {}
+        self._peer_pool_managers: List[Endpoint] = []
+
+    # -- pool instances -----------------------------------------------------------
+
+    def register(self, pool_name: str, instance_number: int,
+                 endpoint: Endpoint, mode: str = "replica"
+                 ) -> PoolInstanceEntry:
+        """Register a pool instance; pools self-register after initialising."""
+        if mode not in ("replica", "fragment"):
+            raise DirectoryError(f"unknown pool instance mode {mode!r}")
+        entry = PoolInstanceEntry(pool_name, instance_number, endpoint, mode)
+        with self._lock:
+            instances = self._pools.setdefault(pool_name, {})
+            if instance_number in instances:
+                raise DirectoryError(
+                    f"instance {instance_number} of pool {pool_name!r} "
+                    "already registered"
+                )
+            instances[instance_number] = entry
+        return entry
+
+    def deregister(self, pool_name: str, instance_number: int) -> None:
+        with self._lock:
+            instances = self._pools.get(pool_name)
+            if not instances or instance_number not in instances:
+                raise DirectoryError(
+                    f"instance {instance_number} of pool {pool_name!r} not found"
+                )
+            del instances[instance_number]
+            if not instances:
+                del self._pools[pool_name]
+
+    def lookup(self, pool_name: str) -> List[PoolInstanceEntry]:
+        """All live instances of ``pool_name`` (possibly empty)."""
+        with self._lock:
+            instances = self._pools.get(pool_name, {})
+            return [instances[i] for i in sorted(instances)]
+
+    def pool_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._pools)
+
+    def instance_count(self, pool_name: str) -> int:
+        with self._lock:
+            return len(self._pools.get(pool_name, {}))
+
+    def next_instance_number(self, pool_name: str) -> int:
+        """Smallest unused instance number for a new replica."""
+        with self._lock:
+            used = set(self._pools.get(pool_name, {}))
+            n = 0
+            while n in used:
+                n += 1
+            return n
+
+    # -- peer pool managers ----------------------------------------------------------
+
+    def add_peer_pool_manager(self, endpoint: Endpoint) -> None:
+        with self._lock:
+            if endpoint not in self._peer_pool_managers:
+                self._peer_pool_managers.append(endpoint)
+
+    def peer_pool_managers(self) -> List[Endpoint]:
+        with self._lock:
+            return list(self._peer_pool_managers)

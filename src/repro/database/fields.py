@@ -1,0 +1,57 @@
+"""Field definitions of the white-pages machine record (paper Figure 3).
+
+The paper enumerates 20 fields; :data:`FIELD_NAMES` preserves that numbering
+(1-indexed, as printed) so documentation and tests can refer to "fields
+2–7" exactly as the paper does ("The primary function of the resource
+monitoring system is to update fields 2 - 7").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+__all__ = ["MachineState", "FIELD_NAMES", "DYNAMIC_FIELDS", "STATIC_FIELDS"]
+
+
+class MachineState(enum.Enum):
+    """Field 1 — resource state: "up, down, or blocked"."""
+
+    UP = "up"
+    DOWN = "down"
+    BLOCKED = "blocked"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Figure 3's field list, keyed by the paper's 1-based position.
+FIELD_NAMES: Mapping[int, str] = {
+    1: "state",                       # resource state
+    2: "current_load",                # current load
+    3: "active_jobs",                 # active jobs
+    4: "available_memory_mb",         # available memory
+    5: "available_swap_mb",           # available swap
+    6: "last_update_time",            # time of last update
+    7: "service_status_flags",        # PUNCH service status flags
+    8: "effective_speed",             # effective speed (SPEC-like units)
+    9: "num_cpus",                    # number of CPUs
+    10: "max_allowed_load",           # maximum allowed load
+    11: "machine_name",               # machine name
+    12: "machine_object_pointer",     # access and audit information path
+    13: "shared_account",             # shared account identifier
+    14: "execution_unit_port",        # execution unit TCP port
+    15: "pvfs_mount_manager_port",    # PVFS mount manager TCP port
+    16: "user_groups",                # list of allowed user groups
+    17: "tool_groups",                # types of tools supported
+    18: "shadow_account_pool",        # shadow account pool pointer
+    19: "usage_policy",               # usage policy pointer
+    20: "admin_parameters",           # administrator defined parameter list
+}
+
+#: Fields refreshed by the resource monitoring system (paper: fields 2-7).
+DYNAMIC_FIELDS = tuple(FIELD_NAMES[i] for i in range(2, 8))
+
+#: Fields holding "relatively static information ... currently updated
+#: manually" (paper: fields 8-11).
+STATIC_FIELDS = tuple(FIELD_NAMES[i] for i in range(8, 12))

@@ -1,0 +1,122 @@
+"""White-pages persistence: JSON snapshots of the machine database.
+
+The paper's database was an operational store maintained by
+administrators; a library users can adopt needs the fleet definition to
+survive restarts and travel between tools.  The format is stable JSON —
+one object per machine, field names matching Figure 3's schema — so
+fleets can be version-controlled and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.database.fields import MachineState
+from repro.database.records import MachineRecord, ServiceStatusFlags
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import DatabaseError
+
+__all__ = ["record_to_dict", "record_from_dict", "save_database",
+           "load_database", "dumps_database", "loads_database"]
+
+_FORMAT_VERSION = 1
+
+
+def record_to_dict(record: MachineRecord) -> Dict[str, Any]:
+    flags = record.service_status_flags
+    return {
+        "machine_name": record.machine_name,
+        "state": str(record.state),
+        "current_load": record.current_load,
+        "active_jobs": record.active_jobs,
+        "available_memory_mb": record.available_memory_mb,
+        "available_swap_mb": record.available_swap_mb,
+        "last_update_time": record.last_update_time,
+        "service_status_flags": {
+            "execution_unit_up": flags.execution_unit_up,
+            "pvfs_manager_up": flags.pvfs_manager_up,
+            "proxy_server_up": flags.proxy_server_up,
+        },
+        "effective_speed": record.effective_speed,
+        "num_cpus": record.num_cpus,
+        "max_allowed_load": record.max_allowed_load,
+        "machine_object_pointer": record.machine_object_pointer,
+        "shared_account": record.shared_account,
+        "execution_unit_port": record.execution_unit_port,
+        "pvfs_mount_manager_port": record.pvfs_mount_manager_port,
+        "user_groups": sorted(record.user_groups),
+        "tool_groups": sorted(record.tool_groups),
+        "shadow_account_pool": record.shadow_account_pool,
+        "usage_policy": record.usage_policy,
+        "admin_parameters": dict(record.admin_parameters),
+    }
+
+
+def record_from_dict(data: Dict[str, Any]) -> MachineRecord:
+    try:
+        flags_data = data.get("service_status_flags", {})
+        return MachineRecord(
+            machine_name=data["machine_name"],
+            state=MachineState(data.get("state", "up")),
+            current_load=float(data.get("current_load", 0.0)),
+            active_jobs=int(data.get("active_jobs", 0)),
+            available_memory_mb=float(data.get("available_memory_mb", 512.0)),
+            available_swap_mb=float(data.get("available_swap_mb", 1024.0)),
+            last_update_time=float(data.get("last_update_time", 0.0)),
+            service_status_flags=ServiceStatusFlags(
+                execution_unit_up=bool(
+                    flags_data.get("execution_unit_up", True)),
+                pvfs_manager_up=bool(flags_data.get("pvfs_manager_up", True)),
+                proxy_server_up=bool(flags_data.get("proxy_server_up", True)),
+            ),
+            effective_speed=float(data.get("effective_speed", 300.0)),
+            num_cpus=int(data.get("num_cpus", 1)),
+            max_allowed_load=float(data.get("max_allowed_load", 4.0)),
+            machine_object_pointer=data.get("machine_object_pointer", ""),
+            shared_account=data.get("shared_account"),
+            execution_unit_port=int(data.get("execution_unit_port", 7070)),
+            pvfs_mount_manager_port=int(
+                data.get("pvfs_mount_manager_port", 7071)),
+            user_groups=frozenset(data.get("user_groups", ["public"])),
+            tool_groups=frozenset(data.get("tool_groups", ["general"])),
+            shadow_account_pool=data.get("shadow_account_pool", ""),
+            usage_policy=data.get("usage_policy"),
+            admin_parameters=dict(data.get("admin_parameters", {})),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise DatabaseError(f"malformed machine record: {exc}") from exc
+
+
+def dumps_database(db: WhitePagesDatabase) -> str:
+    payload = {
+        "format": "repro.whitepages",
+        "version": _FORMAT_VERSION,
+        "machines": [record_to_dict(db.get(name)) for name in db.names()],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def loads_database(text: str) -> WhitePagesDatabase:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DatabaseError(f"invalid database JSON: {exc}") from exc
+    if not isinstance(payload, dict) or \
+            payload.get("format") != "repro.whitepages":
+        raise DatabaseError("not a repro.whitepages snapshot")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise DatabaseError(
+            f"unsupported snapshot version {payload.get('version')!r}"
+        )
+    records = [record_from_dict(m) for m in payload.get("machines", [])]
+    return WhitePagesDatabase(records)
+
+
+def save_database(db: WhitePagesDatabase, path: Union[str, Path]) -> None:
+    Path(path).write_text(dumps_database(db), encoding="utf-8")
+
+
+def load_database(path: Union[str, Path]) -> WhitePagesDatabase:
+    return loads_database(Path(path).read_text(encoding="utf-8"))

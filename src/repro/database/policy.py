@@ -1,0 +1,133 @@
+"""Usage-policy metaprograms (field 19 of Figure 3).
+
+The paper designs field 19 to "point to a PUNCH metaprogram that would
+allow administrators to specify complex usage policies (e.g., public users
+are only allowed to access this machine if its load is below a specified
+threshold)" — noted as unimplemented in their prototype.  We implement a
+small, safe expression-based policy engine: a policy is a named predicate
+over the machine's attribute view and the requesting user's context.
+
+Policies are plain Python callables registered by name (never ``eval`` of
+admin strings), plus combinators for the common patterns the paper
+sketches.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.database.records import MachineRecord
+from repro.errors import PolicyError
+
+__all__ = [
+    "PolicyContext",
+    "PolicyFn",
+    "PolicyRegistry",
+    "load_below",
+    "group_in",
+    "always_allow",
+    "always_deny",
+    "all_of",
+    "any_of",
+]
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """The requesting user's context, as carried in the query's user keys."""
+
+    login: str = ""
+    access_group: str = "public"
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+PolicyFn = Callable[[MachineRecord, PolicyContext], bool]
+
+
+def always_allow(record: MachineRecord, ctx: PolicyContext) -> bool:
+    return True
+
+
+def always_deny(record: MachineRecord, ctx: PolicyContext) -> bool:
+    return False
+
+
+def load_below(threshold: float, groups: Optional[frozenset[str]] = None) -> PolicyFn:
+    """The paper's example policy: restricted groups only get lightly
+    loaded machines.
+
+    If ``groups`` is given, only those groups are subject to the threshold;
+    other groups are always allowed.
+    """
+
+    def policy(record: MachineRecord, ctx: PolicyContext) -> bool:
+        if groups is not None and ctx.access_group not in groups:
+            return True
+        return record.current_load < threshold
+
+    return policy
+
+
+def group_in(*allowed: str) -> PolicyFn:
+    allowed_set = frozenset(allowed)
+
+    def policy(record: MachineRecord, ctx: PolicyContext) -> bool:
+        return ctx.access_group in allowed_set
+
+    return policy
+
+
+def all_of(*policies: PolicyFn) -> PolicyFn:
+    def policy(record: MachineRecord, ctx: PolicyContext) -> bool:
+        return all(p(record, ctx) for p in policies)
+
+    return policy
+
+
+def any_of(*policies: PolicyFn) -> PolicyFn:
+    def policy(record: MachineRecord, ctx: PolicyContext) -> bool:
+        return any(p(record, ctx) for p in policies)
+
+    return policy
+
+
+class PolicyRegistry:
+    """Named policies that machine records reference through field 19."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._policies: Dict[str, PolicyFn] = {}
+
+    def register(self, name: str, policy: PolicyFn) -> None:
+        if not name:
+            raise PolicyError("policy name must be non-empty")
+        with self._lock:
+            if name in self._policies:
+                raise PolicyError(f"policy {name!r} already registered")
+            self._policies[name] = policy
+
+    def get(self, name: str) -> PolicyFn:
+        with self._lock:
+            policy = self._policies.get(name)
+            if policy is None:
+                raise PolicyError(f"unknown policy {name!r}")
+            return policy
+
+    def evaluate(self, record: MachineRecord, ctx: PolicyContext) -> bool:
+        """Evaluate the record's policy (field 19); no policy = allow."""
+        if record.usage_policy is None:
+            return True
+        policy = self.get(record.usage_policy)
+        try:
+            return bool(policy(record, ctx))
+        except Exception as exc:  # fail closed: a broken policy denies
+            raise PolicyError(
+                f"policy {record.usage_policy!r} raised on "
+                f"{record.machine_name}: {exc}"
+            ) from exc
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._policies)

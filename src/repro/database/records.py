@@ -1,0 +1,160 @@
+"""The per-machine record of the white-pages database (paper Figure 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Mapping, Optional
+
+from repro.database.fields import MachineState
+from repro.errors import ConfigError
+
+__all__ = ["MachineRecord", "ServiceStatusFlags"]
+
+
+@dataclass(frozen=True)
+class ServiceStatusFlags:
+    """Field 7 — PUNCH service status flags.
+
+    Tracks whether the per-machine daemons ActYP depends on are live; the
+    paper's ActYP "verifies that relevant services are available and starts
+    daemons as necessary" (Section 2).
+    """
+
+    execution_unit_up: bool = True
+    pvfs_manager_up: bool = True
+    proxy_server_up: bool = True
+
+    @property
+    def all_up(self) -> bool:
+        return (self.execution_unit_up and self.pvfs_manager_up
+                and self.proxy_server_up)
+
+
+@dataclass(frozen=True)
+class MachineRecord:
+    """One machine's white-pages entry; field numbers follow Figure 3.
+
+    The record is immutable — the database applies updates by replacing
+    records — so resource pools can safely cache references.
+
+    Only ``machine_name`` is required; defaults describe a healthy,
+    unloaded, unrestricted machine so tests and examples can build fleets
+    tersely.
+    """
+
+    # field 11 (the primary key; listed first for construction convenience)
+    machine_name: str
+    # field 1
+    state: MachineState = MachineState.UP
+    # fields 2-6 (dynamic; refreshed by monitoring)
+    current_load: float = 0.0
+    active_jobs: int = 0
+    available_memory_mb: float = 512.0
+    available_swap_mb: float = 1024.0
+    last_update_time: float = 0.0
+    # field 7
+    service_status_flags: ServiceStatusFlags = field(default_factory=ServiceStatusFlags)
+    # fields 8-10 (static)
+    effective_speed: float = 300.0
+    num_cpus: int = 1
+    max_allowed_load: float = 4.0
+    # field 12 — path to access/audit info (ssh key, owner, start script)
+    machine_object_pointer: str = ""
+    # field 13 — shared account ("nobody"-style) if any
+    shared_account: Optional[str] = None
+    # field 14 — execution unit TCP port (in the shared account, if it exists)
+    execution_unit_port: int = 7070
+    # field 15 — PVFS mount manager TCP port
+    pvfs_mount_manager_port: int = 7071
+    # field 16 — allowed user groups
+    user_groups: FrozenSet[str] = frozenset({"public"})
+    # field 17 — tool groups the machine can run
+    tool_groups: FrozenSet[str] = frozenset({"general"})
+    # field 18 — name of the machine's shadow-account pool
+    shadow_account_pool: str = ""
+    # field 19 — usage policy pointer (name of a registered metaprogram)
+    usage_policy: Optional[str] = None
+    # field 20 — administrator-defined key-value parameters (arch, memory,
+    # ostype, osversion, owner, swap, cms, ...)
+    admin_parameters: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.machine_name:
+            raise ConfigError("machine_name must be non-empty")
+        if self.num_cpus < 1:
+            raise ConfigError(f"num_cpus must be >= 1, got {self.num_cpus}")
+        if self.effective_speed <= 0:
+            raise ConfigError("effective_speed must be > 0")
+        if self.max_allowed_load <= 0:
+            raise ConfigError("max_allowed_load must be > 0")
+        if self.current_load < 0 or self.active_jobs < 0:
+            raise ConfigError("load and job counts must be >= 0")
+        # Freeze the mapping so records are safely hashable by name.
+        object.__setattr__(self, "admin_parameters", dict(self.admin_parameters))
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self.state is MachineState.UP
+
+    @property
+    def is_overloaded(self) -> bool:
+        """Above the administrator's maximum allowed load (field 10)."""
+        return self.current_load >= self.max_allowed_load
+
+    def parameter(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Look up an admin-defined parameter (field 20), e.g. ``arch``."""
+        return self.admin_parameters.get(key, default)
+
+    def attribute_view(self) -> Dict[str, Any]:
+        """Flatten the record for query matching.
+
+        Admin parameters (field 20) are merged over the built-in fields —
+        they are "used by the active yellow pages service at run-time", and
+        the query language's ``rsrc`` keys (arch, memory, ...) resolve
+        against exactly this view.
+        """
+        view: Dict[str, Any] = {
+            "name": self.machine_name,
+            "state": str(self.state),
+            "load": self.current_load,
+            "jobs": self.active_jobs,
+            "freememory": self.available_memory_mb,
+            "freeswap": self.available_swap_mb,
+            "speed": self.effective_speed,
+            "cpus": self.num_cpus,
+            "maxload": self.max_allowed_load,
+        }
+        for key, value in self.admin_parameters.items():
+            view[key] = value
+        return view
+
+    def with_dynamic(
+        self,
+        *,
+        current_load: Optional[float] = None,
+        active_jobs: Optional[int] = None,
+        available_memory_mb: Optional[float] = None,
+        available_swap_mb: Optional[float] = None,
+        last_update_time: Optional[float] = None,
+        service_status_flags: Optional[ServiceStatusFlags] = None,
+        state: Optional[MachineState] = None,
+    ) -> "MachineRecord":
+        """Copy with monitoring-owned fields (1–7) replaced."""
+        updates: Dict[str, Any] = {}
+        if current_load is not None:
+            updates["current_load"] = current_load
+        if active_jobs is not None:
+            updates["active_jobs"] = active_jobs
+        if available_memory_mb is not None:
+            updates["available_memory_mb"] = available_memory_mb
+        if available_swap_mb is not None:
+            updates["available_swap_mb"] = available_swap_mb
+        if last_update_time is not None:
+            updates["last_update_time"] = last_update_time
+        if service_status_flags is not None:
+            updates["service_status_flags"] = service_status_flags
+        if state is not None:
+            updates["state"] = state
+        return replace(self, **updates)

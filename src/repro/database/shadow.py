@@ -1,0 +1,135 @@
+"""Shadow-account pools (field 18 of Figure 3; paper reference [16]).
+
+PUNCH runs applications in *shadow accounts* — machine accounts "not
+explicitly tied to any individual user".  ActYP "selects available shadow
+accounts in which to run the application" and the network desktop
+"relinquishes the shadow account ... by notifying the ActYP service"
+(Section 2).  Each machine record's field 18 points at a secondary database
+managing that machine's shadow accounts; this module implements it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ShadowAccountError
+
+__all__ = ["ShadowAccount", "ShadowAccountPool", "ShadowAccountRegistry"]
+
+
+@dataclass(frozen=True)
+class ShadowAccount:
+    """One allocatable logical account on a machine."""
+
+    machine_name: str
+    uid: int
+    username: str
+
+    def __str__(self) -> str:
+        return f"{self.username}(uid={self.uid})@{self.machine_name}"
+
+
+class ShadowAccountPool:
+    """The shadow accounts of a single machine.
+
+    Allocation hands out the lowest free uid (deterministic, simplifies
+    audit); release returns it.  A session key is bound to each allocation
+    so a stale release (wrong key) cannot free an account that has since
+    been re-allocated to another run.
+    """
+
+    def __init__(self, machine_name: str, count: int = 8,
+                 uid_base: int = 20000, username_prefix: str = "shadow"):
+        if count < 0:
+            raise ShadowAccountError(f"count must be >= 0, got {count}")
+        self.machine_name = machine_name
+        self._lock = threading.RLock()
+        self._free: List[ShadowAccount] = [
+            ShadowAccount(machine_name, uid_base + i, f"{username_prefix}{i:03d}")
+            for i in range(count)
+        ]
+        self._free.reverse()  # pop() yields the lowest uid first
+        self._allocated: Dict[int, str] = {}  # uid -> session key
+
+    @property
+    def capacity(self) -> int:
+        with self._lock:
+            return len(self._free) + len(self._allocated)
+
+    @property
+    def available(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    def allocate(self, session_key: str) -> ShadowAccount:
+        """Claim an account for a run; raises when the machine is full."""
+        with self._lock:
+            if not self._free:
+                raise ShadowAccountError(
+                    f"no shadow accounts available on {self.machine_name}"
+                )
+            acct = self._free.pop()
+            self._allocated[acct.uid] = session_key
+            return acct
+
+    def release(self, account: ShadowAccount, session_key: str) -> None:
+        with self._lock:
+            holder = self._allocated.get(account.uid)
+            if holder is None:
+                raise ShadowAccountError(
+                    f"uid {account.uid} on {self.machine_name} is not allocated"
+                )
+            if holder != session_key:
+                raise ShadowAccountError(
+                    f"session key mismatch releasing uid {account.uid} "
+                    f"on {self.machine_name}"
+                )
+            del self._allocated[account.uid]
+            # Keep the free list sorted descending so pop() stays lowest-first.
+            self._free.append(account)
+            self._free.sort(key=lambda a: -a.uid)
+
+
+class ShadowAccountRegistry:
+    """All shadow-account pools, keyed by machine name.
+
+    This plays the role of the "secondary database" that machine records
+    reference through field 18.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._pools: Dict[str, ShadowAccountPool] = {}
+
+    def create_pool(self, machine_name: str, count: int = 8) -> ShadowAccountPool:
+        with self._lock:
+            if machine_name in self._pools:
+                raise ShadowAccountError(
+                    f"shadow pool for {machine_name} already exists"
+                )
+            pool = ShadowAccountPool(machine_name, count=count)
+            self._pools[machine_name] = pool
+            return pool
+
+    def pool_for(self, machine_name: str) -> ShadowAccountPool:
+        with self._lock:
+            pool = self._pools.get(machine_name)
+            if pool is None:
+                raise ShadowAccountError(
+                    f"no shadow pool registered for {machine_name}"
+                )
+            return pool
+
+    def ensure_pool(self, machine_name: str, count: int = 8) -> ShadowAccountPool:
+        with self._lock:
+            pool = self._pools.get(machine_name)
+            if pool is None:
+                pool = ShadowAccountPool(machine_name, count=count)
+                self._pools[machine_name] = pool
+            return pool
+
+    def machines(self) -> List[str]:
+        with self._lock:
+            return sorted(self._pools)

@@ -1,0 +1,181 @@
+"""The white-pages resource database (Section 4.1).
+
+This is the "database" a pool object walks at initialisation: "the pool
+object first walks the 'white pages' database for machines that match the
+criteria encoded within its name.  During this process, the pool object
+loads relevant information ... into a local cache and marks them as
+'taken' within the main database" (Section 5.2.3).
+
+The database therefore supports three operations beyond registry CRUD:
+
+- :meth:`WhitePagesDatabase.scan` — iterate records matching a predicate;
+- :meth:`WhitePagesDatabase.take` — atomically claim an *untaken* machine
+  for a pool (returns False if another pool already holds it);
+- :meth:`WhitePagesDatabase.release` — return machines to the free set
+  (used when a pool is destroyed, split, or rebalanced).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.database.records import MachineRecord
+from repro.database.fields import MachineState
+from repro.errors import (
+    DuplicateMachineError,
+    MachineTakenError,
+    UnknownMachineError,
+)
+
+__all__ = ["WhitePagesDatabase"]
+
+Predicate = Callable[[MachineRecord], bool]
+
+
+class WhitePagesDatabase:
+    """In-memory machine registry with take/release semantics.
+
+    A coarse lock makes the registry safe for the asyncio/threaded runtime;
+    the DES runtime is single-threaded and pays nothing for it.  Records
+    are immutable, so readers holding references never see torn updates.
+    """
+
+    def __init__(self, records: Iterable[MachineRecord] = ()):
+        self._lock = threading.RLock()
+        self._records: Dict[str, MachineRecord] = {}
+        self._taken_by: Dict[str, str] = {}  # machine name -> pool name
+        for rec in records:
+            self.add(rec)
+
+    # -- registry CRUD --------------------------------------------------------
+
+    def add(self, record: MachineRecord) -> None:
+        with self._lock:
+            if record.machine_name in self._records:
+                raise DuplicateMachineError(record.machine_name)
+            self._records[record.machine_name] = record
+
+    def remove(self, machine_name: str) -> MachineRecord:
+        with self._lock:
+            rec = self._records.pop(machine_name, None)
+            if rec is None:
+                raise UnknownMachineError(machine_name)
+            self._taken_by.pop(machine_name, None)
+            return rec
+
+    def get(self, machine_name: str) -> MachineRecord:
+        with self._lock:
+            rec = self._records.get(machine_name)
+            if rec is None:
+                raise UnknownMachineError(machine_name)
+            return rec
+
+    def update(self, record: MachineRecord) -> None:
+        """Replace the record with the same ``machine_name``."""
+        with self._lock:
+            if record.machine_name not in self._records:
+                raise UnknownMachineError(record.machine_name)
+            self._records[record.machine_name] = record
+
+    def update_dynamic(self, machine_name: str, **dynamic) -> MachineRecord:
+        """Apply a monitoring refresh (fields 1-7) atomically."""
+        with self._lock:
+            rec = self.get(machine_name)
+            new = rec.with_dynamic(**dynamic)
+            self._records[machine_name] = new
+            return new
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, machine_name: str) -> bool:
+        with self._lock:
+            return machine_name in self._records
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    # -- scanning ----------------------------------------------------------------
+
+    def scan(self, predicate: Optional[Predicate] = None,
+             include_taken: bool = False) -> List[MachineRecord]:
+        """Walk the database, returning records that satisfy ``predicate``.
+
+        By default only *untaken* machines are returned, since a pool's
+        initialisation walk must not steal machines already aggregated into
+        another pool.
+        """
+        with self._lock:
+            out: List[MachineRecord] = []
+            for name in sorted(self._records):
+                if not include_taken and name in self._taken_by:
+                    continue
+                rec = self._records[name]
+                if predicate is None or predicate(rec):
+                    out.append(rec)
+            return out
+
+    def count_up(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._records.values()
+                       if r.state is MachineState.UP)
+
+    # -- take / release ------------------------------------------------------------
+
+    def take(self, machine_name: str, pool_name: str) -> bool:
+        """Mark ``machine_name`` as taken by ``pool_name``.
+
+        Returns True on success, False if another pool already holds it.
+        Raises :class:`UnknownMachineError` for unregistered machines.
+        """
+        with self._lock:
+            if machine_name not in self._records:
+                raise UnknownMachineError(machine_name)
+            holder = self._taken_by.get(machine_name)
+            if holder is not None and holder != pool_name:
+                return False
+            self._taken_by[machine_name] = pool_name
+            return True
+
+    def take_all(self, machine_names: Iterable[str], pool_name: str) -> List[str]:
+        """Take every name we can; return the list actually taken."""
+        got: List[str] = []
+        for name in machine_names:
+            if self.take(name, pool_name):
+                got.append(name)
+        return got
+
+    def release(self, machine_name: str, pool_name: str) -> None:
+        """Release a machine previously taken by ``pool_name``."""
+        with self._lock:
+            holder = self._taken_by.get(machine_name)
+            if holder is None:
+                return
+            if holder != pool_name:
+                raise MachineTakenError(
+                    f"{machine_name} is held by {holder!r}, not {pool_name!r}"
+                )
+            del self._taken_by[machine_name]
+
+    def release_pool(self, pool_name: str) -> int:
+        """Release every machine held by ``pool_name``; return the count."""
+        with self._lock:
+            names = [m for m, p in self._taken_by.items() if p == pool_name]
+            for name in names:
+                del self._taken_by[name]
+            return len(names)
+
+    def holder_of(self, machine_name: str) -> Optional[str]:
+        with self._lock:
+            return self._taken_by.get(machine_name)
+
+    def taken_count(self) -> int:
+        with self._lock:
+            return len(self._taken_by)
+
+    def free_names(self) -> Set[str]:
+        with self._lock:
+            return {n for n in self._records if n not in self._taken_by}

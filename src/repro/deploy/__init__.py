@@ -1,0 +1,29 @@
+"""Deployments of the ActYP pipeline.
+
+The pipeline stages in :mod:`repro.core` are pure logic; a *deployment*
+gives them a clock, a transport, and service costs:
+
+- :mod:`repro.deploy.simulated` — the discrete-event deployment used by
+  the controlled experiments of Section 7 (deterministic, measures
+  queueing + search + network delay).
+- :mod:`repro.runtime` — the asyncio live deployment (real sockets).
+- :class:`repro.core.pipeline.ActYPService` — the zero-cost in-process
+  facade (tests, quickstart).
+"""
+
+from repro.deploy.simulated import (
+    ClientSpec,
+    DeploymentSpec,
+    SimulatedDeployment,
+    run_closed_loop_experiment,
+)
+from repro.deploy.federation import DomainSpec, FederatedDeployment
+
+__all__ = [
+    "ClientSpec",
+    "DeploymentSpec",
+    "SimulatedDeployment",
+    "run_closed_loop_experiment",
+    "DomainSpec",
+    "FederatedDeployment",
+]

@@ -1,0 +1,246 @@
+"""Federated deployments: ActYP across multiple administrative domains.
+
+Section 6: "The pipelined resource management architecture lends itself
+to distribution across multiple administrative domains because it
+schedules resources in a completely decentralized manner; all state
+information is carried with the query itself."
+
+A :class:`FederatedDeployment` owns one simulator and one transport, but
+*per-domain* white-pages databases, directories, pool managers, and query
+managers — each domain is an independent ActYP installation.  Domains
+interconnect only through **pool-manager peering**: a pool manager that
+cannot create a pool locally (no matching machines in *its* database)
+attaches its name to the query's visited list, decrements the TTL, and
+forwards the query to a peer in another domain — the delegation mechanism
+of Section 5.2.2, now crossing WAN links.
+
+This is also where the "system of systems" claim is exercised: a domain
+can be configured ``may_create_pools=False`` so it acts purely as an
+entry point that resolves queries down to other domains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import PipelineConfig
+from repro.core.pool_manager import PoolManager
+from repro.core.query_manager import QueryManager
+from repro.database.directory import LocalDirectoryService
+from repro.database.whitepages import WhitePagesDatabase
+from repro.deploy.simulated import (
+    ClientSpec,
+    _PoolManagerServer,
+    _QueryManagerServer,
+)
+from repro.errors import ConfigError
+from repro.net.address import Endpoint
+from repro.net.latency import DomainLatencyModel
+from repro.net.transport import SimTransport
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import ResponseTimeStats
+from repro.sim.rng import RandomStreams
+
+__all__ = ["DomainSpec", "FederatedDeployment"]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One administrative domain of the federation."""
+
+    name: str
+    database: WhitePagesDatabase
+    n_pool_managers: int = 1
+    n_query_managers: int = 1
+    #: False turns the domain into a pure front-end that always delegates.
+    may_create_pools: bool = True
+
+
+class FederatedDeployment:
+    """Several per-domain ActYP installations joined by PM peering.
+
+    The implementation deliberately reuses the single-domain DES servers
+    (:class:`~repro.deploy.simulated._PoolManagerServer`, ...) — a domain
+    is exactly a :class:`SimulatedDeployment` shard, which is the paper's
+    point: federation adds peering, not new machinery.
+    """
+
+    def __init__(self, domains: Sequence[DomainSpec], *,
+                 config: Optional[PipelineConfig] = None, seed: int = 0):
+        if not domains:
+            raise ConfigError("federation needs at least one domain")
+        names = [d.name for d in domains]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate domain names: {names}")
+        self.config = (config or PipelineConfig()).validated()
+        self.cost = self.config.cost
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=seed)
+        self.transport = SimTransport(
+            self.sim,
+            latency=DomainLatencyModel(self.config.latency),
+            rng=self.streams.get("net.latency"),
+        )
+        self._port = itertools.count(9000)
+        self.domains: Dict[str, "_DomainShard"] = {}
+        for spec in domains:
+            self.domains[spec.name] = _DomainShard(self, spec)
+        self._peer_domains()
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def _peer_domains(self) -> None:
+        """Every domain's directory lists every *other* domain's PMs as
+        delegation peers (local PMs are already registered)."""
+        for name, shard in self.domains.items():
+            for other_name, other in self.domains.items():
+                if other_name == name:
+                    continue
+                for ep in other.pm_endpoints:
+                    shard.directory.add_peer_pool_manager(ep)
+
+    def endpoint(self, host: str, domain: str) -> Endpoint:
+        return Endpoint(host=host, port=next(self._port), domain=domain)
+
+    # -- access ---------------------------------------------------------------------
+
+    def shard(self, domain: str) -> "_DomainShard":
+        shard = self.domains.get(domain)
+        if shard is None:
+            raise ConfigError(f"unknown domain {domain!r}")
+        return shard
+
+    def query_manager_endpoints(self, domain: str) -> List[Endpoint]:
+        return [s.endpoint for s in self.shard(domain).qm_servers]
+
+    # -- clients ---------------------------------------------------------------------
+
+    def run_clients(
+        self,
+        *,
+        client_domain: str,
+        entry_domain: str,
+        payload_fn,
+        clients: int = 8,
+        queries_per_client: int = 20,
+        stats: Optional[ResponseTimeStats] = None,
+    ) -> ResponseTimeStats:
+        """Closed-loop clients in ``client_domain`` submitting to the
+        query managers of ``entry_domain``."""
+        stats = stats if stats is not None else ResponseTimeStats()
+        qms = self.query_manager_endpoints(entry_domain)
+        procs = []
+        for c in range(clients):
+            ep = Endpoint(host=f"fedclient{c}", port=4000 + c,
+                          domain=client_domain)
+            bound = self.transport.bind(ep)
+            rng = self.streams.get(f"fedclient{c}")
+            procs.append(self.sim.process(
+                self._client_loop(bound, qms, payload_fn, c,
+                                  queries_per_client, rng, stats)))
+        self.sim.run(self.sim.all_of(procs))
+        return stats
+
+    def _client_loop(self, bound, qms, payload_fn, index, n, rng,
+                     stats: ResponseTimeStats) -> Generator:
+        sim = self.sim
+        for it in range(n):
+            qm = qms[int(rng.integers(0, len(qms)))]
+            start = sim.now
+            reply = yield from bound.call(qm, "query",
+                                          payload_fn(index, it, rng))
+            result = reply.payload
+            if result.ok:
+                stats.record(sim.now - start)
+                # Find the hosting shard to release through.
+                for shard in self.domains.values():
+                    ep = shard.pool_endpoint(result.allocation.pool_name,
+                                             result.allocation.pool_instance)
+                    if ep is not None:
+                        self.transport.send(bound.endpoint, ep, "release",
+                                            result.allocation.access_key)
+                        break
+            else:
+                stats.record_failure()
+
+
+class _DomainShard:
+    """One domain's servers inside a federation.
+
+    Presents the same duck-typed surface the single-domain servers expect
+    from their deployment (``sim``, ``cost``, ``transport``,
+    ``spawn_new_local_pools``, ``pool_endpoint``).
+    """
+
+    def __init__(self, federation: FederatedDeployment, spec: DomainSpec):
+        self.federation = federation
+        self.spec = spec
+        self.sim = federation.sim
+        self.cost = federation.cost
+        self.transport = federation.transport
+        self.database = spec.database
+        self.directory = LocalDirectoryService(domain=spec.name)
+        self._pool_servers: Dict[tuple, object] = {}
+        self.pm_servers: List[_PoolManagerServer] = []
+        self.qm_servers: List[_QueryManagerServer] = []
+        self.pm_endpoints: List[Endpoint] = []
+
+        cfg = federation.config
+        pm_config = cfg.pool_manager.__class__(
+            delegation_ttl=cfg.pool_manager.delegation_ttl,
+            may_create_pools=spec.may_create_pools,
+            concurrency=cfg.pool_manager.concurrency,
+        )
+        for i in range(spec.n_pool_managers):
+            ep = federation.endpoint(f"{spec.name}-pm{i}", spec.name)
+            manager = PoolManager(
+                name=str(ep),
+                directory=self.directory,
+                database=self.database,
+                config=pm_config,
+                pool_config=cfg.pool,
+                rng=federation.streams.get(f"{spec.name}.pm{i}"),
+                pool_endpoint_allocator=lambda name, inst, _i=i:
+                    federation.endpoint(f"{spec.name}-pool{_i}", spec.name),
+            )
+            self.pm_servers.append(_PoolManagerServer(self, manager, ep))
+            self.pm_endpoints.append(ep)
+        for ep in self.pm_endpoints:
+            self.directory.add_peer_pool_manager(ep)
+        for i in range(spec.n_query_managers):
+            ep = federation.endpoint(f"{spec.name}-qm{i}", spec.name)
+            manager = QueryManager(
+                name=str(ep),
+                pool_managers=list(self.pm_endpoints),
+                config=cfg.query_manager,
+                reintegration_policy=cfg.query_manager.reintegration_policy,
+                fanout=cfg.query_manager.fanout,
+                default_ttl=cfg.pool_manager.delegation_ttl,
+                rng=federation.streams.get(f"{spec.name}.qm{i}"),
+            )
+            self.qm_servers.append(_QueryManagerServer(self, manager, ep))
+
+    # -- deployment surface used by the stage servers ----------------------------------
+
+    def spawn_new_local_pools(self, manager: PoolManager) -> None:
+        from repro.deploy.simulated import _PoolServer
+        for (dir_name, instance), pool in list(manager.local_pools.items()):
+            key = (pool.name.full, pool.instance_number)
+            if key in self._pool_servers:
+                continue
+            entries = self.directory.lookup(dir_name)
+            entry = next(e for e in entries if e.instance_number == instance)
+            self._pool_servers[key] = _PoolServer(self, pool, entry.endpoint)
+
+    def pool_endpoint(self, pool_name: str, instance: int
+                      ) -> Optional[Endpoint]:
+        server = self._pool_servers.get((pool_name, instance))
+        return server.endpoint if server else None  # type: ignore[union-attr]
+
+    def pool_sizes(self) -> Dict[str, int]:
+        return {f"{n}#{i}": s.pool.size  # type: ignore[union-attr]
+                for (n, i), s in self._pool_servers.items()}

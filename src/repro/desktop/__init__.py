@@ -1,0 +1,26 @@
+"""The PUNCH network desktop substrate (Section 2, Figure 1).
+
+The desktop is the user-facing component: it authorises the user for the
+selected application, obtains resources through the application-management
+component and ActYP, mounts application and data disks via the PUNCH
+virtual file system, invokes the run, and tears everything down afterward
+— the full event sequence 1–6 of Figure 1.
+
+- :class:`~repro.desktop.vfs.VirtualFileSystem` — PVFS mount-manager
+  simulation (paper reference [7]).
+- :class:`~repro.desktop.session.RunSession` — the per-run state machine.
+- :class:`~repro.desktop.desktop.NetworkDesktop` — the orchestrator.
+"""
+
+from repro.desktop.vfs import MountHandle, VirtualFileSystem
+from repro.desktop.session import RunSession, SessionState
+from repro.desktop.desktop import NetworkDesktop, UserAccount
+
+__all__ = [
+    "MountHandle",
+    "VirtualFileSystem",
+    "RunSession",
+    "SessionState",
+    "NetworkDesktop",
+    "UserAccount",
+]

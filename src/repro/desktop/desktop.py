@@ -1,0 +1,190 @@
+"""The network desktop: orchestrating events 1–6 of Figure 1.
+
+Section 2's walk-through, reproduced step by step in :meth:`NetworkDesktop.run_tool`:
+
+1. the user selects an application (``run_tool`` call),
+2. the desktop "verifies that the user is authorized to run the selected
+   application",
+3. the application-management component builds the query and the ActYP
+   service identifies/locates/selects resources and a shadow account,
+4. "the virtual file system service mounts the application and data disks
+   on to the selected machine",
+5. the application is invoked and, for GUI applications, the display is
+   routed to the user's browser (VNC),
+6. on completion the disks are unmounted and the desktop "relinquishes
+   the shadow account and resources by notifying the ActYP service".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from repro.appmgmt.query_builder import ApplicationManager, ComposedQuery
+from repro.core.pipeline import ActYPService
+from repro.desktop.session import RunSession, SessionState
+from repro.desktop.vfs import VirtualFileSystem
+from repro.errors import ReproError
+
+__all__ = ["UserAccount", "NetworkDesktop", "AuthorizationError"]
+
+
+class AuthorizationError(ReproError):
+    """The user may not run the selected application."""
+
+
+@dataclass(frozen=True)
+class UserAccount:
+    """A PUNCH portal account."""
+
+    login: str
+    access_group: str = "public"
+    #: Tools this account may run (None = any registered tool).
+    authorized_tools: Optional[FrozenSet[str]] = None
+    #: The user's storage service provider ("implicitly configured when a
+    #: user requests a PUNCH account").
+    storage_provider: str = "home:punch.purdue.edu"
+
+
+class NetworkDesktop:
+    """The web-accessible front end, bound to one ActYP deployment."""
+
+    def __init__(
+        self,
+        service: ActYPService,
+        app_manager: Optional[ApplicationManager] = None,
+        vfs: Optional[VirtualFileSystem] = None,
+    ):
+        self.service = service
+        self.app_manager = app_manager or ApplicationManager()
+        self.vfs = vfs or VirtualFileSystem()
+        self._users: Dict[str, UserAccount] = {}
+        self._sessions: Dict[int, RunSession] = {}
+        self._session_ids = itertools.count(1)
+
+    # -- accounts -----------------------------------------------------------------
+
+    def register_user(self, account: UserAccount) -> None:
+        if account.login in self._users:
+            raise ReproError(f"user {account.login!r} already registered")
+        self._users[account.login] = account
+
+    def _authorize(self, login: str, tool_name: str) -> UserAccount:
+        account = self._users.get(login)
+        if account is None:
+            raise AuthorizationError(f"unknown user {login!r}")
+        if (account.authorized_tools is not None
+                and tool_name not in account.authorized_tools):
+            raise AuthorizationError(
+                f"user {login!r} is not authorized to run {tool_name!r}"
+            )
+        return account
+
+    # -- the Figure 1 sequence -------------------------------------------------------
+
+    def run_tool(
+        self,
+        login: str,
+        tool_name: str,
+        input_text: str = "",
+        *,
+        preferences: Optional[Mapping[str, str]] = None,
+        gui: bool = False,
+        now: float = 0.0,
+    ) -> RunSession:
+        """Execute events 1–5; the caller later invokes :meth:`complete_run`.
+
+        Returns the session in ``RUNNING`` state (or ``FAILED`` with the
+        reason recorded, without raising, so callers can inspect it the
+        way the portal shows errors to users).
+        """
+        session = RunSession(
+            session_id=next(self._session_ids),
+            login=login, tool_name=tool_name,
+        )
+        self._sessions[session.session_id] = session
+
+        # Event 1-2: authorization + application management.
+        try:
+            account = self._authorize(login, tool_name)
+            composed: ComposedQuery = self.app_manager.handle(
+                tool_name, input_text,
+                login=login, access_group=account.access_group,
+                preferences=preferences,
+            )
+        except ReproError as exc:
+            session.failed(str(exc), now)
+            return session
+
+        # Event 3-6 (in Figure 1's numbering, 3-6 are inside ActYP): query
+        # the resource-management pipeline.
+        result = self.service.submit(composed.text, origin=login, now=now)
+        if not result.ok:
+            session.failed(result.error or "no resources", now)
+            return session
+        session.scheduled(result.allocation, now)
+
+        # Mount application and data disks on the selected machine.
+        try:
+            mounts = [
+                self.vfs.mount(result.allocation.machine_name,
+                               f"apps:{tool_name}",
+                               result.allocation.access_key, now),
+                self.vfs.mount(result.allocation.machine_name,
+                               account.storage_provider,
+                               result.allocation.access_key, now),
+            ]
+        except ReproError as exc:
+            session.failed(str(exc), now)
+            self.service.release(result.allocation.access_key)
+            return session
+        session.mounted(mounts, now)
+
+        # Invoke; route the display for GUI tools (VNC in production).
+        display = (f"vnc://{result.allocation.machine_name}:"
+                   f"{5900 + session.session_id % 100}" if gui else None)
+        session.running(display, now)
+        return session
+
+    def complete_run(self, session_id: int, now: float = 0.0) -> RunSession:
+        """Event 6: unmount disks, relinquish shadow account and machine."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise ReproError(f"unknown session {session_id}")
+        if session.state is SessionState.RUNNING:
+            session.completed(now)
+        self.vfs.unmount_session(session.access_key or "")
+        if session.allocation is not None:
+            self.service.release(session.allocation.access_key)
+        session.released(now)
+        return session
+
+    def abort_run(self, session_id: int, reason: str, now: float = 0.0
+                  ) -> RunSession:
+        """Abnormal termination: clean up whatever was set up."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise ReproError(f"unknown session {session_id}")
+        if session.state not in (SessionState.FAILED, SessionState.RELEASED):
+            session.failed(reason, now)
+        if session.access_key:
+            self.vfs.unmount_session(session.access_key)
+            try:
+                self.service.release(session.access_key)
+            except ReproError:
+                pass  # already released
+        session.released(now)
+        return session
+
+    # -- introspection -----------------------------------------------------------
+
+    def session(self, session_id: int) -> RunSession:
+        s = self._sessions.get(session_id)
+        if s is None:
+            raise ReproError(f"unknown session {session_id}")
+        return s
+
+    def active_sessions(self) -> List[RunSession]:
+        return [s for s in self._sessions.values()
+                if s.state is SessionState.RUNNING]

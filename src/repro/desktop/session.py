@@ -1,0 +1,105 @@
+"""Per-run session state machine.
+
+A run moves through the Figure 1 lifecycle::
+
+    REQUESTED -> SCHEDULED -> MOUNTED -> RUNNING -> COMPLETED -> RELEASED
+                     \\------------------ FAILED ------------------/
+
+The desktop drives transitions; illegal transitions raise, which is how
+tests pin the orchestration order (e.g. disks must be mounted before the
+application is invoked, and resources must be relinquished exactly once).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.query import Allocation
+from repro.desktop.vfs import MountHandle
+from repro.errors import ReproError
+
+__all__ = ["SessionState", "RunSession", "SessionError"]
+
+
+class SessionError(ReproError):
+    """Illegal session transition."""
+
+
+class SessionState(enum.Enum):
+    REQUESTED = "requested"
+    SCHEDULED = "scheduled"
+    MOUNTED = "mounted"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    RELEASED = "released"
+    FAILED = "failed"
+
+
+_LEGAL = {
+    SessionState.REQUESTED: {SessionState.SCHEDULED, SessionState.FAILED},
+    SessionState.SCHEDULED: {SessionState.MOUNTED, SessionState.FAILED},
+    SessionState.MOUNTED: {SessionState.RUNNING, SessionState.FAILED},
+    SessionState.RUNNING: {SessionState.COMPLETED, SessionState.FAILED},
+    SessionState.COMPLETED: {SessionState.RELEASED},
+    SessionState.RELEASED: set(),
+    SessionState.FAILED: {SessionState.RELEASED},
+}
+
+
+@dataclass
+class RunSession:
+    """One user's tool run, from request to release."""
+
+    session_id: int
+    login: str
+    tool_name: str
+    state: SessionState = SessionState.REQUESTED
+    allocation: Optional[Allocation] = None
+    mounts: List[MountHandle] = field(default_factory=list)
+    display_route: Optional[str] = None
+    failure_reason: Optional[str] = None
+    history: List[Tuple[float, SessionState]] = field(default_factory=list)
+
+    def _transition(self, new: SessionState, now: float) -> None:
+        if new not in _LEGAL[self.state]:
+            raise SessionError(
+                f"session {self.session_id}: illegal transition "
+                f"{self.state.value} -> {new.value}"
+            )
+        self.state = new
+        self.history.append((now, new))
+
+    # -- transitions ---------------------------------------------------------
+
+    def scheduled(self, allocation: Allocation, now: float = 0.0) -> None:
+        self.allocation = allocation
+        self._transition(SessionState.SCHEDULED, now)
+
+    def mounted(self, mounts: List[MountHandle], now: float = 0.0) -> None:
+        self.mounts = list(mounts)
+        self._transition(SessionState.MOUNTED, now)
+
+    def running(self, display_route: Optional[str] = None,
+                now: float = 0.0) -> None:
+        self.display_route = display_route
+        self._transition(SessionState.RUNNING, now)
+
+    def completed(self, now: float = 0.0) -> None:
+        self._transition(SessionState.COMPLETED, now)
+
+    def released(self, now: float = 0.0) -> None:
+        self._transition(SessionState.RELEASED, now)
+
+    def failed(self, reason: str, now: float = 0.0) -> None:
+        self.failure_reason = reason
+        self._transition(SessionState.FAILED, now)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state is SessionState.RELEASED
+
+    @property
+    def access_key(self) -> Optional[str]:
+        return self.allocation.access_key if self.allocation else None

@@ -1,0 +1,106 @@
+"""The PUNCH Virtual File System mount manager (paper reference [7]).
+
+"The virtual file system service mounts the application and data disks on
+to the selected machine" before a run, and unmounts them afterward.  Each
+machine record's field 15 names the TCP port of its PVFS mount manager;
+this module simulates that daemon: it tracks which (machine, volume)
+pairs are mounted for which session and enforces the mount/unmount
+pairing the desktop relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.errors import ReproError
+
+__all__ = ["MountHandle", "VirtualFileSystem", "VfsError"]
+
+
+class VfsError(ReproError):
+    """Mount bookkeeping violation."""
+
+
+@dataclass(frozen=True)
+class MountHandle:
+    """One live mount of a volume onto a machine for a session."""
+
+    mount_id: int
+    machine_name: str
+    volume: str
+    session_key: str
+    mounted_at: float
+
+
+class VirtualFileSystem:
+    """Tracks PVFS mounts across the fleet.
+
+    ``volume`` strings name application or data disks, e.g.
+    ``apps:tsuprem4`` or ``home:kapadia@storage.hp.com`` — the paper's
+    user "provides the location of his/her storage service provider".
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._mounts: Dict[int, MountHandle] = {}
+        self._by_machine: Dict[str, Set[int]] = {}
+        self.mount_count = 0
+        self.unmount_count = 0
+
+    def mount(self, machine_name: str, volume: str, session_key: str,
+              now: float = 0.0) -> MountHandle:
+        """Mount ``volume`` on ``machine_name`` for the session."""
+        with self._lock:
+            for mid in self._by_machine.get(machine_name, ()):  # guard dupes
+                h = self._mounts[mid]
+                if h.volume == volume and h.session_key == session_key:
+                    raise VfsError(
+                        f"{volume!r} already mounted on {machine_name} "
+                        "for this session"
+                    )
+            handle = MountHandle(
+                mount_id=next(self._ids),
+                machine_name=machine_name,
+                volume=volume,
+                session_key=session_key,
+                mounted_at=now,
+            )
+            self._mounts[handle.mount_id] = handle
+            self._by_machine.setdefault(machine_name, set()).add(handle.mount_id)
+            self.mount_count += 1
+            return handle
+
+    def unmount(self, handle: MountHandle) -> None:
+        with self._lock:
+            if handle.mount_id not in self._mounts:
+                raise VfsError(f"mount {handle.mount_id} is not live")
+            del self._mounts[handle.mount_id]
+            ids = self._by_machine.get(handle.machine_name)
+            if ids:
+                ids.discard(handle.mount_id)
+                if not ids:
+                    del self._by_machine[handle.machine_name]
+            self.unmount_count += 1
+
+    def unmount_session(self, session_key: str) -> int:
+        """Tear down every mount of a session; returns the count."""
+        with self._lock:
+            stale = [h for h in self._mounts.values()
+                     if h.session_key == session_key]
+            for h in stale:
+                self.unmount(h)
+            return len(stale)
+
+    def mounts_on(self, machine_name: str) -> List[MountHandle]:
+        with self._lock:
+            return [self._mounts[i]
+                    for i in sorted(self._by_machine.get(machine_name, ()))]
+
+    @property
+    def live_mounts(self) -> int:
+        with self._lock:
+            return len(self._mounts)

@@ -1,0 +1,164 @@
+"""Exception hierarchy for the ActYP reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers embedding the library can catch a single base class.  The hierarchy
+mirrors the paper's subsystems: query-language errors, pipeline routing
+errors, database errors, and simulation errors are kept distinct because
+they are produced by different pipeline stages and, in a deployment, by
+different processes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "QueryError",
+    "QuerySyntaxError",
+    "UnknownFamilyError",
+    "UnknownKeyError",
+    "OperatorError",
+    "PipelineError",
+    "NoSuchPoolError",
+    "PoolCreationError",
+    "DelegationExhaustedError",
+    "NoResourceAvailableError",
+    "ReintegrationError",
+    "DatabaseError",
+    "DuplicateMachineError",
+    "UnknownMachineError",
+    "MachineTakenError",
+    "ShadowAccountError",
+    "DirectoryError",
+    "PolicyError",
+    "MonitoringError",
+    "SimulationError",
+    "TransportError",
+    "AddressError",
+    "RuntimeProtocolError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+# ---------------------------------------------------------------------------
+# Query language
+# ---------------------------------------------------------------------------
+
+class QueryError(ReproError):
+    """Base class for query-language errors (Section 5.1 of the paper)."""
+
+
+class QuerySyntaxError(QueryError):
+    """A query line could not be parsed into ``key = op value`` form."""
+
+
+class UnknownFamilyError(QueryError):
+    """The query used a key family with no registered semantics.
+
+    The paper's namespace is hierarchical: the *family* (``punch``) defines
+    the semantics of the *types* (``rsrc``, ``appl``, ``user``).  Only
+    registered families are accepted by a query manager.
+    """
+
+
+class UnknownKeyError(QueryError):
+    """A key's final component is not registered for its family/type."""
+
+
+class OperatorError(QueryError):
+    """An operator is unknown or not valid for the value type of a key."""
+
+
+# ---------------------------------------------------------------------------
+# Pipeline
+# ---------------------------------------------------------------------------
+
+class PipelineError(ReproError):
+    """Base class for resource-management-pipeline errors (Section 5.2)."""
+
+
+class NoSuchPoolError(PipelineError):
+    """A pool name has no live instance in the local directory service."""
+
+
+class PoolCreationError(PipelineError):
+    """A pool manager failed to create a resource pool instance."""
+
+
+class DelegationExhaustedError(PipelineError):
+    """A delegated query's time-to-live counter reached zero.
+
+    The paper: "the request is considered to have failed when the counter
+    reaches zero" (Section 5.2.2).
+    """
+
+
+class NoResourceAvailableError(PipelineError):
+    """A resource pool matched the query but had no allocatable machine."""
+
+
+class ReintegrationError(PipelineError):
+    """Reintegration of a composite query's components failed."""
+
+
+# ---------------------------------------------------------------------------
+# White pages database and directory services
+# ---------------------------------------------------------------------------
+
+class DatabaseError(ReproError):
+    """Base class for white-pages resource-database errors (Section 4.1)."""
+
+
+class DuplicateMachineError(DatabaseError):
+    """A machine with the same name is already registered."""
+
+
+class UnknownMachineError(DatabaseError):
+    """The named machine does not exist in the database."""
+
+
+class MachineTakenError(DatabaseError):
+    """The machine is already marked ``taken`` by another resource pool."""
+
+
+class ShadowAccountError(DatabaseError):
+    """No shadow account could be allocated on the selected machine."""
+
+
+class DirectoryError(ReproError):
+    """Errors from the local directory service that tracks pool instances."""
+
+
+class PolicyError(ReproError):
+    """A usage-policy metaprogram rejected the request or failed to run."""
+
+
+class MonitoringError(ReproError):
+    """Errors from the resource monitoring subsystem (Section 4.2)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation / network substrate
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulation kernel errors."""
+
+
+class TransportError(ReproError):
+    """A message could not be delivered by the simulated network fabric."""
+
+
+class AddressError(TransportError):
+    """Malformed or unresolvable endpoint address."""
+
+
+class RuntimeProtocolError(ReproError):
+    """Wire-protocol violation in the asyncio live runtime."""
+
+
+class ConfigError(ReproError):
+    """Invalid component configuration."""

@@ -1,0 +1,137 @@
+"""Shared harness for the figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.deploy.simulated import ClientSpec, SimulatedDeployment
+from repro.fleet import FleetSpec, build_database
+from repro.sim.metrics import ResponseTimeStats
+
+__all__ = ["SeriesPoint", "FigureResult", "ExperimentConfig",
+           "striped_experiment", "pool_payload_factory"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One plotted point: x, mean response time, sample count, failures."""
+
+    x: float
+    mean: float
+    count: int
+    failures: int
+    p95: float = float("nan")
+
+
+@dataclass
+class FigureResult:
+    """The regenerated figure: named series of points plus provenance."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, List[SeriesPoint]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add(self, series: str, point: SeriesPoint) -> None:
+        self.series.setdefault(series, []).append(point)
+
+    def curve(self, series: str) -> List[Tuple[float, float]]:
+        return [(p.x, p.mean) for p in self.series[series]]
+
+    def format_table(self) -> str:
+        lines = [
+            f"# {self.figure_id}: {self.title}",
+            f"{'series':<22} {self.x_label:>12} "
+            f"{self.y_label + ' (mean)':>20} {'p95':>10} {'n':>7} {'fail':>5}",
+        ]
+        for name in sorted(self.series):
+            for p in self.series[name]:
+                lines.append(
+                    f"{name:<22} {p.x:>12.4g} {p.mean:>20.6f} "
+                    f"{p.p95:>10.4f} {p.count:>7d} {p.failures:>5d}"
+                )
+        if self.notes:
+            lines.append(f"# {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale knobs common to the pipeline experiments."""
+
+    machines: int = 3200
+    queries_per_client: int = 10
+    seed: int = 0
+    fleet_seed: int = 7
+    wan: bool = False
+
+    def scaled(self, paper_scale: bool) -> "ExperimentConfig":
+        """Paper-scale keeps the figure parameters; default is a fast run."""
+        if paper_scale:
+            return self
+        # A quarter-size fleet preserves every shape at ~16x less work.
+        return ExperimentConfig(
+            machines=max(self.machines // 4, 64),
+            queries_per_client=max(self.queries_per_client // 2, 5),
+            seed=self.seed,
+            fleet_seed=self.fleet_seed,
+            wan=self.wan,
+        )
+
+
+def pool_payload_factory(n_pools: int) -> Callable:
+    """Client queries "distributed randomly across pools"."""
+
+    def payload(client_index: int, iteration: int, rng) -> str:
+        p = int(rng.integers(0, n_pools))
+        return f"punch.rsrc.pool = p{p:02d}"
+
+    return payload
+
+
+def striped_experiment(
+    *,
+    machines: int,
+    n_pools: int,
+    clients: int,
+    queries_per_client: int,
+    replicas: int = 1,
+    split_parts: int = 0,
+    wan: bool = False,
+    seed: int = 0,
+    fleet_seed: int = 7,
+) -> ResponseTimeStats:
+    """The canonical Section 7 setup.
+
+    ``machines`` uniformly striped across ``n_pools`` pools (via the
+    ``pool`` admin parameter); pools pre-created (optionally replicated or
+    split); ``clients`` closed-loop clients sending queries to random
+    pools.  ``wan=True`` puts clients in a separate administrative domain
+    so every client↔service message crosses the WAN (Purdue↔UPC).
+    """
+    db, _ = build_database(
+        FleetSpec(size=machines, stripe_pools=n_pools, seed=fleet_seed)
+    )
+    deployment = SimulatedDeployment(db, seed=seed)
+    for p in range(n_pools):
+        text = f"punch.rsrc.pool = p{p:02d}"
+        deployment.precreate_pool(text, replicas=replicas)
+        if split_parts >= 2:
+            deployment.split_pool(text, split_parts)
+    spec = ClientSpec(
+        count=clients,
+        queries_per_client=queries_per_client,
+        domain="clients" if wan else deployment.spec.service_domain,
+    )
+    return deployment.run_clients(spec, pool_payload_factory(n_pools))
+
+
+def stats_point(x: float, stats: ResponseTimeStats) -> SeriesPoint:
+    summary = stats.summary()
+    return SeriesPoint(
+        x=x, mean=summary.mean, count=summary.count,
+        failures=stats.failures, p95=summary.p95,
+    )

@@ -1,0 +1,58 @@
+"""Figure 4 — effect of the number of pools on response time (LAN).
+
+Paper setup: "a database of 3,200 machines, which were uniformly
+distributed across pools.  Client queries were distributed randomly
+across pools."  X axis: number of pools (2..16); Y: response time,
+falling from ~1.2 s to ~0.2 s.  Expected shape: monotone decrease with
+diminishing returns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    FigureResult,
+    stats_point,
+    striped_experiment,
+)
+
+__all__ = ["run_fig4"]
+
+#: The figure's x-axis ticks (the paper plots 2..16).
+DEFAULT_POOL_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run_fig4(
+    *,
+    pool_counts: Sequence[int] = DEFAULT_POOL_COUNTS,
+    clients: int = 64,
+    paper_scale: bool = False,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> FigureResult:
+    cfg = config.scaled(paper_scale)
+    result = FigureResult(
+        figure_id="fig4",
+        title="Effect of pools on response time (LAN configuration)",
+        x_label="number of pools",
+        y_label="response time (s)",
+        notes=f"{cfg.machines} machines uniformly striped; "
+              f"{clients} closed-loop clients on the service LAN",
+    )
+    for n_pools in pool_counts:
+        stats = striped_experiment(
+            machines=cfg.machines,
+            n_pools=n_pools,
+            clients=clients,
+            queries_per_client=cfg.queries_per_client,
+            wan=False,
+            seed=cfg.seed,
+            fleet_seed=cfg.fleet_seed,
+        )
+        result.add("lan", stats_point(n_pools, stats))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig4().format_table())

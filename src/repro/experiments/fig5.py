@@ -1,0 +1,61 @@
+"""Figure 5 — effect of the number of pools on response time (WAN).
+
+Same striped setup as Figure 4, but the clients sit across a wide-area
+link from the ActYP service (the paper ran clients at Purdue against the
+service at UPC, Spain).  One series per client count (8/16/32/64).
+Expected shape: pools still help at low pool counts, but the transatlantic
+latency floors each curve — "network latency limits the reduction in the
+response times".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    FigureResult,
+    stats_point,
+    striped_experiment,
+)
+
+__all__ = ["run_fig5"]
+
+DEFAULT_POOL_COUNTS = (1, 2, 4, 8, 16)
+DEFAULT_CLIENT_COUNTS = (8, 16, 32, 64)
+
+
+def run_fig5(
+    *,
+    pool_counts: Sequence[int] = DEFAULT_POOL_COUNTS,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    paper_scale: bool = False,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> FigureResult:
+    cfg = config.scaled(paper_scale)
+    result = FigureResult(
+        figure_id="fig5",
+        title="Effect of pools on response time (WAN configuration)",
+        x_label="number of pools",
+        y_label="response time (s)",
+        notes=f"{cfg.machines} machines; clients in a remote domain "
+              "(every client<->service hop crosses the WAN)",
+    )
+    for clients in client_counts:
+        series = f"clients={clients}"
+        for n_pools in pool_counts:
+            stats = striped_experiment(
+                machines=cfg.machines,
+                n_pools=n_pools,
+                clients=clients,
+                queries_per_client=cfg.queries_per_client,
+                wan=True,
+                seed=cfg.seed,
+                fleet_seed=cfg.fleet_seed,
+            )
+            result.add(series, stats_point(n_pools, stats))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig5().format_table())

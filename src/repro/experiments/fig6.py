@@ -1,0 +1,60 @@
+"""Figure 6 — response time as a function of pool size.
+
+One pool holding all machines; closed-loop clients continuously send
+queries.  One series per pool size; x axis: number of clients (the
+paper sweeps to 70).  Expected shape: response time grows ~linearly in
+the client count and in the pool size — "the linear plots are simply a
+function of the linear search algorithms employed for scheduling".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    FigureResult,
+    stats_point,
+    striped_experiment,
+)
+
+__all__ = ["run_fig6"]
+
+DEFAULT_POOL_SIZES = (800, 1600, 3200)
+DEFAULT_CLIENT_COUNTS = (10, 20, 30, 40, 50, 60, 70)
+
+
+def run_fig6(
+    *,
+    pool_sizes: Sequence[int] = DEFAULT_POOL_SIZES,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    paper_scale: bool = False,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> FigureResult:
+    cfg = config.scaled(paper_scale)
+    scale = cfg.machines / 3200.0
+    result = FigureResult(
+        figure_id="fig6",
+        title="Effect of pool size on response time",
+        x_label="number of clients",
+        y_label="response time (s)",
+        notes="single pool per size; clients continuously send queries",
+    )
+    for size in pool_sizes:
+        eff_size = max(int(size * scale), 32)
+        series = f"size={size}"
+        for clients in client_counts:
+            stats = striped_experiment(
+                machines=eff_size,
+                n_pools=1,
+                clients=clients,
+                queries_per_client=cfg.queries_per_client,
+                seed=cfg.seed,
+                fleet_seed=cfg.fleet_seed,
+            )
+            result.add(series, stats_point(clients, stats))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig6().format_table())

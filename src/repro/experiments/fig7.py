@@ -1,0 +1,60 @@
+"""Figure 7 — effect of splitting on response time.
+
+"The original pool consisted of 3,200 machines.  It was split into
+1) two pools with 1,600 machines each, and 2) four pools with 800
+machines each."  The fragments are searched concurrently and the results
+aggregated.  Expected shape: at every client count,
+``split-4 < split-2 < unsplit``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    FigureResult,
+    stats_point,
+    striped_experiment,
+)
+
+__all__ = ["run_fig7"]
+
+DEFAULT_SPLITS = (1, 2, 4)
+DEFAULT_CLIENT_COUNTS = (10, 20, 30, 40, 50, 60, 70)
+
+
+def run_fig7(
+    *,
+    splits: Sequence[int] = DEFAULT_SPLITS,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    paper_scale: bool = False,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> FigureResult:
+    cfg = config.scaled(paper_scale)
+    result = FigureResult(
+        figure_id="fig7",
+        title="Effect of splitting on response time",
+        x_label="number of clients",
+        y_label="response time (s)",
+        notes=f"one pool of {cfg.machines} machines, split into "
+              "concurrent fragments whose results are aggregated",
+    )
+    for parts in splits:
+        series = "unsplit" if parts <= 1 else f"split={parts}x{cfg.machines // parts}"
+        for clients in client_counts:
+            stats = striped_experiment(
+                machines=cfg.machines,
+                n_pools=1,
+                clients=clients,
+                queries_per_client=cfg.queries_per_client,
+                split_parts=parts if parts >= 2 else 0,
+                seed=cfg.seed,
+                fleet_seed=cfg.fleet_seed,
+            )
+            result.add(series, stats_point(clients, stats))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig7().format_table())

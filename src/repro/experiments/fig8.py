@@ -1,0 +1,62 @@
+"""Figure 8 — effect of pool replication on response time.
+
+"The pool contains 3,200 machines" and is replicated into 1, 2, or 4
+instances ("concurrent processes"); replicas hold the *same* machines,
+and "scheduling integrity is maintained by introducing an
+instance-specific bias (e.g., instance 'i' of a given pool 'prefers'
+every 'i'th machine in the pool)".  Expected shape: replication divides
+the queueing, so curves with more replicas grow more slowly with the
+client count while sharing a similar low-load intercept.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    FigureResult,
+    stats_point,
+    striped_experiment,
+)
+
+__all__ = ["run_fig8"]
+
+DEFAULT_REPLICAS = (1, 2, 4)
+DEFAULT_CLIENT_COUNTS = (10, 20, 30, 40, 50, 60, 70)
+
+
+def run_fig8(
+    *,
+    replica_counts: Sequence[int] = DEFAULT_REPLICAS,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    paper_scale: bool = False,
+    config: ExperimentConfig = ExperimentConfig(),
+) -> FigureResult:
+    cfg = config.scaled(paper_scale)
+    result = FigureResult(
+        figure_id="fig8",
+        title="Effect of pool replication on response time",
+        x_label="number of clients",
+        y_label="response time (s)",
+        notes=f"one pool of {cfg.machines} machines replicated into "
+              "N instances with per-instance machine bias",
+    )
+    for replicas in replica_counts:
+        series = f"processes={replicas}"
+        for clients in client_counts:
+            stats = striped_experiment(
+                machines=cfg.machines,
+                n_pools=1,
+                clients=clients,
+                queries_per_client=cfg.queries_per_client,
+                replicas=replicas,
+                seed=cfg.seed,
+                fleet_seed=cfg.fleet_seed,
+            )
+            result.add(series, stats_point(clients, stats))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig8().format_table())

@@ -1,0 +1,67 @@
+"""ASCII rendering of figure results.
+
+The repository is matplotlib-free (offline constraint), but the figures
+deserve a visual check: :func:`ascii_plot` renders a
+:class:`~repro.experiments.common.FigureResult` as a terminal scatter of
+its series, good enough to eyeball the shapes against the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import FigureResult
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(result: FigureResult, *, width: int = 70, height: int = 20,
+               y_max: Optional[float] = None) -> str:
+    """Render the figure's series on a character grid.
+
+    Each series gets a marker; axes are annotated with min/max.  Points
+    that collide keep the first marker drawn (series are drawn in sorted
+    name order, so rendering is deterministic).
+    """
+    all_points: List[Tuple[str, float, float]] = []
+    for name in sorted(result.series):
+        for p in result.series[name]:
+            all_points.append((name, p.x, p.mean))
+    if not all_points:
+        return "(no data)"
+
+    xs = [x for _n, x, _y in all_points]
+    ys = [y for _n, _x, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, (y_max if y_max is not None else max(ys) * 1.05)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {
+        name: _MARKERS[i % len(_MARKERS)]
+        for i, name in enumerate(sorted(result.series))
+    }
+    for name, x, y in all_points:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = min(max(row, 0), height - 1)
+        r = height - 1 - row  # origin bottom-left
+        if grid[r][col] == " ":
+            grid[r][col] = markers[name]
+
+    lines = [f"{result.figure_id}: {result.title}"]
+    lines.append(f"y: {result.y_label}  [{y_lo:g} .. {y_hi:.4g}]")
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    lines.append(f"x: {result.x_label}  [{x_lo:g} .. {x_hi:g}]")
+    legend = "   ".join(f"{markers[n]} {n}" for n in sorted(markers))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Resource monitoring service (Section 4.2).
+
+"The primary function of the resource monitoring system is to update
+fields 2 - 7 in the database.  Almost any available resource monitoring
+system can be used" — the paper was evaluating SGI's Performance Co-Pilot.
+We substitute synthetic collectors: pluggable samplers that produce a
+machine's instantaneous load/memory/swap, plus a :class:`ResourceMonitor`
+process that periodically writes them into the white pages.
+"""
+
+from repro.monitoring.collectors import (
+    Collector,
+    OrnsteinUhlenbeckLoadCollector,
+    StaticCollector,
+    Sample,
+)
+from repro.monitoring.monitor import ResourceMonitor
+
+__all__ = [
+    "Collector",
+    "Sample",
+    "StaticCollector",
+    "OrnsteinUhlenbeckLoadCollector",
+    "ResourceMonitor",
+]

@@ -1,0 +1,108 @@
+"""Synthetic per-machine samplers feeding the resource monitor.
+
+A collector answers "what does machine *m* look like right now?".  The
+production system would ask a real monitoring agent; our substitutes:
+
+- :class:`StaticCollector` — returns fixed values (tests, quickstart).
+- :class:`OrnsteinUhlenbeckLoadCollector` — load follows a mean-reverting
+  stochastic process, the standard model for utilisation time series;
+  memory/swap move inversely to load.  This gives the scheduler a
+  *changing* ordering to react to, which is what the paper's
+  "self-optimizing" claims are about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.database.records import MachineRecord, ServiceStatusFlags
+from repro.errors import ConfigError
+
+__all__ = ["Sample", "Collector", "StaticCollector",
+           "OrnsteinUhlenbeckLoadCollector"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One monitoring observation of a machine (fields 2-7's new values)."""
+
+    current_load: float
+    active_jobs: int
+    available_memory_mb: float
+    available_swap_mb: float
+    service_status_flags: ServiceStatusFlags
+
+
+class Collector:
+    """Interface for monitoring samplers."""
+
+    def sample(self, record: MachineRecord, now: float,
+               rng: np.random.Generator) -> Sample:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StaticCollector(Collector):
+    """Returns the record's current values unchanged (a no-op monitor)."""
+
+    def sample(self, record: MachineRecord, now: float,
+               rng: np.random.Generator) -> Sample:
+        return Sample(
+            current_load=record.current_load,
+            active_jobs=record.active_jobs,
+            available_memory_mb=record.available_memory_mb,
+            available_swap_mb=record.available_swap_mb,
+            service_status_flags=record.service_status_flags,
+        )
+
+
+class OrnsteinUhlenbeckLoadCollector(Collector):
+    """Mean-reverting synthetic load.
+
+    ``dL = theta * (mu - L) dt + sigma dW``, discretised exactly between
+    successive samples; memory availability shrinks with load (each unit of
+    load costs ``memory_per_load_mb``).  Per-machine state is kept here (the
+    collector is the "agent"), so successive samples of one machine are
+    temporally correlated while different machines are independent.
+    """
+
+    def __init__(self, mu: float = 1.0, theta: float = 0.2,
+                 sigma: float = 0.4, memory_per_load_mb: float = 64.0,
+                 jobs_per_load: float = 1.0):
+        if theta <= 0 or sigma < 0:
+            raise ConfigError("theta must be > 0 and sigma >= 0")
+        self.mu = mu
+        self.theta = theta
+        self.sigma = sigma
+        self.memory_per_load_mb = memory_per_load_mb
+        self.jobs_per_load = jobs_per_load
+        self._state: Dict[str, tuple[float, float]] = {}  # name -> (t, load)
+
+    def sample(self, record: MachineRecord, now: float,
+               rng: np.random.Generator) -> Sample:
+        prev = self._state.get(record.machine_name)
+        if prev is None:
+            load = max(0.0, float(rng.normal(self.mu, self.sigma)))
+        else:
+            t0, l0 = prev
+            dt = max(now - t0, 0.0)
+            decay = math.exp(-self.theta * dt)
+            mean = self.mu + (l0 - self.mu) * decay
+            var = (self.sigma ** 2) / (2 * self.theta) * (1 - decay ** 2)
+            load = max(0.0, float(rng.normal(mean, math.sqrt(max(var, 0.0)))))
+        self._state[record.machine_name] = (now, load)
+
+        total_memory = record.available_memory_mb + \
+            record.current_load * self.memory_per_load_mb
+        memory = max(0.0, total_memory - load * self.memory_per_load_mb)
+        return Sample(
+            current_load=load,
+            active_jobs=int(round(load * self.jobs_per_load)),
+            available_memory_mb=memory,
+            available_swap_mb=record.available_swap_mb,
+            service_status_flags=record.service_status_flags,
+        )

@@ -1,0 +1,88 @@
+"""The resource monitor process: refreshes fields 2-7 of every machine.
+
+Runs on the DES kernel as a :class:`~repro.sim.kernel.Process`; the live
+asyncio runtime wraps the same :meth:`ResourceMonitor.refresh_once` logic
+in an ``asyncio`` task.  Machines whose last update is older than the
+staleness limit are flagged ``DOWN`` — a deployment heuristic the paper's
+"time of last update" field (6) exists to support.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Optional
+
+import numpy as np
+
+from repro.config import MonitorConfig
+from repro.database.fields import MachineState
+from repro.database.whitepages import WhitePagesDatabase
+from repro.monitoring.collectors import Collector, StaticCollector
+from repro.sim.kernel import Simulator
+
+__all__ = ["ResourceMonitor"]
+
+
+class ResourceMonitor:
+    """Periodically samples every machine and writes fields 2-7."""
+
+    def __init__(
+        self,
+        database: WhitePagesDatabase,
+        collector: Optional[Collector] = None,
+        config: Optional[MonitorConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.database = database
+        self.collector = collector or StaticCollector()
+        self.config = (config or MonitorConfig()).validated()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.refresh_count = 0
+
+    # -- one refresh pass -----------------------------------------------------
+
+    def refresh_once(self, now: float,
+                     machine_names: Optional[Iterable[str]] = None) -> int:
+        """Sample and update the given machines (default: all); return count."""
+        names: List[str] = list(machine_names) if machine_names is not None \
+            else self.database.names()
+        updated = 0
+        for name in names:
+            record = self.database.get(name)
+            if record.state is MachineState.BLOCKED:
+                # Administratively blocked machines are left untouched.
+                continue
+            sample = self.collector.sample(record, now, self.rng)
+            self.database.update_dynamic(
+                name,
+                current_load=sample.current_load,
+                active_jobs=sample.active_jobs,
+                available_memory_mb=sample.available_memory_mb,
+                available_swap_mb=sample.available_swap_mb,
+                last_update_time=now,
+                service_status_flags=sample.service_status_flags,
+                state=MachineState.UP if record.state is MachineState.DOWN
+                else None,
+            )
+            updated += 1
+        self.refresh_count += 1
+        return updated
+
+    def mark_stale_down(self, now: float) -> int:
+        """Flag machines whose field 6 exceeded the staleness limit."""
+        flagged = 0
+        for name in self.database.names():
+            record = self.database.get(name)
+            if record.state is not MachineState.UP:
+                continue
+            if now - record.last_update_time > self.config.staleness_limit_s:
+                self.database.update_dynamic(name, state=MachineState.DOWN)
+                flagged += 1
+        return flagged
+
+    # -- DES process -------------------------------------------------------------
+
+    def run(self, sim: Simulator) -> Generator:
+        """Generator suitable for ``sim.process(monitor.run(sim))``."""
+        while True:
+            self.refresh_once(sim.now)
+            yield sim.timeout(self.config.update_interval_s)

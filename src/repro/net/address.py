@@ -1,0 +1,66 @@
+"""Endpoint addressing for the simulated fabric and the live runtime.
+
+An :class:`Endpoint` names a service instance the way the paper's directory
+entries do: machine name (host), TCP/UDP port, and the administrative
+*domain* the host lives in (the WAN latency model keys on domains).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import AddressError
+
+__all__ = ["Endpoint"]
+
+_HOST_RE = re.compile(r"^[a-zA-Z0-9]([a-zA-Z0-9._-]*[a-zA-Z0-9])?$")
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """``host:port`` within an administrative ``domain``.
+
+    Examples
+    --------
+    >>> ep = Endpoint("alpha1.ecn.purdue.edu", 7070, domain="purdue")
+    >>> str(ep)
+    'alpha1.ecn.purdue.edu:7070@purdue'
+    >>> Endpoint.parse('alpha1.ecn.purdue.edu:7070@purdue') == ep
+    True
+    """
+
+    host: str
+    port: int
+    domain: str = "default"
+
+    def __post_init__(self) -> None:
+        if not _HOST_RE.match(self.host):
+            raise AddressError(f"invalid host name {self.host!r}")
+        if not (0 < self.port < 65536):
+            raise AddressError(f"invalid port {self.port!r}")
+        if not self.domain:
+            raise AddressError("domain must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}@{self.domain}"
+
+    @property
+    def hostport(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @classmethod
+    def parse(cls, text: str) -> "Endpoint":
+        """Parse ``host:port[@domain]``."""
+        domain = "default"
+        if "@" in text:
+            text, domain = text.rsplit("@", 1)
+        if ":" not in text:
+            raise AddressError(f"missing port in endpoint {text!r}")
+        host, port_s = text.rsplit(":", 1)
+        try:
+            port = int(port_s)
+        except ValueError as exc:
+            raise AddressError(f"non-numeric port in endpoint {text!r}") from exc
+        return cls(host, port, domain)

@@ -1,0 +1,109 @@
+"""One-way network delay models.
+
+Figure 4 (LAN) and Figure 5 (WAN) differ only in where clients sit relative
+to the ActYP service; the experiment harness swaps the latency model to
+move between the two configurations.  Latency is sampled per message:
+``delay = base + Exp(jitter)``, with base/jitter chosen per link type
+(intra-domain = LAN, inter-domain = WAN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import LatencyConfig
+from repro.errors import ConfigError
+from repro.net.address import Endpoint
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "DomainLatencyModel",
+    "lan_model",
+    "wan_model",
+]
+
+
+class LatencyModel:
+    """Interface: one-way delay between two endpoints."""
+
+    def delay(self, src: Endpoint, dst: Endpoint, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Fixed one-way delay regardless of endpoints (useful in tests)."""
+
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigError("latency must be >= 0")
+
+    def delay(self, src: Endpoint, dst: Endpoint, rng: np.random.Generator) -> float:
+        return self.seconds
+
+
+class DomainLatencyModel(LatencyModel):
+    """Intra-domain messages see LAN delay; inter-domain see WAN delay.
+
+    Loopback (same host) messages are charged a minimal in-kernel delay so
+    co-located stages are nearly free, matching the paper's single-server
+    LAN deployment.
+
+    Parameters
+    ----------
+    config:
+        LAN/WAN base and jitter values.
+    loopback_s:
+        One-way delay between processes on the same host.
+    overrides:
+        Optional per-``(src_domain, dst_domain)`` ``(base, jitter)`` pairs,
+        for topologies with heterogeneous inter-domain distances.
+    """
+
+    def __init__(
+        self,
+        config: Optional[LatencyConfig] = None,
+        loopback_s: float = 2.0e-5,
+        overrides: Optional[Dict[Tuple[str, str], Tuple[float, float]]] = None,
+    ):
+        self.config = (config or LatencyConfig()).validated()
+        if loopback_s < 0:
+            raise ConfigError("loopback latency must be >= 0")
+        self.loopback_s = loopback_s
+        self.overrides = dict(overrides or {})
+
+    def _params(self, src: Endpoint, dst: Endpoint) -> Tuple[float, float]:
+        key = (src.domain, dst.domain)
+        if key in self.overrides:
+            return self.overrides[key]
+        if src.domain == dst.domain:
+            return (self.config.lan_base_s, self.config.lan_jitter_s)
+        return (self.config.wan_base_s, self.config.wan_jitter_s)
+
+    def delay(self, src: Endpoint, dst: Endpoint, rng: np.random.Generator) -> float:
+        if src.host == dst.host:
+            return self.loopback_s
+        base, jitter = self._params(src, dst)
+        return base + (float(rng.exponential(jitter)) if jitter > 0 else 0.0)
+
+
+def lan_model(config: Optional[LatencyConfig] = None) -> DomainLatencyModel:
+    """All endpoints share one campus network (Figure 4's configuration)."""
+    return DomainLatencyModel(config=config)
+
+
+def wan_model(config: Optional[LatencyConfig] = None) -> DomainLatencyModel:
+    """Clients and service in different domains (Figure 5's configuration).
+
+    The returned model is the same class — the *experiment* places clients
+    in a different domain than the ActYP components, which makes every
+    client↔service message a WAN message while intra-service traffic stays
+    on the LAN, matching the Purdue↔UPC deployment.
+    """
+    return DomainLatencyModel(config=config)

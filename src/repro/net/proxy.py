@@ -1,0 +1,76 @@
+"""The per-machine proxy server that bootstraps remote pools.
+
+Section 5.2.3: "If the resource pool is on a different machine, the pool
+manager starts it via a proxy server on the remote machine.  (This server
+is a part of the ActYP service, and is assumed to be kept alive via a
+cron process.)"
+
+The proxy abstracts *where* a pool object is materialised.  In the DES
+and in-process deployments the "remote start" is a factory callback plus
+a modelled delay; the object exists so deployments exercise the same
+bootstrap path the paper describes, including the cron keep-alive check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.core.resource_pool import ResourcePool
+from repro.errors import PoolCreationError
+
+__all__ = ["ProxyServer", "ProxyRegistry"]
+
+
+@dataclass
+class ProxyServer:
+    """The ActYP daemon on one host that can spawn pool processes."""
+
+    host: str
+    #: Whether the cron-kept process is currently alive.
+    alive: bool = True
+    #: Pools spawned through this proxy (diagnostics).
+    spawned: List[str] = field(default_factory=list)
+    #: Fixed bootstrap delay a deployment should charge (seconds).
+    spawn_delay_s: float = 0.05
+
+    def spawn(self, factory: Callable[[], ResourcePool]) -> ResourcePool:
+        """Start a pool process on this host."""
+        if not self.alive:
+            raise PoolCreationError(
+                f"proxy server on {self.host} is not running"
+            )
+        pool = factory()
+        self.spawned.append(pool.name.full)
+        return pool
+
+
+class ProxyRegistry:
+    """All proxy servers, keyed by host; the cron keep-alive's registry."""
+
+    def __init__(self):
+        self._proxies: Dict[str, ProxyServer] = {}
+
+    def ensure(self, host: str) -> ProxyServer:
+        proxy = self._proxies.get(host)
+        if proxy is None:
+            proxy = ProxyServer(host=host)
+            self._proxies[host] = proxy
+        return proxy
+
+    def get(self, host: str) -> ProxyServer:
+        proxy = self._proxies.get(host)
+        if proxy is None:
+            raise PoolCreationError(f"no proxy server registered on {host}")
+        return proxy
+
+    def kill(self, host: str) -> None:
+        """Simulate the proxy dying (for failure-injection tests)."""
+        self.get(host).alive = False
+
+    def revive(self, host: str) -> None:
+        """The cron process restarts a dead proxy."""
+        self.ensure(host).alive = True
+
+    def hosts(self) -> List[str]:
+        return sorted(self._proxies)

@@ -1,0 +1,171 @@
+"""Simulated message fabric over the DES kernel.
+
+Components bind an :class:`~repro.net.address.Endpoint`, which gives them a
+mailbox (:class:`~repro.sim.kernel.Store`).  ``send`` samples a one-way
+delay from the latency model and schedules delivery.  A tiny request/reply
+convention (correlation ids carried in :class:`Message`) gives the pipeline
+code RPC-style calls without hiding the queueing behaviour the experiments
+measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+import numpy as np
+
+from repro.errors import TransportError
+from repro.net.address import Endpoint
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.sim.kernel import Event, Simulator, Store
+
+__all__ = ["Message", "SimTransport", "BoundEndpoint"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A datagram on the simulated fabric.
+
+    ``correlation_id`` links replies to requests; ``reply_to`` names the
+    endpoint awaiting the reply (analogous to the state the paper
+    propagates along with each query so results can be reintegrated).
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    kind: str
+    payload: Any
+    correlation_id: int
+    reply_to: Optional[Endpoint] = None
+    sent_at: float = 0.0
+
+
+class BoundEndpoint:
+    """A bound address: mailbox plus helpers to receive and reply."""
+
+    def __init__(self, transport: "SimTransport", endpoint: Endpoint):
+        self.transport = transport
+        self.endpoint = endpoint
+        self.mailbox: Store = Store(transport.sim)
+
+    def receive(self) -> Event:
+        """Event yielding the next :class:`Message` for this endpoint."""
+        return self.mailbox.get()
+
+    def send(self, dst: Endpoint, kind: str, payload: Any,
+             correlation_id: Optional[int] = None,
+             reply_to: Optional[Endpoint] = None) -> int:
+        return self.transport.send(
+            self.endpoint, dst, kind, payload,
+            correlation_id=correlation_id, reply_to=reply_to,
+        )
+
+    def reply(self, request: Message, kind: str, payload: Any) -> None:
+        """Send a reply correlated with ``request`` to its ``reply_to``."""
+        target = request.reply_to or request.src
+        self.transport.send(
+            self.endpoint, target, kind, payload,
+            correlation_id=request.correlation_id,
+        )
+
+    def call(self, dst: Endpoint, kind: str, payload: Any
+             ) -> Generator[Any, Any, Message]:
+        """Request/reply helper for process generators.
+
+        Usage inside a process::
+
+            reply = yield from bound.call(dst, "query", payload)
+        """
+        cid = self.transport.next_correlation_id()
+        waiter = self.transport.register_waiter(self.endpoint, cid)
+        self.transport.send(self.endpoint, dst, kind, payload,
+                            correlation_id=cid, reply_to=self.endpoint)
+        msg = yield waiter
+        return msg
+
+
+class SimTransport:
+    """Message switch: binds endpoints, models latency, delivers messages.
+
+    Replies addressed to an endpoint with a registered waiter bypass the
+    mailbox and complete the waiter directly, so a single component can
+    serve its mailbox with one process while having many outstanding calls.
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.latency = latency or ConstantLatency(0.0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._bound: Dict[Endpoint, BoundEndpoint] = {}
+        self._waiters: Dict[tuple[Endpoint, int], Event] = {}
+        self._cid = itertools.count(1)
+        self.messages_sent = 0
+        self.bytes_charged = 0.0
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(self, endpoint: Endpoint) -> BoundEndpoint:
+        if endpoint in self._bound:
+            raise TransportError(f"endpoint {endpoint} already bound")
+        be = BoundEndpoint(self, endpoint)
+        self._bound[endpoint] = be
+        return be
+
+    def unbind(self, endpoint: Endpoint) -> None:
+        self._bound.pop(endpoint, None)
+
+    def is_bound(self, endpoint: Endpoint) -> bool:
+        return endpoint in self._bound
+
+    # -- correlation -------------------------------------------------------------
+
+    def next_correlation_id(self) -> int:
+        return next(self._cid)
+
+    def register_waiter(self, endpoint: Endpoint, correlation_id: int) -> Event:
+        key = (endpoint, correlation_id)
+        if key in self._waiters:
+            raise TransportError(f"duplicate waiter for {key}")
+        ev = Event(self.sim)
+        self._waiters[key] = ev
+        return ev
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, src: Endpoint, dst: Endpoint, kind: str, payload: Any,
+             correlation_id: Optional[int] = None,
+             reply_to: Optional[Endpoint] = None) -> int:
+        if dst not in self._bound:
+            raise TransportError(f"no service bound at {dst}")
+        cid = correlation_id if correlation_id is not None else self.next_correlation_id()
+        msg = Message(
+            src=src, dst=dst, kind=kind, payload=payload,
+            correlation_id=cid, reply_to=reply_to, sent_at=self.sim.now,
+        )
+        delay = self.latency.delay(src, dst, self.rng)
+        self.messages_sent += 1
+
+        def deliver() -> None:
+            waiter = self._waiters.pop((dst, cid), None)
+            # Requests always go to the mailbox; only messages *without* a
+            # reply_to (i.e. replies) complete waiters directly.
+            if waiter is not None and reply_to is None:
+                waiter.succeed(msg)
+                return
+            if waiter is not None:
+                # Not a reply after all; re-register the waiter.
+                self._waiters[(dst, cid)] = waiter
+            be = self._bound.get(dst)
+            if be is None:
+                return  # endpoint unbound while the message was in flight
+            be.mailbox.put(msg)
+
+        if delay <= 0:
+            self.sim.call_soon(deliver)
+        else:
+            t = self.sim.timeout(delay)
+            t.add_callback(lambda _ev: deliver())
+        return cid

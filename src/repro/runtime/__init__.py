@@ -1,0 +1,36 @@
+"""Live asyncio deployment of the ActYP service.
+
+The DES deployment measures; this one *runs*: a TCP server speaking a
+length-prefixed JSON protocol in front of the same pipeline logic, plus
+an async client.  It is the modern equivalent of the paper's deployed
+prototype (clients connect to the ActYP service's TCP port, submit a
+query, and receive machine + port + access key).
+
+    server = ActYPServer(service)
+    await server.start("127.0.0.1", 0)
+    client = ActYPClient("127.0.0.1", server.port)
+    result = await client.query("punch.rsrc.arch = sun")
+    await client.release(result["allocation"]["access_key"])
+"""
+
+from repro.runtime.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    result_to_dict,
+    write_frame,
+)
+from repro.runtime.server import ActYPServer
+from repro.runtime.client import ActYPClient
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "result_to_dict",
+    "ActYPServer",
+    "ActYPClient",
+]

@@ -1,0 +1,88 @@
+"""The asyncio ActYP client."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import RuntimeProtocolError
+from repro.runtime.protocol import read_frame, write_frame
+
+__all__ = ["ActYPClient"]
+
+
+class ActYPClient:
+    """A persistent connection to an :class:`~repro.runtime.server.ActYPServer`.
+
+    One request is in flight at a time per client (the protocol has no
+    correlation ids; open several clients for concurrency, as the paper's
+    clients did with parallel connections).
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ActYPClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- requests -----------------------------------------------------------------
+
+    async def _roundtrip(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        async with self._lock:
+            await write_frame(self._writer, frame)
+            return await read_frame(self._reader)
+
+    async def query(self, payload: Union[str, Dict[str, str]],
+                    *, format_name: str = "punch",
+                    origin: str = "client") -> Dict[str, Any]:
+        """Submit a query; returns the result frame (raises on protocol
+        errors, returns ``ok: False`` results as data)."""
+        response = await self._roundtrip({
+            "kind": "query",
+            "payload": payload,
+            "format": format_name,
+            "origin": origin,
+        })
+        if response.get("kind") == "error":
+            raise RuntimeProtocolError(response.get("message", "error"))
+        return response
+
+    async def release(self, access_key: str) -> None:
+        response = await self._roundtrip({
+            "kind": "release",
+            "access_key": access_key,
+        })
+        if response.get("kind") != "released":
+            raise RuntimeProtocolError(
+                response.get("message", "release failed"))
+
+    async def stats(self) -> Dict[str, Any]:
+        response = await self._roundtrip({"kind": "stats"})
+        if response.get("kind") != "stats":
+            raise RuntimeProtocolError(response.get("message", "stats failed"))
+        return response

@@ -1,0 +1,103 @@
+"""Wire protocol of the live runtime: length-prefixed JSON frames.
+
+Frame = 4-byte big-endian length + UTF-8 JSON object.  Every frame is an
+object with a ``kind`` plus kind-specific fields:
+
+- request  ``{"kind": "query", "payload": <text>, "format": "punch"}``
+- request  ``{"kind": "release", "access_key": <hex>}``
+- request  ``{"kind": "stats"}``
+- response ``{"kind": "result", "ok": true, "allocation": {...}}``
+- response ``{"kind": "error", "message": <text>}``
+
+The protocol is deliberately simple — the paper's pipeline moved queries
+as key-value text over TCP/UDP; JSON is the 2020s equivalent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict
+
+from repro.core.query import Allocation, QueryResult
+from repro.errors import RuntimeProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "result_to_dict",
+    "allocation_to_dict",
+]
+
+#: Upper bound on a frame body; queries and results are tiny, so anything
+#: bigger indicates a corrupt or hostile stream.
+MAX_FRAME_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise RuntimeProtocolError(
+            f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RuntimeProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(obj, dict) or "kind" not in obj:
+        raise RuntimeProtocolError("frame must be an object with a 'kind'")
+    return obj
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RuntimeProtocolError(
+            f"announced frame of {length} bytes exceeds limit"
+        )
+    body = await reader.readexactly(length)
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: Dict[str, Any]
+                      ) -> None:
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
+    return {
+        "machine_name": allocation.machine_name,
+        "address": allocation.address,
+        "execution_unit_port": allocation.execution_unit_port,
+        "access_key": allocation.access_key,
+        "shadow_account": allocation.shadow_account,
+        "pool_name": allocation.pool_name,
+        "pool_instance": allocation.pool_instance,
+    }
+
+
+def result_to_dict(result: QueryResult) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "kind": "result",
+        "ok": result.ok,
+        "query_id": result.query_id,
+        "component_index": result.component_index,
+        "component_count": result.component_count,
+    }
+    if result.allocation is not None:
+        out["allocation"] = allocation_to_dict(result.allocation)
+    if result.error is not None:
+        out["error"] = result.error
+    return out

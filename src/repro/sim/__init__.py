@@ -1,0 +1,48 @@
+"""Discrete-event simulation substrate for controlled ActYP experiments.
+
+The paper's evaluation (Section 7) measures the response time of the
+resource-management pipeline under synthetic workloads on a real testbed.
+We reproduce those experiments on a deterministic discrete-event simulation
+(DES) kernel: the same pipeline mechanisms (queueing at stage servers,
+linear pool search, network latency) produce the same *shapes* without the
+noise of a live testbed.
+
+Public API:
+
+- :class:`~repro.sim.kernel.Simulator` — the event loop.
+- :class:`~repro.sim.kernel.Process` — generator-based simulated process.
+- :class:`~repro.sim.kernel.Event`, :class:`~repro.sim.kernel.Timeout` —
+  waitable primitives.
+- :class:`~repro.sim.kernel.Resource` — a server with capacity and a FIFO
+  queue (used to model CPUs that execute pipeline stages).
+- :class:`~repro.sim.kernel.Store` — a FIFO message channel.
+- :mod:`~repro.sim.rng` — named deterministic random streams.
+- :mod:`~repro.sim.workload` — client generators and the PUNCH CPU-time
+  model behind Figure 9.
+- :mod:`~repro.sim.metrics` — response-time and throughput statistics.
+"""
+
+from repro.sim.kernel import (
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    Simulator,
+    Store,
+    Timeout,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.metrics import ResponseTimeStats, SeriesCollector
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "RandomStreams",
+    "ResponseTimeStats",
+    "SeriesCollector",
+]

@@ -1,0 +1,510 @@
+"""A small, deterministic discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style: simulated
+processes are Python generators that ``yield`` *waitables* (timeouts,
+events, resource requests).  The :class:`Simulator` advances virtual time
+from one scheduled occurrence to the next; nothing in the kernel depends on
+wall-clock time, so runs are exactly reproducible.
+
+Design notes
+------------
+* Event ordering is ``(time, priority, sequence)`` — ties at the same
+  virtual time break first on priority, then on scheduling order.  This
+  makes simulations deterministic even with simultaneous events.
+* A :class:`Process` is itself an :class:`Event` that succeeds when the
+  generator returns, so processes can wait on other processes (join).
+* :class:`Resource` models a multi-server station with a FIFO queue; it is
+  the building block for pipeline-stage servers (a pool's scheduler thread,
+  a query manager's CPU share, ...).
+* :class:`Store` is an unbounded FIFO channel used by the simulated network
+  transport to hand messages to server processes.
+
+The style is deliberately close to SimPy's so the pipeline code reads like
+standard DES code, but the implementation is self-contained (no third-party
+simulation dependency is available offline).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "ResourceRequest",
+    "Store",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for high-urgency bookkeeping (process termination).
+URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current simulated
+    instant.  Events are single-assignment: triggering twice raises
+    :class:`~repro.errors.SimulationError`.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (event delivered)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception`` raised."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self, priority=NORMAL)
+        return self
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _deliver(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already delivered: run at the current instant via the queue so
+            # ordering semantics stay uniform.
+            self.sim.call_soon(lambda: cb(self))
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        sim._schedule_event(self, priority=NORMAL, delay=delay)
+
+
+class Process(Event):
+    """A simulated process wrapping a generator.
+
+    The generator yields waitables (:class:`Event` subclasses, including
+    other processes).  When a yielded event fires, the process resumes with
+    the event's value (or the event's exception is thrown in).  The process
+    is itself an event that succeeds with the generator's return value.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any],
+                 name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume once at the current instant.
+        init = Event(sim)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if not self.is_alive:
+            return
+        # Detach from whatever the process is waiting on.
+        target, self._target = self._target, None
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        interrupt_event = Event(self.sim)
+        interrupt_event.fail(Interrupt(cause))
+        interrupt_event.add_callback(self._resume)
+
+    # -- generator driving --------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                result = self._gen.send(event.value)
+            else:
+                result = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An interrupt escaped the generator: treat as clean termination.
+            self.sim._active_process = None
+            self.succeed(None)
+            return
+        except Exception as exc:
+            self.sim._active_process = None
+            if self.sim.strict:
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}; processes may "
+                "only yield Event instances (Timeout, Process, requests...)"
+            )
+        if result.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another Simulator")
+        self._target = result
+        result.add_callback(self._resume)
+
+
+class Condition(Event):
+    """Base for composite waits over several events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed([])
+            return
+        self._n_fired = 0
+        for ev in self.events:
+            ev.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> list[Any]:
+        return [ev._value for ev in self.events if ev.triggered]
+
+
+class AllOf(Condition):
+    """Succeeds when every constituent event has fired.
+
+    Fails fast with the first failure among constituents.
+    """
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Succeeds when the first constituent event fires (value = that value)."""
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    priority: int
+    seq: int
+    event: Event = field(compare=False)
+
+
+class Simulator:
+    """The discrete-event loop: a priority queue of pending events.
+
+    Parameters
+    ----------
+    strict:
+        When True (the default for tests), exceptions raised inside process
+        generators propagate out of :meth:`run` immediately instead of
+        failing the process event; this surfaces model bugs early.
+    """
+
+    def __init__(self, strict: bool = True):
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.strict = strict
+        self._active_process: Optional[Process] = None
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at the current instant, after already-queued events."""
+        ev = Event(self)
+        ev._ok = True
+        self._schedule_event(ev, priority=NORMAL)
+        ev.add_callback(lambda _ev: fn())
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        entry = _QueueEntry(self._now + delay, priority, next(self._seq), event)
+        heapq.heappush(self._queue, entry)
+
+    # -- running ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one queued event occurrence."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        entry = heapq.heappop(self._queue)
+        if entry.time < self._now:  # pragma: no cover - invariant guard
+            raise SimulationError("event queue time went backwards")
+        self._now = entry.time
+        entry.event._deliver()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (absolute virtual-time
+        deadline), or an :class:`Event` (run until it is *processed*; its
+        value is returned, its exception re-raised).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            if sentinel.ok:
+                return sentinel.value
+            raise sentinel.value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"run(until={deadline}) is in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0].time <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled occurrence, or ``inf`` if idle."""
+        return self._queue[0].time if self._queue else float("inf")
+
+
+class ResourceRequest(Event):
+    """Pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager inside process generators::
+
+        with server.request() as req:
+            yield req
+            yield sim.timeout(service_time)
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._request(self)
+
+    def release(self) -> None:
+        self.resource._release(self)
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """A multi-server station with an unbounded FIFO queue.
+
+    ``capacity`` parallel claims can be held at once; further requests queue
+    in arrival order.  This models, e.g., the scheduler processes attached
+    to a resource pool, or the CPUs of the machine hosting a pipeline stage.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: list[ResourceRequest] = []
+        self._waiting: deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> ResourceRequest:
+        return ResourceRequest(self)
+
+    # -- internals -------------------------------------------------------------
+
+    def _request(self, req: ResourceRequest) -> None:
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+
+    def _release(self, req: ResourceRequest) -> None:
+        if req in self._users:
+            self._users.remove(req)
+        else:
+            # Cancelled while waiting.
+            try:
+                self._waiting.remove(req)
+            except ValueError:
+                return
+            return
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """Unbounded FIFO channel of Python objects.
+
+    ``put`` never blocks; ``get`` returns an event that fires when an item
+    is available.  Used as the mailbox behind simulated server endpoints.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

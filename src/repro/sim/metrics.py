@@ -1,0 +1,186 @@
+"""Measurement collectors for controlled experiments.
+
+The paper's figures plot mean *response time* (query submission to machine
+allocation) against a swept parameter (number of pools, clients, pool
+size).  :class:`ResponseTimeStats` accumulates per-query samples;
+:class:`SeriesCollector` organises one stats object per swept point so an
+experiment driver can emit the figure's series directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ResponseTimeStats",
+    "SeriesCollector",
+    "Summary",
+    "TimeWeightedGauge",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable summary of a sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @staticmethod
+    def empty() -> "Summary":
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+
+
+class ResponseTimeStats:
+    """Accumulates response-time samples and summarises them.
+
+    Samples are kept; figure-scale experiments record at most a few hundred
+    thousand floats, which is negligible memory and lets us compute exact
+    percentiles (``numpy.percentile``).
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self._samples: List[float] = []
+        self._failures: int = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, response_time: float) -> None:
+        if response_time < 0 or math.isnan(response_time):
+            raise ValueError(f"invalid response time {response_time!r}")
+        self._samples.append(response_time)
+
+    def record_failure(self) -> None:
+        """Count a query that failed (TTL exhausted / no resource)."""
+        self._failures += 1
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for s in samples:
+            self.record(s)
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else float("nan")
+
+    def summary(self) -> Summary:
+        if not self._samples:
+            return Summary.empty()
+        arr = np.asarray(self._samples, dtype=float)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return Summary(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResponseTimeStats({self.label!r}, n={self.count}, "
+            f"mean={self.mean:.6f}, failures={self._failures})"
+        )
+
+
+class SeriesCollector:
+    """One :class:`ResponseTimeStats` per swept x-value, per series.
+
+    Mirrors the structure of the paper's figures: a figure has one or more
+    *series* (e.g. "clients = 8"), each a curve of mean response time over
+    an *x* sweep (e.g. number of pools).
+    """
+
+    def __init__(self):
+        self._series: Dict[str, Dict[float, ResponseTimeStats]] = {}
+
+    def stats(self, series: str, x: float) -> ResponseTimeStats:
+        by_x = self._series.setdefault(series, {})
+        st = by_x.get(x)
+        if st is None:
+            st = ResponseTimeStats(label=f"{series}@{x}")
+            by_x[x] = st
+        return st
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def curve(self, series: str) -> List[Tuple[float, float]]:
+        """``[(x, mean_response_time), ...]`` sorted by x."""
+        by_x = self._series.get(series, {})
+        return [(x, by_x[x].mean) for x in sorted(by_x)]
+
+    def table(self) -> List[Tuple[str, float, Summary]]:
+        rows: List[Tuple[str, float, Summary]] = []
+        for name in self.series_names():
+            for x in sorted(self._series[name]):
+                rows.append((name, x, self._series[name][x].summary()))
+        return rows
+
+    def format_table(self, x_label: str = "x", value_label: str = "mean_rt") -> str:
+        """Render the collected curves as an aligned text table."""
+        lines = [f"{'series':<24} {x_label:>10} {value_label:>12} {'p95':>12} {'n':>8}"]
+        for name, x, s in self.table():
+            lines.append(
+                f"{name:<24} {x:>10.4g} {s.mean:>12.6f} {s.p95:>12.6f} {s.count:>8d}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class TimeWeightedGauge:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Used for, e.g., mean pool occupancy or queue length over a run.
+    """
+
+    _last_time: float = 0.0
+    _last_value: float = 0.0
+    _area: float = 0.0
+    _started: bool = dataclass_field(default=False)
+
+    def update(self, now: float, value: float) -> None:
+        if not self._started:
+            self._started = True
+            self._last_time, self._last_value = now, value
+            return
+        if now < self._last_time:
+            raise ValueError("time went backwards in TimeWeightedGauge.update")
+        self._area += (now - self._last_time) * self._last_value
+        self._last_time, self._last_value = now, value
+
+    def average(self, now: Optional[float] = None) -> float:
+        if not self._started:
+            return float("nan")
+        end = self._last_time if now is None else now
+        total = self._area + (end - self._last_time) * self._last_value
+        span = end - 0.0
+        return total / span if span > 0 else self._last_value

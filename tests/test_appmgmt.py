@@ -1,0 +1,196 @@
+"""Tests for the application management component (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appmgmt.knowledge_base import (
+    AlgorithmSpec,
+    KnowledgeBase,
+    ParameterSpec,
+    ToolDescription,
+    default_knowledge_base,
+)
+from repro.appmgmt.parser import parse_tool_request
+from repro.appmgmt.perf_model import PerformanceModel
+from repro.appmgmt.query_builder import ApplicationManager
+from repro.core.language import parse_query
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def kb():
+    return default_knowledge_base()
+
+
+@pytest.fixture
+def model(kb):
+    return PerformanceModel(kb)
+
+
+class TestKnowledgeBase:
+    def test_default_tools_registered(self, kb):
+        assert "tsuprem4" in kb
+        assert "carrier_transport" in kb
+        assert "spice" in kb
+
+    def test_duplicate_tool_rejected(self, kb):
+        tool = kb.get("spice")
+        with pytest.raises(ConfigError):
+            kb.register(tool)
+
+    def test_tool_without_algorithms_rejected(self):
+        fresh = KnowledgeBase()
+        with pytest.raises(ConfigError):
+            fresh.register(ToolDescription(
+                tool_name="empty", tool_group="g",
+                parameters=(), algorithms=(),
+            ))
+
+    def test_unknown_tool_raises(self, kb):
+        with pytest.raises(ConfigError):
+            kb.get("nonexistent")
+
+    def test_parameter_lookup(self, kb):
+        tool = kb.get("carrier_transport")
+        assert tool.parameter("carriers").kind == "number"
+        with pytest.raises(ConfigError):
+            tool.parameter("ghost")
+
+    def test_parameter_qualification(self):
+        spec = ParameterSpec("n", "number")
+        assert spec.qualify("42") == 42.0
+        with pytest.raises(ConfigError):
+            spec.qualify("forty-two")
+
+
+class TestRequestParsing:
+    def test_extracts_known_tokens(self, kb):
+        req = parse_tool_request(
+            kb, "carrier_transport",
+            "simulate device=nmos carriers=200000 grid_nodes=8000 junk=1",
+        )
+        assert req.parameters["carriers"] == 200000.0
+        assert req.parameters["grid_nodes"] == 8000.0
+        # Unknown tokens ignored; defaults fill the rest.
+        assert req.parameters["device_size"] == 1.0
+
+    def test_defaults_applied(self, kb):
+        req = parse_tool_request(kb, "spice", "")
+        assert req.parameters["num_devices"] == 100
+
+    def test_required_parameter_missing_raises(self):
+        fresh = KnowledgeBase()
+        fresh.register(ToolDescription(
+            tool_name="strict", tool_group="g",
+            parameters=(ParameterSpec("must", "number", required=True),),
+            algorithms=(AlgorithmSpec(
+                "only", lambda p: 1.0, lambda p: 1.0, lambda p: 0.0),),
+        ))
+        with pytest.raises(ConfigError):
+            parse_tool_request(fresh, "strict", "other=1")
+
+    def test_user_identity_carried(self, kb):
+        req = parse_tool_request(kb, "spice", "", login="kapadia",
+                                 access_group="ece")
+        assert req.login == "kapadia"
+        assert req.access_group == "ece"
+
+
+class TestPerformanceModel:
+    def test_estimate_scales_with_parameters(self, kb, model):
+        small = parse_tool_request(kb, "spice", "num_devices=10")
+        large = parse_tool_request(kb, "spice", "num_devices=10000")
+        assert model.estimate(large).cpu_seconds > \
+            model.estimate(small).cpu_seconds
+
+    def test_algorithm_ranking_depends_on_input(self, kb, model):
+        few = parse_tool_request(kb, "carrier_transport", "carriers=1000")
+        many = parse_tool_request(kb, "carrier_transport", "carriers=1e7")
+        assert model.rank_algorithms(few)[0] == "drift_diffusion"
+        assert model.rank_algorithms(many)[0] == "monte_carlo"
+
+    def test_explicit_algorithm_selection(self, kb, model):
+        req = parse_tool_request(kb, "carrier_transport", "")
+        est = model.estimate(req, algorithm="hydrodynamic")
+        assert est.algorithm == "hydrodynamic"
+        with pytest.raises(ConfigError):
+            model.estimate(req, algorithm="quantum")
+
+    def test_calibration_moves_toward_observation(self, kb, model):
+        req = parse_tool_request(kb, "spice", "num_devices=100")
+        before = model.estimate(req).cpu_seconds
+        # Observed runs take twice the prediction.
+        for _ in range(20):
+            model.observe("spice", "transient", before, before * 2.0)
+        after = model.estimate(req).cpu_seconds
+        assert after > before * 1.5
+        assert model.observation_count("spice", "transient") == 20
+
+    def test_calibration_validation(self, model):
+        with pytest.raises(ConfigError):
+            model.observe("spice", "transient", 0.0, 10.0)
+        with pytest.raises(ConfigError):
+            model.observe("spice", "transient", 1.0, 1.0, smoothing=0.0)
+
+    def test_license_and_speed_propagated(self, kb, model):
+        req = parse_tool_request(kb, "tsuprem4", "grid_points=1000")
+        est = model.estimate(req)
+        assert est.license == "tsuprem4"
+        req2 = parse_tool_request(kb, "carrier_transport", "carriers=1e7")
+        est2 = model.estimate(req2)
+        assert est2.min_speed == 300.0
+
+
+class TestApplicationManager:
+    def test_compose_parses_as_valid_query(self):
+        am = ApplicationManager()
+        composed = am.handle("tsuprem4", "grid_points=20000 num_steps=50",
+                             login="kapadia", access_group="ece")
+        cq = composed.parse()
+        q = cq.basic()
+        assert q.get("punch.rsrc.license") == "tsuprem4"
+        assert q.get("punch.rsrc.arch") == "sun"
+        assert q.expected_cpu_use == pytest.approx(
+            composed.estimate.cpu_seconds)
+        assert q.login == "kapadia"
+
+    def test_architecture_alternatives_make_composite(self):
+        am = ApplicationManager()
+        composed = am.handle("spice", "num_devices=50")
+        cq = composed.parse()
+        assert cq.is_composite  # spice runs on sun|hp|x86
+        assert cq.component_count == 3
+
+    def test_architecture_preference_overrides(self):
+        am = ApplicationManager()
+        composed = am.handle("spice", "", preferences={"architecture": "hp"})
+        q = composed.parse().basic()
+        assert q.get("punch.rsrc.arch") == "hp"
+
+    def test_domain_and_priority_preferences(self):
+        am = ApplicationManager()
+        composed = am.handle(
+            "tsuprem4", "",
+            preferences={"domain": "purdue", "priority": "5"},
+        )
+        q = composed.parse().basic()
+        assert q.get("punch.rsrc.domain") == "purdue"
+        assert q.get("punch.appl.priority") == 5.0
+
+    def test_memory_headroom_applied(self):
+        am = ApplicationManager()
+        composed = am.handle("carrier_transport", "grid_nodes=10000",
+                             preferences={"architecture": "sun"},
+                             memory_headroom=2.0)
+        q = composed.parse().basic()
+        memory_clause = next(c for c in q.rsrc_clauses if c.name == "memory")
+        assert memory_clause.value >= composed.estimate.memory_mb * 1.9
+
+    def test_end_to_end_against_service(self, fleet_db):
+        from repro.core.pipeline import build_service
+        am = ApplicationManager()
+        service = build_service(fleet_db)
+        composed = am.handle("spice", "num_devices=10")
+        result = service.submit(composed.text)
+        assert result.ok

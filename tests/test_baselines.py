@@ -1,0 +1,154 @@
+"""Tests for the baseline schedulers (Section 8 comparisons)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.central import CentralizedScheduler, QueueSpec
+from repro.baselines.matchmaker import Matchmaker
+from repro.baselines.static_pools import StaticPoolScheduler
+from repro.core.language import parse_query
+from repro.errors import ConfigError, NoResourceAvailableError, NoSuchPoolError
+
+from tests.conftest import make_machine
+
+
+def q(text):
+    return parse_query(text).basic()
+
+
+SUN = "punch.rsrc.arch = sun"
+
+
+class TestCentralizedScheduler:
+    def test_classification_by_cpu_estimate(self, small_db):
+        sched = CentralizedScheduler(small_db)
+        short = q(SUN + "\npunch.appl.expectedcpuuse = 10")
+        long = q(SUN + "\npunch.appl.expectedcpuuse = 100000")
+        assert sched.classify(short).name == "short"
+        assert sched.classify(long).name == "long"
+        no_est = q(SUN)
+        assert sched.classify(no_est).name == "short"
+
+    def test_submit_and_release(self, small_db):
+        sched = CentralizedScheduler(small_db)
+        alloc = sched.submit(q(SUN))
+        assert alloc.pool_name.startswith("queue:")
+        assert small_db.get(alloc.machine_name).active_jobs == 1
+        sched.release(alloc.access_key)
+        assert small_db.get(alloc.machine_name).active_jobs == 0
+
+    def test_every_submit_scans_whole_database(self, small_db):
+        sched = CentralizedScheduler(small_db)
+        sched.submit(q(SUN))
+        sched.submit(q(SUN))
+        assert sched.scans == 2
+        assert sched.machines_scanned == 2 * len(small_db)
+        assert sched.scan_cost_per_query == len(small_db)
+
+    def test_no_match_raises(self, small_db):
+        sched = CentralizedScheduler(small_db)
+        with pytest.raises(NoResourceAvailableError):
+            sched.submit(q("punch.rsrc.arch = cray"))
+
+    def test_queue_validation(self, small_db):
+        with pytest.raises(ConfigError):
+            CentralizedScheduler(small_db, queues=())
+        with pytest.raises(ConfigError):
+            CentralizedScheduler(small_db, queues=(
+                QueueSpec("a", 100.0), QueueSpec("b", 10.0),
+                QueueSpec("c", float("inf")),
+            ))
+        with pytest.raises(ConfigError):
+            CentralizedScheduler(small_db, queues=(QueueSpec("a", 100.0),))
+
+    def test_release_unknown_key(self, small_db):
+        sched = CentralizedScheduler(small_db)
+        with pytest.raises(NoResourceAvailableError):
+            sched.release("ghost")
+
+
+class TestMatchmaker:
+    def test_requires_advertisements(self, small_db):
+        mm = Matchmaker(small_db)
+        with pytest.raises(NoResourceAvailableError):
+            mm.match(q(SUN))
+
+    def test_two_sided_matching(self, small_db):
+        mm = Matchmaker(small_db)
+        mm.advertise_all()
+        assert mm.ad_count == len(small_db)
+        alloc = mm.match(q(SUN))
+        assert small_db.get(alloc.machine_name).parameter("arch") == "sun"
+
+    def test_machine_side_requirement_blocks(self, small_db):
+        mm = Matchmaker(small_db)
+        # Machines refuse everything.
+        for name in small_db.names():
+            mm.advertise(name, requirement=lambda rec, query: False)
+        with pytest.raises(NoResourceAvailableError):
+            mm.match(q(SUN))
+
+    def test_rank_prefers_fast_idle_machines(self, small_db):
+        small_db.update_dynamic("sun00", current_load=0.0)
+        for name in small_db.names():
+            if name != "sun00":
+                small_db.update_dynamic(name, current_load=2.5)
+        mm = Matchmaker(small_db)
+        mm.advertise_all()
+        alloc = mm.match(q(SUN))
+        assert alloc.machine_name == "sun00"
+
+    def test_withdraw_removes_ad(self, small_db):
+        mm = Matchmaker(small_db)
+        mm.advertise_all()
+        mm.withdraw("sun00")
+        assert mm.ad_count == len(small_db) - 1
+
+    def test_release_cycle(self, small_db):
+        mm = Matchmaker(small_db)
+        mm.advertise_all()
+        alloc = mm.match(q(SUN))
+        mm.release(alloc.access_key)
+        assert small_db.get(alloc.machine_name).active_jobs == 0
+
+    def test_scan_cost_is_all_ads(self, small_db):
+        mm = Matchmaker(small_db)
+        mm.advertise_all()
+        mm.match(q(SUN))
+        assert mm.ads_scanned == len(small_db)
+
+
+class TestStaticPools:
+    def test_configured_category_served(self, small_db):
+        sched = StaticPoolScheduler(small_db, [SUN])
+        alloc = sched.submit(q(SUN))
+        assert alloc.machine_name.startswith("sun")
+        sched.release(alloc.access_key)
+
+    def test_unconfigured_category_misses(self, small_db):
+        sched = StaticPoolScheduler(small_db, [SUN])
+        with pytest.raises(NoSuchPoolError):
+            sched.submit(q("punch.rsrc.arch = hp"))
+        assert sched.misses == 1
+
+    def test_fallback_scan_serves_leftovers(self, small_db):
+        sched = StaticPoolScheduler(small_db, [SUN], fallback_scan=True)
+        alloc = sched.submit(q("punch.rsrc.arch = hp"))
+        assert alloc.pool_name == "fallback-scan"
+
+    def test_fallback_scan_can_still_fail(self, small_db):
+        sched = StaticPoolScheduler(small_db, [SUN], fallback_scan=True)
+        with pytest.raises(NoResourceAvailableError):
+            sched.submit(q("punch.rsrc.arch = cray"))
+
+    def test_static_pools_take_machines(self, small_db):
+        StaticPoolScheduler(small_db, [SUN, "punch.rsrc.arch = hp"])
+        assert small_db.taken_count() == len(small_db)
+
+    def test_mismatched_signature_misses_even_if_machines_exist(self, small_db):
+        # Same machines, different constraint shape: static aggregation
+        # cannot serve it — the motivation for the *active* directory.
+        sched = StaticPoolScheduler(small_db, [SUN])
+        with pytest.raises(NoSuchPoolError):
+            sched.submit(q(SUN + "\npunch.rsrc.memory = >=128"))

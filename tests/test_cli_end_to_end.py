@@ -1,0 +1,68 @@
+"""End-to-end CLI test: serve in a subprocess, query via the CLI client."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def fleet_file(tmp_path):
+    out = tmp_path / "fleet.json"
+    assert main(["fleet", "--size", "64", "--out", str(out)]) == 0
+    return out
+
+
+def test_serve_and_query_over_real_sockets(fleet_file):
+    """Spawn `repro.cli serve` as a real subprocess and query it."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--fleet", str(fleet_file), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        # The serve command prints "ActYP service on host:port (...)".
+        line = proc.stdout.readline()
+        assert "ActYP service on" in line, line
+        port = int(line.split(":")[1].split(" ")[0])
+
+        rc = main(["query", "punch.rsrc.arch = sun", "--port", str(port),
+                   "--release"])
+        assert rc == 0
+
+        # An unsatisfiable query exits non-zero but doesn't crash.
+        rc = main(["query", "punch.rsrc.arch = cray", "--port", str(port)])
+        assert rc == 1
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+
+
+def test_query_output_is_json(fleet_file, capsys):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--fleet", str(fleet_file), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        port = int(line.split(":")[1].split(" ")[0])
+        rc = main(["query", "punch.rsrc.arch = sun", "--port", str(port),
+                   "--release"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out.split("\nreleased")[0])
+        assert payload["ok"] is True
+        assert payload["allocation"]["machine_name"].startswith("sun")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)

@@ -1,0 +1,110 @@
+"""Validation tests for every configuration dataclass."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CostModel,
+    LatencyConfig,
+    MonitorConfig,
+    PipelineConfig,
+    PoolManagerConfig,
+    QueryManagerConfig,
+    ResourcePoolConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel().validated()
+
+    @pytest.mark.parametrize("field", [
+        "qm_translate_s", "pm_map_s", "pool_fixed_s",
+        "pool_scan_per_machine_s", "shadow_alloc_s",
+        "pool_create_fixed_s", "pool_create_per_machine_s",
+        "qm_decompose_per_component_s", "qm_reintegrate_per_component_s",
+        "pm_directory_lookup_s",
+    ])
+    def test_negative_cost_rejected(self, field):
+        bad = dataclasses.replace(CostModel(), **{field: -1.0})
+        with pytest.raises(ConfigError):
+            bad.validated()
+
+    def test_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CostModel().pool_fixed_s = 1.0  # type: ignore[misc]
+
+
+class TestLatencyConfig:
+    def test_defaults_valid(self):
+        cfg = LatencyConfig().validated()
+        assert cfg.wan_base_s > cfg.lan_base_s
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(lan_base_s=-0.1).validated()
+
+
+class TestQueryManagerConfig:
+    def test_defaults_valid(self):
+        QueryManagerConfig().validated()
+
+    def test_bad_policy(self):
+        with pytest.raises(ConfigError):
+            QueryManagerConfig(selection_policy="psychic").validated()
+
+    def test_bad_concurrency(self):
+        with pytest.raises(ConfigError):
+            QueryManagerConfig(concurrency=0).validated()
+
+    def test_bad_reintegration(self):
+        with pytest.raises(ConfigError):
+            QueryManagerConfig(reintegration_policy="sometimes").validated()
+
+    def test_bad_fanout(self):
+        with pytest.raises(ConfigError):
+            QueryManagerConfig(fanout=0).validated()
+
+
+class TestPoolManagerConfig:
+    def test_defaults_valid(self):
+        PoolManagerConfig().validated()
+
+    def test_negative_ttl(self):
+        with pytest.raises(ConfigError):
+            PoolManagerConfig(delegation_ttl=-1).validated()
+
+    def test_negative_reclaim_timeout(self):
+        with pytest.raises(ConfigError):
+            PoolManagerConfig(reclaim_idle_timeout_s=-1.0).validated()
+
+
+class TestResourcePoolConfig:
+    def test_defaults_valid(self):
+        ResourcePoolConfig().validated()
+
+    def test_bad_scheduler_processes(self):
+        with pytest.raises(ConfigError):
+            ResourcePoolConfig(scheduler_processes=0).validated()
+
+
+class TestPipelineConfig:
+    def test_defaults_valid(self):
+        PipelineConfig().validated()
+
+    def test_nested_validation_propagates(self):
+        bad = PipelineConfig(
+            query_manager=QueryManagerConfig(concurrency=0))
+        with pytest.raises(ConfigError):
+            bad.validated()
+
+    def test_with_replaces_top_level(self):
+        cfg = PipelineConfig()
+        new = cfg.with_(pool=ResourcePoolConfig(objective="fastest"))
+        assert new.pool.objective == "fastest"
+        assert cfg.pool.objective == "least_load"  # original untouched
+        assert new.cost is cfg.cost

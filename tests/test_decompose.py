@@ -1,0 +1,121 @@
+"""Tests for composite decomposition and reintegration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decompose import ReintegrationBuffer, decompose
+from repro.core.language import parse_query
+from repro.core.query import Allocation, QueryResult
+from repro.errors import ReintegrationError
+
+
+def make_result(query_id=1, index=0, count=1, ok=True, t=0.0):
+    alloc = Allocation("m0", "m0", 7070, "k" * 32) if ok else None
+    return QueryResult(
+        query_id=query_id, component_index=index, component_count=count,
+        allocation=alloc, error=None if ok else "no machine",
+        completed_at=t,
+    )
+
+
+class TestDecompose:
+    def test_basic_query_single_component(self):
+        cq = parse_query("punch.rsrc.arch = sun")
+        comps = decompose(cq, query_id=1, origin="c", submitted_at=0.0, ttl=4)
+        assert len(comps) == 1
+        assert comps[0].component_count == 1
+
+    def test_or_expansion(self):
+        cq = parse_query("punch.rsrc.arch = sun|hp")
+        comps = decompose(cq, query_id=9, origin="c", submitted_at=1.0, ttl=3)
+        assert len(comps) == 2
+        assert [c.get("punch.rsrc.arch") for c in comps] == ["sun", "hp"]
+        assert all(c.query_id == 9 for c in comps)
+        assert [c.component_index for c in comps] == [0, 1]
+        assert all(c.component_count == 2 for c in comps)
+        assert all(c.ttl == 3 for c in comps)
+
+    def test_cross_product_of_two_alternations(self):
+        cq = parse_query(
+            "punch.rsrc.arch = sun|hp\npunch.rsrc.ostype = solaris|hpux"
+        )
+        comps = decompose(cq, query_id=1, origin="", submitted_at=0.0, ttl=4)
+        assert len(comps) == 4
+        pairs = {(c.get("punch.rsrc.arch"), c.get("punch.rsrc.ostype"))
+                 for c in comps}
+        assert pairs == {("sun", "solaris"), ("sun", "hpux"),
+                         ("hp", "solaris"), ("hp", "hpux")}
+
+    def test_preference_order_preserved(self):
+        cq = parse_query("punch.rsrc.arch = hp|sun")
+        comps = decompose(cq, query_id=1, origin="", submitted_at=0.0, ttl=4)
+        assert comps[0].get("punch.rsrc.arch") == "hp"  # listed first
+
+
+class TestReintegrationFirstMatch:
+    def test_first_success_completes(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=3)
+        assert buf.offer(make_result(index=1, count=3)) is not None
+        assert buf.done
+        assert buf.result.component_index == 1
+
+    def test_failure_does_not_complete_early(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=2)
+        assert buf.offer(make_result(index=0, count=2, ok=False)) is None
+        assert not buf.done
+        final = buf.offer(make_result(index=1, count=2))
+        assert final is not None and final.ok
+
+    def test_all_failures_aggregate_error(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=2)
+        buf.offer(make_result(index=0, count=2, ok=False))
+        final = buf.offer(make_result(index=1, count=2, ok=False))
+        assert final is not None
+        assert not final.ok
+        assert "all components failed" in final.error
+
+    def test_late_arrival_after_completion_returns_none(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=2)
+        assert buf.offer(make_result(index=0, count=2)) is not None
+        assert buf.offer(make_result(index=1, count=2)) is None
+        assert buf.outstanding == 0
+
+    def test_duplicate_component_raises(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=2)
+        buf.offer(make_result(index=0, count=2, ok=False))
+        with pytest.raises(ReintegrationError):
+            buf.offer(make_result(index=0, count=2))
+
+    def test_wrong_query_id_raises(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=1)
+        with pytest.raises(ReintegrationError):
+            buf.offer(make_result(query_id=2))
+
+    def test_out_of_range_index_raises(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=1)
+        with pytest.raises(ReintegrationError):
+            buf.offer(make_result(index=0, count=5).__class__(
+                query_id=1, component_index=5, component_count=5,
+            ))
+
+
+class TestReintegrationAll:
+    def test_waits_for_every_component(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=2, policy="all")
+        assert buf.offer(make_result(index=1, count=2)) is None
+        final = buf.offer(make_result(index=0, count=2))
+        assert final is not None
+        # Preference: lowest component index among successes.
+        assert final.component_index == 0
+
+    def test_prefers_lowest_index_success(self):
+        buf = ReintegrationBuffer(query_id=1, component_count=3, policy="all")
+        buf.offer(make_result(index=2, count=3))
+        buf.offer(make_result(index=0, count=3, ok=False))
+        final = buf.offer(make_result(index=1, count=3))
+        assert final.component_index == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ReintegrationError):
+            ReintegrationBuffer(query_id=1, component_count=1, policy="magic")

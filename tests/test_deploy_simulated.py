@@ -1,0 +1,204 @@
+"""Integration tests for the discrete-event deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CostModel,
+    PipelineConfig,
+    PoolManagerConfig,
+    ResourcePoolConfig,
+)
+from repro.deploy.simulated import (
+    ClientSpec,
+    DeploymentSpec,
+    SimulatedDeployment,
+    run_closed_loop_experiment,
+)
+from repro.fleet import FleetSpec, build_database
+
+
+def striped_db(size=200, pools=4, seed=3):
+    db, _ = build_database(FleetSpec(size=size, stripe_pools=pools, seed=seed))
+    return db
+
+
+def pool_payload(n_pools):
+    def payload(ci, it, rng):
+        return f"punch.rsrc.pool = p{int(rng.integers(0, n_pools)):02d}"
+    return payload
+
+
+class TestDeploymentConstruction:
+    def test_precreate_registers_pool_and_server(self):
+        dep = SimulatedDeployment(striped_db(), seed=1)
+        name = dep.precreate_pool("punch.rsrc.pool = p00")
+        assert dep.directory.instance_count(name.full) == 1
+        assert dep.pool_sizes()[f"{name.full}#0"] == 50
+
+    def test_replicas_share_machines(self):
+        dep = SimulatedDeployment(striped_db(), seed=1)
+        name = dep.precreate_pool("punch.rsrc.pool = p00", replicas=3)
+        sizes = [v for k, v in dep.pool_sizes().items()
+                 if k.startswith(name.full)]
+        assert sizes == [50, 50, 50]
+        assert dep.database.taken_count() == 50  # not triple-counted
+
+    def test_split_replaces_instance_with_fragments(self):
+        dep = SimulatedDeployment(striped_db(), seed=1)
+        dep.precreate_pool("punch.rsrc.pool = p00")
+        name = dep.split_pool("punch.rsrc.pool = p00", 2)
+        entries = dep.directory.lookup(name.full)
+        assert len(entries) == 2
+        assert all(e.mode == "fragment" for e in entries)
+        frag_sizes = sorted(v for k, v in dep.pool_sizes().items()
+                            if "#frag" in k)
+        assert frag_sizes == [25, 25]
+
+
+class TestClosedLoopRuns:
+    def test_all_queries_succeed_and_release(self):
+        db = striped_db()
+        dep = SimulatedDeployment(db, seed=2)
+        for p in range(4):
+            dep.precreate_pool(f"punch.rsrc.pool = p{p:02d}")
+        stats = dep.run_clients(
+            ClientSpec(count=6, queries_per_client=25, domain="actyp"),
+            pool_payload(4),
+        )
+        assert stats.count == 150
+        assert stats.failures == 0
+        assert stats.mean > 0
+        # Everything released: run the queue dry and check the load drained.
+        dep.sim.run()
+        busy = sum(db.get(n).active_jobs for n in db.names())
+        assert busy == 0
+
+    def test_response_time_includes_network_latency(self):
+        db = striped_db()
+        # WAN clients: every query pays >= 2x wan_base.
+        dep = SimulatedDeployment(db, seed=2)
+        dep.precreate_pool("punch.rsrc.pool = p00")
+        stats = dep.run_clients(
+            ClientSpec(count=2, queries_per_client=10, domain="faraway"),
+            pool_payload(1),
+        )
+        wan_floor = 2 * dep.config.latency.wan_base_s
+        assert stats.summary().minimum >= wan_floor
+
+    def test_unsatisfiable_queries_counted_as_failures(self):
+        db = striped_db()
+        dep = SimulatedDeployment(db, seed=2)
+        dep.precreate_pool("punch.rsrc.pool = p00")
+
+        def bad_payload(ci, it, rng):
+            return "punch.rsrc.arch = cray"
+
+        stats = dep.run_clients(
+            ClientSpec(count=2, queries_per_client=5, domain="actyp"),
+            bad_payload,
+        )
+        assert stats.count == 0
+        assert stats.failures == 10
+
+    def test_on_demand_pool_creation_inside_run(self):
+        db = striped_db()
+        dep = SimulatedDeployment(db, seed=2)  # no precreated pools
+
+        stats = dep.run_clients(
+            ClientSpec(count=3, queries_per_client=10, domain="actyp"),
+            pool_payload(2),
+        )
+        assert stats.failures == 0
+        assert len(dep.pool_sizes()) == 2  # created on first demand
+
+    def test_composite_query_over_wire(self):
+        db = striped_db()
+        dep = SimulatedDeployment(db, seed=2)
+
+        def composite(ci, it, rng):
+            return "punch.rsrc.pool = p00|p01"
+
+        stats = dep.run_clients(
+            ClientSpec(count=2, queries_per_client=10, domain="actyp"),
+            composite,
+        )
+        assert stats.failures == 0
+        assert stats.count == 20
+        # Both components' pools got created eventually; allocation load
+        # was fully released even for redundant successes.
+        dep.sim.run()
+        busy = sum(db.get(n).active_jobs for n in db.names())
+        assert busy == 0
+
+    def test_multiple_query_managers(self):
+        db = striped_db()
+        dep = SimulatedDeployment(
+            db, spec=DeploymentSpec(n_query_managers=2, n_pool_managers=2),
+            seed=4,
+        )
+        for p in range(4):
+            dep.precreate_pool(f"punch.rsrc.pool = p{p:02d}",
+                               pm_index=p % 2)
+        stats = dep.run_clients(
+            ClientSpec(count=4, queries_per_client=10, domain="actyp"),
+            pool_payload(4),
+        )
+        assert stats.failures == 0
+
+    def test_harness_helper(self):
+        stats = run_closed_loop_experiment(
+            striped_db(),
+            pool_queries=[f"punch.rsrc.pool = p{p:02d}" for p in range(4)],
+            client_payloads=pool_payload(4),
+            clients=4,
+            queries_per_client=10,
+        )
+        assert stats.count == 40
+        assert stats.failures == 0
+
+
+class TestPerformanceProperties:
+    def test_more_pools_reduce_response_time(self):
+        means = {}
+        for n_pools in (1, 4):
+            db, _ = build_database(
+                FleetSpec(size=400, stripe_pools=n_pools, seed=3))
+            dep = SimulatedDeployment(db, seed=5)
+            for p in range(n_pools):
+                dep.precreate_pool(f"punch.rsrc.pool = p{p:02d}")
+            stats = dep.run_clients(
+                ClientSpec(count=8, queries_per_client=10, domain="actyp"),
+                pool_payload(n_pools),
+            )
+            means[n_pools] = stats.mean
+        assert means[4] < means[1]
+
+    def test_indexed_scheduler_ablation_removes_size_penalty(self):
+        means = {}
+        for linear in (True, False):
+            db, _ = build_database(
+                FleetSpec(size=800, stripe_pools=1, seed=3))
+            cfg = PipelineConfig(pool=ResourcePoolConfig(linear_scan=linear))
+            dep = SimulatedDeployment(
+                db, spec=DeploymentSpec(config=cfg), seed=6)
+            dep.precreate_pool("punch.rsrc.pool = p00")
+            stats = dep.run_clients(
+                ClientSpec(count=8, queries_per_client=10, domain="actyp"),
+                pool_payload(1),
+            )
+            means[linear] = stats.mean
+        assert means[False] < means[True] / 2
+
+    def test_deterministic_given_seed(self):
+        def once():
+            db = striped_db()
+            dep = SimulatedDeployment(db, seed=11)
+            dep.precreate_pool("punch.rsrc.pool = p00")
+            return dep.run_clients(
+                ClientSpec(count=3, queries_per_client=10, domain="actyp"),
+                pool_payload(1),
+            ).samples
+
+        assert once() == once()

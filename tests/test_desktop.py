@@ -1,0 +1,168 @@
+"""Tests for the network desktop, VFS, and run sessions (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import build_service
+from repro.desktop.desktop import AuthorizationError, NetworkDesktop, UserAccount
+from repro.desktop.session import RunSession, SessionError, SessionState
+from repro.desktop.vfs import VfsError, VirtualFileSystem
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def desktop(fleet_db):
+    d = NetworkDesktop(build_service(fleet_db, n_pool_managers=2))
+    d.register_user(UserAccount("kapadia", access_group="ece"))
+    d.register_user(UserAccount(
+        "student", access_group="public",
+        authorized_tools=frozenset({"spice"}),
+    ))
+    return d
+
+
+class TestVfs:
+    def test_mount_unmount_cycle(self):
+        vfs = VirtualFileSystem()
+        h = vfs.mount("m1", "apps:spice", "key1")
+        assert vfs.live_mounts == 1
+        assert vfs.mounts_on("m1") == [h]
+        vfs.unmount(h)
+        assert vfs.live_mounts == 0
+
+    def test_duplicate_mount_rejected(self):
+        vfs = VirtualFileSystem()
+        vfs.mount("m1", "apps:spice", "key1")
+        with pytest.raises(VfsError):
+            vfs.mount("m1", "apps:spice", "key1")
+
+    def test_same_volume_different_sessions_ok(self):
+        vfs = VirtualFileSystem()
+        vfs.mount("m1", "apps:spice", "key1")
+        vfs.mount("m1", "apps:spice", "key2")
+        assert vfs.live_mounts == 2
+
+    def test_double_unmount_rejected(self):
+        vfs = VirtualFileSystem()
+        h = vfs.mount("m1", "v", "k")
+        vfs.unmount(h)
+        with pytest.raises(VfsError):
+            vfs.unmount(h)
+
+    def test_unmount_session_sweeps(self):
+        vfs = VirtualFileSystem()
+        vfs.mount("m1", "a", "k1")
+        vfs.mount("m1", "b", "k1")
+        vfs.mount("m2", "a", "k2")
+        assert vfs.unmount_session("k1") == 2
+        assert vfs.live_mounts == 1
+
+
+class TestSessionStateMachine:
+    def test_legal_lifecycle(self):
+        from repro.core.query import Allocation
+        s = RunSession(1, "u", "spice")
+        s.scheduled(Allocation("m", "m", 7070, "k" * 32))
+        s.mounted([])
+        s.running("vnc://m:5901")
+        s.completed()
+        s.released()
+        assert s.is_terminal
+        assert [st for _, st in s.history] == [
+            SessionState.SCHEDULED, SessionState.MOUNTED,
+            SessionState.RUNNING, SessionState.COMPLETED,
+            SessionState.RELEASED,
+        ]
+
+    def test_cannot_run_before_mounting(self):
+        from repro.core.query import Allocation
+        s = RunSession(1, "u", "spice")
+        s.scheduled(Allocation("m", "m", 7070, "k" * 32))
+        with pytest.raises(SessionError):
+            s.running()
+
+    def test_failure_path_can_release(self):
+        s = RunSession(1, "u", "spice")
+        s.failed("boom")
+        s.released()
+        assert s.failure_reason == "boom"
+
+    def test_released_is_final(self):
+        s = RunSession(1, "u", "spice")
+        s.failed("x")
+        s.released()
+        with pytest.raises(SessionError):
+            s.failed("again")
+
+
+class TestDesktopOrchestration:
+    def test_full_run_lifecycle(self, desktop, fleet_db):
+        session = desktop.run_tool("kapadia", "spice", "num_devices=10")
+        assert session.state is SessionState.RUNNING
+        assert session.allocation is not None
+        machine = session.allocation.machine_name
+        assert fleet_db.get(machine).active_jobs == 1
+        assert desktop.vfs.live_mounts == 2  # app disk + data disk
+        assert len(desktop.active_sessions()) == 1
+
+        done = desktop.complete_run(session.session_id)
+        assert done.is_terminal
+        assert desktop.vfs.live_mounts == 0
+        assert fleet_db.get(machine).active_jobs == 0
+
+    def test_gui_run_routes_display(self, desktop):
+        session = desktop.run_tool("kapadia", "spice", "", gui=True)
+        assert session.display_route is not None
+        assert session.display_route.startswith("vnc://")
+        desktop.complete_run(session.session_id)
+
+    def test_unknown_user_fails_session(self, desktop):
+        session = desktop.run_tool("ghost", "spice", "")
+        assert session.state is SessionState.FAILED
+        assert "unknown user" in session.failure_reason
+
+    def test_unauthorized_tool_fails_session(self, desktop):
+        session = desktop.run_tool("student", "tsuprem4", "")
+        assert session.state is SessionState.FAILED
+        assert "not authorized" in session.failure_reason
+
+    def test_authorized_subset_allows(self, desktop):
+        session = desktop.run_tool("student", "spice", "")
+        assert session.state is SessionState.RUNNING
+        desktop.complete_run(session.session_id)
+
+    def test_unsatisfiable_run_fails_cleanly(self, desktop):
+        # tsuprem4 needs a sun machine with the license; ece user fine,
+        # but demand an impossible domain through preferences.
+        session = desktop.run_tool(
+            "kapadia", "tsuprem4", "",
+            preferences={"domain": "nonexistent"},
+        )
+        assert session.state is SessionState.FAILED
+        assert desktop.vfs.live_mounts == 0
+
+    def test_abort_cleans_up(self, desktop, fleet_db):
+        session = desktop.run_tool("kapadia", "spice", "")
+        machine = session.allocation.machine_name
+        desktop.abort_run(session.session_id, "user cancelled")
+        assert desktop.session(session.session_id).is_terminal
+        assert desktop.vfs.live_mounts == 0
+        assert fleet_db.get(machine).active_jobs == 0
+
+    def test_duplicate_user_registration_rejected(self, desktop):
+        with pytest.raises(ReproError):
+            desktop.register_user(UserAccount("kapadia"))
+
+    def test_unknown_session_raises(self, desktop):
+        with pytest.raises(ReproError):
+            desktop.complete_run(999)
+
+    def test_sequential_runs_share_machines(self, desktop):
+        keys = set()
+        for _ in range(5):
+            s = desktop.run_tool("kapadia", "spice", "")
+            assert s.state is SessionState.RUNNING
+            keys.add(s.allocation.access_key)
+            desktop.complete_run(s.session_id)
+        assert len(keys) == 5  # fresh access key per run

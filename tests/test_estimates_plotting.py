@@ -1,0 +1,167 @@
+"""Tests for reference-qualified CPU estimates and ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimates import (
+    KNOWN_REFERENCES,
+    CpuEstimate,
+    ReferenceMachine,
+    normalise_for,
+    parse_cpu_estimate,
+)
+from repro.errors import QuerySyntaxError
+from repro.experiments.common import FigureResult, SeriesPoint
+from repro.experiments.plotting import ascii_plot
+
+from tests.conftest import make_machine
+
+
+class TestParseEstimates:
+    def test_bare_number_uses_default_reference(self):
+        est = parse_cpu_estimate("1000")
+        assert est.primary_seconds == 1000.0
+        assert est.alternatives[0][1].model == "reference"
+
+    def test_seconds_suffix(self):
+        assert parse_cpu_estimate("1000s").primary_seconds == 1000.0
+
+    def test_paper_footnote_syntax(self):
+        est = parse_cpu_estimate("1000s@sun.iu:sparc:ultra-510:333MHz")
+        sec, ref = est.alternatives[0]
+        assert sec == 1000.0
+        assert ref.arch == "sparc"
+        assert ref.clock_mhz == 333.0
+        assert str(est) == "1000s@sun.iu:sparc:ultra-510:333MHz"
+
+    def test_multiple_estimates(self):
+        est = parse_cpu_estimate(
+            "1000s@sun.iu:sparc:ultra-510:333MHz,"
+            "700s@upc:alpha:es40:524MHz"
+        )
+        assert len(est.alternatives) == 2
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_cpu_estimate("10s@nowhere:arch:model:1MHz")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_cpu_estimate("fast@reference")
+        with pytest.raises(QuerySyntaxError):
+            parse_cpu_estimate("")
+
+    def test_custom_reference_table(self):
+        refs = {"myref": ReferenceMachine("x", "hp", "pa", 100.0, 150.0)}
+        est = parse_cpu_estimate("50s@myref", references=refs)
+        assert est.alternatives[0][1].effective_speed == 150.0
+
+
+class TestNormalisation:
+    def test_faster_machine_shorter_run(self):
+        est = parse_cpu_estimate("1000")  # 1000 s on speed-300 reference
+        slow = make_machine("slow", effective_speed=150.0)
+        fast = make_machine("fast", effective_speed=600.0)
+        assert normalise_for(est, slow) == pytest.approx(2000.0)
+        assert normalise_for(est, fast) == pytest.approx(500.0)
+
+    def test_matching_architecture_preferred(self):
+        est = parse_cpu_estimate(
+            "1000s@sun.iu:sparc:ultra-510:333MHz,"
+            "700s@upc:alpha:es40:524MHz"
+        )
+        alpha = make_machine("a", effective_speed=450.0,
+                             admin_parameters={"arch": "alpha"})
+        # The alpha-qualified estimate applies directly: 700 * 450/450.
+        assert normalise_for(est, alpha) == pytest.approx(700.0)
+        sparc = make_machine("s", effective_speed=300.0,
+                             admin_parameters={"arch": "sparc"})
+        assert normalise_for(est, sparc) == pytest.approx(1000.0)
+
+    def test_no_match_falls_back_to_primary(self):
+        est = parse_cpu_estimate("1000s@upc:alpha:es40:524MHz")
+        x86 = make_machine("x", effective_speed=450.0,
+                           admin_parameters={"arch": "x86"})
+        assert normalise_for(est, x86) == pytest.approx(1000.0)
+
+
+class TestAsciiPlot:
+    def make_result(self):
+        r = FigureResult("figX", "demo", "clients", "seconds")
+        for i, x in enumerate((10, 20, 30)):
+            r.add("a", SeriesPoint(x=x, mean=0.1 * (i + 1), count=1,
+                                   failures=0))
+            r.add("b", SeriesPoint(x=x, mean=0.05 * (i + 1), count=1,
+                                   failures=0))
+        return r
+
+    def test_plot_contains_markers_and_legend(self):
+        text = ascii_plot(self.make_result())
+        assert "figX" in text
+        assert "legend: o a   x b" in text
+        assert text.count("o") >= 3
+        assert text.count("x") >= 3
+
+    def test_plot_dimensions(self):
+        text = ascii_plot(self.make_result(), width=40, height=10)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(rows) == 10
+        assert all(len(r) == 42 for r in rows)
+
+    def test_empty_result(self):
+        assert ascii_plot(FigureResult("f", "t", "x", "y")) == "(no data)"
+
+    def test_deterministic(self):
+        r = self.make_result()
+        assert ascii_plot(r) == ascii_plot(r)
+
+    def test_higher_series_plots_higher(self):
+        r = self.make_result()
+        text = ascii_plot(r, width=30, height=12)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        # 'a' (larger values) should appear above 'b' in the rightmost col.
+        col = [row[30] for row in rows]  # last data column
+        a_row = next(i for i, c in enumerate(col) if c == "o")
+        b_row = next(i for i, c in enumerate(col) if c == "x")
+        assert a_row < b_row  # earlier row = higher on screen
+
+
+class TestQualifiedEstimateScheduling:
+    def test_min_response_time_uses_qualified_estimate(self):
+        from repro.core.language import parse_query
+        from repro.core.scheduling import get_objective
+
+        q = parse_query(
+            "punch.rsrc.arch = sun\n"
+            "punch.appl.cpuestimate = 1000s@sun.iu:sparc:ultra-510:333MHz"
+        ).basic()
+        obj = get_objective("min_response_time")
+        slow = make_machine("slow", effective_speed=150.0)
+        fast = make_machine("fast", effective_speed=600.0)
+        assert obj.rank_key(fast, q) < obj.rank_key(slow, q)
+        # The key IS the predicted duration (speed-ratio scaled).
+        assert obj.rank_key(fast, q)[0] == pytest.approx(500.0)
+
+    def test_pool_allocation_with_qualified_estimate(self, small_db):
+        from repro.config import ResourcePoolConfig
+        from repro.core.language import parse_query
+        from repro.core.resource_pool import ResourcePool
+        from repro.core.signature import pool_name_for
+
+        # Make one machine clearly fastest.
+        import dataclasses
+        rec = small_db.get("sun05")
+        small_db.update(dataclasses.replace(rec, effective_speed=900.0))
+        q = parse_query(
+            "punch.rsrc.arch = sun\n"
+            "punch.appl.cpuestimate = 500s@reference"
+        ).basic()
+        pool = ResourcePool(
+            pool_name_for(q), small_db,
+            config=ResourcePoolConfig(objective="min_response_time"),
+            exemplar_query=q,
+        )
+        pool.initialize()
+        alloc = pool.allocate(q)
+        assert alloc.machine_name == "sun05"

@@ -1,0 +1,92 @@
+"""Unit tests for the experiment harness and figure drivers (tiny scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    FigureResult,
+    SeriesPoint,
+    pool_payload_factory,
+    striped_experiment,
+)
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig9 import run_fig9, shape_facts
+
+
+class TestExperimentConfig:
+    def test_fast_scale_shrinks(self):
+        cfg = ExperimentConfig(machines=3200, queries_per_client=10)
+        fast = cfg.scaled(paper_scale=False)
+        assert fast.machines == 800
+        assert fast.queries_per_client == 5
+
+    def test_paper_scale_identity(self):
+        cfg = ExperimentConfig()
+        assert cfg.scaled(paper_scale=True) == cfg
+
+    def test_fast_scale_floors(self):
+        cfg = ExperimentConfig(machines=100, queries_per_client=4)
+        fast = cfg.scaled(paper_scale=False)
+        assert fast.machines >= 64
+        assert fast.queries_per_client >= 5
+
+
+class TestHarness:
+    def test_payload_factory_stays_in_range(self):
+        payload = pool_payload_factory(4)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            text = payload(0, 0, rng)
+            idx = int(text.split("p")[-1])
+            assert 0 <= idx < 4
+
+    def test_striped_experiment_smoke(self):
+        stats = striped_experiment(
+            machines=80, n_pools=2, clients=2, queries_per_client=3,
+        )
+        assert stats.count == 6
+        assert stats.failures == 0
+
+    def test_striped_experiment_deterministic(self):
+        kwargs = dict(machines=80, n_pools=2, clients=2,
+                      queries_per_client=3, seed=5)
+        assert striped_experiment(**kwargs).samples == \
+            striped_experiment(**kwargs).samples
+
+
+class TestFigureResult:
+    def test_table_includes_all_series(self):
+        r = FigureResult("figX", "t", "x", "y")
+        r.add("a", SeriesPoint(1, 0.5, 10, 0))
+        r.add("b", SeriesPoint(2, 0.7, 10, 1))
+        text = r.format_table()
+        assert "figX" in text and "a" in text and "b" in text
+        assert len([l for l in text.splitlines()
+                    if not l.startswith("#")]) == 3
+
+    def test_curve_accessor(self):
+        r = FigureResult("f", "t", "x", "y")
+        r.add("s", SeriesPoint(1, 0.5, 1, 0))
+        r.add("s", SeriesPoint(2, 0.6, 1, 0))
+        assert r.curve("s") == [(1, 0.5), (2, 0.6)]
+
+
+class TestDriversTinyScale:
+    def test_fig4_driver_structure(self):
+        result = run_fig4(
+            pool_counts=(1, 2), clients=4,
+            config=ExperimentConfig(machines=256, queries_per_client=8),
+        )
+        curve = dict(result.curve("lan"))
+        assert set(curve) == {1, 2}
+        assert curve[2] <= curve[1]
+
+    def test_fig9_driver_and_facts(self):
+        result = run_fig9(samples=20_000, seed=3)
+        facts = shape_facts(result)
+        assert facts["modal_bin_left_edge_s"] <= 10.0
+        assert 0.0 < facts["fraction_below_100s_of_view"] <= 1.0
+        assert "synthetic trace of 20000 runs" in result.notes

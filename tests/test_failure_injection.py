@@ -1,0 +1,167 @@
+"""Failure-injection tests: machines dying, services flapping, recovery.
+
+The paper's reliability claims (Section 6) rest on replication and on
+monitoring keeping the white pages honest; these tests inject failures
+and check the pipeline degrades and recovers the way those mechanisms
+promise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MonitorConfig
+from repro.core.language import parse_query
+from repro.core.pipeline import build_service
+from repro.core.resource_pool import ResourcePool
+from repro.core.signature import pool_name_for
+from repro.database.fields import MachineState
+from repro.database.records import ServiceStatusFlags
+from repro.database.whitepages import WhitePagesDatabase
+from repro.deploy.simulated import ClientSpec, SimulatedDeployment
+from repro.errors import NoResourceAvailableError
+from repro.fleet import FleetSpec, build_database
+from repro.monitoring.monitor import ResourceMonitor
+
+from tests.conftest import make_machine
+
+
+def sun_query():
+    return parse_query("punch.rsrc.arch = sun").basic()
+
+
+class TestMachineFailures:
+    def test_pool_skips_machines_that_die_after_aggregation(self, small_db):
+        q = sun_query()
+        pool = ResourcePool(pool_name_for(q), small_db, exemplar_query=q)
+        pool.initialize()
+        # Kill half the pool *after* the cache was built.
+        victims = list(pool.cache)[:3]
+        for name in victims:
+            small_db.update_dynamic(name, state=MachineState.DOWN)
+        survivors = set(pool.cache) - set(victims)
+        for _ in range(6):
+            alloc = pool.allocate(q)
+            assert alloc.machine_name in survivors
+
+    def test_total_pool_death_fails_allocation_not_crash(self, small_db):
+        q = sun_query()
+        pool = ResourcePool(pool_name_for(q), small_db, exemplar_query=q)
+        pool.initialize()
+        for name in pool.cache:
+            small_db.update_dynamic(name, state=MachineState.DOWN)
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(q)
+
+    def test_monitor_revives_recovered_machines(self, small_db):
+        q = sun_query()
+        pool = ResourcePool(pool_name_for(q), small_db, exemplar_query=q)
+        pool.initialize()
+        for name in pool.cache:
+            small_db.update_dynamic(name, state=MachineState.DOWN)
+        # The next monitoring pass observes them healthy again.
+        monitor = ResourceMonitor(small_db, rng=np.random.default_rng(0))
+        monitor.refresh_once(now=60.0)
+        alloc = pool.allocate(q)
+        assert alloc.machine_name in pool.cache
+
+    def test_service_daemon_flap(self, small_db):
+        q = sun_query()
+        pool = ResourcePool(pool_name_for(q), small_db, exemplar_query=q)
+        pool.initialize()
+        down = ServiceStatusFlags(pvfs_manager_up=False)
+        for name in pool.cache:
+            small_db.update_dynamic(name, service_status_flags=down)
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(q)
+        up = ServiceStatusFlags()
+        for name in pool.cache:
+            small_db.update_dynamic(name, service_status_flags=up)
+        assert pool.allocate(q) is not None
+
+
+class TestEndToEndDegradation:
+    def test_service_survives_partial_fleet_loss(self, fleet_db):
+        service = build_service(fleet_db, n_pool_managers=2)
+        assert service.submit("punch.rsrc.arch = sun").ok
+        # 80% of sun machines die.
+        suns = [n for n in fleet_db.names()
+                if fleet_db.get(n).parameter("arch") == "sun"]
+        for name in suns[:int(len(suns) * 0.8)]:
+            fleet_db.update_dynamic(name, state=MachineState.DOWN)
+        results = [service.submit("punch.rsrc.arch = sun")
+                   for _ in range(10)]
+        assert all(r.ok for r in results)
+        survivors = {r.allocation.machine_name for r in results}
+        assert all(fleet_db.get(m).is_up for m in survivors)
+
+    def test_saturation_fails_then_recovers_on_release(self):
+        db = WhitePagesDatabase([
+            make_machine(f"s{i}", max_allowed_load=1.0) for i in range(3)
+        ])
+        service = build_service(db)
+        allocs = []
+        for _ in range(3):
+            r = service.submit("punch.rsrc.arch = sun")
+            assert r.ok
+            allocs.append(r.allocation)
+        # Fleet saturated: next query fails cleanly.
+        assert not service.submit("punch.rsrc.arch = sun").ok
+        # Releasing one machine restores service.
+        service.release(allocs[0].access_key)
+        assert service.submit("punch.rsrc.arch = sun").ok
+
+    def test_stale_monitoring_blacklists_then_recovers(self, small_db):
+        cfg = MonitorConfig(update_interval_s=10.0, staleness_limit_s=30.0)
+        monitor = ResourceMonitor(small_db, config=cfg,
+                                  rng=np.random.default_rng(1))
+        monitor.refresh_once(now=0.0)
+        service = build_service(small_db)
+        assert service.submit("punch.rsrc.arch = sun").ok
+        # Monitoring silence: everything goes stale and is marked down.
+        monitor.mark_stale_down(now=100.0)
+        assert not service.submit("punch.rsrc.arch = sun").ok
+        # Monitoring resumes; machines return.
+        monitor.refresh_once(now=110.0)
+        assert service.submit("punch.rsrc.arch = sun").ok
+
+
+class TestDesFailuresMidRun:
+    def test_machines_dying_mid_run_cause_no_crash(self):
+        db, _ = build_database(FleetSpec(size=120, stripe_pools=1, seed=3))
+        dep = SimulatedDeployment(db, seed=9)
+        dep.precreate_pool("punch.rsrc.pool = p00")
+
+        # A saboteur process kills machines while clients are running.
+        def saboteur():
+            names = db.names()
+            for i, name in enumerate(names[:60]):
+                yield dep.sim.timeout(0.02)
+                db.update_dynamic(name, state=MachineState.DOWN)
+
+        dep.sim.process(saboteur())
+        stats = dep.run_clients(
+            ClientSpec(count=6, queries_per_client=20, domain="actyp"),
+            lambda ci, it, rng: "punch.rsrc.pool = p00",
+        )
+        # Some queries may fail near total loss, but nothing crashes and
+        # successes continue on surviving machines.
+        assert stats.count + stats.failures == 120
+        assert stats.count > 0
+
+    def test_replicated_pool_tolerates_biased_partition_loss(self):
+        db, _ = build_database(FleetSpec(size=100, stripe_pools=1, seed=3))
+        dep = SimulatedDeployment(db, seed=9)
+        name = dep.precreate_pool("punch.rsrc.pool = p00", replicas=2)
+        # Kill the even-indexed machines (instance 0's preferred tier).
+        pool0 = dep._pool_servers[(name.full, 0)].pool
+        for idx, machine in enumerate(pool0.cache):
+            if idx % 2 == 0:
+                db.update_dynamic(machine, state=MachineState.DOWN)
+        stats = dep.run_clients(
+            ClientSpec(count=4, queries_per_client=10, domain="actyp"),
+            lambda ci, it, rng: "punch.rsrc.pool = p00",
+        )
+        # Both instances fall back to the surviving tier: no failures.
+        assert stats.failures == 0

@@ -1,0 +1,148 @@
+"""Tests for federated (multi-domain) deployments and delegation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig, PoolManagerConfig
+from repro.deploy.federation import DomainSpec, FederatedDeployment
+from repro.errors import ConfigError
+from repro.fleet import ArchProfile, FleetSpec, build_database
+
+
+def domain_db(arch: str, size: int = 60, seed: int = 3):
+    """A database whose machines are all of one architecture."""
+    spec = FleetSpec(
+        size=size,
+        domain=arch + "dom",
+        profiles=(ArchProfile(arch, "anyos", 1.0),),
+        seed=seed,
+    )
+    db, _ = build_database(spec)
+    return db
+
+
+def two_domain_federation(**kwargs) -> FederatedDeployment:
+    """purdue has only sun machines; upc has only hp machines."""
+    return FederatedDeployment([
+        DomainSpec("purdue", domain_db("sun")),
+        DomainSpec("upc", domain_db("hp")),
+    ], **kwargs)
+
+
+class TestConstruction:
+    def test_duplicate_domains_rejected(self):
+        db = domain_db("sun")
+        with pytest.raises(ConfigError):
+            FederatedDeployment([
+                DomainSpec("a", db), DomainSpec("a", db),
+            ])
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ConfigError):
+            FederatedDeployment([])
+
+    def test_cross_domain_peering_registered(self):
+        fed = two_domain_federation()
+        purdue_peers = fed.shard("purdue").directory.peer_pool_managers()
+        domains = {p.domain for p in purdue_peers}
+        assert domains == {"purdue", "upc"}
+
+    def test_unknown_shard_raises(self):
+        fed = two_domain_federation()
+        with pytest.raises(ConfigError):
+            fed.shard("mit")
+
+
+class TestLocalScheduling:
+    def test_local_query_stays_local(self):
+        fed = two_domain_federation(seed=1)
+        stats = fed.run_clients(
+            client_domain="purdue",
+            entry_domain="purdue",
+            payload_fn=lambda ci, it, rng: "punch.rsrc.arch = sun",
+            clients=3, queries_per_client=10,
+        )
+        assert stats.failures == 0
+        assert stats.count == 30
+        # The pool lives in purdue; upc hosts nothing.
+        assert fed.shard("purdue").pool_sizes()
+        assert not fed.shard("upc").pool_sizes()
+
+
+class TestDelegation:
+    def test_query_for_remote_resource_is_delegated(self):
+        fed = two_domain_federation(seed=2)
+        # hp machines exist only in upc; submit to purdue's entry point.
+        stats = fed.run_clients(
+            client_domain="purdue",
+            entry_domain="purdue",
+            payload_fn=lambda ci, it, rng: "punch.rsrc.arch = hp",
+            clients=2, queries_per_client=8,
+        )
+        assert stats.failures == 0
+        assert stats.count == 16
+        # The pool was created in the *upc* domain by delegation.
+        assert not fed.shard("purdue").pool_sizes()
+        sizes = fed.shard("upc").pool_sizes()
+        assert sizes and all(v == 60 for v in sizes.values())
+
+    def test_delegated_queries_pay_wan_latency(self):
+        fed = two_domain_federation(seed=2)
+        local = fed.run_clients(
+            client_domain="purdue", entry_domain="purdue",
+            payload_fn=lambda ci, it, rng: "punch.rsrc.arch = sun",
+            clients=2, queries_per_client=8,
+        )
+        fed2 = two_domain_federation(seed=2)
+        remote = fed2.run_clients(
+            client_domain="purdue", entry_domain="purdue",
+            payload_fn=lambda ci, it, rng: "punch.rsrc.arch = hp",
+            clients=2, queries_per_client=8,
+        )
+        wan = fed2.config.latency.wan_base_s
+        # Remote queries carry at least one WAN round trip extra.
+        assert remote.mean > local.mean + wan
+
+    def test_unsatisfiable_everywhere_fails_after_ttl(self):
+        fed = two_domain_federation(seed=3)
+        stats = fed.run_clients(
+            client_domain="purdue", entry_domain="purdue",
+            payload_fn=lambda ci, it, rng: "punch.rsrc.arch = cray",
+            clients=1, queries_per_client=5,
+        )
+        assert stats.count == 0
+        assert stats.failures == 5
+
+    def test_front_end_domain_always_delegates(self):
+        """A domain with may_create_pools=False is a pure entry point —
+        the "system of systems" resolution of Section 6."""
+        fed = FederatedDeployment([
+            DomainSpec("frontend", domain_db("sun", size=10),
+                       may_create_pools=False),
+            DomainSpec("backend", domain_db("sun", size=50, seed=9)),
+        ], seed=4)
+        stats = fed.run_clients(
+            client_domain="frontend", entry_domain="frontend",
+            payload_fn=lambda ci, it, rng: "punch.rsrc.arch = sun",
+            clients=2, queries_per_client=6,
+        )
+        assert stats.failures == 0
+        assert not fed.shard("frontend").pool_sizes()
+        backend_sizes = fed.shard("backend").pool_sizes()
+        assert backend_sizes and all(v == 50 for v in backend_sizes.values())
+
+    def test_mixed_workload_splits_across_domains(self):
+        fed = two_domain_federation(seed=5)
+
+        def payload(ci, it, rng):
+            return ("punch.rsrc.arch = sun" if it % 2 == 0
+                    else "punch.rsrc.arch = hp")
+
+        stats = fed.run_clients(
+            client_domain="purdue", entry_domain="purdue",
+            payload_fn=payload, clients=4, queries_per_client=10,
+        )
+        assert stats.failures == 0
+        assert fed.shard("purdue").pool_sizes()   # sun pool local
+        assert fed.shard("upc").pool_sizes()      # hp pool remote

@@ -1,0 +1,89 @@
+"""Tests for synthetic fleet construction."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import (
+    ArchProfile,
+    DEFAULT_PROFILES,
+    FleetSpec,
+    build_database,
+    build_fleet,
+)
+
+
+class TestFleetSpec:
+    def test_fraction_sum_validated(self):
+        with pytest.raises(ConfigError):
+            FleetSpec(profiles=(
+                ArchProfile("sun", "solaris", 0.5),
+                ArchProfile("hp", "hpux", 0.2),
+            ))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            FleetSpec(size=-1)
+
+
+class TestBuildFleet:
+    def test_exact_size(self):
+        records = build_fleet(FleetSpec(size=333))
+        assert len(records) == 333
+
+    def test_profile_mix_respected(self):
+        records = build_fleet(FleetSpec(size=1000))
+        archs = Counter(r.parameter("arch") for r in records)
+        assert archs["sun"] == pytest.approx(550, abs=2)
+        assert archs["hp"] == pytest.approx(300, abs=2)
+        assert archs["x86"] == pytest.approx(150, abs=2)
+
+    def test_deterministic_given_seed(self):
+        a = build_fleet(FleetSpec(size=50, seed=9))
+        b = build_fleet(FleetSpec(size=50, seed=9))
+        assert [r.machine_name for r in a] == [r.machine_name for r in b]
+        assert [r.effective_speed for r in a] == \
+            [r.effective_speed for r in b]
+
+    def test_different_seed_different_fleet(self):
+        a = build_fleet(FleetSpec(size=50, seed=1))
+        b = build_fleet(FleetSpec(size=50, seed=2))
+        assert [r.effective_speed for r in a] != \
+            [r.effective_speed for r in b]
+
+    def test_striping_uniform(self):
+        records = build_fleet(FleetSpec(size=320, stripe_pools=8))
+        pools = Counter(r.parameter("pool") for r in records)
+        assert len(pools) == 8
+        assert all(count == 40 for count in pools.values())
+
+    def test_no_striping_by_default(self):
+        records = build_fleet(FleetSpec(size=10))
+        assert all(r.parameter("pool") is None for r in records)
+
+    def test_unique_names(self):
+        records = build_fleet(FleetSpec(size=500))
+        names = [r.machine_name for r in records]
+        assert len(set(names)) == len(names)
+
+    def test_memory_attributes_consistent(self):
+        for rec in build_fleet(FleetSpec(size=100)):
+            assert rec.available_memory_mb == float(rec.parameter("memory"))
+            assert rec.available_swap_mb == 2 * rec.available_memory_mb
+
+
+class TestBuildDatabase:
+    def test_database_holds_fleet(self):
+        db, shadows = build_database(FleetSpec(size=64))
+        assert len(db) == 64
+        assert shadows is None
+
+    def test_with_shadow_registry(self):
+        db, shadows = build_database(FleetSpec(size=16), with_shadows=True)
+        assert shadows is not None
+        assert len(shadows.machines()) == 16
+        pool = shadows.pool_for(db.names()[0])
+        assert pool.capacity == FleetSpec().shadow_accounts_per_machine

@@ -1,0 +1,123 @@
+"""Edge-case tests for the DES kernel and transport not covered elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.address import Endpoint
+from repro.net.latency import ConstantLatency, DomainLatencyModel
+from repro.net.transport import SimTransport
+from repro.sim.kernel import Simulator
+
+
+class TestKernelEdges:
+    def test_run_until_event_reraises_failure(self, sim):
+        def boom():
+            yield sim.timeout(1.0)
+            raise ValueError("kaput")
+
+        sim.strict = False
+        p = sim.process(boom())
+        with pytest.raises(ValueError, match="kaput"):
+            sim.run(until=p)
+
+    def test_run_until_never_fired_event_raises(self, sim):
+        ev = sim.event()  # nobody will trigger it
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=ev)
+
+    def test_any_of_failure_propagates(self, sim):
+        def proc():
+            failing = sim.event()
+            sim.call_soon(lambda: failing.fail(RuntimeError("bad")))
+            yield sim.any_of([failing, sim.timeout(10.0)])
+
+        sim.strict = False
+        p = sim.process(proc())
+        with pytest.raises(RuntimeError, match="bad"):
+            sim.run(until=p)
+
+    def test_all_of_fails_fast(self, sim):
+        def proc():
+            failing = sim.event()
+            sim.call_soon(lambda: failing.fail(RuntimeError("bad")))
+            yield sim.all_of([failing, sim.timeout(100.0)])
+
+        sim.strict = False
+        p = sim.process(proc())
+        with pytest.raises(RuntimeError, match="bad"):
+            sim.run(until=p)
+        assert sim.now < 100.0  # did not wait for the slow member
+
+    def test_call_soon_runs_after_queued_events_at_instant(self, sim):
+        order = []
+        ev = sim.event()
+        ev.add_callback(lambda _e: order.append("event"))
+        ev.succeed()
+        sim.call_soon(lambda: order.append("soon"))
+        sim.run()
+        assert order == ["event", "soon"]
+
+    def test_peek_reports_next_time(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(3.5)
+        assert sim.peek() == 3.5
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_yielding_foreign_event_rejected(self, sim):
+        other = Simulator()
+
+        def proc():
+            yield other.timeout(1.0)
+
+        sim.process(proc())
+        other.run()  # the foreign timeout must be consumed somewhere
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTransportEdges:
+    def test_messages_between_same_pair_keep_order_without_jitter(self):
+        sim = Simulator()
+        transport = SimTransport(sim, latency=ConstantLatency(0.005))
+        a = transport.bind(Endpoint("a", 1))
+        b = transport.bind(Endpoint("b", 1))
+        got = []
+
+        def server():
+            while True:
+                msg = yield b.receive()
+                got.append(msg.payload)
+
+        sim.process(server())
+        for i in range(5):
+            a.send(b.endpoint, "seq", i)
+        sim.run(until=1.0)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_unbind_drops_in_flight_messages_silently(self):
+        sim = Simulator()
+        transport = SimTransport(sim, latency=ConstantLatency(0.01))
+        a = transport.bind(Endpoint("a", 1))
+        transport.bind(Endpoint("b", 1))
+        a.send(Endpoint("b", 1), "ping", None)
+        transport.unbind(Endpoint("b", 1))
+        sim.run()  # delivery fires after unbind: no crash, message dropped
+
+    def test_wan_slower_than_lan_statistically(self):
+        import numpy as np
+        model = DomainLatencyModel()
+        rng = np.random.default_rng(0)
+        lan_src = Endpoint("c", 1, "x")
+        lan_dst = Endpoint("s", 1, "x")
+        wan_dst = Endpoint("s2", 1, "y")
+        lan = np.mean([model.delay(lan_src, lan_dst, rng)
+                       for _ in range(200)])
+        wan = np.mean([model.delay(lan_src, wan_dst, rng)
+                       for _ in range(200)])
+        assert wan > 10 * lan

@@ -1,0 +1,100 @@
+"""Tests for white-pages persistence and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.database.fields import MachineState
+from repro.database.persistence import (
+    dumps_database,
+    load_database,
+    loads_database,
+    record_from_dict,
+    record_to_dict,
+    save_database,
+)
+from repro.database.records import ServiceStatusFlags
+from repro.errors import DatabaseError
+from repro.fleet import FleetSpec, build_database
+
+from tests.conftest import make_machine
+
+
+class TestPersistence:
+    def test_record_roundtrip(self):
+        rec = make_machine(
+            "m1",
+            state=MachineState.BLOCKED,
+            current_load=1.5,
+            shared_account="nobody",
+            usage_policy="light",
+            service_status_flags=ServiceStatusFlags(pvfs_manager_up=False),
+        )
+        assert record_from_dict(record_to_dict(rec)) == rec
+
+    def test_database_roundtrip(self, fleet_db):
+        restored = loads_database(dumps_database(fleet_db))
+        assert len(restored) == len(fleet_db)
+        for name in fleet_db.names():
+            assert restored.get(name) == fleet_db.get(name)
+
+    def test_file_roundtrip(self, fleet_db, tmp_path):
+        path = tmp_path / "fleet.json"
+        save_database(fleet_db, path)
+        restored = load_database(path)
+        assert restored.names() == fleet_db.names()
+
+    def test_taken_state_not_persisted(self, small_db, tmp_path):
+        small_db.take("sun00", "poolX")
+        restored = loads_database(dumps_database(small_db))
+        assert restored.holder_of("sun00") is None
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_database("{ not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps({"format": "other", "version": 1}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(
+                {"format": "repro.whitepages", "version": 99}))
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(DatabaseError):
+            record_from_dict({"state": "up"})  # missing machine_name
+
+    def test_snapshot_is_diff_friendly(self, small_db):
+        a = dumps_database(small_db)
+        b = dumps_database(small_db)
+        assert a == b  # deterministic: sorted keys, sorted machines
+
+
+class TestCli:
+    def test_fleet_generation(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        rc = main(["fleet", "--size", "32", "--out", str(out)])
+        assert rc == 0
+        db = load_database(out)
+        assert len(db) == 32
+        assert "wrote 32 machines" in capsys.readouterr().out
+
+    def test_experiment_fig9(self, capsys):
+        rc = main(["experiment", "fig9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "CPU time" in out
+
+    def test_experiment_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,109 @@
+"""Property-based soak tests of whole deployments (hypothesis).
+
+Invariants checked over randomised topologies and workloads:
+
+- conservation: every submitted query terminates exactly once
+  (successes + failures == submissions);
+- no machine leaks: after all releases drain, no machine holds jobs;
+- pool exclusivity: a machine is never held by two pools;
+- determinism: identical seeds reproduce identical sample sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.deploy.simulated import ClientSpec, DeploymentSpec, SimulatedDeployment
+from repro.fleet import FleetSpec, build_database
+
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def deployment_params(draw):
+    return {
+        "machines": draw(st.integers(min_value=40, max_value=160)),
+        "n_pools": draw(st.integers(min_value=1, max_value=4)),
+        "n_pms": draw(st.integers(min_value=1, max_value=3)),
+        "n_qms": draw(st.integers(min_value=1, max_value=2)),
+        "clients": draw(st.integers(min_value=1, max_value=6)),
+        "qpc": draw(st.integers(min_value=1, max_value=8)),
+        "seed": draw(st.integers(min_value=0, max_value=10_000)),
+        "composite": draw(st.booleans()),
+    }
+
+
+def run_deployment(p):
+    db, _ = build_database(
+        FleetSpec(size=p["machines"], stripe_pools=p["n_pools"],
+                  seed=p["seed"] % 100))
+    dep = SimulatedDeployment(
+        db,
+        spec=DeploymentSpec(n_query_managers=p["n_qms"],
+                            n_pool_managers=p["n_pms"]),
+        seed=p["seed"],
+    )
+
+    def payload(ci, it, rng):
+        a = int(rng.integers(0, p["n_pools"]))
+        if p["composite"] and p["n_pools"] > 1:
+            b = (a + 1) % p["n_pools"]
+            return f"punch.rsrc.pool = p{a:02d}|p{b:02d}"
+        return f"punch.rsrc.pool = p{a:02d}"
+
+    stats = dep.run_clients(
+        ClientSpec(count=p["clients"], queries_per_client=p["qpc"],
+                   domain="actyp"),
+        payload,
+    )
+    return db, dep, stats
+
+
+class TestDeploymentInvariants:
+    @settings(**_SETTINGS)
+    @given(deployment_params())
+    def test_conservation_and_no_leaks(self, p):
+        db, dep, stats = run_deployment(p)
+        submitted = p["clients"] * p["qpc"]
+        # Conservation: every query terminated exactly once.
+        assert stats.count + stats.failures == submitted
+        # Striped pools always have machines, so nothing should fail.
+        assert stats.failures == 0
+        # Drain in-flight releases; no machine still busy.
+        dep.sim.run()
+        busy = sum(db.get(n).active_jobs for n in db.names())
+        assert busy == 0
+
+    @settings(**_SETTINGS)
+    @given(deployment_params())
+    def test_pool_exclusivity(self, p):
+        db, dep, _stats = run_deployment(p)
+        # Every taken machine has exactly one holder, and every pool's
+        # cached machines are held by that pool.
+        seen = {}
+        for key, size in dep.pool_sizes().items():
+            pool = next(s.pool for k, s in dep._pool_servers.items()
+                        if f"{k[0]}#{k[1]}" == key)
+            for machine in pool.cache:
+                holder = db.holder_of(machine)
+                assert holder == pool.name.full
+                prior = seen.setdefault(machine, holder)
+                assert prior == holder
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_identical_seeds_identical_traces(self, seed):
+        p = {
+            "machines": 60, "n_pools": 2, "n_pms": 2, "n_qms": 1,
+            "clients": 3, "qpc": 4, "seed": seed, "composite": False,
+        }
+        _db1, _dep1, s1 = run_deployment(p)
+        _db2, _dep2, s2 = run_deployment(p)
+        assert s1.samples == s2.samples

@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.decompose import ReintegrationBuffer, decompose
+from repro.core.language import CompositeQuery, parse_query, punch_language
+from repro.core.operators import Op, RangeValue, compare
+from repro.core.query import Allocation, Clause, Query, QueryResult
+from repro.core.signature import pool_name_for
+from repro.database.shadow import ShadowAccountPool
+from repro.database.whitepages import WhitePagesDatabase
+from repro.sim.kernel import Resource, Simulator
+
+from tests.conftest import make_machine
+
+# -- strategies -------------------------------------------------------------
+
+_WORD = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+_NUM_KEYS = ("memory", "swap", "speed", "cpus", "load", "freememory")
+_STR_KEYS = ("arch", "ostype", "osversion", "owner", "cms", "domain",
+             "license", "tool", "pool")
+
+
+@st.composite
+def rsrc_clauses(draw):
+    """A set of distinct rsrc clauses with type-correct values."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    keys = draw(st.permutations(_NUM_KEYS + _STR_KEYS).map(lambda p: p[:n]))
+    clauses = []
+    for key in keys:
+        if key in _NUM_KEYS:
+            op = draw(st.sampled_from([Op.EQ, Op.GE, Op.LE, Op.GT, Op.LT]))
+            value = float(draw(st.integers(min_value=0, max_value=10_000)))
+        else:
+            op = draw(st.sampled_from([Op.EQ, Op.NE]))
+            value = draw(_WORD)
+        clauses.append(Clause("punch", "rsrc", key, op, value))
+    return tuple(clauses)
+
+
+# -- pool naming ---------------------------------------------------------------
+
+
+class TestPoolNamingProperties:
+    @given(rsrc_clauses())
+    def test_name_independent_of_clause_order(self, clauses):
+        q1 = Query(clauses=clauses)
+        q2 = Query(clauses=tuple(reversed(clauses)))
+        assert pool_name_for(q1) == pool_name_for(q2)
+
+    @given(rsrc_clauses())
+    def test_signature_identifier_component_counts_match(self, clauses):
+        name = pool_name_for(Query(clauses=clauses))
+        keys_part, ops_part = name.signature.split(",")
+        assert len(keys_part.split(":")) == len(ops_part.split(":"))
+        assert len(name.identifier.split(":")) == len(keys_part.split(":"))
+
+    @given(rsrc_clauses(), rsrc_clauses())
+    def test_distinct_constraints_distinct_names(self, a, b):
+        qa, qb = Query(clauses=a), Query(clauses=b)
+        canonical_a = tuple(sorted((c.name, str(c.op), c.value_text())
+                                   for c in a))
+        canonical_b = tuple(sorted((c.name, str(c.op), c.value_text())
+                                   for c in b))
+        assume(canonical_a != canonical_b)
+        assert pool_name_for(qa) != pool_name_for(qb)
+
+
+# -- operators -------------------------------------------------------------------
+
+
+class TestOperatorProperties:
+    @given(st.floats(min_value=-1e9, max_value=1e9),
+           st.floats(min_value=-1e9, max_value=1e9))
+    def test_ge_le_duality(self, mv, qv):
+        assert compare(Op.GE, mv, qv) == (not compare(Op.LT, mv, qv))
+        assert compare(Op.LE, mv, qv) == (not compare(Op.GT, mv, qv))
+
+    @given(st.floats(min_value=-1e9, max_value=1e9))
+    def test_eq_reflexive(self, v):
+        assert compare(Op.EQ, v, v)
+
+    @given(_WORD)
+    def test_string_eq_case_insensitive(self, w):
+        assert compare(Op.EQ, w.upper(), w.lower())
+
+    @given(st.floats(min_value=0, max_value=1e6),
+           st.floats(min_value=0, max_value=1e6),
+           st.floats(min_value=0, max_value=1e6))
+    def test_range_membership(self, a, b, x):
+        lo, hi = min(a, b), max(a, b)
+        rv = RangeValue(lo, hi)
+        assert compare(Op.RANGE, x, rv) == (lo <= x <= hi)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.sampled_from(list(Op)))
+    def test_none_never_matches(self, qv, op):
+        if op is Op.IN:
+            assert not compare(op, None, frozenset({qv}))
+        elif op is Op.RANGE:
+            assert not compare(op, None, RangeValue(0.0, 1.0))
+        else:
+            assert not compare(op, None, qv)
+
+
+# -- decomposition -----------------------------------------------------------------
+
+
+class TestDecompositionProperties:
+    @given(st.lists(st.lists(_WORD, min_size=1, max_size=4, unique=True),
+                    min_size=1, max_size=3))
+    def test_component_count_is_product(self, groups_values):
+        groups = tuple(
+            tuple(Clause("punch", "rsrc", key, Op.EQ, v) for v in values)
+            for key, values in zip(_STR_KEYS, groups_values)
+        )
+        composite = CompositeQuery(groups=groups)
+        comps = decompose(composite, query_id=1, origin="",
+                          submitted_at=0.0, ttl=4)
+        expected = 1
+        for values in groups_values:
+            expected *= len(values)
+        assert len(comps) == expected
+        assert sorted(c.component_index for c in comps) == \
+            list(range(expected))
+        # Every component is a full conjunction over all the keys.
+        for c in comps:
+            assert len(c.clauses) == len(groups)
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_reintegration_always_terminates(self, count, data):
+        buf = ReintegrationBuffer(query_id=1, component_count=count,
+                                  policy=data.draw(st.sampled_from(
+                                      ["first_match", "all"])))
+        order = data.draw(st.permutations(range(count)))
+        outcomes = data.draw(st.lists(st.booleans(), min_size=count,
+                                      max_size=count))
+        final = None
+        for idx in order:
+            ok = outcomes[idx]
+            alloc = Allocation("m", "m", 7070, "k" * 32) if ok else None
+            result = QueryResult(
+                query_id=1, component_index=idx, component_count=count,
+                allocation=alloc, error=None if ok else "no",
+            )
+            out = buf.offer(result)
+            if out is not None:
+                assert final is None, "completed twice"
+                final = out
+        assert final is not None
+        assert buf.outstanding == 0
+        # Success iff any component succeeded.
+        assert final.ok == any(outcomes)
+
+
+# -- white pages take/release ---------------------------------------------------------
+
+
+class TestWhitePagesProperties:
+    @given(st.lists(st.tuples(st.integers(0, 9), _WORD), min_size=1,
+                    max_size=40))
+    def test_take_release_never_leaks(self, operations):
+        db = WhitePagesDatabase([make_machine(f"m{i}") for i in range(10)])
+        held = {}
+        for machine_idx, pool in operations:
+            name = f"m{machine_idx}"
+            if name in held:
+                db.release(name, held.pop(name))
+            else:
+                if db.take(name, pool):
+                    held[name] = pool
+        assert db.taken_count() == len(held)
+        for name, pool in list(held.items()):
+            db.release(name, pool)
+        assert db.taken_count() == 0
+        assert db.free_names() == {f"m{i}" for i in range(10)}
+
+
+# -- shadow accounts ---------------------------------------------------------------------
+
+
+class TestShadowAccountProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_capacity_conserved(self, ops):
+        pool = ShadowAccountPool("m", count=5)
+        live = []
+        for allocate in ops:
+            if allocate and pool.available > 0:
+                acct = pool.allocate(f"k{len(live)}")
+                live.append((acct, f"k{len(live) - 1 + 1}"))
+            elif live:
+                acct, _key = live.pop()
+                pool.release(acct, f"k{len(live)}")
+        assert pool.available + len(live) == 5
+
+    @given(st.integers(min_value=0, max_value=5))
+    def test_uids_unique_among_live(self, n):
+        pool = ShadowAccountPool("m", count=5)
+        accounts = [pool.allocate(f"k{i}") for i in range(n)]
+        uids = [a.uid for a in accounts]
+        assert len(set(uids)) == len(uids)
+
+
+# -- DES kernel ---------------------------------------------------------------------------
+
+
+class TestKernelProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=30))
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def proc(d):
+            yield sim.timeout(d)
+            fired.append(sim.now)
+
+        for d in delays:
+            sim.process(proc(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=20))
+    def test_resource_never_exceeds_capacity(self, capacity, jobs):
+        sim = Simulator()
+        server = Resource(sim, capacity=capacity)
+        peak = [0]
+
+        def job():
+            with server.request() as req:
+                yield req
+                peak[0] = max(peak[0], server.count)
+                yield sim.timeout(1.0)
+
+        for _ in range(jobs):
+            sim.process(job())
+        sim.run()
+        assert peak[0] <= capacity
+        assert server.count == 0
+        assert server.queue_length == 0

@@ -1,0 +1,102 @@
+"""Tests for redundant fan-out QoS (Section 6's higher-QoS mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig, QueryManagerConfig
+from repro.core.pipeline import build_service
+from repro.core.query_manager import QueryManager
+from repro.deploy.simulated import ClientSpec, DeploymentSpec, SimulatedDeployment
+from repro.errors import ConfigError
+from repro.fleet import FleetSpec, build_database
+from repro.net.address import Endpoint
+
+import numpy as np
+
+
+def endpoints(n):
+    return [Endpoint(f"pm{i}", 8100 + i) for i in range(n)]
+
+
+class TestFanoutDispatch:
+    def test_duplicates_created_per_component(self):
+        qm = QueryManager("qm", endpoints(3), fanout=2,
+                          rng=np.random.default_rng(0))
+        qid, dispatches = qm.admit("punch.rsrc.arch = sun")
+        assert len(dispatches) == 2
+        # Duplicates of one component go to distinct pool managers.
+        targets = {d.pool_manager for d in dispatches}
+        assert len(targets) == 2
+        assert {d.duplicate_index for d in dispatches} == {0, 1}
+
+    def test_fanout_capped_at_pool_manager_count(self):
+        qm = QueryManager("qm", endpoints(2), fanout=5,
+                          rng=np.random.default_rng(0))
+        _qid, dispatches = qm.admit("punch.rsrc.arch = sun")
+        assert len(dispatches) == 2
+
+    def test_composite_with_fanout_multiplies(self):
+        qm = QueryManager("qm", endpoints(4), fanout=2,
+                          rng=np.random.default_rng(0))
+        _qid, dispatches = qm.admit("punch.rsrc.arch = sun|hp")
+        assert len(dispatches) == 4  # 2 components x 2 duplicates
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ConfigError):
+            QueryManager("qm", endpoints(1), fanout=0)
+        with pytest.raises(ConfigError):
+            QueryManagerConfig(fanout=0).validated()
+
+    def test_duplicate_results_dropped_and_counted(self):
+        from tests.test_decompose import make_result
+        qm = QueryManager("qm", endpoints(2), fanout=2,
+                          rng=np.random.default_rng(0))
+        qid, dispatches = qm.admit("punch.rsrc.arch = sun")
+        first = qm.complete_component(make_result(query_id=qid))
+        assert first is not None and first.ok
+        duplicate = qm.complete_component(make_result(query_id=qid))
+        assert duplicate is None
+        assert qm.redundant_results == 1
+
+    def test_late_result_after_finish_is_dropped_not_error(self):
+        from tests.test_decompose import make_result
+        qm = QueryManager("qm", endpoints(2), fanout=2,
+                          rng=np.random.default_rng(0))
+        qid, _ = qm.admit("punch.rsrc.arch = sun")
+        assert qm.complete_component(make_result(query_id=qid)) is not None
+        assert qm.open_queries() == 0
+        # A very late duplicate arrives after buffer teardown.
+        assert qm.complete_component(make_result(query_id=qid)) is None
+
+
+class TestFanoutEndToEnd:
+    def test_facade_with_fanout_leaks_nothing(self, fleet_db):
+        cfg = PipelineConfig(query_manager=QueryManagerConfig(fanout=2))
+        service = build_service(fleet_db, config=cfg, n_pool_managers=2)
+        for _ in range(10):
+            result = service.submit("punch.rsrc.arch = sun")
+            assert result.ok
+            service.release(result.allocation.access_key)
+        busy = sum(fleet_db.get(n).active_jobs for n in fleet_db.names())
+        assert busy == 0
+
+    def test_des_with_fanout_releases_redundant_allocations(self):
+        db, _ = build_database(FleetSpec(size=200, stripe_pools=2, seed=3))
+        cfg = PipelineConfig(query_manager=QueryManagerConfig(fanout=2))
+        dep = SimulatedDeployment(
+            db, spec=DeploymentSpec(n_pool_managers=2, config=cfg), seed=5)
+        for p in range(2):
+            dep.precreate_pool(f"punch.rsrc.pool = p{p:02d}", pm_index=p)
+        stats = dep.run_clients(
+            ClientSpec(count=4, queries_per_client=10, domain="actyp"),
+            lambda ci, it, rng: f"punch.rsrc.pool = "
+                                f"p{int(rng.integers(0, 2)):02d}",
+        )
+        assert stats.failures == 0
+        dep.sim.run()  # drain releases
+        busy = sum(db.get(n).active_jobs for n in db.names())
+        assert busy == 0
+        # Redundancy really happened.
+        qm_stats = dep.stage_stats()["query_managers"]
+        assert qm_stats["components_dispatched"] == 80  # 40 queries x 2

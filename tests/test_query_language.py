@@ -1,0 +1,311 @@
+"""Tests for the query language, operators, and pool naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.language import (
+    CompositeQuery,
+    KeySpec,
+    QueryLanguage,
+    ValueKind,
+    parse_query,
+    punch_language,
+)
+from repro.core.operators import Op, RangeValue, coerce_number, compare
+from repro.core.query import Clause, Query
+from repro.core.signature import PoolName, pool_name_for
+from repro.errors import (
+    OperatorError,
+    QuerySyntaxError,
+    UnknownFamilyError,
+    UnknownKeyError,
+)
+
+from tests.conftest import make_machine
+
+PAPER_QUERY = """
+punch.rsrc.arch = sun
+punch.rsrc.memory = >=10
+punch.rsrc.license = tsuprem4
+punch.rsrc.domain = purdue
+punch.appl.expectedcpuuse = 1000
+punch.user.login = kapadia
+punch.user.accessgroup = ece
+"""
+
+
+class TestOperators:
+    def test_parse_roundtrip(self):
+        for op in Op:
+            if op in (Op.IN, Op.RANGE):
+                continue
+            assert Op.parse(op.value) is op
+
+    def test_unknown_operator(self):
+        with pytest.raises(OperatorError):
+            Op.parse("~=")
+
+    @pytest.mark.parametrize("op,mv,qv,expected", [
+        (Op.EQ, "sun", "SUN", True),
+        (Op.EQ, "sun", "hp", False),
+        (Op.NE, "sun", "hp", True),
+        (Op.GE, "256", 10, True),
+        (Op.GE, 5, 10, False),
+        (Op.LE, 5, 10, True),
+        (Op.GT, 11, 10, True),
+        (Op.LT, 11, 10, False),
+        (Op.EQ, "10", 10.0, True),   # numeric-aware equality
+    ])
+    def test_compare_table(self, op, mv, qv, expected):
+        assert compare(op, mv, qv) is expected
+
+    def test_missing_machine_value_fails_closed(self):
+        assert not compare(Op.EQ, None, "sun")
+        assert not compare(Op.GE, None, 10)
+
+    def test_uncoercible_ordered_comparison_fails_closed(self):
+        assert not compare(Op.GE, "lots", 10)
+
+    def test_in_operator(self):
+        assert compare(Op.IN, "sun", frozenset({"sun", "hp"}))
+        assert not compare(Op.IN, "x86", frozenset({"sun", "hp"}))
+
+    def test_in_requires_collection(self):
+        with pytest.raises(OperatorError):
+            compare(Op.IN, "sun", "sun")
+
+    def test_range(self):
+        rv = RangeValue(10, 20)
+        assert compare(Op.RANGE, 15, rv)
+        assert compare(Op.RANGE, 10, rv) and compare(Op.RANGE, 20, rv)
+        assert not compare(Op.RANGE, 21, rv)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(OperatorError):
+            RangeValue(20, 10)
+
+    def test_coerce_number(self):
+        assert coerce_number("10") == 10.0
+        assert coerce_number(" 2.5 ") == 2.5
+        assert coerce_number("sun") is None
+        assert coerce_number(True) is None
+
+
+class TestParsing:
+    def test_paper_query_parses(self):
+        cq = parse_query(PAPER_QUERY)
+        assert not cq.is_composite
+        q = cq.basic()
+        assert len(q.rsrc_clauses) == 4
+        assert q.get("punch.rsrc.arch") == "sun"
+        assert q.expected_cpu_use == 1000.0
+        assert q.login == "kapadia"
+        assert q.access_group == "ece"
+
+    def test_operator_prefix_parsed(self):
+        q = parse_query("punch.rsrc.memory = >=10").basic()
+        clause = q.rsrc_clauses[0]
+        assert clause.op is Op.GE
+        assert clause.value == 10.0
+
+    def test_double_equals_spelling_tolerated(self):
+        q = parse_query("punch.rsrc.arch == sun").basic()
+        assert q.get("punch.rsrc.arch") == "sun"
+
+    def test_comments_and_blanks_ignored(self):
+        q = parse_query("""
+            # a comment
+            punch.rsrc.arch = sun   # trailing comment
+
+        """).basic()
+        assert q.get("punch.rsrc.arch") == "sun"
+
+    def test_alternation_makes_composite(self):
+        cq = parse_query("punch.rsrc.arch = sun|hp")
+        assert cq.is_composite
+        assert cq.component_count == 2
+        with pytest.raises(QuerySyntaxError):
+            cq.basic()
+
+    def test_range_value(self):
+        q = parse_query("punch.rsrc.memory = 128..512").basic()
+        clause = q.rsrc_clauses[0]
+        assert clause.op is Op.RANGE
+        assert clause.value == RangeValue(128, 512)
+
+    def test_range_with_operator_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("punch.rsrc.memory = >=128..512")
+
+    def test_unknown_family(self):
+        with pytest.raises(UnknownFamilyError):
+            parse_query("condor.rsrc.arch = sun")
+
+    def test_unknown_key(self):
+        with pytest.raises(UnknownKeyError):
+            parse_query("punch.rsrc.flavor = mint")
+
+    def test_bad_key_shape(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("punch.arch = sun")
+
+    def test_missing_equals(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("punch.rsrc.arch sun")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("punch.rsrc.arch = sun\npunch.rsrc.arch = hp")
+
+    def test_number_key_requires_number(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("punch.rsrc.memory = lots")
+
+    def test_ordered_op_on_string_rejected(self):
+        with pytest.raises(OperatorError):
+            parse_query("punch.rsrc.arch = >=sun")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   \n  # only a comment\n")
+
+    def test_empty_alternative_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("punch.rsrc.arch = sun||hp")
+
+
+class TestLanguageRegistry:
+    def test_register_family_and_key(self):
+        lang = QueryLanguage()
+        lang.register_family("globus", ["rsrc"])
+        lang.register_key(KeySpec("globus", "rsrc", "gram", ValueKind.STRING))
+        cq = lang.parse("globus.rsrc.gram = jobmanager")
+        assert cq.basic().clauses[0].family == "globus"
+
+    def test_duplicate_family_rejected(self):
+        lang = punch_language()
+        with pytest.raises(QuerySyntaxError):
+            lang.register_family("punch", ["rsrc"])
+
+    def test_duplicate_key_rejected(self):
+        lang = punch_language()
+        with pytest.raises(QuerySyntaxError):
+            lang.register_key(KeySpec("punch", "rsrc", "arch"))
+
+    def test_keys_for_lists_sorted(self):
+        lang = punch_language()
+        names = [k.name for k in lang.keys_for("punch", "user")]
+        assert names == sorted(names)
+
+    def test_allowed_ops_enforced(self):
+        lang = QueryLanguage()
+        lang.register_family("f", ["rsrc"])
+        lang.register_key(KeySpec("f", "rsrc", "x", ValueKind.NUMBER,
+                                  allowed_ops=frozenset({Op.EQ})))
+        with pytest.raises(OperatorError):
+            lang.parse("f.rsrc.x = >=10")
+
+
+class TestQueryModel:
+    def test_duplicate_clause_keys_rejected(self):
+        c = Clause("punch", "rsrc", "arch", Op.EQ, "sun")
+        with pytest.raises(QuerySyntaxError):
+            Query(clauses=(c, c))
+
+    def test_matches_machine(self):
+        q = parse_query("punch.rsrc.arch = sun\npunch.rsrc.memory = >=128").basic()
+        assert q.matches_machine(make_machine())
+        hp = make_machine("hp0", admin_parameters={"arch": "hp"})
+        assert not q.matches_machine(hp)
+
+    def test_appl_user_clauses_do_not_affect_matching(self):
+        q = parse_query(PAPER_QUERY).basic()
+        rec = make_machine(admin_parameters={
+            "arch": "sun", "license": "tsuprem4", "memory": "256",
+        })
+        assert q.matches_machine(rec)
+
+    def test_with_routing_updates_ttl_and_visited(self):
+        q = parse_query("punch.rsrc.arch = sun").basic()
+        q2 = q.with_routing(ttl=2, visited=("pmA",))
+        assert q2.ttl == 2
+        assert q2.visited_pool_managers == ("pmA",)
+        assert q.ttl == 4  # original untouched
+
+    def test_component_index_validation(self):
+        c = Clause("punch", "rsrc", "arch", Op.EQ, "sun")
+        with pytest.raises(QuerySyntaxError):
+            Query(clauses=(c,), component_index=3, component_count=2)
+
+    def test_clause_key_component_validation(self):
+        with pytest.raises(QuerySyntaxError):
+            Clause("pun.ch", "rsrc", "arch")
+        with pytest.raises(QuerySyntaxError):
+            Clause("punch", "rsrc", "ar:ch")
+
+
+class TestPoolNaming:
+    def test_paper_example_exact(self):
+        q = parse_query(PAPER_QUERY).basic()
+        name = pool_name_for(q)
+        assert name.signature == "arch:domain:license:memory,==:==:==:>="
+        assert name.identifier == "sun:purdue:tsuprem4:10"
+
+    def test_keys_sorted_regardless_of_order(self):
+        a = parse_query("punch.rsrc.arch = sun\npunch.rsrc.memory = >=10").basic()
+        b = parse_query("punch.rsrc.memory = >=10\npunch.rsrc.arch = sun").basic()
+        assert pool_name_for(a) == pool_name_for(b)
+
+    def test_appl_user_keys_excluded(self):
+        bare = parse_query("punch.rsrc.arch = sun").basic()
+        rich = parse_query(
+            "punch.rsrc.arch = sun\npunch.user.login = x\n"
+            "punch.appl.expectedcpuuse = 5"
+        ).basic()
+        assert pool_name_for(bare) == pool_name_for(rich)
+
+    def test_different_operator_different_signature(self):
+        ge = parse_query("punch.rsrc.memory = >=10").basic()
+        le = parse_query("punch.rsrc.memory = <=10").basic()
+        assert pool_name_for(ge).signature != pool_name_for(le).signature
+        assert pool_name_for(ge).identifier == pool_name_for(le).identifier
+
+    def test_no_rsrc_clauses_rejected(self):
+        q = parse_query("punch.user.login = x").basic()
+        with pytest.raises(QuerySyntaxError):
+            pool_name_for(q)
+
+    def test_number_formatting_in_identifier(self):
+        q = parse_query("punch.rsrc.memory = >=10").basic()
+        assert pool_name_for(q).identifier == "10"
+        q2 = parse_query("punch.rsrc.memory = >=10.5").basic()
+        assert pool_name_for(q2).identifier == "10.5"
+
+    def test_full_name_combines_parts(self):
+        name = PoolName("sig", "id")
+        assert name.full == "sig/id"
+
+
+class TestMultiValuedMachineAttributes:
+    """Section 4.1's example: machine parameter ``cms=sge,pbs,condor``."""
+
+    def test_eq_matches_any_element(self):
+        assert compare(Op.EQ, "sge,pbs,condor", "pbs")
+        assert compare(Op.EQ, "sge,pbs,condor", "SGE")
+        assert not compare(Op.EQ, "sge,pbs,condor", "lsf")
+
+    def test_ne_requires_no_element(self):
+        assert compare(Op.NE, "sge,pbs,condor", "lsf")
+        assert not compare(Op.NE, "sge,pbs,condor", "pbs")
+
+    def test_end_to_end_cms_query(self):
+        rec = make_machine(admin_parameters={"cms": "sge,pbs,condor"})
+        q = parse_query("punch.rsrc.arch = sun\npunch.rsrc.cms = pbs").basic()
+        assert q.matches_machine(rec)
+        q2 = parse_query("punch.rsrc.arch = sun\npunch.rsrc.cms = lsf").basic()
+        assert not q2.matches_machine(rec)
+
+    def test_single_valued_unaffected(self):
+        assert compare(Op.EQ, "sge", "sge")
+        assert not compare(Op.EQ, "sge", "pbs")

@@ -1,0 +1,133 @@
+"""Tests for advance reservations (the second Globus-contrast extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.language import parse_query
+from repro.core.reservations import (
+    Reservation,
+    ReservationBook,
+    ReservationError,
+    claim_reservation,
+    reserve_in_pool,
+)
+from repro.core.resource_pool import ResourcePool
+from repro.core.signature import pool_name_for
+from repro.database.fields import MachineState
+
+
+def sun_q():
+    return parse_query("punch.rsrc.arch = sun").basic()
+
+
+@pytest.fixture
+def pool(small_db):
+    q = sun_q()
+    p = ResourcePool(pool_name_for(q), small_db, exemplar_query=q)
+    p.initialize()
+    return p
+
+
+class TestReservationBook:
+    def test_reserve_and_get(self):
+        book = ReservationBook()
+        r = book.reserve("m1", 10.0, 20.0, login="kapadia")
+        assert book.get(r.token) == r
+        assert book.committed_at("m1", 15.0) == r
+        assert book.committed_at("m1", 25.0) is None
+
+    def test_overlap_rejected(self):
+        book = ReservationBook()
+        book.reserve("m1", 10.0, 20.0)
+        with pytest.raises(ReservationError):
+            book.reserve("m1", 15.0, 25.0)
+        # Touching intervals are fine (half-open windows).
+        book.reserve("m1", 20.0, 30.0)
+        book.reserve("m1", 0.0, 10.0)
+
+    def test_other_machine_unaffected(self):
+        book = ReservationBook()
+        book.reserve("m1", 10.0, 20.0)
+        book.reserve("m2", 10.0, 20.0)
+        assert len(book.reservations_on("m1")) == 1
+
+    def test_empty_window_rejected(self):
+        book = ReservationBook()
+        with pytest.raises(ReservationError):
+            book.reserve("m1", 10.0, 10.0)
+
+    def test_cancel_frees_window(self):
+        book = ReservationBook()
+        r = book.reserve("m1", 10.0, 20.0)
+        book.cancel(r.token)
+        book.reserve("m1", 12.0, 18.0)  # no conflict now
+        with pytest.raises(ReservationError):
+            book.cancel(r.token)  # already cancelled
+
+    def test_expire_before_drops_past_windows(self):
+        book = ReservationBook()
+        old = book.reserve("m1", 0.0, 5.0)
+        book.reserve("m1", 10.0, 20.0)
+        assert book.expire_before(6.0) == 1
+        with pytest.raises(ReservationError):
+            book.get(old.token)
+        assert len(book.reservations_on("m1")) == 1
+
+
+class TestPoolReservations:
+    def test_reserve_lands_on_scheduler_preference(self, pool, small_db):
+        for i in range(6):
+            small_db.update_dynamic(f"sun{i:02d}", current_load=1.0)
+        small_db.update_dynamic("sun03", current_load=0.0)
+        book = ReservationBook()
+        r = reserve_in_pool(pool, book, sun_q(), 100.0, 50.0)
+        assert r.machine_name == "sun03"
+
+    def test_conflicting_windows_spread_over_machines(self, pool):
+        book = ReservationBook()
+        tokens = set()
+        for _ in range(6):
+            r = reserve_in_pool(pool, book, sun_q(), 100.0, 50.0)
+            tokens.add(r.machine_name)
+        assert len(tokens) == 6  # each booking took a different machine
+        with pytest.raises(ReservationError):
+            reserve_in_pool(pool, book, sun_q(), 100.0, 50.0)
+
+    def test_disjoint_windows_share_a_machine(self, pool):
+        book = ReservationBook()
+        a = reserve_in_pool(pool, book, sun_q(), 0.0, 10.0)
+        b = reserve_in_pool(pool, book, sun_q(), 10.0, 20.0)
+        assert a.machine_name == b.machine_name
+
+    def test_claim_inside_window(self, pool):
+        book = ReservationBook()
+        r = reserve_in_pool(pool, book, sun_q(), 100.0, 50.0)
+        alloc = claim_reservation(pool, book, r.token, sun_q(), now=110.0)
+        assert alloc.machine_name == r.machine_name
+        # Reservation consumed.
+        with pytest.raises(ReservationError):
+            book.get(r.token)
+        pool.release(alloc.access_key)
+
+    def test_claim_outside_window_rejected(self, pool):
+        book = ReservationBook()
+        r = reserve_in_pool(pool, book, sun_q(), 100.0, 50.0)
+        with pytest.raises(ReservationError):
+            claim_reservation(pool, book, r.token, sun_q(), now=99.0)
+        with pytest.raises(ReservationError):
+            claim_reservation(pool, book, r.token, sun_q(), now=150.0)
+        assert book.get(r.token) == r  # still booked
+
+    def test_claim_on_dead_machine_voids_reservation(self, pool, small_db):
+        book = ReservationBook()
+        r = reserve_in_pool(pool, book, sun_q(), 100.0, 50.0)
+        small_db.update_dynamic(r.machine_name, state=MachineState.DOWN)
+        with pytest.raises(ReservationError):
+            claim_reservation(pool, book, r.token, sun_q(), now=110.0)
+        with pytest.raises(ReservationError):
+            book.get(r.token)  # voided
+
+    def test_zero_duration_rejected(self, pool):
+        with pytest.raises(ReservationError):
+            reserve_in_pool(pool, ReservationBook(), sun_q(), 10.0, 0.0)

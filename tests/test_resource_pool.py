@@ -1,0 +1,282 @@
+"""Tests for resource pools: initialisation, scheduling, split, replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ResourcePoolConfig
+from repro.core.language import parse_query
+from repro.core.resource_pool import ResourcePool
+from repro.core.signature import PoolName, pool_name_for
+from repro.database.fields import MachineState
+from repro.database.policy import PolicyRegistry, load_below
+from repro.database.records import ServiceStatusFlags
+from repro.database.shadow import ShadowAccountRegistry
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import NoResourceAvailableError, PoolCreationError
+
+from tests.conftest import make_machine
+
+
+def sun_query(extra: str = ""):
+    return parse_query("punch.rsrc.arch = sun\n" + extra).basic()
+
+
+def make_pool(db, query=None, **kwargs):
+    query = query or sun_query()
+    return ResourcePool(pool_name_for(query), db, exemplar_query=query,
+                        **kwargs)
+
+
+class TestInitialisation:
+    def test_walk_takes_matching_machines(self, small_db):
+        pool = make_pool(small_db)
+        n = pool.initialize()
+        assert n == 6  # six sun machines
+        assert pool.size == 6
+        assert small_db.taken_count() == 6
+        for name in pool.cache:
+            assert small_db.holder_of(name) == pool.name.full
+
+    def test_second_pool_cannot_steal(self, small_db):
+        p1 = make_pool(small_db)
+        p1.initialize()
+        p2 = make_pool(small_db)
+        assert p2.initialize() == 0
+
+    def test_double_initialize_raises(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        with pytest.raises(PoolCreationError):
+            pool.initialize()
+
+    def test_destroy_releases_machines(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        released = pool.destroy()
+        assert released == 6
+        assert small_db.taken_count() == 0
+
+    def test_max_machines_cap(self, small_db):
+        pool = make_pool(small_db)
+        assert pool.initialize(max_machines=3) == 3
+
+
+class TestSchedulingAndAllocation:
+    def test_least_load_prefers_idle_machine(self, small_db):
+        for i in range(6):
+            small_db.update_dynamic(f"sun{i:02d}", current_load=1.0)
+        small_db.update_dynamic("sun00", current_load=3.0)
+        small_db.update_dynamic("sun01", current_load=0.1)
+        pool = make_pool(small_db)
+        pool.initialize()
+        alloc = pool.allocate(sun_query())
+        assert alloc.machine_name == "sun01"
+
+    def test_allocation_bumps_load_and_jobs(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        alloc = pool.allocate(sun_query())
+        rec = small_db.get(alloc.machine_name)
+        assert rec.active_jobs == 1
+        assert rec.current_load > 0.0
+
+    def test_release_restores_load(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        alloc = pool.allocate(sun_query())
+        pool.release(alloc.access_key)
+        rec = small_db.get(alloc.machine_name)
+        assert rec.active_jobs == 0
+        assert pool.active_runs == 0
+
+    def test_release_unknown_key_raises(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        with pytest.raises(NoResourceAvailableError):
+            pool.release("nope")
+
+    def test_down_machines_skipped(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        for name in pool.cache:
+            small_db.update_dynamic(name, state=MachineState.DOWN)
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(sun_query())
+        assert pool.allocation_failures == 1
+
+    def test_overloaded_machines_skipped(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        for name in pool.cache:
+            small_db.update_dynamic(name, current_load=99.0)
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(sun_query())
+
+    def test_service_flags_respected(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        down = ServiceStatusFlags(execution_unit_up=False)
+        for name in pool.cache:
+            small_db.update_dynamic(name, service_status_flags=down)
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(sun_query())
+
+    def test_access_group_enforced(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        q = sun_query("punch.user.accessgroup = outsiders")
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(q)
+
+    def test_tool_group_enforced(self, small_db):
+        pool = make_pool(
+            small_db,
+            query=parse_query(
+                "punch.rsrc.arch = sun\npunch.rsrc.tool = matlab"
+            ).basic(),
+        )
+        pool.initialize()
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(parse_query(
+                "punch.rsrc.arch = sun\npunch.rsrc.tool = matlab"
+            ).basic())
+
+    def test_policy_enforced(self, small_db):
+        registry = PolicyRegistry()
+        registry.register("light", load_below(0.5))
+        # Re-register machines with the policy attached.
+        db = WhitePagesDatabase([
+            make_machine(f"s{i}", usage_policy="light", current_load=1.0)
+            for i in range(3)
+        ])
+        pool = make_pool(db, policy_registry=registry)
+        pool.initialize()
+        with pytest.raises(NoResourceAvailableError):
+            pool.allocate(sun_query())
+
+    def test_shared_account_used_when_present(self, small_db):
+        db = WhitePagesDatabase([make_machine("s0", shared_account="nobody")])
+        pool = make_pool(db)
+        pool.initialize()
+        alloc = pool.allocate(sun_query())
+        assert alloc.shadow_account == "nobody"
+
+    def test_shadow_account_allocated_and_released(self):
+        db = WhitePagesDatabase([make_machine("s0")])
+        shadows = ShadowAccountRegistry()
+        shadows.create_pool("s0", count=2)
+        pool = make_pool(db, shadow_registry=shadows)
+        pool.initialize()
+        a1 = pool.allocate(sun_query())
+        assert a1.shadow_account == "shadow000"
+        a2 = pool.allocate(sun_query())
+        assert a2.shadow_account == "shadow001"
+        pool.release(a1.access_key)
+        assert shadows.pool_for("s0").available == 1
+
+    def test_objective_most_memory(self, small_db):
+        small_db.update_dynamic("sun00", available_memory_mb=64.0)
+        small_db.update_dynamic("sun05", available_memory_mb=2048.0)
+        pool = make_pool(
+            small_db, config=ResourcePoolConfig(objective="most_memory"))
+        pool.initialize()
+        alloc = pool.allocate(sun_query())
+        assert alloc.machine_name == "sun05"
+
+    def test_allocation_result_fields(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        alloc = pool.allocate(sun_query())
+        assert alloc.pool_name == pool.name.full
+        assert alloc.pool_instance == 0
+        assert alloc.execution_unit_port == 7070
+        assert len(alloc.access_key) == 32
+
+
+class TestSplitting:
+    def test_split_partitions_machines(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        frags = pool.split(2)
+        assert len(frags) == 2
+        assert frags[0].size + frags[1].size == 6
+        assert abs(frags[0].size - frags[1].size) <= 1
+        # Original destroyed; fragments hold the machines.
+        assert not pool.initialized
+        assert small_db.taken_count() == 6
+
+    def test_fragment_names_distinct(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        frags = pool.split(3)
+        names = {f.name.full for f in frags}
+        assert len(names) == 3
+        assert all(pool.name.signature == f.name.signature for f in frags)
+
+    def test_split_uninitialized_raises(self, small_db):
+        pool = make_pool(small_db)
+        with pytest.raises(PoolCreationError):
+            pool.split(2)
+
+    def test_split_with_active_runs_raises(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        pool.allocate(sun_query())
+        with pytest.raises(PoolCreationError):
+            pool.split(2)
+
+    def test_split_parts_validation(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        with pytest.raises(PoolCreationError):
+            pool.split(1)
+
+    def test_fragments_can_allocate(self, small_db):
+        pool = make_pool(small_db)
+        pool.initialize()
+        frags = pool.split(2)
+        for frag in frags:
+            alloc = frag.allocate(sun_query())
+            assert alloc.machine_name in frag.cache
+
+
+class TestReplicationBias:
+    def test_bias_partitions_preference(self, small_db):
+        q = sun_query()
+        name = pool_name_for(q)
+        r0 = ResourcePool(name, small_db, instance_number=0, replica_count=2,
+                          exemplar_query=q)
+        r0.initialize()
+        r1 = ResourcePool(name, small_db, instance_number=1, replica_count=2,
+                          exemplar_query=q)
+        r1.adopt(r0.cache)
+        # With equal loads, instance 0 prefers even indices, instance 1 odd.
+        order0 = [idx for idx, _ in r0.scan_order(q)]
+        order1 = [idx for idx, _ in r1.scan_order(q)]
+        assert all(i % 2 == 0 for i in order0[:3])
+        assert all(i % 2 == 1 for i in order1[:3])
+
+    def test_replicas_share_machines(self, small_db):
+        q = sun_query()
+        name = pool_name_for(q)
+        r0 = ResourcePool(name, small_db, instance_number=0, replica_count=2,
+                          exemplar_query=q)
+        r0.initialize()
+        r1 = ResourcePool(name, small_db, instance_number=1, replica_count=2,
+                          exemplar_query=q)
+        assert r1.adopt(r0.cache) == len(r0.cache)
+        assert r0.cache == r1.cache
+
+    def test_bias_still_allows_other_machines(self, small_db):
+        q = sun_query()
+        name = pool_name_for(q)
+        r0 = ResourcePool(name, small_db, instance_number=0, replica_count=2,
+                          exemplar_query=q)
+        r0.initialize()
+        # Overload "its" machines; it must fall back to the other tier.
+        for idx, machine in enumerate(r0.cache):
+            if idx % 2 == 0:
+                small_db.update_dynamic(machine, current_load=99.0)
+        alloc = r0.allocate(q)
+        assert r0.cache.index(alloc.machine_name) % 2 == 1

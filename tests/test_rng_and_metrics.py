@@ -1,0 +1,129 @@
+"""Tests for deterministic RNG streams and metric collectors."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import ResponseTimeStats, SeriesCollector, Summary, TimeWeightedGauge
+from repro.sim.rng import RandomStreams, stable_hash32
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=42).get("workload").random(5)
+        b = RandomStreams(seed=42).get("workload").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(seed=42)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_stream_cached(self):
+        streams = RandomStreams(seed=1)
+        assert streams.get("x") is streams.get("x")
+
+    def test_adding_stream_does_not_shift_existing(self):
+        s1 = RandomStreams(seed=9)
+        first = s1.get("lat").random(3)
+        s2 = RandomStreams(seed=9)
+        s2.get("brand-new-stream").random(100)
+        second = s2.get("lat").random(3)
+        assert np.allclose(first, second)
+
+    def test_seed_type_checked(self):
+        with pytest.raises(TypeError):
+            RandomStreams(seed="42")  # type: ignore[arg-type]
+
+    def test_stable_hash_is_stable(self):
+        assert stable_hash32("latency.wan") == stable_hash32("latency.wan")
+        assert stable_hash32("a") != stable_hash32("b")
+
+    def test_spawn_derives_independent_factory(self):
+        parent = RandomStreams(seed=5)
+        child = parent.spawn("client-3")
+        assert child.seed != parent.seed
+        a = parent.get("x").random(3)
+        b = child.get("x").random(3)
+        assert not np.allclose(a, b)
+
+
+class TestResponseTimeStats:
+    def test_mean_and_summary(self):
+        st = ResponseTimeStats("t")
+        st.extend([1.0, 2.0, 3.0])
+        assert st.mean == pytest.approx(2.0)
+        s = st.summary()
+        assert s.count == 3
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.p50 == pytest.approx(2.0)
+
+    def test_empty_summary_is_nan(self):
+        s = ResponseTimeStats().summary()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_negative_sample_rejected(self):
+        st = ResponseTimeStats()
+        with pytest.raises(ValueError):
+            st.record(-1.0)
+
+    def test_nan_sample_rejected(self):
+        st = ResponseTimeStats()
+        with pytest.raises(ValueError):
+            st.record(float("nan"))
+
+    def test_failures_counted_separately(self):
+        st = ResponseTimeStats()
+        st.record(1.0)
+        st.record_failure()
+        st.record_failure()
+        assert st.count == 1
+        assert st.failures == 2
+
+
+class TestSeriesCollector:
+    def test_curve_sorted_by_x(self):
+        col = SeriesCollector()
+        col.stats("clients=8", 4).record(0.5)
+        col.stats("clients=8", 1).record(1.0)
+        col.stats("clients=8", 2).record(0.8)
+        curve = col.curve("clients=8")
+        assert [x for x, _ in curve] == [1, 2, 4]
+        assert curve[0][1] == pytest.approx(1.0)
+
+    def test_stats_identity_per_cell(self):
+        col = SeriesCollector()
+        assert col.stats("s", 1) is col.stats("s", 1)
+        assert col.stats("s", 1) is not col.stats("s", 2)
+
+    def test_format_table_contains_all_rows(self):
+        col = SeriesCollector()
+        col.stats("a", 1).record(0.25)
+        col.stats("b", 2).record(0.5)
+        text = col.format_table(x_label="pools")
+        assert "pools" in text
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 3  # header + 2 rows
+
+
+class TestTimeWeightedGauge:
+    def test_piecewise_constant_average(self):
+        g = TimeWeightedGauge()
+        g.update(0.0, 0.0)
+        g.update(10.0, 4.0)   # value 0 for 10s
+        g.update(20.0, 0.0)   # value 4 for 10s
+        assert g.average(now=20.0) == pytest.approx(2.0)
+
+    def test_time_reversal_rejected(self):
+        g = TimeWeightedGauge()
+        g.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            g.update(4.0, 2.0)
+
+    def test_empty_gauge_is_nan(self):
+        assert math.isnan(TimeWeightedGauge().average())

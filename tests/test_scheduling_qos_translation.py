@@ -1,0 +1,159 @@
+"""Tests for scheduling objectives, QoS profiles, and query translators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.language import parse_query
+from repro.core.qos import RedundantFanout, qos_profile
+from repro.core.scheduling import (
+    SchedulingObjective,
+    get_objective,
+    objective_names,
+    register_objective,
+)
+from repro.core.translation import (
+    ClassAdTranslator,
+    DictTranslator,
+    NativeTranslator,
+    TranslatorRegistry,
+)
+from repro.errors import ConfigError, QuerySyntaxError
+
+from tests.conftest import make_machine
+
+
+class TestObjectives:
+    def test_builtins_registered(self):
+        names = objective_names()
+        for expected in ("least_load", "most_memory", "fastest",
+                         "least_jobs", "best_fit_memory",
+                         "min_response_time"):
+            assert expected in names
+
+    def test_unknown_objective(self):
+        with pytest.raises(ConfigError):
+            get_objective("mystery")
+
+    def test_duplicate_registration_rejected(self):
+        obj = get_objective("least_load")
+        with pytest.raises(ConfigError):
+            register_objective(obj)
+
+    def test_least_load_normalises_by_cpus(self):
+        single = make_machine("a", current_load=1.0, num_cpus=1)
+        smp = make_machine("b", current_load=2.0, num_cpus=8,
+                           max_allowed_load=32.0)
+        obj = get_objective("least_load")
+        assert obj.rank_key(smp, None) < obj.rank_key(single, None)
+
+    def test_fastest_prefers_speed(self):
+        slow = make_machine("a", effective_speed=100.0)
+        fast = make_machine("b", effective_speed=500.0)
+        obj = get_objective("fastest")
+        assert obj.rank_key(fast, None) < obj.rank_key(slow, None)
+
+    def test_best_fit_memory_prefers_smallest_adequate(self):
+        q = parse_query(
+            "punch.rsrc.arch = sun\npunch.appl.expectedmemoryuse = 100"
+        ).basic()
+        tight = make_machine("a", available_memory_mb=128.0)
+        roomy = make_machine("b", available_memory_mb=1024.0)
+        tiny = make_machine("c", available_memory_mb=64.0)
+        obj = get_objective("best_fit_memory")
+        assert obj.rank_key(tight, q) < obj.rank_key(roomy, q)
+        assert obj.rank_key(tiny, q) == (float("inf"),)
+
+    def test_min_response_time_uses_estimate(self):
+        q = parse_query(
+            "punch.rsrc.arch = sun\npunch.appl.expectedcpuuse = 1000"
+        ).basic()
+        fast_idle = make_machine("a", effective_speed=400.0,
+                                 current_load=0.0)
+        slow_busy = make_machine("b", effective_speed=200.0,
+                                 current_load=2.0)
+        obj = get_objective("min_response_time")
+        assert obj.rank_key(fast_idle, q) < obj.rank_key(slow_busy, q)
+
+
+class TestQos:
+    def test_profiles(self):
+        assert qos_profile("standard").fanout == 1
+        assert qos_profile("low_latency").fanout == 2
+        assert qos_profile("best_quality").reintegration_policy == "all"
+        with pytest.raises(ConfigError):
+            qos_profile("platinum")
+
+    def test_fanout_distinct_targets(self):
+        fanout = RedundantFanout(k=3)
+        targets = ["a", "b", "c", "d"]
+        chosen = fanout.choose(targets, np.random.default_rng(0))
+        assert len(chosen) == 3
+        assert len(set(chosen)) == 3
+
+    def test_fanout_caps_at_population(self):
+        fanout = RedundantFanout(k=5)
+        chosen = fanout.choose(["a", "b"], np.random.default_rng(0))
+        assert sorted(chosen) == ["a", "b"]
+
+    def test_fanout_validation(self):
+        with pytest.raises(ConfigError):
+            RedundantFanout(k=0)
+        with pytest.raises(ConfigError):
+            RedundantFanout(k=1).choose([], np.random.default_rng(0))
+
+
+class TestTranslators:
+    def test_native_passthrough(self):
+        cq = NativeTranslator().translate("punch.rsrc.arch = sun")
+        assert cq.basic().get("punch.rsrc.arch") == "sun"
+
+    def test_native_rejects_non_text(self):
+        with pytest.raises(QuerySyntaxError):
+            NativeTranslator().translate({"k": "v"})
+
+    def test_dict_translator(self):
+        cq = DictTranslator().translate({
+            "punch.rsrc.arch": "sun",
+            "punch.rsrc.memory": ">=128",
+        })
+        q = cq.basic()
+        assert q.get("punch.rsrc.memory") == 128.0
+
+    def test_classad_basic(self):
+        cq = ClassAdTranslator().translate(
+            'Arch == "SUN4u" && Memory >= 64')
+        q = cq.basic()
+        assert q.get("punch.rsrc.arch") == "sun"
+        assert q.get("punch.rsrc.memory") == 64.0
+
+    def test_classad_disjunction_within_attribute(self):
+        cq = ClassAdTranslator().translate(
+            'Arch == "SUN4u" || Arch == "INTEL"')
+        assert cq.is_composite
+        assert cq.component_count == 2
+
+    def test_classad_disjunction_across_attributes_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            ClassAdTranslator().translate('Arch == "SUN4u" || Memory >= 64')
+
+    def test_classad_unknown_attribute(self):
+        with pytest.raises(QuerySyntaxError):
+            ClassAdTranslator().translate('KFlops >= 1000')
+
+    def test_classad_opsys_mapping(self):
+        cq = ClassAdTranslator().translate('OpSys == "LINUX"')
+        assert cq.basic().get("punch.rsrc.ostype") == "linux"
+
+    def test_classad_malformed(self):
+        with pytest.raises(QuerySyntaxError):
+            ClassAdTranslator().translate('Arch === "SUN4u"')
+
+    def test_registry_dispatch(self):
+        reg = TranslatorRegistry()
+        assert sorted(reg.formats()) == ["classad", "dict", "punch"]
+        cq = reg.translate('Memory >= 32', "classad")
+        assert cq.basic().get("punch.rsrc.memory") == 32.0
+        with pytest.raises(QuerySyntaxError):
+            reg.translate("x", "unknown-format")

@@ -1,0 +1,324 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Resource,
+    Simulator,
+    Store,
+)
+
+
+class TestEventBasics:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_callback_after_processed_still_runs(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        late = []
+        ev.add_callback(lambda e: late.append(e.value))
+        sim.run()
+        assert late == ["x"]
+
+
+class TestTimeAdvance:
+    def test_timeouts_advance_clock_in_order(self, sim):
+        order = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            order.append((tag, sim.now))
+
+        sim.process(proc(2.0, "b"))
+        sim.process(proc(1.0, "a"))
+        sim.run()
+        assert order == [("a", 1.0), ("b", 2.0)]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-0.1)
+
+    def test_run_until_deadline_stops_clock_exactly(self, sim):
+        fired = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert fired == []
+        sim.run()
+        assert fired == [5.0]
+
+    def test_run_until_past_deadline_raises(self, sim):
+        sim.process(iter_timeout(sim, 2.0))
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_simultaneous_events_fire_in_schedule_order(self, sim):
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+
+def iter_timeout(sim, d):
+    yield sim.timeout(d)
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "done"
+
+    def test_process_join(self, sim):
+        def child():
+            yield sim.timeout(3.0)
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value * 2
+
+        p = sim.process(parent())
+        assert sim.run(until=p) == 14
+        assert sim.now == 3.0
+
+    def test_yield_non_event_raises(self, sim):
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_exception_propagates_in_strict_mode(self, sim):
+        def boom():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(boom())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_exception_fails_process_in_lenient_mode(self):
+        sim = Simulator(strict=False)
+
+        def boom():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        p = sim.process(boom())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(until=p)
+
+    def test_interrupt_wakes_sleeping_process(self, sim):
+        caught = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                caught.append((sim.now, i.cause))
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(2.0)
+            p.interrupt("wakeup")
+
+        sim.process(interrupter())
+        sim.run()
+        assert caught == [(2.0, "wakeup")]
+
+    def test_interrupt_dead_process_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(0.5)
+
+        p = sim.process(quick())
+        sim.run()
+        p.interrupt()  # must not raise
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, sim):
+        def proc():
+            values = yield sim.all_of([sim.timeout(1.0, "a"),
+                                       sim.timeout(2.0, "b")])
+            return values
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_any_of_returns_first(self, sim):
+        def proc():
+            value = yield sim.any_of([sim.timeout(5.0, "slow"),
+                                      sim.timeout(1.0, "fast")])
+            return value
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "fast"
+        assert sim.now == 1.0
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        ev = sim.all_of([])
+        sim.run()
+        assert ev.triggered and ev.value == []
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self, sim):
+        server = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def job(i):
+            with server.request() as req:
+                yield req
+                active.append(i)
+                peak.append(len(active))
+                yield sim.timeout(1.0)
+                active.remove(i)
+
+        for i in range(5):
+            sim.process(job(i))
+        sim.run()
+        assert max(peak) == 2
+        assert sim.now == pytest.approx(3.0)  # 5 jobs, 2 servers, 1s each
+
+    def test_fifo_ordering(self, sim):
+        server = Resource(sim, capacity=1)
+        order = []
+
+        def job(i):
+            with server.request() as req:
+                yield req
+                order.append(i)
+                yield sim.timeout(1.0)
+
+        for i in range(4):
+            sim.process(job(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_queue_length_visible(self, sim):
+        server = Resource(sim, capacity=1)
+
+        def hold():
+            with server.request() as req:
+                yield req
+                yield sim.timeout(10.0)
+
+        def also():
+            with server.request() as req:
+                yield req
+
+        sim.process(hold())
+        sim.process(also())
+        sim.run(until=1.0)
+        assert server.count == 1
+        assert server.queue_length == 1
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+
+        def getter():
+            item = yield store.get()
+            return item
+
+        p = sim.process(getter())
+        assert sim.run(until=p) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def putter():
+            yield sim.timeout(4.0)
+            store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_order_of_items(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(getter())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_len_reflects_buffered_items(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

@@ -1,0 +1,117 @@
+"""Tests for trace generation and open-loop replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy.simulated import SimulatedDeployment
+from repro.errors import ConfigError
+from repro.fleet import FleetSpec, build_database
+from repro.sim.trace import ClassSession, JobTraceEntry, ToolMix, TraceGenerator
+
+TOOLS = [
+    ToolMix("spice", "punch.rsrc.arch = sun", weight=3.0),
+    ToolMix("tsuprem4", "punch.rsrc.arch = hp", weight=1.0),
+    ToolMix("matlab", "punch.rsrc.arch = x86", weight=1.0),
+]
+
+
+class TestTraceGenerator:
+    def test_arrivals_sorted_and_within_horizon(self):
+        gen = TraceGenerator(TOOLS, rate_per_s=5.0)
+        trace = gen.generate(np.random.default_rng(0), horizon_s=100.0)
+        arrivals = [e.arrival_s for e in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 100.0 for t in arrivals)
+        assert len(trace) == pytest.approx(500, rel=0.2)
+
+    def test_tool_mix_respected(self):
+        gen = TraceGenerator(TOOLS, rate_per_s=20.0)
+        trace = gen.generate(np.random.default_rng(1), horizon_s=200.0)
+        spice = sum(1 for e in trace if e.tool == "spice")
+        assert spice / len(trace) == pytest.approx(0.6, abs=0.05)
+
+    def test_class_session_dominates_window(self):
+        gen = TraceGenerator(
+            TOOLS, rate_per_s=20.0,
+            sessions=[ClassSession("matlab", 50.0, 100.0, dominance=0.95)],
+        )
+        trace = gen.generate(np.random.default_rng(2), horizon_s=150.0)
+        in_window = [e for e in trace if 50.0 <= e.arrival_s < 100.0]
+        outside = [e for e in trace if not 50.0 <= e.arrival_s < 100.0]
+        frac_in = sum(1 for e in in_window if e.tool == "matlab") / len(in_window)
+        frac_out = sum(1 for e in outside if e.tool == "matlab") / len(outside)
+        assert frac_in > 0.85
+        assert frac_out < 0.4
+
+    def test_cpu_times_heavy_tailed(self):
+        gen = TraceGenerator(TOOLS, rate_per_s=50.0)
+        trace = gen.generate(np.random.default_rng(3), horizon_s=400.0)
+        cpu = np.array([e.cpu_seconds for e in trace])
+        assert np.median(cpu) < 60.0
+        assert cpu.max() > 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TraceGenerator([])
+        with pytest.raises(ConfigError):
+            TraceGenerator(TOOLS, rate_per_s=0)
+        with pytest.raises(ConfigError):
+            TraceGenerator(TOOLS, sessions=[ClassSession("ghost", 0, 10)])
+        with pytest.raises(ConfigError):
+            ClassSession("spice", 10.0, 5.0)
+        with pytest.raises(ConfigError):
+            gen = TraceGenerator(TOOLS)
+            gen.generate(np.random.default_rng(0), horizon_s=0)
+
+    def test_locality_score(self):
+        steady = [JobTraceEntry(i, float(i), "spice", "q", 1.0)
+                  for i in range(50)]
+        assert TraceGenerator.tool_locality(steady) == 1.0
+        alternating = [JobTraceEntry(i, float(i), f"tool{i}", "q", 1.0)
+                       for i in range(50)]
+        assert TraceGenerator.tool_locality(alternating, window=5) == 0.0
+
+    def test_deterministic(self):
+        gen = TraceGenerator(TOOLS, rate_per_s=5.0)
+        a = gen.generate(np.random.default_rng(7), horizon_s=50.0)
+        b = gen.generate(np.random.default_rng(7), horizon_s=50.0)
+        assert a == b
+
+
+class TestTraceReplay:
+    def replay(self, sessions=(), horizon=60.0, rate=1.5):
+        db, _ = build_database(FleetSpec(size=300, seed=3))
+        dep = SimulatedDeployment(db, seed=4)
+        gen = TraceGenerator(TOOLS, rate_per_s=rate, sessions=sessions)
+        trace = gen.generate(np.random.default_rng(5), horizon_s=horizon)
+        report = dep.replay_trace(trace)
+        return dep, trace, report
+
+    def test_all_jobs_complete(self):
+        dep, trace, report = self.replay()
+        assert report.stats.failures == 0
+        assert report.jobs_completed == len(trace)
+        assert report.stats.count == len(trace)
+
+    def test_pools_created_once_per_signature(self):
+        dep, trace, report = self.replay()
+        distinct_queries = len({e.query_text for e in trace})
+        assert report.pool_creations == distinct_queries
+        assert report.pool_hits == len(trace) - distinct_queries
+        assert report.hit_rate > 0.9
+
+    def test_held_machines_eventually_released(self):
+        dep, trace, report = self.replay()
+        dep.sim.run()  # drain in-flight releases
+        busy = sum(dep.database.get(n).active_jobs
+                   for n in dep.database.names())
+        assert busy == 0
+
+    def test_burst_session_served_by_existing_pool(self):
+        sessions = [ClassSession("spice", 10.0, 50.0, dominance=0.95)]
+        dep, trace, report = self.replay(sessions=sessions)
+        assert report.stats.failures == 0
+        # Locality means almost everything after warmup is a pool hit.
+        assert report.hit_rate > 0.9

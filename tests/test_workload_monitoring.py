@@ -1,0 +1,191 @@
+"""Tests for workload models and the resource monitoring service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MonitorConfig
+from repro.database.fields import MachineState
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import ConfigError
+from repro.monitoring.collectors import (
+    OrnsteinUhlenbeckLoadCollector,
+    StaticCollector,
+)
+from repro.monitoring.monitor import ResourceMonitor
+from repro.sim.kernel import Simulator
+from repro.sim.workload import (
+    ClosedLoopClientModel,
+    PoissonArrivalModel,
+    PunchCpuTimeModel,
+)
+
+from tests.conftest import make_machine
+
+
+class TestPunchCpuTimeModel:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+        self.model = PunchCpuTimeModel()
+
+    def test_samples_positive(self):
+        times = self.model.sample(self.rng, 10_000)
+        assert (times > 0).all()
+
+    def test_body_is_seconds_scale(self):
+        times = self.model.sample(self.rng, 50_000)
+        assert np.median(times) < 60.0
+
+    def test_heavy_tail_present(self):
+        times = self.model.sample(self.rng, 200_000)
+        assert times.max() > 1e5
+        # Mean dwarfs the median for a heavy tail.
+        assert times.mean() > 10 * np.median(times)
+
+    def test_histogram_structure(self):
+        hist = self.model.histogram(self.rng, size=5000, bin_width_s=10,
+                                    x_limit_s=100)
+        assert len(hist.edges) == len(hist.counts) + 1
+        assert hist.total == 5000
+        assert hist.max_count == max(hist.counts)
+
+    def test_histogram_truncated_view(self):
+        hist = self.model.histogram(self.rng, size=5000)
+        view = hist.truncated(x_max=50.0, y_max=10)
+        assert all(left < 50.0 for left, _ in view)
+        assert all(count <= 10 for _, count in view)
+
+    def test_fraction_below_threshold(self):
+        frac = self.model.fraction_below(self.rng, 100.0, size=20_000)
+        assert 0.5 < frac < 1.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            PunchCpuTimeModel(tail_fraction=1.5)
+        with pytest.raises(ConfigError):
+            PunchCpuTimeModel(body_median_s=-1)
+        with pytest.raises(ConfigError):
+            PunchCpuTimeModel(tail_alpha=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.sample(self.rng, -1)
+
+    def test_deterministic_given_seed(self):
+        a = PunchCpuTimeModel().sample(np.random.default_rng(7), 100)
+        b = PunchCpuTimeModel().sample(np.random.default_rng(7), 100)
+        assert np.allclose(a, b)
+
+
+class TestArrivalModels:
+    def test_closed_loop_zero_think(self):
+        model = ClosedLoopClientModel(think_time_s=0.0)
+        assert model.think_delay(np.random.default_rng(0)) == 0.0
+
+    def test_closed_loop_exponential_think(self):
+        model = ClosedLoopClientModel(think_time_s=2.0)
+        rng = np.random.default_rng(0)
+        delays = [model.think_delay(rng) for _ in range(2000)]
+        assert np.mean(delays) == pytest.approx(2.0, rel=0.1)
+
+    def test_poisson_rate(self):
+        model = PoissonArrivalModel(rate_per_s=50.0)
+        rng = np.random.default_rng(1)
+        arrivals = list(model.arrivals(rng, horizon_s=100.0))
+        assert len(arrivals) == pytest.approx(5000, rel=0.1)
+        assert all(0 <= t < 100.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_poisson_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivalModel(rate_per_s=0.0).interarrival(
+                np.random.default_rng(0))
+
+
+class TestCollectors:
+    def test_static_collector_echoes(self):
+        rec = make_machine(current_load=1.5, active_jobs=2)
+        s = StaticCollector().sample(rec, 10.0, np.random.default_rng(0))
+        assert s.current_load == 1.5
+        assert s.active_jobs == 2
+
+    def test_ou_collector_mean_reverts(self):
+        collector = OrnsteinUhlenbeckLoadCollector(mu=1.0, theta=0.5,
+                                                   sigma=0.2)
+        rec = make_machine()
+        rng = np.random.default_rng(0)
+        loads = []
+        for t in range(200):
+            s = collector.sample(rec, float(t), rng)
+            loads.append(s.current_load)
+        # Long-run average near mu.
+        assert np.mean(loads[50:]) == pytest.approx(1.0, abs=0.3)
+        assert all(l >= 0 for l in loads)
+
+    def test_ou_memory_inverse_to_load(self):
+        collector = OrnsteinUhlenbeckLoadCollector(
+            mu=2.0, theta=0.5, sigma=0.0, memory_per_load_mb=50.0)
+        rec = make_machine(available_memory_mb=500.0, current_load=0.0)
+        s = collector.sample(rec, 0.0, np.random.default_rng(0))
+        assert s.available_memory_mb < 500.0
+
+    def test_ou_validation(self):
+        with pytest.raises(ConfigError):
+            OrnsteinUhlenbeckLoadCollector(theta=0.0)
+
+
+class TestResourceMonitor:
+    def test_refresh_updates_fields_2_to_7(self, small_db):
+        monitor = ResourceMonitor(
+            small_db,
+            collector=OrnsteinUhlenbeckLoadCollector(),
+            rng=np.random.default_rng(0),
+        )
+        updated = monitor.refresh_once(now=42.0)
+        assert updated == len(small_db)
+        rec = small_db.get("sun00")
+        assert rec.last_update_time == 42.0
+
+    def test_blocked_machines_skipped(self, small_db):
+        small_db.update_dynamic("sun00", state=MachineState.BLOCKED)
+        monitor = ResourceMonitor(small_db)
+        updated = monitor.refresh_once(now=1.0)
+        assert updated == len(small_db) - 1
+        assert small_db.get("sun00").last_update_time == 0.0
+
+    def test_down_machine_revived_by_fresh_sample(self, small_db):
+        small_db.update_dynamic("sun01", state=MachineState.DOWN)
+        monitor = ResourceMonitor(small_db)
+        monitor.refresh_once(now=1.0)
+        assert small_db.get("sun01").state is MachineState.UP
+
+    def test_stale_machines_marked_down(self, small_db):
+        cfg = MonitorConfig(update_interval_s=10.0, staleness_limit_s=30.0)
+        monitor = ResourceMonitor(small_db, config=cfg)
+        monitor.refresh_once(now=0.0)
+        flagged = monitor.mark_stale_down(now=100.0)
+        assert flagged == len(small_db)
+        assert small_db.count_up() == 0
+
+    def test_des_process_refreshes_periodically(self, small_db):
+        sim = Simulator()
+        cfg = MonitorConfig(update_interval_s=5.0, staleness_limit_s=20.0)
+        monitor = ResourceMonitor(small_db, config=cfg)
+        sim.process(monitor.run(sim))
+        sim.run(until=21.0)
+        assert monitor.refresh_count == 5  # t=0,5,10,15,20
+
+    def test_partial_refresh(self, small_db):
+        monitor = ResourceMonitor(small_db)
+        updated = monitor.refresh_once(now=3.0, machine_names=["sun00"])
+        assert updated == 1
+        assert small_db.get("sun00").last_update_time == 3.0
+        assert small_db.get("sun01").last_update_time == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MonitorConfig(update_interval_s=0).validated()
+        with pytest.raises(ConfigError):
+            MonitorConfig(update_interval_s=10,
+                          staleness_limit_s=5).validated()
