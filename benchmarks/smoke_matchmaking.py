@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Matchmaking micro-benchmark smoke gate (CI).
+
+Measures the hot engine operations on a 100k-record white pages and
+compares each against ``benchmarks/matchmaking_baseline.json``; exits
+non-zero if any operation regresses by more than 5x (generous enough to
+absorb CI-runner jitter, tight enough to catch an accidental return to
+linear scans).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_matchmaking.py
+    PYTHONPATH=src python benchmarks/smoke_matchmaking.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.language import parse_query
+from repro.core.plan import compile_plan
+from repro.core.resource_pool import ResourcePool
+from repro.core.signature import pool_name_for
+from repro.fleet import FleetSpec, build_database
+
+BASELINE_PATH = Path(__file__).with_name("matchmaking_baseline.json")
+N = 100_000
+MAX_REGRESSION = 5.0
+
+QUERY_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.memory = >=256"
+EMPTY_TEXT = "punch.rsrc.arch = cray\npunch.rsrc.memory = >=256"
+
+
+def _median(fn, repeats):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def measure() -> dict:
+    db, _ = build_database(FleetSpec(size=N, seed=11, stripe_pools=32))
+    query = parse_query(QUERY_TEXT).basic()
+    plan = compile_plan(query)
+    empty_plan = compile_plan(parse_query(EMPTY_TEXT).basic())
+    db.match(plan)  # warm
+
+    results = {
+        "match_eq_range_s": _median(lambda: db.match(plan), 5),
+        "match_empty_probe_s": _median(lambda: db.match(empty_plan), 20),
+    }
+
+    names = db.names()[:500]
+
+    def dynamic_burst():
+        for i, name in enumerate(names):
+            db.update_dynamic(name, current_load=float(i % 4))
+
+    results["update_dynamic_s"] = _median(dynamic_burst, 3) / len(names)
+
+    def take_release_burst():
+        for name in names:
+            db.take(name, "smoke")
+            db.release(name, "smoke")
+
+    results["take_release_s"] = _median(take_release_burst, 3) / len(names)
+
+    def pool_walk():
+        pool = ResourcePool(pool_name_for(query), db, exemplar_query=query)
+        pool.initialize()
+        pool.destroy()
+
+    results["pool_walk_s"] = _median(pool_walk, 3)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current timings as the new baseline")
+    args = parser.parse_args()
+
+    measured = measure()
+    if args.write_baseline:
+        BASELINE_PATH.write_text(json.dumps(
+            {"n_records": N, "timings_s": measured}, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())["timings_s"]
+    failures = []
+    for op, base in baseline.items():
+        now = measured.get(op)
+        if now is None:
+            failures.append(f"{op}: missing from measurement")
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        status = "OK " if ratio <= MAX_REGRESSION else "FAIL"
+        print(f"{status} {op:24s} baseline {base * 1e6:10.1f} us   "
+              f"now {now * 1e6:10.1f} us   ratio {ratio:5.2f}x")
+        if ratio > MAX_REGRESSION:
+            failures.append(
+                f"{op}: {ratio:.2f}x slower than baseline "
+                f"(limit {MAX_REGRESSION}x)")
+    if failures:
+        print("\nSMOKE FAILED:\n  " + "\n  ".join(failures))
+        return 1
+    print("\nsmoke OK: all matchmaking ops within "
+          f"{MAX_REGRESSION}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

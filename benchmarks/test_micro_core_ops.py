@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.language import parse_query
 from repro.core.pipeline import build_service
+from repro.core.plan import compile_plan
 from repro.core.resource_pool import ResourcePool
 from repro.core.signature import pool_name_for
 from repro.fleet import FleetSpec, build_database
@@ -49,6 +50,17 @@ def test_whitepages_walk_3200(benchmark, big_db):
     query = parse_query("punch.rsrc.arch = sun").basic()
     matches = benchmark(big_db.scan, query.matches_machine)
     assert len(matches) > 1000
+
+
+def test_whitepages_match_3200(benchmark, big_db):
+    """The indexed engine path the pipeline actually takes."""
+    query = parse_query(
+        "punch.rsrc.arch = sun\npunch.rsrc.memory = >=512").basic()
+    plan = compile_plan(query)
+    matches = benchmark(big_db.match, plan)
+    assert matches
+    assert [r.machine_name for r in matches] == \
+        [r.machine_name for r in big_db.scan(query.matches_machine)]
 
 
 def test_pool_scan_order_3200(benchmark, big_db):

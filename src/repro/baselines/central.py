@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.plan import compile_plan, machine_admissible
 from repro.core.query import Allocation, Query
 from repro.core.scheduling import get_objective
 from repro.database.records import MachineRecord
@@ -45,10 +46,21 @@ DEFAULT_QUEUES = (
 
 
 class CentralizedScheduler:
-    """One scheduler, several queues, full-database scans."""
+    """One scheduler, several queues, full-database scans.
+
+    Matching *semantics* come from the shared engine — the query's
+    compiled plan for the constraint half, :func:`machine_admissible`
+    for the runtime half — but the default access pattern remains the
+    full walk these systems actually perform (their linear cost is the
+    comparison the figures draw).  ``use_index=True`` swaps the walk for
+    the plan's index path, turning this into the "centralized but
+    indexed" ablation point.
+    """
 
     def __init__(self, database: WhitePagesDatabase,
-                 queues: Sequence[QueueSpec] = DEFAULT_QUEUES):
+                 queues: Sequence[QueueSpec] = DEFAULT_QUEUES,
+                 *, use_index: bool = False):
+        self.use_index = use_index
         if not queues:
             raise ConfigError("need at least one queue")
         bounds = [q.max_cpu_seconds for q in queues]
@@ -82,16 +94,18 @@ class CentralizedScheduler:
         self.queue_depths[queue.name] += 1
         objective = get_objective(queue.objective)
         self.scans += 1
+        plan = compile_plan(query)
         best: Optional[MachineRecord] = None
         best_key: Optional[Tuple[float, ...]] = None
-        for record in self.database.scan(include_taken=True):
+        if self.use_index:
+            candidates = self.database.match(plan, include_taken=True)
+        else:
+            candidates = self.database.scan(include_taken=True)
+        for record in candidates:
             self.machines_scanned += 1
-            if not record.is_up or record.is_overloaded:
+            if not self.use_index and not plan.verify(record):
                 continue
-            if not query.matches_machine(record):
-                continue
-            group = query.access_group
-            if record.user_groups and group not in record.user_groups:
+            if not machine_admissible(record, query):
                 continue
             key = objective.rank_key(record, query)
             if best_key is None or key < best_key:

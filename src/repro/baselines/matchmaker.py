@@ -18,6 +18,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.core.plan import compile_plan
 from repro.core.query import Allocation, Query
 from repro.database.records import MachineRecord
 from repro.database.whitepages import WhitePagesDatabase
@@ -91,8 +92,15 @@ class Matchmaker:
     # -- matching ---------------------------------------------------------------
 
     def match(self, query: Query) -> Allocation:
-        """Two-sided match: job requirements AND machine requirements."""
+        """Two-sided match: job requirements AND machine requirements.
+
+        Job-side requirements are the query's compiled clause set from
+        the shared engine; the walk over advertisements stays linear —
+        Condor's matchmaker really does consider every ad, which is the
+        baseline behaviour the comparison needs.
+        """
         self.matches += 1
+        plan = compile_plan(query)
         best: Optional[MachineRecord] = None
         best_rank = float("-inf")
         for name in sorted(self._ads):
@@ -101,7 +109,7 @@ class Matchmaker:
             record = self.database.get(name)
             if not record.is_up or record.is_overloaded:
                 continue
-            if not query.matches_machine(record):
+            if not plan.verify(record):
                 continue  # job-side requirements
             if not ad.requirement(record, query):
                 continue  # machine-side requirements

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.language import parse_query
+from repro.core.plan import compile_plan, machine_admissible
 from repro.core.query import Allocation, Query
 from repro.core.resource_pool import ResourcePool
 from repro.core.signature import pool_name_for
@@ -67,26 +68,27 @@ class StaticPoolScheduler:
             raise NoSuchPoolError(
                 f"no static category for pool name {name.full!r}"
             )
-        # Fallback: scan the leftover (untaken) machines directly.
-        for record in self.database.scan():
-            if not record.is_up or record.is_overloaded:
+        # Fallback: match the leftover (untaken) machines through the
+        # shared engine — same plan execution and admission check as the
+        # dynamic pools, no mirrored matching logic.
+        for record in self.database.match(compile_plan(query)):
+            if not machine_admissible(record, query):
                 continue
-            if query.matches_machine(record):
-                # Ad-hoc allocation outside any pool.
-                import secrets
-                access_key = secrets.token_hex(16)
-                self.database.update_dynamic(
-                    record.machine_name,
-                    current_load=record.current_load + 1.0 / record.num_cpus,
-                    active_jobs=record.active_jobs + 1,
-                )
-                return Allocation(
-                    machine_name=record.machine_name,
-                    address=record.machine_name,
-                    execution_unit_port=record.execution_unit_port,
-                    access_key=access_key,
-                    pool_name="fallback-scan",
-                )
+            # Ad-hoc allocation outside any pool.
+            import secrets
+            access_key = secrets.token_hex(16)
+            self.database.update_dynamic(
+                record.machine_name,
+                current_load=record.current_load + 1.0 / record.num_cpus,
+                active_jobs=record.active_jobs + 1,
+            )
+            return Allocation(
+                machine_name=record.machine_name,
+                address=record.machine_name,
+                execution_unit_port=record.execution_unit_port,
+                access_key=access_key,
+                pool_name="fallback-scan",
+            )
         raise NoResourceAvailableError(
             f"fallback scan found nothing for query {query.query_id}"
         )

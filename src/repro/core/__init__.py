@@ -6,6 +6,9 @@ Stages (Section 5.2), each independently replicable and distributable:
 
 - :mod:`~repro.core.query` / :mod:`~repro.core.language` — the hierarchical
   key-value query language (``punch.rsrc.arch = sun``).
+- :mod:`~repro.core.plan` — the matchmaking engine's query half: the
+  :class:`~repro.core.plan.ClauseSet` IR, plan compilation over the
+  white pages' attribute indexes, and the shared admissibility check.
 - :mod:`~repro.core.signature` — pool naming: signature + identifier from
   the sorted ``rsrc`` keys of a query.
 - :mod:`~repro.core.query_manager` — translation, composite decomposition,
@@ -22,8 +25,19 @@ Stages (Section 5.2), each independently replicable and distributable:
 """
 
 from repro.core.operators import Op
+from repro.core.plan import (
+    ClauseSet,
+    QueryPlan,
+    compile_plan,
+    machine_admissible,
+)
 from repro.core.query import Clause, Query, QueryResult, Allocation
-from repro.core.language import QueryLanguage, punch_language, parse_query
+from repro.core.language import (
+    QueryLanguage,
+    punch_language,
+    parse_query,
+    compile_text,
+)
 from repro.core.signature import PoolName, pool_name_for
 from repro.core.scheduling import SchedulingObjective, get_objective
 from repro.core.pipeline import ActYPService, build_service
@@ -31,12 +45,17 @@ from repro.core.pipeline import ActYPService, build_service
 __all__ = [
     "Op",
     "Clause",
+    "ClauseSet",
+    "QueryPlan",
+    "compile_plan",
+    "machine_admissible",
     "Query",
     "QueryResult",
     "Allocation",
     "QueryLanguage",
     "punch_language",
     "parse_query",
+    "compile_text",
     "PoolName",
     "pool_name_for",
     "SchedulingObjective",

@@ -38,6 +38,7 @@ __all__ = [
     "QueryLanguage",
     "punch_language",
     "parse_query",
+    "compile_text",
     "CompositeQuery",
 ]
 
@@ -330,3 +331,15 @@ def parse_query(text: str, language: Optional[QueryLanguage] = None
                 ) -> CompositeQuery:
     """Parse query text with the given (default: punch) language."""
     return (language or default_language()).parse(text)
+
+
+def compile_text(text: str, language: Optional[QueryLanguage] = None):
+    """Parse a *basic* query and compile it straight to a
+    :class:`~repro.core.plan.QueryPlan`.
+
+    Composite queries must be decomposed first (each basic component
+    compiles to its own plan); this helper raises for them, matching
+    :meth:`CompositeQuery.basic`.
+    """
+    from repro.core.plan import compile_plan
+    return compile_plan(parse_query(text, language).basic())

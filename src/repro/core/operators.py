@@ -11,8 +11,16 @@ administrators for keys like ``cms=sge,pbs,condor``).
 from __future__ import annotations
 
 import enum
-from typing import Any, Optional, Tuple, Union
+from typing import Any, Tuple, Union
 
+# The value-equivalence rules are shared with the attribute indexes: the
+# hash-index token function must induce exactly this equality, so both
+# live in repro.database.indexes (a leaf module) and are re-exported here.
+from repro.database.indexes import (  # noqa: F401  (re-exports)
+    any_element_equal as _any_element_equal,
+    coerce_number,
+    loose_equal as _loose_equal,
+)
 from repro.errors import OperatorError
 
 __all__ = ["Op", "coerce_number", "compare", "RangeValue"]
@@ -75,24 +83,6 @@ def format_number(x: float) -> str:
     return repr(float(x))
 
 
-def coerce_number(value: Any) -> Optional[float]:
-    """Best-effort numeric coercion; None when not a number.
-
-    Machine attribute views hold admin parameters as strings (``memory =
-    "512"``); ordered operators need them as numbers.
-    """
-    if isinstance(value, bool):
-        return None
-    if isinstance(value, (int, float)):
-        return float(value)
-    if isinstance(value, str):
-        try:
-            return float(value.strip())
-        except ValueError:
-            return None
-    return None
-
-
 def compare(op: Op, machine_value: Any, query_value: Any) -> bool:
     """Does ``machine_value`` satisfy ``op query_value``?
 
@@ -132,18 +122,3 @@ def compare(op: Op, machine_value: Any, query_value: Any) -> bool:
     if op is Op.LT:
         return mv < qv
     raise OperatorError(f"unhandled operator {op}")  # pragma: no cover
-
-
-def _loose_equal(a: Any, b: Any) -> bool:
-    na, nb = coerce_number(a), coerce_number(b)
-    if na is not None and nb is not None:
-        return na == nb
-    return str(a).strip().lower() == str(b).strip().lower()
-
-
-def _any_element_equal(machine_value: Any, query_value: Any) -> bool:
-    """Equality against a possibly multi-valued machine attribute."""
-    if isinstance(machine_value, str) and "," in machine_value:
-        return any(_loose_equal(element, query_value)
-                   for element in machine_value.split(","))
-    return _loose_equal(machine_value, query_value)

@@ -15,7 +15,7 @@ list of ``(pool_manager, component)`` dispatches, and
 from __future__ import annotations
 
 import itertools
-from collections import deque
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -30,7 +30,44 @@ from repro.core.translation import TranslatorRegistry
 from repro.errors import ConfigError, PipelineError
 from repro.net.address import Endpoint
 
-__all__ = ["Dispatch", "QueryManager"]
+__all__ = ["Dispatch", "FinishedQueryLRU", "QueryManager"]
+
+
+class FinishedQueryLRU:
+    """Bounded LRU set of recently finished query ids.
+
+    Very late duplicate results (redundant fan-out over a slow WAN path)
+    can arrive after a query's reintegration buffer is torn down; this
+    set lets the manager recognise them instead of erroring.  An
+    explicit :class:`~collections.OrderedDict` evicts the
+    *least-recently-touched* id under a hard ``limit`` (re-adding an id
+    refreshes its recency) — membership is O(1) and the structure can
+    never grow unboundedly, whatever the id arrival order.
+    """
+
+    def __init__(self, limit: int = 4096):
+        if limit < 1:
+            raise ConfigError(f"LRU limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._ids: "OrderedDict[int, None]" = OrderedDict()
+
+    def add(self, query_id: int) -> None:
+        if query_id in self._ids:
+            self._ids.move_to_end(query_id)
+        else:
+            self._ids[query_id] = None
+            while len(self._ids) > self.limit:
+                self._ids.popitem(last=False)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def oldest(self) -> Optional[int]:
+        """The id next in line for eviction (None when empty)."""
+        return next(iter(self._ids), None)
 
 
 @dataclass(frozen=True)
@@ -100,10 +137,10 @@ class QueryManager:
         #: responses from redundant fan-out are dropped, and their
         #: allocations flagged for release.
         self._offered: Set[Tuple[int, int]] = set()
-        #: Recently finished query ids (bounded), so very late duplicates
-        #: after buffer teardown are recognised rather than erroring.
-        self._finished: Set[int] = set()
-        self._finished_order: deque = deque()
+        #: Recently finished query ids (bounded LRU), so very late
+        #: duplicates after buffer teardown are recognised rather than
+        #: erroring.
+        self._finished = FinishedQueryLRU()
         self.queries_admitted = 0
         self.components_dispatched = 0
         self.redundant_results = 0
@@ -201,11 +238,8 @@ class QueryManager:
             self._remember_finished(result.query_id)
         return final
 
-    def _remember_finished(self, query_id: int, limit: int = 4096) -> None:
+    def _remember_finished(self, query_id: int) -> None:
         self._finished.add(query_id)
-        self._finished_order.append(query_id)
-        while len(self._finished_order) > limit:
-            self._finished.discard(self._finished_order.popleft())
 
     def open_queries(self) -> int:
         return len(self._buffers)

@@ -13,7 +13,11 @@ Lifecycle, following the paper:
 
 1. ``initialize()`` — "walks the 'white pages' database for machines that
    match the criteria encoded within its name", loads them into a local
-   cache, and "marks them as taken within the main database".
+   cache, and "marks them as taken within the main database".  The walk
+   executes the exemplar query's compiled plan
+   (:func:`repro.core.plan.compile_plan`) against the database's
+   attribute indexes, so it scales with the number of *matching*
+   machines, not the database size.
 2. Registration with the local directory service is the *caller's* job
    (the pool manager created us and owns the directory).
 3. ``select_machine()`` / ``allocate()`` — scheduling processes "sort
@@ -34,11 +38,12 @@ import secrets
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.plan import QueryPlan, compile_plan, machine_admissible
 from repro.core.query import Allocation, Query
 from repro.core.scheduling import SchedulingObjective, get_objective
 from repro.core.signature import PoolName
 from repro.config import ResourcePoolConfig
-from repro.database.policy import PolicyContext, PolicyRegistry
+from repro.database.policy import PolicyRegistry
 from repro.database.records import MachineRecord
 from repro.database.shadow import ShadowAccount, ShadowAccountRegistry
 from repro.database.whitepages import WhitePagesDatabase
@@ -108,6 +113,9 @@ class ResourcePool:
         #: are created in response to a concrete query (Section 5.2.2), so
         #: the exemplar is how the membership constraint is evaluated.
         self.exemplar_query = exemplar_query
+        #: The membership constraint compiled once, executed against the
+        #: white pages' attribute indexes on every walk.
+        self.plan: QueryPlan = compile_plan(exemplar_query)
         self._cache: List[str] = []        # machine names, stable order
         self._runs: Dict[str, ActiveRun] = {}
         self._initialized = False
@@ -145,11 +153,7 @@ class ResourcePool:
         """
         if self._initialized:
             raise PoolCreationError(f"pool {self.name} already initialized")
-        predicate = None
-        if self.exemplar_query is not None:
-            q = self.exemplar_query
-            predicate = lambda rec: q.matches_machine(rec)  # noqa: E731
-        matches = self.database.scan(predicate)
+        matches = self.database.match(self.plan)
         names = [m.machine_name for m in matches]
         if max_machines is not None:
             names = names[:max_machines]
@@ -184,26 +188,11 @@ class ResourcePool:
             self.instance_number % self.replica_count else 1
 
     def _admissible(self, record: MachineRecord, query: Query) -> bool:
-        if not record.is_up:
-            return False
-        if not record.service_status_flags.all_up:
-            return False
-        if record.is_overloaded:
-            return False
-        # Access control: the query's access group must be allowed (field 16).
-        group = query.access_group
-        if record.user_groups and group not in record.user_groups:
-            return False
-        # Tool support (field 17): honoured when the query names a tool.
-        tool = query.get("punch.rsrc.tool")
-        if tool is not None and str(tool) not in record.tool_groups:
-            return False
-        # Usage policy (field 19).
-        if self.policy_registry is not None:
-            ctx = PolicyContext(login=query.login, access_group=group)
-            if not self.policy_registry.evaluate(record, ctx):
-                return False
-        return True
+        # The shared engine check (health, services, load ceiling, access
+        # groups, tool groups, usage policy) — identical for every
+        # deployment and baseline.
+        return machine_admissible(record, query,
+                                  policy_registry=self.policy_registry)
 
     def scan_order(self, query: Optional[Query] = None) -> List[Tuple[int, str]]:
         """Cache indices+names in scheduling order (bias tier, objective).

@@ -12,7 +12,10 @@ Public API:
 - :class:`~repro.database.records.MachineRecord` / ``MachineState`` — the
   Figure 3 schema.
 - :class:`~repro.database.whitepages.WhitePagesDatabase` — registry with
-  scan/match/take/release operations.
+  match/take/release operations (and a deprecated linear ``scan`` shim).
+- :mod:`~repro.database.indexes` — the matchmaking engine's storage half:
+  incrementally-maintained hash/sorted attribute indexes the database
+  executes compiled query plans against.
 - :class:`~repro.database.directory.LocalDirectoryService` — pool-instance
   registry used by pool managers.
 - :class:`~repro.database.shadow.ShadowAccountPool` — per-machine shadow
@@ -21,6 +24,7 @@ Public API:
 """
 
 from repro.database.fields import FIELD_NAMES, MachineState
+from repro.database.indexes import AttributeIndexCatalog
 from repro.database.records import MachineRecord
 from repro.database.whitepages import WhitePagesDatabase
 from repro.database.directory import LocalDirectoryService, PoolInstanceEntry
@@ -30,6 +34,7 @@ __all__ = [
     "FIELD_NAMES",
     "MachineState",
     "MachineRecord",
+    "AttributeIndexCatalog",
     "WhitePagesDatabase",
     "LocalDirectoryService",
     "PoolInstanceEntry",

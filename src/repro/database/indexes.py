@@ -1,0 +1,348 @@
+"""Incrementally-maintained attribute indexes for the white pages.
+
+This module is the storage half of the matchmaking engine (the query half
+is :mod:`repro.core.plan`): hash indexes over equality-comparable
+attribute values, sorted containers over numeric values for range/ordered
+clauses, and the value-normalisation rules both share with the query
+language's ``compare()`` operator.
+
+Design constraints:
+
+- **One equivalence relation.**  The paper's language compares loosely —
+  case-insensitive strings, numeric coercion (``memory = "512"`` matches
+  ``512``), multi-valued machine attributes (``cms=sge,pbs,condor``).
+  The hash-index token function and :func:`loose_equal` live side by side
+  here so the index can never return *fewer* machines than a brute-force
+  predicate walk.  (It may return a superset — e.g. ``nan`` keys — which
+  plan execution filters by re-verifying candidates.)
+- **Leaf imports only.**  The white-pages database maintains these
+  indexes inline with every mutation, so this module must not import the
+  pipeline layers (:mod:`repro.core.operators` imports *us* for the
+  shared value semantics).
+- **O(log n) maintenance.**  Updates touch only the indexes whose keyed
+  value actually changed; sorted containers use bisect over one flat
+  ``(value, name)`` list, so a monitoring refresh of ``load`` is two
+  bisects plus a memmove — not a rebuild.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "coerce_number",
+    "loose_equal",
+    "any_element_equal",
+    "eq_token",
+    "machine_tokens",
+    "HashAttrIndex",
+    "SortedAttrIndex",
+    "AttributeIndexCatalog",
+]
+
+
+# ---------------------------------------------------------------------------
+# Value semantics (shared with repro.core.operators.compare)
+# ---------------------------------------------------------------------------
+
+def coerce_number(value: Any) -> Optional[float]:
+    """Best-effort numeric coercion; None when not a number.
+
+    Machine attribute views hold admin parameters as strings (``memory =
+    "512"``); ordered operators need them as numbers.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def loose_equal(a: Any, b: Any) -> bool:
+    """The language's equality: numeric when both coerce, else
+    case-insensitive string comparison."""
+    na, nb = coerce_number(a), coerce_number(b)
+    if na is not None and nb is not None:
+        return na == nb
+    return str(a).strip().lower() == str(b).strip().lower()
+
+
+def any_element_equal(machine_value: Any, query_value: Any) -> bool:
+    """Equality against a possibly multi-valued machine attribute
+    (Section 4.1's example parameter is ``cms=sge,pbs,condor``)."""
+    if isinstance(machine_value, str) and "," in machine_value:
+        return any(loose_equal(element, query_value)
+                   for element in machine_value.split(","))
+    return loose_equal(machine_value, query_value)
+
+
+def eq_token(value: Any) -> str:
+    """Canonical hash-index key for one value under :func:`loose_equal`.
+
+    Two values that are loosely equal always map to the same token; the
+    converse may fail only for never-self-equal values (``nan``), which
+    plan verification filters out.
+    """
+    n = coerce_number(value)
+    if n is not None:
+        return f"#{n + 0.0!r}"  # +0.0 folds -0.0 into 0.0
+    return str(value).strip().lower()
+
+
+def machine_tokens(value: Any) -> Iterator[str]:
+    """All tokens a machine-side value answers equality probes under.
+
+    Multi-valued strings yield one token per element, mirroring
+    :func:`any_element_equal` — note the *whole* string is deliberately
+    not a token (``cms=sge,pbs`` does not equal the literal ``"sge,pbs"``
+    under the language either).
+    """
+    if isinstance(value, str) and "," in value:
+        for element in value.split(","):
+            yield eq_token(element)
+    else:
+        yield eq_token(value)
+
+
+# ---------------------------------------------------------------------------
+# Single-attribute indexes
+# ---------------------------------------------------------------------------
+
+class HashAttrIndex:
+    """token -> set of machine names, for equality probes."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Set[str]] = {}
+
+    def add(self, value: Any, name: str) -> None:
+        for token in machine_tokens(value):
+            self._postings.setdefault(token, set()).add(name)
+
+    def discard(self, value: Any, name: str) -> None:
+        for token in machine_tokens(value):
+            posting = self._postings.get(token)
+            if posting is not None:
+                posting.discard(name)
+                if not posting:
+                    del self._postings[token]
+
+    def lookup(self, query_value: Any) -> Set[str]:
+        """Names whose value *may* loosely equal ``query_value``."""
+        return self._postings.get(eq_token(query_value), set())
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+
+class SortedAttrIndex:
+    """Flat sorted ``(value, name)`` pairs for range/ordered probes.
+
+    Only numerically-coercible values are held — a machine whose value
+    does not coerce can never satisfy an ordered clause (fail-closed
+    semantics), so leaving it out is exact, not an approximation.
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self) -> None:
+        self._pairs: List[Tuple[float, str]] = []
+
+    def add(self, value: float, name: str) -> None:
+        insort(self._pairs, (value, name))
+
+    def discard(self, value: float, name: str) -> None:
+        i = bisect_left(self._pairs, (value, name))
+        if i < len(self._pairs) and self._pairs[i] == (value, name):
+            del self._pairs[i]
+
+    def _bounds(self, lo: float, hi: float, incl_lo: bool, incl_hi: bool
+                ) -> Tuple[int, int]:
+        # Exclusive bounds step to the adjacent representable float so a
+        # single bisect handles all four inclusivity combinations.
+        if not incl_lo:
+            lo = math.nextafter(lo, math.inf)
+        eff_hi = hi if incl_hi else math.nextafter(hi, -math.inf)
+        start = bisect_left(self._pairs, (lo,))
+        stop = bisect_left(self._pairs, (math.nextafter(eff_hi, math.inf),)) \
+            if eff_hi != math.inf else len(self._pairs)
+        return start, stop
+
+    def count_in(self, lo: float, hi: float, *, incl_lo: bool = True,
+                 incl_hi: bool = True) -> int:
+        start, stop = self._bounds(lo, hi, incl_lo, incl_hi)
+        return max(0, stop - start)
+
+    def names_in(self, lo: float, hi: float, *, incl_lo: bool = True,
+                 incl_hi: bool = True) -> List[str]:
+        start, stop = self._bounds(lo, hi, incl_lo, incl_hi)
+        return [name for _value, name in self._pairs[start:stop]]
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+
+# ---------------------------------------------------------------------------
+# The catalog: every attribute of every record, diff-maintained
+# ---------------------------------------------------------------------------
+
+class AttributeIndexCatalog:
+    """Hash + sorted indexes over machine attribute views.
+
+    The catalog indexes *every* key of a record's
+    :meth:`~repro.database.records.MachineRecord.attribute_view` — the
+    built-in fields (``speed``, ``cpus``, ``load``, ``freememory``, ...)
+    and all admin parameters (``arch``, ``memory``, ``ostype``, ...).
+    Values additionally land in the per-attribute sorted index when they
+    coerce to a number, so equality and range clauses on the same key are
+    both indexable.
+
+    Mutation interface mirrors the white pages: ``add``/``remove`` a
+    record, ``replace`` with a new version (only changed attributes are
+    re-indexed).  The caller (the database) holds its lock around every
+    call; the catalog itself is not thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._hash: Dict[str, HashAttrIndex] = {}
+        self._sorted: Dict[str, SortedAttrIndex] = {}
+        #: Cached attribute view per machine, for diff-based updates.
+        self._views: Dict[str, Dict[str, Any]] = {}
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _index_one(self, attr: str, value: Any, name: str) -> None:
+        idx = self._hash.get(attr)
+        if idx is None:
+            idx = self._hash[attr] = HashAttrIndex()
+        idx.add(value, name)
+        n = coerce_number(value)
+        # NaN is excluded: it can never satisfy an ordered clause under
+        # the fail-closed semantics, and inserting it would break the
+        # bisect sort invariant (NaN compares False against everything).
+        if n is not None and not math.isnan(n):
+            sidx = self._sorted.get(attr)
+            if sidx is None:
+                sidx = self._sorted[attr] = SortedAttrIndex()
+            sidx.add(n, name)
+
+    def _unindex_one(self, attr: str, value: Any, name: str) -> None:
+        idx = self._hash.get(attr)
+        if idx is not None:
+            idx.discard(value, name)
+        n = coerce_number(value)
+        if n is not None and not math.isnan(n):
+            sidx = self._sorted.get(attr)
+            if sidx is not None:
+                sidx.discard(n, name)
+
+    def add(self, record) -> None:
+        view = record.attribute_view()
+        name = record.machine_name
+        self._views[name] = view
+        for attr, value in view.items():
+            self._index_one(attr, value, name)
+
+    def remove(self, machine_name: str) -> None:
+        view = self._views.pop(machine_name, None)
+        if view is None:
+            return
+        for attr, value in view.items():
+            self._unindex_one(attr, value, machine_name)
+
+    @staticmethod
+    def _same_indexed_value(a: Any, b: Any) -> bool:
+        # Python `==` is coarser than token equality (1 == True, but
+        # their eq_tokens differ), so a type change always re-indexes.
+        return type(a) is type(b) and a == b
+
+    def replace(self, record) -> None:
+        """Re-index ``record``; only attributes whose value changed move."""
+        name = record.machine_name
+        old = self._views.get(name)
+        if old is None:
+            self.add(record)
+            return
+        new = record.attribute_view()
+        for attr, value in old.items():
+            if attr not in new or not self._same_indexed_value(new[attr],
+                                                               value):
+                self._unindex_one(attr, value, name)
+        for attr, value in new.items():
+            if attr not in old or not self._same_indexed_value(old[attr],
+                                                               value):
+                self._index_one(attr, value, name)
+        self._views[name] = new
+
+    def bulk_load(self, records: Iterable) -> None:
+        """Index many records at once (initial database construction).
+
+        Equivalent to repeated :meth:`add` but builds each sorted
+        container with one sort instead of n insorts.
+        """
+        sorted_buf: Dict[str, List[Tuple[float, str]]] = {}
+        for record in records:
+            view = record.attribute_view()
+            name = record.machine_name
+            self._views[name] = view
+            for attr, value in view.items():
+                idx = self._hash.get(attr)
+                if idx is None:
+                    idx = self._hash[attr] = HashAttrIndex()
+                idx.add(value, name)
+                n = coerce_number(value)
+                if n is not None and not math.isnan(n):
+                    sorted_buf.setdefault(attr, []).append((n, name))
+        for attr, pairs in sorted_buf.items():
+            sidx = self._sorted.get(attr)
+            if sidx is None:
+                sidx = self._sorted[attr] = SortedAttrIndex()
+            merged = sidx._pairs + pairs
+            merged.sort()
+            sidx._pairs = merged
+
+    # -- plan execution support ---------------------------------------------
+
+    def eq_candidates(self, attr: str, value: Any) -> Set[str]:
+        """Superset of machines whose ``attr`` loosely equals ``value``.
+
+        An attribute no machine carries has no index, and correctly
+        yields the empty set (``view.get(attr)`` would be None for every
+        record, and None never satisfies a clause).
+        """
+        idx = self._hash.get(attr)
+        return idx.lookup(value) if idx is not None else set()
+
+    def range_count(self, attr: str, lo: float, hi: float, *,
+                    incl_lo: bool = True, incl_hi: bool = True) -> int:
+        sidx = self._sorted.get(attr)
+        if sidx is None:
+            return 0
+        return sidx.count_in(lo, hi, incl_lo=incl_lo, incl_hi=incl_hi)
+
+    def range_candidates(self, attr: str, lo: float, hi: float, *,
+                         incl_lo: bool = True, incl_hi: bool = True
+                         ) -> List[str]:
+        sidx = self._sorted.get(attr)
+        if sidx is None:
+            return []
+        return sidx.names_in(lo, hi, incl_lo=incl_lo, incl_hi=incl_hi)
+
+    def view(self, machine_name: str) -> Optional[Dict[str, Any]]:
+        """The cached attribute view (shared with match verification)."""
+        return self._views.get(machine_name)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "machines": len(self._views),
+            "hash_attrs": sorted(self._hash),
+            "sorted_attrs": sorted(self._sorted),
+        }

@@ -8,18 +8,36 @@ loads relevant information ... into a local cache and marks them as
 
 The database therefore supports three operations beyond registry CRUD:
 
-- :meth:`WhitePagesDatabase.scan` — iterate records matching a predicate;
+- :meth:`WhitePagesDatabase.match` — execute a compiled
+  :class:`~repro.core.plan.QueryPlan` over the incrementally-maintained
+  attribute indexes (:mod:`repro.database.indexes`); near-constant in
+  database size for selective queries;
 - :meth:`WhitePagesDatabase.take` — atomically claim an *untaken* machine
   for a pool (returns False if another pool already holds it);
 - :meth:`WhitePagesDatabase.release` — return machines to the free set
   (used when a pool is destroyed, split, or rebalanced).
+
+:meth:`WhitePagesDatabase.scan` remains as a deprecated O(n) shim for
+callers still holding opaque predicates; new code compiles a plan
+(:func:`repro.core.plan.compile_plan`) and calls :meth:`match`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from bisect import bisect_left, insort
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    TYPE_CHECKING,
+)
 
+from repro.database.indexes import AttributeIndexCatalog
 from repro.database.records import MachineRecord
 from repro.database.fields import MachineState
 from repro.errors import (
@@ -27,6 +45,9 @@ from repro.errors import (
     MachineTakenError,
     UnknownMachineError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.core.plan import QueryPlan
 
 __all__ = ["WhitePagesDatabase"]
 
@@ -39,14 +60,33 @@ class WhitePagesDatabase:
     A coarse lock makes the registry safe for the asyncio/threaded runtime;
     the DES runtime is single-threaded and pays nothing for it.  Records
     are immutable, so readers holding references never see torn updates.
+
+    Alongside the record map the database maintains, incrementally:
+
+    - a **sorted name view** (``_names``) so deterministic walks never
+      re-sort the key set;
+    - a **free set** (``_free``) — the untaken machines — so pool walks
+      and take/release stay O(log n);
+    - an :class:`~repro.database.indexes.AttributeIndexCatalog` — hash
+      indexes for equality clauses, sorted containers for range clauses —
+      which :meth:`match` executes compiled query plans against.
     """
 
     def __init__(self, records: Iterable[MachineRecord] = ()):
         self._lock = threading.RLock()
         self._records: Dict[str, MachineRecord] = {}
         self._taken_by: Dict[str, str] = {}  # machine name -> pool name
-        for rec in records:
-            self.add(rec)
+        self._names: List[str] = []          # sorted, maintained on add/remove
+        self._free: Set[str] = set()         # names not in _taken_by
+        self._catalog = AttributeIndexCatalog()
+        initial = list(records)
+        for rec in initial:
+            if rec.machine_name in self._records:
+                raise DuplicateMachineError(rec.machine_name)
+            self._records[rec.machine_name] = rec
+            self._free.add(rec.machine_name)
+        self._names = sorted(self._records)
+        self._catalog.bulk_load(initial)
 
     # -- registry CRUD --------------------------------------------------------
 
@@ -55,6 +95,9 @@ class WhitePagesDatabase:
             if record.machine_name in self._records:
                 raise DuplicateMachineError(record.machine_name)
             self._records[record.machine_name] = record
+            insort(self._names, record.machine_name)
+            self._free.add(record.machine_name)
+            self._catalog.add(record)
 
     def remove(self, machine_name: str) -> MachineRecord:
         with self._lock:
@@ -62,6 +105,11 @@ class WhitePagesDatabase:
             if rec is None:
                 raise UnknownMachineError(machine_name)
             self._taken_by.pop(machine_name, None)
+            self._free.discard(machine_name)
+            i = bisect_left(self._names, machine_name)
+            if i < len(self._names) and self._names[i] == machine_name:
+                del self._names[i]
+            self._catalog.remove(machine_name)
             return rec
 
     def get(self, machine_name: str) -> MachineRecord:
@@ -77,13 +125,19 @@ class WhitePagesDatabase:
             if record.machine_name not in self._records:
                 raise UnknownMachineError(record.machine_name)
             self._records[record.machine_name] = record
+            self._catalog.replace(record)
 
     def update_dynamic(self, machine_name: str, **dynamic) -> MachineRecord:
-        """Apply a monitoring refresh (fields 1-7) atomically."""
+        """Apply a monitoring refresh (fields 1-7) atomically.
+
+        Only the indexes of attributes whose value actually changed are
+        touched, so a load refresh is O(log n), not a re-index.
+        """
         with self._lock:
             rec = self.get(machine_name)
             new = rec.with_dynamic(**dynamic)
             self._records[machine_name] = new
+            self._catalog.replace(new)
             return new
 
     def __len__(self) -> int:
@@ -96,27 +150,108 @@ class WhitePagesDatabase:
 
     def names(self) -> List[str]:
         with self._lock:
-            return sorted(self._records)
+            return list(self._names)
 
-    # -- scanning ----------------------------------------------------------------
+    # -- matching ----------------------------------------------------------------
+
+    def match(self, plan: Any = None, *, include_taken: bool = False
+              ) -> List[MachineRecord]:
+        """Execute a query plan; return matching records in name order.
+
+        ``plan`` may be a compiled :class:`~repro.core.plan.QueryPlan`, a
+        :class:`~repro.core.query.Query`, a
+        :class:`~repro.core.plan.ClauseSet`, or ``None`` (match all).
+        The most selective indexed clause drives candidate enumeration;
+        every candidate is then verified against the full clause set, so
+        the result is always identical to a brute-force predicate walk.
+
+        By default only *untaken* machines are returned, since a pool's
+        initialisation walk must not steal machines already aggregated
+        into another pool.
+        """
+        from repro.core.plan import QueryPlan, compile_plan
+        if not isinstance(plan, QueryPlan):
+            plan = compile_plan(plan)
+        with self._lock:
+            if plan.unsatisfiable:
+                return []
+            names = self._plan_candidates(plan, include_taken)
+            if not include_taken:
+                names = [n for n in names if n in self._free]
+            clause_set = plan.clause_set
+            out: List[MachineRecord] = []
+            for name in names:
+                rec = self._records.get(name)
+                if rec is None:  # stale index entry cannot occur, but be safe
+                    continue
+                view = self._catalog.view(name)
+                if view is None:
+                    view = rec.attribute_view()
+                if clause_set.matches_view(view):
+                    out.append(rec)
+            out.sort(key=lambda r: r.machine_name)
+            return out
+
+    def _plan_candidates(self, plan: "QueryPlan", include_taken: bool
+                         ) -> List[str]:
+        """Names from the most selective index probe (a superset of the
+        true matches); falls back to the free set / full walk when the
+        plan has no indexable clause."""
+        best_cost: Optional[int] = None
+        best: Any = None
+        for attr, value in plan.eq_probes:
+            posting = self._catalog.eq_candidates(attr, value)
+            if best_cost is None or len(posting) < best_cost:
+                best_cost, best = len(posting), ("eq", posting)
+                if best_cost == 0:
+                    return []
+        for bound in plan.bounds:
+            count = self._catalog.range_count(
+                bound.name, bound.lo, bound.hi,
+                incl_lo=bound.incl_lo, incl_hi=bound.incl_hi)
+            if best_cost is None or count < best_cost:
+                best_cost, best = count, ("range", bound)
+                if best_cost == 0:
+                    return []
+        if best is None:
+            # No indexable clause: walk whichever base set applies.
+            return list(self._free) if not include_taken else list(self._names)
+        kind, payload = best
+        if kind == "eq":
+            return list(payload)
+        return self._catalog.range_candidates(
+            payload.name, payload.lo, payload.hi,
+            incl_lo=payload.incl_lo, incl_hi=payload.incl_hi)
+
+    # -- scanning (deprecated shim) ---------------------------------------------
 
     def scan(self, predicate: Optional[Predicate] = None,
              include_taken: bool = False) -> List[MachineRecord]:
         """Walk the database, returning records that satisfy ``predicate``.
 
+        .. deprecated::
+            This is the pre-engine O(n) interface, kept for callers that
+            still hold opaque predicates (and as the brute-force oracle
+            the index-consistency tests compare against).  New code
+            should compile a plan and call :meth:`match`.
+
+        The walk reuses the maintained sorted name view (no per-call
+        re-sort), and the predicate — arbitrary caller code — runs on an
+        immutable snapshot *outside* the lock.
+
         By default only *untaken* machines are returned, since a pool's
-        initialisation walk must not steal machines already aggregated into
-        another pool.
+        initialisation walk must not steal machines already aggregated
+        into another pool.
         """
         with self._lock:
-            out: List[MachineRecord] = []
-            for name in sorted(self._records):
-                if not include_taken and name in self._taken_by:
-                    continue
-                rec = self._records[name]
-                if predicate is None or predicate(rec):
-                    out.append(rec)
-            return out
+            if include_taken:
+                snapshot = [self._records[name] for name in self._names]
+            else:
+                snapshot = [self._records[name] for name in self._names
+                            if name in self._free]
+        if predicate is None:
+            return snapshot
+        return [rec for rec in snapshot if predicate(rec)]
 
     def count_up(self) -> int:
         with self._lock:
@@ -138,6 +273,7 @@ class WhitePagesDatabase:
             if holder is not None and holder != pool_name:
                 return False
             self._taken_by[machine_name] = pool_name
+            self._free.discard(machine_name)
             return True
 
     def take_all(self, machine_names: Iterable[str], pool_name: str) -> List[str]:
@@ -159,6 +295,7 @@ class WhitePagesDatabase:
                     f"{machine_name} is held by {holder!r}, not {pool_name!r}"
                 )
             del self._taken_by[machine_name]
+            self._free.add(machine_name)
 
     def release_pool(self, pool_name: str) -> int:
         """Release every machine held by ``pool_name``; return the count."""
@@ -166,6 +303,7 @@ class WhitePagesDatabase:
             names = [m for m, p in self._taken_by.items() if p == pool_name]
             for name in names:
                 del self._taken_by[name]
+                self._free.add(name)
             return len(names)
 
     def holder_of(self, machine_name: str) -> Optional[str]:
@@ -178,4 +316,12 @@ class WhitePagesDatabase:
 
     def free_names(self) -> Set[str]:
         with self._lock:
-            return {n for n in self._records if n not in self._taken_by}
+            return set(self._free)
+
+    def index_stats(self) -> Dict[str, Any]:
+        """Observability surface for the attribute-index catalog."""
+        with self._lock:
+            stats = self._catalog.stats()
+            stats["free"] = len(self._free)
+            stats["taken"] = len(self._taken_by)
+            return stats

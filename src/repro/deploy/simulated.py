@@ -27,6 +27,7 @@ The message protocol mirrors the paper's event numbering:
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -123,7 +124,6 @@ class _PoolServer:
             return cost.pool_fixed_s + \
                 cost.pool_scan_per_machine_s * self.pool.size
         # Indexed ablation: logarithmic in the cache size.
-        import math
         return cost.pool_fixed_s + cost.pool_scan_per_machine_s * \
             max(1.0, math.log2(max(self.pool.size, 2)))
 
@@ -198,9 +198,17 @@ class _PoolManagerServer:
                 # entry queue at the pool instead of hitting a dead endpoint.
                 self.d.spawn_new_local_pools(self.manager)
                 # Charge the white-pages walk of the pools just created.
+                # Under the linear cost model the walk touches the whole
+                # database; with the indexed engine it is the plan's
+                # index probe — logarithmic in database size.
                 created = self.manager.pools_created - pools_before
-                walk = cost.pool_create_fixed_s + \
-                    cost.pool_create_per_machine_s * len(self.manager.database)
+                db_size = len(self.manager.database)
+                if self.manager.pool_config.linear_scan:
+                    per_pool = cost.pool_create_per_machine_s * db_size
+                else:
+                    per_pool = cost.pool_create_per_machine_s * \
+                        max(1.0, math.log2(max(db_size, 2)))
+                walk = cost.pool_create_fixed_s + per_pool
                 yield sim.timeout(walk * created)
         if isinstance(decision, RouteToPool):
             reply = yield from self.bound.call(

@@ -2,9 +2,11 @@
 
 Wraps an :class:`~repro.core.pipeline.ActYPService` behind a TCP endpoint
 speaking the frame protocol.  Pipeline calls are synchronous and fast
-(micro/milliseconds); they run on the event loop directly, with a
-configurable thread offload for deployments whose white pages grow large
-enough for scans to block the loop.
+(micro/milliseconds) — pool-creation walks run as compiled plans over
+the white pages' attribute indexes, not linear scans — and they run on
+the event loop directly, with a configurable thread offload for
+deployments whose databases grow large enough for even indexed
+matchmaking (or huge pool caches) to block the loop.
 """
 
 from __future__ import annotations

@@ -1,0 +1,184 @@
+"""Property test: ``match(plan)`` must equal brute-force ``scan(predicate)``
+under randomized interleavings of database mutations.
+
+The attribute indexes are only correct if every mutation path —
+``add`` / ``remove`` / ``take`` / ``release`` / ``update_dynamic`` /
+``update`` — keeps them exactly in sync with the record map.  Hypothesis
+drives random op sequences and random queries; the deprecated linear
+``scan`` is the oracle.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import Op, RangeValue
+from repro.core.plan import compile_plan
+from repro.core.query import Clause, Query
+from repro.database.fields import MachineState
+from repro.database.records import MachineRecord, ServiceStatusFlags
+from repro.database.whitepages import WhitePagesDatabase
+
+_ARCHES = ("sun", "hp", "x86", "vax")
+_OSES = ("solaris", "hpux", "linux")
+_CMS = ("sge", "pbs", "condor", "sge,pbs", "pbs,condor", "")
+_MEMORIES = ("64", "128", "256", "512", "not-a-number", "nan", "inf")
+_NAMES = tuple(f"m{i:02d}" for i in range(12))
+
+
+def _record(name: str, arch: str, memory: str, cms: str, load: float,
+            state_up: bool) -> MachineRecord:
+    params = {"arch": arch, "ostype": _OSES[hash(arch) % len(_OSES)],
+              "memory": memory}
+    if cms:
+        params["cms"] = cms
+    return MachineRecord(
+        machine_name=name,
+        state=MachineState.UP if state_up else MachineState.DOWN,
+        current_load=load,
+        admin_parameters=params,
+    )
+
+
+_records = st.builds(
+    _record,
+    name=st.sampled_from(_NAMES),
+    arch=st.sampled_from(_ARCHES),
+    memory=st.sampled_from(_MEMORIES),
+    cms=st.sampled_from(_CMS),
+    load=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    state_up=st.booleans(),
+)
+
+_ops = st.one_of(
+    st.tuples(st.just("add"), _records),
+    st.tuples(st.just("remove"), st.sampled_from(_NAMES)),
+    st.tuples(st.just("take"), st.sampled_from(_NAMES),
+              st.sampled_from(("poolA", "poolB"))),
+    st.tuples(st.just("release"), st.sampled_from(_NAMES),
+              st.sampled_from(("poolA", "poolB"))),
+    st.tuples(st.just("update_dynamic"), st.sampled_from(_NAMES),
+              st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+              st.integers(min_value=0, max_value=5)),
+    st.tuples(st.just("update"), _records),
+)
+
+
+@st.composite
+def _queries(draw) -> Query:
+    clauses = []
+    n = draw(st.integers(min_value=1, max_value=3))
+    keys = draw(st.permutations(
+        ("arch", "memory", "cms", "load", "freememory"))
+    )[:n]
+    for key in keys:
+        if key in ("load", "freememory", "memory"):
+            op = draw(st.sampled_from(
+                [Op.EQ, Op.NE, Op.GE, Op.LE, Op.GT, Op.LT, Op.RANGE]))
+            if op is Op.RANGE:
+                lo = draw(st.integers(min_value=0, max_value=512))
+                span = draw(st.integers(min_value=0, max_value=512))
+                value = RangeValue(float(lo), float(lo + span))
+            elif key == "memory" and op is Op.EQ and draw(st.booleans()):
+                value = draw(st.sampled_from(_MEMORIES))
+            else:
+                value = float(draw(st.integers(min_value=0, max_value=600)))
+        else:
+            op = draw(st.sampled_from([Op.EQ, Op.NE]))
+            value = draw(st.sampled_from(
+                _ARCHES + ("sge", "pbs", "SGE,PBS",
+                           draw(st.text(alphabet=string.ascii_lowercase,
+                                        min_size=1, max_size=4)))))
+        clauses.append(Clause("punch", "rsrc", key, op, value))
+    return Query(clauses=tuple(clauses))
+
+
+def _apply(db: WhitePagesDatabase, op) -> None:
+    kind = op[0]
+    try:
+        if kind == "add":
+            db.add(op[1])
+        elif kind == "remove":
+            db.remove(op[1])
+        elif kind == "take":
+            db.take(op[1], op[2])
+        elif kind == "release":
+            db.release(op[1], op[2])
+        elif kind == "update_dynamic":
+            db.update_dynamic(op[1], current_load=op[2], active_jobs=op[3])
+        elif kind == "update":
+            db.update(op[1])
+    except Exception:
+        # Duplicate adds, unknown names, wrong-holder releases: legal
+        # error paths; the invariant below must hold regardless.
+        pass
+
+
+class TestIndexConsistency:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        initial=st.lists(_records, max_size=8,
+                         unique_by=lambda r: r.machine_name),
+        ops=st.lists(_ops, max_size=30),
+        query=_queries(),
+        include_taken=st.booleans(),
+    )
+    def test_match_equals_bruteforce_scan(self, initial, ops, query,
+                                          include_taken):
+        db = WhitePagesDatabase(initial)
+        for op in ops:
+            _apply(db, op)
+        plan = compile_plan(query)
+        got = [r.machine_name
+               for r in db.match(plan, include_taken=include_taken)]
+        oracle = [r.machine_name
+                  for r in db.scan(query.matches_machine,
+                                   include_taken=include_taken)]
+        assert got == oracle
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        initial=st.lists(_records, max_size=8,
+                         unique_by=lambda r: r.machine_name),
+        ops=st.lists(_ops, max_size=30),
+    )
+    def test_free_set_and_sorted_view_invariants(self, initial, ops):
+        db = WhitePagesDatabase(initial)
+        for op in ops:
+            _apply(db, op)
+        names = db.names()
+        assert names == sorted(names)
+        free = db.free_names()
+        taken = {n for n in names if db.holder_of(n) is not None}
+        assert free | taken == set(names)
+        assert not (free & taken)
+        assert db.taken_count() == len(taken)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        initial=st.lists(_records, min_size=1, max_size=8,
+                         unique_by=lambda r: r.machine_name),
+        ops=st.lists(_ops, max_size=20),
+        flags_down=st.booleans(),
+    )
+    def test_service_flag_updates_stay_consistent(self, initial, ops,
+                                                  flags_down):
+        db = WhitePagesDatabase(initial)
+        for op in ops:
+            _apply(db, op)
+        name = db.names()[0]
+        db.update_dynamic(name, service_status_flags=ServiceStatusFlags(
+            execution_unit_up=not flags_down))
+        query = Query(clauses=(
+            Clause("punch", "rsrc", "arch", Op.EQ,
+                   db.get(name).parameter("arch")),
+        ))
+        plan = compile_plan(query)
+        got = [r.machine_name for r in db.match(plan, include_taken=True)]
+        oracle = [r.machine_name
+                  for r in db.scan(query.matches_machine,
+                                   include_taken=True)]
+        assert got == oracle
