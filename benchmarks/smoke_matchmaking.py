@@ -22,10 +22,14 @@ import sys
 import time
 from pathlib import Path
 
+from repro.baselines.central import CentralizedScheduler
+from repro.config import ResourcePoolConfig
 from repro.core.language import parse_query
 from repro.core.plan import compile_plan
 from repro.core.resource_pool import ResourcePool
 from repro.core.signature import pool_name_for
+from repro.database.indexes import AttributeIndexCatalog
+from repro.database.whitepages import WhitePagesDatabase
 from repro.fleet import FleetSpec, build_database
 
 BASELINE_PATH = Path(__file__).with_name("matchmaking_baseline.json")
@@ -34,6 +38,11 @@ MAX_REGRESSION = 5.0
 
 QUERY_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.memory = >=256"
 EMPTY_TEXT = "punch.rsrc.arch = cray\npunch.rsrc.memory = >=256"
+#: Two mid-selectivity equalities — the multi-index intersection case.
+TWO_EQ_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.osversion = 7.3"
+#: Stripe used by the indexed in-pool scheduler op (distinct from
+#: QUERY_TEXT's p07 so the pool-walk op can take/release p07 freely).
+POOL_SCHED_TEXT = "punch.rsrc.pool = p01"
 
 
 def _median(fn, repeats):
@@ -78,6 +87,52 @@ def measure() -> dict:
         pool.destroy()
 
     results["pool_walk_s"] = _median(pool_walk, 3)
+
+    # Multi-index intersection: two mid-selectivity equality probes.
+    two_eq_plan = compile_plan(parse_query(TWO_EQ_TEXT).basic())
+    db.match(two_eq_plan)  # warm
+    results["intersect_two_eq_s"] = _median(lambda: db.match(two_eq_plan), 9)
+
+    # Indexed in-pool scheduler: scan_order + an allocate/release cycle
+    # against a ~3k-machine pool kept permanently in scheduling order.
+    sched_query = parse_query(POOL_SCHED_TEXT).basic()
+    pool = ResourcePool(pool_name_for(sched_query), db,
+                        exemplar_query=sched_query,
+                        config=ResourcePoolConfig(linear_scan=False))
+    pool.initialize()
+    try:
+        pool.scan_order(sched_query)  # warm the order cache
+        results["pool_scan_order_indexed_s"] = _median(
+            lambda: pool.scan_order(sched_query), 9)
+
+        def alloc_cycle():
+            alloc = pool.allocate(sched_query)
+            pool.release(alloc.access_key)
+
+        results["pool_alloc_indexed_s"] = _median(alloc_cycle, 9)
+    finally:
+        pool.destroy()
+
+    # Centralized-baseline ablation: indexed submit on the full fleet.
+    central = CentralizedScheduler(db, use_index=True)
+
+    def central_submit():
+        alloc = central.submit(query)
+        central.release(alloc.access_key)
+
+    results["central_indexed_submit_s"] = _median(central_submit, 5)
+
+    # Cold start: restore the index catalog from a snapshot and answer a
+    # first query, instead of rebuilding O(N·attrs·log N) from records.
+    records = [db.get(name) for name in db.names()]
+    snapshot = db.catalog_snapshot()
+
+    def snapshot_restore():
+        catalog = AttributeIndexCatalog.from_snapshot(snapshot, records)
+        restored = WhitePagesDatabase(records, catalog=catalog)
+        return restored.match(plan)
+
+    results["snapshot_restore_s"] = _median(snapshot_restore, 3)
     return results
 
 

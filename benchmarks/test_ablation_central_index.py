@@ -1,0 +1,91 @@
+"""Ablation — centralized scheduler with and without the index engine.
+
+ROADMAP follow-up: ``CentralizedScheduler(use_index=True)`` existed but
+no bench swept it.  The centralized baseline's defining cost is its full
+database walk per submit (Section 8's PBS/SGE family); handing the same
+scheduler the compiled plan's index path removes the database-size term
+while — by construction, since verification and admission are the shared
+engine — selecting the identical machine.  The sweep shows the walk cost
+growing with database size in the default mode and staying near-flat in
+the indexed mode.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from benchmarks.conftest import run_once
+from repro.baselines.central import CentralizedScheduler
+from repro.core.language import parse_query
+from repro.fleet import FleetSpec, build_database
+
+SIZES = (1_000, 4_000, 16_000)
+#: Per-stripe pool size is held constant across the sweep so the query's
+#: *match set* stays fixed while the database grows — isolating the
+#: database-size term that use_index removes from the O(matches) work
+#: both modes share.
+STRIPE_SIZE = 500
+QUERY_TEXT = "punch.rsrc.pool = p00\npunch.rsrc.memory = >=256"
+
+
+def _submit_cost(use_index: bool, size: int, submits: int = 30) -> float:
+    db, _ = build_database(FleetSpec(size=size, seed=9,
+                                     stripe_pools=size // STRIPE_SIZE))
+    sched = CentralizedScheduler(db, use_index=use_index)
+    query = parse_query(QUERY_TEXT).basic()
+    samples = []
+    for _ in range(submits):
+        t0 = time.perf_counter()
+        alloc = sched.submit(query)
+        samples.append(time.perf_counter() - t0)
+        sched.release(alloc.access_key)
+    return statistics.median(samples)
+
+
+def sweep(use_index: bool) -> dict:
+    return {size: _submit_cost(use_index, size) for size in SIZES}
+
+
+def test_indexed_central_scheduler_removes_database_size_term(benchmark):
+    linear = run_once(benchmark, sweep, False)
+    indexed = sweep(True)
+    print(f"\nfull-walk submit : { {s: f'{t * 1e3:.2f} ms' for s, t in linear.items()} }")
+    print(f"indexed submit   : { {s: f'{t * 1e3:.2f} ms' for s, t in indexed.items()} }")
+
+    small, large = SIZES[0], SIZES[-1]
+    # The full walk grows roughly with database size over a 16x sweep.
+    assert linear[large] / linear[small] >= 4.0
+    # The indexed walk must stay near-flat across the same sweep.
+    assert indexed[large] / indexed[small] <= 3.0
+    # And win outright at the largest size.
+    assert indexed[large] < linear[large] / 3
+
+
+def test_indexed_central_scheduler_picks_identical_machines():
+    """use_index must be a pure access-path change: same machine, same
+    queue classification, for a mixed query stream."""
+    db_a, _ = build_database(FleetSpec(size=2_000, seed=9, stripe_pools=32))
+    db_b, _ = build_database(FleetSpec(size=2_000, seed=9, stripe_pools=32))
+    walk = CentralizedScheduler(db_a, use_index=False)
+    indexed = CentralizedScheduler(db_b, use_index=True)
+    from repro.errors import NoResourceAvailableError
+    texts = [
+        "punch.rsrc.pool = p00",
+        "punch.rsrc.arch = sun\npunch.rsrc.memory = >=512",
+        "punch.rsrc.pool = p07\npunch.rsrc.osversion = 7.3",  # may be empty
+        "punch.rsrc.arch = hp",
+    ]
+    for text in texts * 5:
+        query = parse_query(text).basic()
+        try:
+            a = walk.submit(query)
+        except NoResourceAvailableError:
+            # Both access paths must agree that nothing fits.
+            import pytest
+            with pytest.raises(NoResourceAvailableError):
+                indexed.submit(query)
+            continue
+        b = indexed.submit(query)
+        assert a.machine_name == b.machine_name
+        assert a.pool_name == b.pool_name

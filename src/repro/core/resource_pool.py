@@ -23,7 +23,12 @@ Lifecycle, following the paper:
 3. ``select_machine()`` / ``allocate()`` — scheduling processes "sort
    machines within the object's cache using specified criteria" and answer
    queries.  Linear scan by default; the paper's Figure 6 curves "are
-   simply a function of the linear search algorithms employed".
+   simply a function of the linear search algorithms employed".  Behind
+   ``ResourcePoolConfig.linear_scan=False`` the same calls are served by
+   an :class:`~repro.core.scheduler.IndexedPoolScheduler` — the cache is
+   kept permanently in (bias tier, objective key, index) order and only
+   re-keyed for the machine whose record changed — with selection
+   semantics identical to the linear walk.
 4. ``release()`` — the network desktop relinquishes resources when a run
    completes.
 
@@ -40,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.plan import QueryPlan, compile_plan, machine_admissible
 from repro.core.query import Allocation, Query
+from repro.core.scheduler import IndexedPoolScheduler
 from repro.core.scheduling import SchedulingObjective, get_objective
 from repro.core.signature import PoolName
 from repro.config import ResourcePoolConfig
@@ -117,6 +123,9 @@ class ResourcePool:
         #: white pages' attribute indexes on every walk.
         self.plan: QueryPlan = compile_plan(exemplar_query)
         self._cache: List[str] = []        # machine names, stable order
+        #: Indexed in-pool scheduler (``linear_scan=False``); attached at
+        #: initialisation, detached on destroy/split.
+        self._scheduler: Optional[IndexedPoolScheduler] = None
         self._runs: Dict[str, ActiveRun] = {}
         self._initialized = False
         self.queries_served = 0
@@ -160,6 +169,7 @@ class ResourcePool:
         taken = self.database.take_all(names, self.name.full)
         self._cache = list(taken)
         self._initialized = True
+        self._attach_scheduler()
         return len(self._cache)
 
     def adopt(self, machine_names: Sequence[str]) -> int:
@@ -169,14 +179,24 @@ class ResourcePool:
         taken = self.database.take_all(machine_names, self.name.full)
         self._cache = list(taken)
         self._initialized = True
+        self._attach_scheduler()
         return len(self._cache)
 
     def destroy(self) -> int:
         """Release every cached machine back to the white pages."""
         released = self.database.release_pool(self.name.full)
         self._cache.clear()
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
         self._initialized = False
         return released
+
+    def _attach_scheduler(self) -> None:
+        if not self.config.linear_scan:
+            self._scheduler = IndexedPoolScheduler(
+                self.database, self._cache, self.objective,
+                tier_of=self._bias_tier)
 
     # -- scheduling -----------------------------------------------------------------
 
@@ -194,12 +214,20 @@ class ResourcePool:
         return machine_admissible(record, query,
                                   policy_registry=self.policy_registry)
 
-    def scan_order(self, query: Optional[Query] = None) -> List[Tuple[int, str]]:
-        """Cache indices+names in scheduling order (bias tier, objective).
+    def _indexed_usable(self, query: Optional[Query]) -> bool:
+        """Can the maintained rank index answer this query's ordering?
 
-        This *is* the linear scan: every call touches the whole cache,
-        which is what gives Figure 6 its linear response-time growth.
+        Query-sensitive objectives (predicted-footprint placement) rank
+        differently per query; the index — keyed with ``query=None`` —
+        would change selection semantics, so those fall back to the
+        linear walk whenever a query is present.
         """
+        return self._scheduler is not None and (
+            query is None or not self.objective.query_sensitive)
+
+    def _linear_order(self, query: Optional[Query]) -> List[Tuple[int, str]]:
+        """The paper's linear scan: every call touches the whole cache,
+        which is what gives Figure 6 its linear response-time growth."""
         keyed = []
         for idx, name in enumerate(self._cache):
             record = self.database.get(name)
@@ -210,6 +238,37 @@ class ResourcePool:
         keyed.sort(key=lambda t: (t[0], t[1], t[2]))
         return [(idx, name) for _tier, _key, idx, name in keyed]
 
+    def scan_order(self, query: Optional[Query] = None) -> List[Tuple[int, str]]:
+        """Cache indices+names in scheduling order (bias tier, objective).
+
+        Linear mode re-sorts the cache per call (the Figure 6 cost);
+        indexed mode reads the incrementally-maintained order.
+        """
+        if self._indexed_usable(query):
+            return self._scheduler.order()
+        return self._linear_order(query)
+
+    def _iter_order(self, query: Optional[Query]):
+        """Scheduling order as an iterator; lazy in indexed mode so
+        selection stops at the first admissible machine."""
+        if self._indexed_usable(query):
+            return self._scheduler.iter_order()
+        return iter(self._linear_order(query))
+
+    def _select(self, query: Query,
+                exclude: Optional[Sequence[str]] = None,
+                order: Optional[Sequence[Tuple[int, str]]] = None
+                ) -> Optional[MachineRecord]:
+        excluded = set(exclude) if exclude else ()
+        for _idx, name in (order if order is not None
+                           else self._iter_order(query)):
+            if name in excluded:
+                continue
+            record = self.database.get(name)
+            if self._admissible(record, query):
+                return record
+        return None
+
     def select_machine(self, query: Query,
                        exclude: Optional[Sequence[str]] = None
                        ) -> Optional[MachineRecord]:
@@ -218,29 +277,27 @@ class ResourcePool:
         ``exclude`` names machines to skip (used by co-allocation to keep
         the batch on distinct hosts).
         """
-        excluded = set(exclude) if exclude else ()
-        for _idx, name in self.scan_order(query):
-            if name in excluded:
-                continue
-            record = self.database.get(name)
-            if self._admissible(record, query):
-                return record
-        return None
+        return self._select(query, exclude)
 
     # -- allocation -----------------------------------------------------------------
 
     def allocate(self, query: Query, now: float = 0.0,
-                 exclude: Optional[Sequence[str]] = None) -> Allocation:
+                 exclude: Optional[Sequence[str]] = None, *,
+                 _order: Optional[Sequence[Tuple[int, str]]] = None
+                 ) -> Allocation:
         """Select a machine, claim a shadow account, mint an access key.
 
         The machine's dynamic load/job fields are bumped so subsequent
         selections see the placement (the monitor will later re-measure).
         Raises :class:`NoResourceAvailableError` when no admissible
-        machine exists.
+        machine exists.  ``_order`` is the co-allocation fast path: a
+        scheduling order the caller already computed (valid because the
+        only records that change during a batch are the batch's own
+        allocations, which are excluded anyway).
         """
         self.queries_served += 1
         self.last_activity = max(self.last_activity, now)
-        record = self.select_machine(query, exclude=exclude)
+        record = self._select(query, exclude, order=_order)
         if record is None:
             self.allocation_failures += 1
             raise NoResourceAvailableError(
@@ -295,12 +352,20 @@ class ResourcePool:
         """
         if count < 1:
             raise NoResourceAvailableError(f"co-allocation count {count} < 1")
+        # Hoist the order computation out of the per-count loop: within a
+        # batch, the only records that change are the batch's own
+        # allocations, and those are excluded from later picks — so one
+        # order, walked with a fresh admissibility check per pick, selects
+        # exactly the machines a per-pick recomputation would.  (Indexed
+        # mode maintains its order incrementally; nothing to hoist.)
+        order = None if self._indexed_usable(query) else self.scan_order(query)
         allocations: List[Allocation] = []
         try:
             for _ in range(count):
                 allocations.append(self.allocate(
                     query, now=now,
-                    exclude=[a.machine_name for a in allocations]))
+                    exclude=[a.machine_name for a in allocations],
+                    _order=order))
         except NoResourceAvailableError:
             for alloc in allocations:
                 self.release(alloc.access_key)

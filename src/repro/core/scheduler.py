@@ -1,0 +1,259 @@
+"""Indexed in-pool scheduler: incrementally-maintained scheduling order.
+
+The paper's pool scheduler "sorts machines within the object's cache
+using specified criteria" on every query — the linear scan whose cost is
+Figure 6's subject matter.  This module is the real implementation behind
+the *indexed* ablation (``ResourcePoolConfig.linear_scan=False``): the
+cache is kept in scheduling order permanently, so answering a query is a
+walk of an already-sorted structure that stops at the first admissible
+machine instead of an O(pool) re-sort.
+
+Structure
+---------
+One sorted list of ``(rank_key, cache_index, machine_name)`` per bias
+tier (replication keeps two tiers: "our" machines and the rest; see
+:meth:`ResourcePool._bias_tier`).  Concatenated in tier order the lists
+reproduce exactly the ``(tier, key, index)`` order the linear scan
+computes, because the linear sort is lexicographic over those fields.
+
+Maintenance is driven by the white-pages record-change listener
+(:meth:`~repro.database.whitepages.WhitePagesDatabase.add_listener`):
+when a cached machine's record is replaced, only that machine is re-keyed
+— two bisects, O(log n) plus a memmove — so a monitoring refresh or an
+allocation's load bump never triggers a cache walk.
+
+Scope
+-----
+Rank keys are computed with ``query=None``, so the order is only valid
+for objectives whose key ignores the query
+(:attr:`~repro.core.scheduling.SchedulingObjective.query_sensitive` is
+False — the default ``least_load`` among them).  The pool falls back to
+the linear walk for query-sensitive objectives when a query is present;
+selection semantics are therefore *identical* to linear mode in every
+case.
+
+Concurrency: the tier lists are only touched under the white-pages
+registry lock (the listener already runs inside it; builds re-enter it),
+while readers iterate *published* order lists that are replaced, never
+mutated in place — so a monitoring thread refreshing records cannot tear
+a selection in progress.  Allocation itself follows the pool's existing
+single-writer discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort, bisect_left
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.scheduling import SchedulingObjective
+from repro.database.records import MachineRecord
+from repro.database.whitepages import WhitePagesDatabase
+
+__all__ = ["IndexedPoolScheduler"]
+
+#: ``(rank_key, cache_index, machine_name)`` — compares exactly like the
+#: linear scan's ``(key, idx, name)`` sort fields within one bias tier.
+_Entry = Tuple[Tuple[float, ...], int, str]
+
+
+def _safe_key(key: Tuple[float, ...]) -> Tuple[float, ...]:
+    """Map NaN components to +inf so the bisect order stays total.
+
+    The linear path's ``list.sort`` over NaN keys is unspecified; pinning
+    NaN to "rank last" keeps the index structurally sound without
+    changing any specified ordering.
+    """
+    if any(isinstance(k, float) and math.isnan(k) for k in key):
+        return tuple(math.inf if isinstance(k, float) and math.isnan(k)
+                     else k for k in key)
+    return key
+
+
+class IndexedPoolScheduler:
+    """Keeps one pool cache permanently in scheduling order.
+
+    Parameters
+    ----------
+    database:
+        The white pages; subscribed to for record changes until
+        :meth:`close`.
+    cache:
+        The pool's machine names in cache order (fixed after
+        initialisation; the cache index is the scheduling tie-breaker).
+    objective:
+        Ranking criterion; keys are computed with ``query=None``.
+    tier_of:
+        Maps a cache index to its replica-bias tier (0 = preferred).
+    """
+
+    def __init__(self, database: WhitePagesDatabase, cache: Sequence[str],
+                 objective: SchedulingObjective,
+                 tier_of: Callable[[int], int]):
+        self.database = database
+        self.objective = objective
+        #: name -> (tier, cache index): fixed pool membership, so a
+        #: machine removed from the registry and later re-registered can
+        #: be restored to its slot in the order.
+        self._slots: Dict[str, Tuple[int, int]] = {
+            name: (tier_of(idx), idx) for idx, name in enumerate(cache)
+        }
+        #: name -> its current entry (absent while the machine is
+        #: deleted from the registry).
+        self._entries: Dict[str, _Entry] = {}
+        #: tier number -> sorted entries; walked in ascending tier order.
+        self._tiers: Dict[int, List[_Entry]] = {}
+        #: Materialised ``(idx, name)`` order; invalidated by any re-key,
+        #: so an unchanged pool answers ``scan_order`` with one copy.
+        #: Published lists are replaced, never mutated — readers holding
+        #: one can always finish iterating it safely.
+        self._order_cache: Optional[List[Tuple[int, str]]] = None
+        #: Bumped (under the registry lock) on every structural change;
+        #: lazy iteration uses it to detect — and restart after — a
+        #: concurrent mutation instead of walking a torn list.
+        self._version = 0
+        self.rekeys = 0
+        # The registry lock (re-entrant) serialises the build against
+        # concurrent record changes; subscribing inside the same hold
+        # means no change can slip between build and subscription.
+        with database._lock:
+            for name, (tier, idx) in self._slots.items():
+                record = database.get(name)
+                key = _safe_key(objective.rank_key(record, None))
+                entry: _Entry = (key, idx, name)
+                self._tiers.setdefault(tier, []).append(entry)
+                self._entries[name] = entry
+            for entries in self._tiers.values():
+                entries.sort()
+            self._tier_order = sorted(self._tiers)
+            database.add_listener(self._on_record_change)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _on_record_change(self, name: str,
+                          record: Optional[MachineRecord]) -> None:
+        """Database listener: re-rank ``name`` if we cache it.
+
+        Runs under the registry lock (listeners are invoked inside it),
+        so tier-list surgery never races a concurrent build.
+        """
+        slot = self._slots.get(name)
+        if slot is None:
+            return  # not one of ours
+        tier, idx = slot
+        entries = self._tiers[tier]
+        entry = self._entries.get(name)
+        if record is None:
+            # Cached machine deleted from the registry — a broken state
+            # the linear path would also fault on; drop it from the order
+            # (and restore it if the machine is ever re-registered).
+            if entry is not None:
+                self._remove_entry(entries, entry)
+                del self._entries[name]
+                self._order_cache = None
+                self._version += 1
+            return
+        new_key = _safe_key(self.objective.rank_key(record, None))
+        if entry is not None:
+            if new_key == entry[0]:
+                return  # rank unchanged (e.g. memory-only refresh under least_load)
+            self._remove_entry(entries, entry)
+        new_entry: _Entry = (new_key, idx, name)
+        insort(entries, new_entry)
+        self._entries[name] = new_entry
+        self._order_cache = None
+        self._version += 1
+        self.rekeys += 1
+
+    @staticmethod
+    def _remove_entry(entries: List[_Entry], entry: _Entry) -> None:
+        i = bisect_left(entries, entry)
+        if i < len(entries) and entries[i] == entry:
+            del entries[i]
+
+    def close(self) -> None:
+        """Detach from the database (pool destroyed or split)."""
+        self.database.remove_listener(self._on_record_change)
+
+    # -- order ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _order_snapshot(self) -> List[Tuple[int, str]]:
+        """The current order as a list that is never mutated in place.
+
+        Rebuilding takes the registry lock so the tier lists cannot be
+        resorted mid-walk by a concurrent monitoring refresh; once
+        published, a snapshot list is only ever *replaced* (by setting
+        ``_order_cache`` to None and building a new one), so readers
+        iterate it lock-free.
+        """
+        snapshot = self._order_cache
+        if snapshot is None:
+            with self.database._lock:
+                snapshot = self._order_cache
+                if snapshot is None:
+                    snapshot = [
+                        (idx, name)
+                        for tier in self._tier_order
+                        for _key, idx, name in self._tiers[tier]
+                    ]
+                    self._order_cache = snapshot
+        return snapshot
+
+    def iter_order(self) -> Iterator[Tuple[int, str]]:
+        """Lazily yield ``(cache_index, name)`` in scheduling order.
+
+        ``select_machine`` stops at the first admissible machine, so a
+        healthy pool answers in O(1) candidates instead of O(pool) —
+        without materialising the order (which the pool's own allocation
+        re-keys would invalidate every cycle).
+        """
+        cache = self._order_cache
+        if cache is not None:
+            return iter(cache)
+        return self._iter_live()
+
+    def _iter_live(self) -> Iterator[Tuple[int, str]]:
+        """Walk the live tier lists, restarting if a concurrent record
+        change mutates them mid-walk.
+
+        List reads are memory-safe under the GIL; the version check (and
+        the IndexError guard for a shrink between bound check and read)
+        turns a torn walk into a restart — equivalent to the caller
+        re-requesting a fresh scan order.  Persistent churn falls back
+        to one consistent materialised snapshot.
+        """
+        for _attempt in range(3):
+            version = self._version
+            stale = False
+            for tier in self._tier_order:
+                entries = self._tiers[tier]
+                i = 0
+                while True:
+                    if self._version != version:
+                        stale = True
+                        break
+                    try:
+                        _key, idx, name = entries[i]
+                    except IndexError:
+                        break  # end of tier (or shrunk: version catches it)
+                    i += 1
+                    yield (idx, name)
+                    if self._version != version:
+                        stale = True
+                        break
+                if stale:
+                    break
+            if not stale:
+                return
+        yield from self._order_snapshot()
+
+    def order(self) -> List[Tuple[int, str]]:
+        """The full scheduling order (``scan_order``-compatible).
+
+        Callers get a copy so they can never corrupt the published
+        snapshot.
+        """
+        return list(self._order_snapshot())

@@ -29,11 +29,20 @@ KeyFn = Callable[[MachineRecord, Optional[Query]], Tuple[float, ...]]
 
 @dataclass(frozen=True)
 class SchedulingObjective:
-    """A named machine-ranking criterion (smaller key = preferred)."""
+    """A named machine-ranking criterion (smaller key = preferred).
+
+    ``query_sensitive`` declares whether the key actually reads the query
+    (e.g. a predicted memory footprint).  Query-insensitive objectives
+    can be served from an incrementally-maintained rank index
+    (:class:`repro.core.scheduler.IndexedPoolScheduler`) because their
+    keys depend on the record alone; query-sensitive ones must fall back
+    to the per-query walk whenever a query is present.
+    """
 
     name: str
     key: KeyFn
     description: str = ""
+    query_sensitive: bool = False
 
     def rank_key(self, record: MachineRecord, query: Optional[Query] = None
                  ) -> Tuple[float, ...]:
@@ -143,7 +152,9 @@ register_objective(SchedulingObjective(
     "prefer the fewest active jobs"))
 register_objective(SchedulingObjective(
     "best_fit_memory", _best_fit_memory,
-    "smallest adequate memory surplus for the predicted footprint"))
+    "smallest adequate memory surplus for the predicted footprint",
+    query_sensitive=True))
 register_objective(SchedulingObjective(
     "min_response_time", _min_response_time,
-    "minimise predicted completion time from the appl estimate"))
+    "minimise predicted completion time from the appl estimate",
+    query_sensitive=True))

@@ -32,6 +32,7 @@ from bisect import bisect_left, insort
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 __all__ = [
+    "INDEX_SCHEMA_VERSION",
     "coerce_number",
     "loose_equal",
     "any_element_equal",
@@ -41,6 +42,13 @@ __all__ = [
     "SortedAttrIndex",
     "AttributeIndexCatalog",
 ]
+
+#: Version of the catalog snapshot layout produced by
+#: :meth:`AttributeIndexCatalog.to_snapshot`.  Bump whenever the token
+#: function, the sorted-pair layout, or the indexed attribute set changes
+#: meaning — a loader seeing a different version must rebuild from the
+#: records instead of restoring.
+INDEX_SCHEMA_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
@@ -116,20 +124,40 @@ def machine_tokens(value: Any) -> Iterator[str]:
 # ---------------------------------------------------------------------------
 
 class HashAttrIndex:
-    """token -> set of machine names, for equality probes."""
+    """token -> set of machine names, for equality probes.
+
+    A posting restored from a snapshot is kept as the parsed *list* until
+    the token is first probed or mutated — most tokens of a large fleet
+    (machine names, measured loads) are never touched, so converting all
+    of them to sets up front would put an O(N) term back into the cold
+    start this layout exists to remove.
+    """
 
     __slots__ = ("_postings",)
 
     def __init__(self) -> None:
-        self._postings: Dict[str, Set[str]] = {}
+        #: token -> set (live) or list (restored, not yet touched).
+        self._postings: Dict[str, Any] = {}
+
+    def _posting_set(self, token: str) -> Optional[Set[str]]:
+        posting = self._postings.get(token)
+        if posting is None or type(posting) is set:
+            return posting
+        posting = set(posting)
+        self._postings[token] = posting
+        return posting
 
     def add(self, value: Any, name: str) -> None:
         for token in machine_tokens(value):
-            self._postings.setdefault(token, set()).add(name)
+            posting = self._posting_set(token)
+            if posting is None:
+                self._postings[token] = {name}
+            else:
+                posting.add(name)
 
     def discard(self, value: Any, name: str) -> None:
         for token in machine_tokens(value):
-            posting = self._postings.get(token)
+            posting = self._posting_set(token)
             if posting is not None:
                 posting.discard(name)
                 if not posting:
@@ -137,7 +165,8 @@ class HashAttrIndex:
 
     def lookup(self, query_value: Any) -> Set[str]:
         """Names whose value *may* loosely equal ``query_value``."""
-        return self._postings.get(eq_token(query_value), set())
+        posting = self._posting_set(eq_token(query_value))
+        return posting if posting is not None else set()
 
     def __len__(self) -> int:
         return len(self._postings)
@@ -149,17 +178,33 @@ class SortedAttrIndex:
     Only numerically-coercible values are held — a machine whose value
     does not coerce can never satisfy an ordered clause (fail-closed
     semantics), so leaving it out is exact, not an approximation.
+
+    A snapshot restore hands over the two *parallel arrays* it parsed
+    (``_frozen``); range probes bisect the value array directly, and the
+    pair list is only materialised by the first mutation — restoring a
+    large fleet therefore never pays the O(n) tuple build for indexes
+    that are read but not written.
     """
 
-    __slots__ = ("_pairs",)
+    __slots__ = ("_pairs", "_frozen")
 
     def __init__(self) -> None:
         self._pairs: List[Tuple[float, str]] = []
+        #: (values, names) parallel arrays from a snapshot, or None.
+        self._frozen: Optional[Tuple[List[float], List[str]]] = None
+
+    def _materialize(self) -> None:
+        if self._frozen is not None:
+            values, names = self._frozen
+            self._pairs = list(zip(values, names))
+            self._frozen = None
 
     def add(self, value: float, name: str) -> None:
+        self._materialize()
         insort(self._pairs, (value, name))
 
     def discard(self, value: float, name: str) -> None:
+        self._materialize()
         i = bisect_left(self._pairs, (value, name))
         if i < len(self._pairs) and self._pairs[i] == (value, name):
             del self._pairs[i]
@@ -171,9 +216,16 @@ class SortedAttrIndex:
         if not incl_lo:
             lo = math.nextafter(lo, math.inf)
         eff_hi = hi if incl_hi else math.nextafter(hi, -math.inf)
-        start = bisect_left(self._pairs, (lo,))
-        stop = bisect_left(self._pairs, (math.nextafter(eff_hi, math.inf),)) \
-            if eff_hi != math.inf else len(self._pairs)
+        if self._frozen is not None:
+            values = self._frozen[0]
+            start = bisect_left(values, lo)
+            stop = bisect_left(values, math.nextafter(eff_hi, math.inf)) \
+                if eff_hi != math.inf else len(values)
+        else:
+            start = bisect_left(self._pairs, (lo,))
+            stop = bisect_left(self._pairs,
+                               (math.nextafter(eff_hi, math.inf),)) \
+                if eff_hi != math.inf else len(self._pairs)
         return start, stop
 
     def count_in(self, lo: float, hi: float, *, incl_lo: bool = True,
@@ -184,9 +236,13 @@ class SortedAttrIndex:
     def names_in(self, lo: float, hi: float, *, incl_lo: bool = True,
                  incl_hi: bool = True) -> List[str]:
         start, stop = self._bounds(lo, hi, incl_lo, incl_hi)
+        if self._frozen is not None:
+            return self._frozen[1][start:stop]
         return [name for _value, name in self._pairs[start:stop]]
 
     def __len__(self) -> int:
+        if self._frozen is not None:
+            return len(self._frozen[0])
         return len(self._pairs)
 
 
@@ -216,6 +272,20 @@ class AttributeIndexCatalog:
         self._sorted: Dict[str, SortedAttrIndex] = {}
         #: Cached attribute view per machine, for diff-based updates.
         self._views: Dict[str, Dict[str, Any]] = {}
+        #: Records restored from a snapshot whose views have not been
+        #: materialised yet (lazy: a 100k-machine catalog restore should
+        #: not pay 100k ``attribute_view()`` calls up front).
+        self._lazy: Dict[str, Any] = {}
+
+    def _view_of(self, name: str) -> Optional[Dict[str, Any]]:
+        """The machine's current view, materialising a lazy one."""
+        view = self._views.get(name)
+        if view is None:
+            record = self._lazy.pop(name, None)
+            if record is None:
+                return None
+            view = self._views[name] = record.attribute_view()
+        return view
 
     # -- maintenance ---------------------------------------------------------
 
@@ -247,14 +317,16 @@ class AttributeIndexCatalog:
     def add(self, record) -> None:
         view = record.attribute_view()
         name = record.machine_name
+        self._lazy.pop(name, None)
         self._views[name] = view
         for attr, value in view.items():
             self._index_one(attr, value, name)
 
     def remove(self, machine_name: str) -> None:
-        view = self._views.pop(machine_name, None)
+        view = self._view_of(machine_name)
         if view is None:
             return
+        del self._views[machine_name]
         for attr, value in view.items():
             self._unindex_one(attr, value, machine_name)
 
@@ -267,7 +339,7 @@ class AttributeIndexCatalog:
     def replace(self, record) -> None:
         """Re-index ``record``; only attributes whose value changed move."""
         name = record.machine_name
-        old = self._views.get(name)
+        old = self._view_of(name)
         if old is None:
             self.add(record)
             return
@@ -305,6 +377,7 @@ class AttributeIndexCatalog:
             sidx = self._sorted.get(attr)
             if sidx is None:
                 sidx = self._sorted[attr] = SortedAttrIndex()
+            sidx._materialize()
             merged = sidx._pairs + pairs
             merged.sort()
             sidx._pairs = merged
@@ -338,11 +411,85 @@ class AttributeIndexCatalog:
 
     def view(self, machine_name: str) -> Optional[Dict[str, Any]]:
         """The cached attribute view (shared with match verification)."""
-        return self._views.get(machine_name)
+        return self._view_of(machine_name)
+
+    # -- snapshot persistence -------------------------------------------------
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """Deterministic, JSON-serialisable image of the index state.
+
+        The attribute views are *not* serialised — they are cheaply
+        re-derivable from the records the snapshot travels with, whereas
+        the hash/sorted structures are the O(N·attrs·log N) part of a
+        rebuild (tokenisation, numeric coercion, sorting).  Posting names
+        are sorted so snapshots of equal catalogs are byte-identical.
+        """
+        def sorted_block(sidx: SortedAttrIndex) -> Dict[str, Any]:
+            if sidx._frozen is not None:
+                values, names = sidx._frozen
+                return {"values": list(values), "names": list(names)}
+            return {
+                "values": [v for v, _n in sidx._pairs],
+                "names": [n for _v, n in sidx._pairs],
+            }
+
+        return {
+            "schema": INDEX_SCHEMA_VERSION,
+            "hash": {
+                # sorted() canonicalises both live sets and still-frozen
+                # posting lists.
+                attr: {token: sorted(names)
+                       for token, names in idx._postings.items()}
+                for attr, idx in self._hash.items()
+            },
+            "sorted": {
+                attr: sorted_block(sidx)
+                for attr, sidx in self._sorted.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any],
+                      records: Iterable) -> "AttributeIndexCatalog":
+        """Restore a catalog from :meth:`to_snapshot` output.
+
+        ``records`` must be the exact record set the snapshot was taken
+        from (the persistence layer guards this with a checksum before
+        calling); views are rebuilt from them directly.  Raises
+        ``ValueError`` on a schema-version mismatch — callers fall back
+        to :meth:`bulk_load`.
+        """
+        if data.get("schema") != INDEX_SCHEMA_VERSION:
+            raise ValueError(
+                f"index snapshot schema {data.get('schema')!r} != "
+                f"{INDEX_SCHEMA_VERSION}")
+        cat = cls()
+        # Views materialise on first touch; restore stays O(index size).
+        cat._lazy = {record.machine_name: record for record in records}
+        for attr, postings in data["hash"].items():
+            if not all(type(names) is list for names in postings.values()):
+                raise ValueError(f"hash postings for {attr!r} not lists")
+            idx = HashAttrIndex()
+            # Postings stay as the parsed lists until first touched.
+            idx._postings = dict(postings)
+            cat._hash[attr] = idx
+        for attr, block in data["sorted"].items():
+            values, names = block["values"], block["names"]
+            # Structural guards: bisect correctness depends on ascending
+            # order, and parallel arrays must line up.  (sorted() on an
+            # already-sorted list is a fast O(n) pass.)
+            if len(values) != len(names):
+                raise ValueError(f"sorted arrays for {attr!r} misaligned")
+            if values != sorted(values):
+                raise ValueError(f"sorted values for {attr!r} not ascending")
+            sidx = SortedAttrIndex()
+            sidx._frozen = (values, names)
+            cat._sorted[attr] = sidx
+        return cat
 
     def stats(self) -> Dict[str, Any]:
         return {
-            "machines": len(self._views),
+            "machines": len(self._views) + len(self._lazy),
             "hash_attrs": sorted(self._hash),
             "sorted_attrs": sorted(self._sorted),
         }

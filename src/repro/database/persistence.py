@@ -5,23 +5,52 @@ administrators; a library users can adopt needs the fleet definition to
 survive restarts and travel between tools.  The format is stable JSON —
 one object per machine, field names matching Figure 3's schema — so
 fleets can be version-controlled and diffed.
+
+Format version 2 additionally embeds an image of the
+:class:`~repro.database.indexes.AttributeIndexCatalog` so startup can
+*restore* the indexes instead of rebuilding them from scratch — the
+O(N·attrs·log N) tokenise-and-sort pass that dominates cold start at
+large N.  The index section is guarded twice:
+
+- an **index schema version** (:data:`~repro.database.indexes
+  .INDEX_SCHEMA_VERSION`): a snapshot written under different token/
+  layout semantics is never restored;
+- a **checksum** over the canonical record section: an index section
+  whose *records* were edited out from under it (hand-edited fleet
+  file, partial merge touching machines) is detected and discarded;
+- **structural validation** on restore: misaligned or unsorted
+  sorted-index arrays and malformed posting containers are rejected.
+
+Any guard failure — or a version-1 snapshot, which has no index section —
+falls back to the rebuild path silently; restoring is purely a startup
+optimisation, never a semantic dependency.  The guards do not extend to
+a *structurally valid but content-edited* index section (e.g. a name
+deleted from one posting list by hand): like any database file content,
+the index section is trusted once its schema, record checksum, and
+structure check out — delete the ``indexes`` key (or load with
+``use_index_snapshot=False``) to force a rebuild after manual edits.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.database.fields import MachineState
+from repro.database.indexes import AttributeIndexCatalog
 from repro.database.records import MachineRecord, ServiceStatusFlags
 from repro.database.whitepages import WhitePagesDatabase
 from repro.errors import DatabaseError
 
 __all__ = ["record_to_dict", "record_from_dict", "save_database",
-           "load_database", "dumps_database", "loads_database"]
+           "load_database", "dumps_database", "loads_database",
+           "restore_catalog"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Versions this loader understands (1 = records only, no index section).
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def record_to_dict(record: MachineRecord) -> Dict[str, Any]:
@@ -89,16 +118,60 @@ def record_from_dict(data: Dict[str, Any]) -> MachineRecord:
         raise DatabaseError(f"malformed machine record: {exc}") from exc
 
 
-def dumps_database(db: WhitePagesDatabase) -> str:
-    payload = {
+def _machines_checksum(machines: List[Dict[str, Any]]) -> int:
+    """CRC over the canonical serialisation of the record section.
+
+    Canonical = compact separators + sorted keys, so the value is stable
+    across dump → parse → re-dump (JSON floats round-trip through repr).
+    """
+    canon = json.dumps(machines, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canon.encode("utf-8"))
+
+
+def dumps_database(db: WhitePagesDatabase, *,
+                   include_indexes: bool = True) -> str:
+    # One atomic capture: records and catalog image from the same lock
+    # hold, so the checksum can never bless an index section that
+    # reflects a mutation the record section missed.
+    records, catalog_image = db.snapshot_state()
+    machines = [record_to_dict(record) for record in records]
+    payload: Dict[str, Any] = {
         "format": "repro.whitepages",
         "version": _FORMAT_VERSION,
-        "machines": [record_to_dict(db.get(name)) for name in db.names()],
+        "machines": machines,
     }
+    if include_indexes:
+        payload["indexes"] = dict(
+            catalog_image,
+            checksum=_machines_checksum(machines),
+        )
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def loads_database(text: str) -> WhitePagesDatabase:
+def restore_catalog(payload: Dict[str, Any],
+                    records: List[MachineRecord]
+                    ) -> Optional[AttributeIndexCatalog]:
+    """Restore the index section of a parsed snapshot, or None.
+
+    None means "rebuild": no index section (version-1 snapshot), an index
+    schema this code does not understand, a checksum that does not match
+    the record section, or a structurally broken section.  All four are
+    legal inputs — the records are the source of truth.
+    """
+    index_payload = payload.get("indexes")
+    if not isinstance(index_payload, dict):
+        return None
+    checksum = index_payload.get("checksum")
+    if checksum != _machines_checksum(payload.get("machines", [])):
+        return None
+    try:
+        return AttributeIndexCatalog.from_snapshot(index_payload, records)
+    except (ValueError, KeyError, TypeError, AttributeError):
+        return None
+
+
+def loads_database(text: str, *, use_index_snapshot: bool = True
+                   ) -> WhitePagesDatabase:
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -106,17 +179,22 @@ def loads_database(text: str) -> WhitePagesDatabase:
     if not isinstance(payload, dict) or \
             payload.get("format") != "repro.whitepages":
         raise DatabaseError("not a repro.whitepages snapshot")
-    if payload.get("version") != _FORMAT_VERSION:
+    if payload.get("version") not in _SUPPORTED_VERSIONS:
         raise DatabaseError(
             f"unsupported snapshot version {payload.get('version')!r}"
         )
     records = [record_from_dict(m) for m in payload.get("machines", [])]
-    return WhitePagesDatabase(records)
+    catalog = restore_catalog(payload, records) if use_index_snapshot else None
+    return WhitePagesDatabase(records, catalog=catalog)
 
 
-def save_database(db: WhitePagesDatabase, path: Union[str, Path]) -> None:
-    Path(path).write_text(dumps_database(db), encoding="utf-8")
+def save_database(db: WhitePagesDatabase, path: Union[str, Path], *,
+                  include_indexes: bool = True) -> None:
+    Path(path).write_text(dumps_database(db, include_indexes=include_indexes),
+                          encoding="utf-8")
 
 
-def load_database(path: Union[str, Path]) -> WhitePagesDatabase:
-    return loads_database(Path(path).read_text(encoding="utf-8"))
+def load_database(path: Union[str, Path], *, use_index_snapshot: bool = True
+                  ) -> WhitePagesDatabase:
+    return loads_database(Path(path).read_text(encoding="utf-8"),
+                          use_index_snapshot=use_index_snapshot)

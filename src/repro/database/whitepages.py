@@ -34,6 +34,7 @@ from typing import (
     List,
     Optional,
     Set,
+    Tuple,
     TYPE_CHECKING,
 )
 
@@ -70,15 +71,35 @@ class WhitePagesDatabase:
     - an :class:`~repro.database.indexes.AttributeIndexCatalog` — hash
       indexes for equality clauses, sorted containers for range clauses —
       which :meth:`match` executes compiled query plans against.
+
+    ``catalog`` lets a snapshot loader hand over an already-restored
+    index catalog (see :mod:`repro.database.persistence`); the caller is
+    responsible for its consistency with ``records`` (the persistence
+    layer guards this with a checksum and falls back to a rebuild).
+
+    Record-change **listeners** (:meth:`add_listener`) are invoked — under
+    the registry lock — whenever a record is replaced or removed; the
+    indexed in-pool scheduler uses this to re-rank only the machine whose
+    record actually changed instead of re-walking its cache.
     """
 
-    def __init__(self, records: Iterable[MachineRecord] = ()):
+    #: Plan execution may intersect up to this many index probes before
+    #: per-candidate verification (1 = single most-selective path).
+    intersect_max_paths: int = 3
+    #: A further probe is only intersected while its candidate count is at
+    #: most this multiple of the current candidate set — a huge second
+    #: posting set costs more to walk than the verifications it saves.
+    intersect_ratio: float = 8.0
+
+    def __init__(self, records: Iterable[MachineRecord] = (),
+                 *, catalog: Optional[AttributeIndexCatalog] = None):
         self._lock = threading.RLock()
         self._records: Dict[str, MachineRecord] = {}
         self._taken_by: Dict[str, str] = {}  # machine name -> pool name
         self._names: List[str] = []          # sorted, maintained on add/remove
         self._free: Set[str] = set()         # names not in _taken_by
-        self._catalog = AttributeIndexCatalog()
+        self._listeners: Tuple[Callable[[str, Optional[MachineRecord]], None],
+                               ...] = ()
         initial = list(records)
         for rec in initial:
             if rec.machine_name in self._records:
@@ -86,7 +107,36 @@ class WhitePagesDatabase:
             self._records[rec.machine_name] = rec
             self._free.add(rec.machine_name)
         self._names = sorted(self._records)
-        self._catalog.bulk_load(initial)
+        if catalog is not None:
+            self._catalog = catalog
+        else:
+            self._catalog = AttributeIndexCatalog()
+            self._catalog.bulk_load(initial)
+
+    # -- change listeners -----------------------------------------------------
+
+    def add_listener(
+            self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
+        """Subscribe ``fn(machine_name, record)`` to record replacements.
+
+        ``record`` is the new version, or ``None`` when the machine was
+        removed.  Listeners run under the registry lock and must not
+        mutate the database.
+        """
+        with self._lock:
+            self._listeners = self._listeners + (fn,)
+
+    def remove_listener(
+            self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
+        with self._lock:
+            # Equality, not identity: bound methods are re-created per
+            # attribute access, but compare equal for the same receiver.
+            self._listeners = tuple(l for l in self._listeners if l != fn)
+
+    def _notify(self, machine_name: str,
+                record: Optional[MachineRecord]) -> None:
+        for fn in self._listeners:
+            fn(machine_name, record)
 
     # -- registry CRUD --------------------------------------------------------
 
@@ -98,6 +148,9 @@ class WhitePagesDatabase:
             insort(self._names, record.machine_name)
             self._free.add(record.machine_name)
             self._catalog.add(record)
+            # Notify so a pool whose cached machine was removed and then
+            # re-registered can restore it to its scheduling order.
+            self._notify(record.machine_name, record)
 
     def remove(self, machine_name: str) -> MachineRecord:
         with self._lock:
@@ -110,6 +163,7 @@ class WhitePagesDatabase:
             if i < len(self._names) and self._names[i] == machine_name:
                 del self._names[i]
             self._catalog.remove(machine_name)
+            self._notify(machine_name, None)
             return rec
 
     def get(self, machine_name: str) -> MachineRecord:
@@ -126,6 +180,7 @@ class WhitePagesDatabase:
                 raise UnknownMachineError(record.machine_name)
             self._records[record.machine_name] = record
             self._catalog.replace(record)
+            self._notify(record.machine_name, record)
 
     def update_dynamic(self, machine_name: str, **dynamic) -> MachineRecord:
         """Apply a monitoring refresh (fields 1-7) atomically.
@@ -138,6 +193,7 @@ class WhitePagesDatabase:
             new = rec.with_dynamic(**dynamic)
             self._records[machine_name] = new
             self._catalog.replace(new)
+            self._notify(machine_name, new)
             return new
 
     def __len__(self) -> int:
@@ -193,35 +249,60 @@ class WhitePagesDatabase:
             return out
 
     def _plan_candidates(self, plan: "QueryPlan", include_taken: bool
-                         ) -> List[str]:
-        """Names from the most selective index probe (a superset of the
+                         ) -> Iterable[str]:
+        """Candidate names from the plan's index probes (a superset of the
         true matches); falls back to the free set / full walk when the
-        plan has no indexable clause."""
-        best_cost: Optional[int] = None
-        best: Any = None
+        plan has no indexable clause.
+
+        All indexable probes are costed first (posting-set length for
+        equalities, bisect count for ranges).  The smallest drives the
+        access path; up to ``intersect_max_paths - 1`` further probes are
+        then *intersected* into it, cheapest first, but only while the
+        next probe's count stays within ``intersect_ratio`` of the
+        current candidate set — walking a huge second posting set costs
+        more than the per-candidate verifications it would save.  Since
+        every candidate is still verified against the full clause set,
+        the cutoff is purely a cost decision, never a semantic one.
+        """
+        costed: List[Tuple[int, int, Any]] = []
         for attr, value in plan.eq_probes:
             posting = self._catalog.eq_candidates(attr, value)
-            if best_cost is None or len(posting) < best_cost:
-                best_cost, best = len(posting), ("eq", posting)
-                if best_cost == 0:
-                    return []
+            if not posting:
+                return []
+            costed.append((len(posting), len(costed), ("eq", posting)))
         for bound in plan.bounds:
             count = self._catalog.range_count(
                 bound.name, bound.lo, bound.hi,
                 incl_lo=bound.incl_lo, incl_hi=bound.incl_hi)
-            if best_cost is None or count < best_cost:
-                best_cost, best = count, ("range", bound)
-                if best_cost == 0:
-                    return []
-        if best is None:
+            if count == 0:
+                return []
+            costed.append((count, len(costed), ("range", bound)))
+        if not costed:
             # No indexable clause: walk whichever base set applies.
             return list(self._free) if not include_taken else list(self._names)
-        kind, payload = best
-        if kind == "eq":
-            return list(payload)
-        return self._catalog.range_candidates(
-            payload.name, payload.lo, payload.hi,
-            incl_lo=payload.incl_lo, incl_hi=payload.incl_hi)
+        costed.sort(key=lambda t: (t[0], t[1]))
+
+        def names_of(probe) -> Iterable[str]:
+            kind, payload = probe
+            if kind == "eq":
+                return payload
+            return self._catalog.range_candidates(
+                payload.name, payload.lo, payload.hi,
+                incl_lo=payload.incl_lo, incl_hi=payload.incl_hi)
+
+        _cost0, _tie0, probe0 = costed[0]
+        if len(costed) == 1 or self.intersect_max_paths <= 1:
+            base = names_of(probe0)
+            # Never hand out the live posting set itself.
+            return list(base) if isinstance(base, set) else base
+        candidates = set(names_of(probe0))
+        for cost, _tie, probe in costed[1:self.intersect_max_paths]:
+            if not candidates:
+                break
+            if cost > self.intersect_ratio * len(candidates):
+                break  # remaining probes are even larger (sorted by cost)
+            candidates = candidates.intersection(names_of(probe))
+        return candidates
 
     # -- scanning (deprecated shim) ---------------------------------------------
 
@@ -325,3 +406,21 @@ class WhitePagesDatabase:
             stats["free"] = len(self._free)
             stats["taken"] = len(self._taken_by)
             return stats
+
+    def catalog_snapshot(self) -> Dict[str, Any]:
+        """Serialisable image of the index catalog (persistence layer)."""
+        with self._lock:
+            return self._catalog.to_snapshot()
+
+    def snapshot_state(self) -> Tuple[List[MachineRecord], Dict[str, Any]]:
+        """Records (name order) and catalog image under ONE lock hold.
+
+        The persistence layer must capture both sides atomically: a
+        mutation slipping between a record walk and the catalog image
+        would produce a snapshot whose checksum blesses an index that
+        does not match its records — precisely what the checksum guards
+        against.
+        """
+        with self._lock:
+            records = [self._records[name] for name in self._names]
+            return records, self._catalog.to_snapshot()

@@ -123,7 +123,11 @@ class _PoolServer:
         if self.pool.config.linear_scan:
             return cost.pool_fixed_s + \
                 cost.pool_scan_per_machine_s * self.pool.size
-        # Indexed ablation: logarithmic in the cache size.
+        # Indexed ablation: logarithmic in the cache size.  This is not
+        # a hypothetical — with ``linear_scan=False`` the wrapped pool
+        # really selects through its IndexedPoolScheduler (bisect
+        # re-keying, early-exit walk), so the charged service time models
+        # the implementation that actually runs underneath.
         return cost.pool_fixed_s + cost.pool_scan_per_machine_s * \
             max(1.0, math.log2(max(self.pool.size, 2)))
 
@@ -508,6 +512,9 @@ class SimulatedDeployment:
                 "allocation_failures": server.pool.allocation_failures,
                 "active_runs": server.pool.active_runs,
                 "queue_length": server.station.queue_length,
+                "scheduler_rekeys": (
+                    server.pool._scheduler.rekeys
+                    if server.pool._scheduler is not None else None),
             }
             for (name, inst), server in self._pool_servers.items()
         }

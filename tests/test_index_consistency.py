@@ -1,26 +1,36 @@
-"""Property test: ``match(plan)`` must equal brute-force ``scan(predicate)``
-under randomized interleavings of database mutations.
+"""Property tests: every indexed fast path must equal its linear oracle
+under randomized interleavings of mutations.
 
-The attribute indexes are only correct if every mutation path —
-``add`` / ``remove`` / ``take`` / ``release`` / ``update_dynamic`` /
-``update`` — keeps them exactly in sync with the record map.  Hypothesis
-drives random op sequences and random queries; the deprecated linear
-``scan`` is the oracle.
+- ``match(plan)`` vs brute-force ``scan(predicate)``: the attribute
+  indexes are only correct if every mutation path — ``add`` / ``remove``
+  / ``take`` / ``release`` / ``update_dynamic`` / ``update`` — keeps
+  them exactly in sync with the record map.  This holds for single-path
+  plans, forced multi-index intersection, and catalogs restored from a
+  snapshot (whose postings materialise lazily).
+- indexed in-pool scheduling (``linear_scan=False``) vs the paper's
+  linear walk: the same machine sequence under randomized
+  allocate/release/update interleavings.
 """
 
 from __future__ import annotations
 
+import random
 import string
 
-from hypothesis import given, settings
+import pytest
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.config import ResourcePoolConfig
 from repro.core.operators import Op, RangeValue
 from repro.core.plan import compile_plan
 from repro.core.query import Clause, Query
+from repro.core.resource_pool import ResourcePool
+from repro.core.signature import PoolName
 from repro.database.fields import MachineState
 from repro.database.records import MachineRecord, ServiceStatusFlags
 from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import NoResourceAvailableError
 
 _ARCHES = ("sun", "hp", "x86", "vax")
 _OSES = ("solaris", "hpux", "linux")
@@ -157,6 +167,65 @@ class TestIndexConsistency:
         assert not (free & taken)
         assert db.taken_count() == len(taken)
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        initial=st.lists(_records, max_size=8,
+                         unique_by=lambda r: r.machine_name),
+        ops=st.lists(_ops, max_size=30),
+        query=_queries(),
+        include_taken=st.booleans(),
+    )
+    def test_forced_intersection_equals_bruteforce_scan(
+            self, initial, ops, query, include_taken):
+        """Multi-index intersection must stay an exact implementation
+        detail: cranking the cutoff so every probe intersects (and, in a
+        second pass, forcing the single-path planner) may never change
+        ``match()``'s answer."""
+        db = WhitePagesDatabase(initial)
+        for op in ops:
+            _apply(db, op)
+        plan = compile_plan(query)
+        oracle = [r.machine_name
+                  for r in db.scan(query.matches_machine,
+                                   include_taken=include_taken)]
+        db.intersect_max_paths = 8
+        db.intersect_ratio = float("inf")
+        forced = [r.machine_name
+                  for r in db.match(plan, include_taken=include_taken)]
+        db.intersect_max_paths = 1
+        single = [r.machine_name
+                  for r in db.match(plan, include_taken=include_taken)]
+        assert forced == oracle
+        assert single == oracle
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        initial=st.lists(_records, max_size=8,
+                         unique_by=lambda r: r.machine_name),
+        ops=st.lists(_ops, max_size=20),
+        post_ops=st.lists(_ops, max_size=20),
+        query=_queries(),
+    )
+    def test_snapshot_restored_catalog_stays_consistent(
+            self, initial, ops, post_ops, query):
+        """A catalog restored from a snapshot (lazy postings, frozen
+        sorted arrays) must stay oracle-equal through further mutations,
+        which force the lazy structures to materialise."""
+        from repro.database.persistence import dumps_database, loads_database
+        db = WhitePagesDatabase(initial)
+        for op in ops:
+            _apply(db, op)
+        restored = loads_database(dumps_database(db))
+        for op in post_ops:
+            _apply(restored, op)
+        plan = compile_plan(query)
+        got = [r.machine_name
+               for r in restored.match(plan, include_taken=True)]
+        oracle = [r.machine_name
+                  for r in restored.scan(query.matches_machine,
+                                         include_taken=True)]
+        assert got == oracle
+
     @settings(max_examples=40, deadline=None)
     @given(
         initial=st.lists(_records, min_size=1, max_size=8,
@@ -169,6 +238,7 @@ class TestIndexConsistency:
         db = WhitePagesDatabase(initial)
         for op in ops:
             _apply(db, op)
+        assume(len(db) > 0)  # the op mix may remove every machine
         name = db.names()[0]
         db.update_dynamic(name, service_status_flags=ServiceStatusFlags(
             execution_unit_up=not flags_down))
@@ -182,3 +252,144 @@ class TestIndexConsistency:
                   for r in db.scan(query.matches_machine,
                                    include_taken=True)]
         assert got == oracle
+
+
+# ---------------------------------------------------------------------------
+# Indexed in-pool scheduler vs the paper's linear walk
+# ---------------------------------------------------------------------------
+
+_POOL_QUERY = Query(clauses=(
+    Clause("punch", "rsrc", "arch", Op.EQ, "sun"),
+))
+_POOL_MACHINES = tuple(f"pm{i:02d}" for i in range(10))
+
+#: One step of a pool workload: allocate, release the k-th oldest run,
+#: or a monitoring refresh of one machine's dynamic fields.
+_pool_ops = st.one_of(
+    st.tuples(st.just("alloc")),
+    st.tuples(st.just("release"), st.integers(min_value=0, max_value=9)),
+    st.tuples(st.just("update"), st.sampled_from(_POOL_MACHINES),
+              st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+              st.integers(min_value=0, max_value=4)),
+    st.tuples(st.just("flags"), st.sampled_from(_POOL_MACHINES),
+              st.booleans()),
+)
+
+
+def _pool_fixture(linear: bool, objective: str,
+                  replica_count: int) -> tuple:
+    db = WhitePagesDatabase([
+        MachineRecord(
+            machine_name=name,
+            current_load=float(i % 3),
+            available_memory_mb=float(128 << (i % 4)),
+            num_cpus=1 + i % 2,
+            admin_parameters={"arch": "sun"},
+        )
+        for i, name in enumerate(_POOL_MACHINES)
+    ])
+    pool = ResourcePool(
+        PoolName(signature="sig", identifier="equiv"), db,
+        instance_number=0, replica_count=replica_count,
+        config=ResourcePoolConfig(objective=objective, linear_scan=linear),
+        exemplar_query=_POOL_QUERY,
+    )
+    pool.initialize()
+    return db, pool
+
+
+class TestIndexedPoolSchedulerEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        ops=st.lists(_pool_ops, max_size=40),
+        objective=st.sampled_from(("least_load", "most_memory",
+                                   "fastest", "least_jobs")),
+        replica_count=st.sampled_from((1, 2, 3)),
+    )
+    def test_same_machine_sequence_as_linear(self, ops, objective,
+                                             replica_count):
+        """``linear_scan=False`` must pick exactly the machines the
+        linear walk picks, step for step, under interleaved
+        allocate/release/update — and the maintained order must equal a
+        from-scratch recomputation after every step."""
+        db_lin, pool_lin = _pool_fixture(True, objective, replica_count)
+        db_idx, pool_idx = _pool_fixture(False, objective, replica_count)
+        keys_lin, keys_idx = [], []
+        for op in ops:
+            if op[0] == "alloc":
+                try:
+                    a_lin = pool_lin.allocate(_POOL_QUERY)
+                except NoResourceAvailableError:
+                    with pytest.raises(NoResourceAvailableError):
+                        pool_idx.allocate(_POOL_QUERY)
+                    continue
+                a_idx = pool_idx.allocate(_POOL_QUERY)
+                assert a_lin.machine_name == a_idx.machine_name
+                keys_lin.append(a_lin.access_key)
+                keys_idx.append(a_idx.access_key)
+            elif op[0] == "release":
+                if not keys_lin:
+                    continue
+                i = op[1] % len(keys_lin)
+                pool_lin.release(keys_lin.pop(i))
+                pool_idx.release(keys_idx.pop(i))
+            elif op[0] == "update":
+                _kind, name, load, jobs = op
+                db_lin.update_dynamic(name, current_load=load,
+                                      active_jobs=jobs)
+                db_idx.update_dynamic(name, current_load=load,
+                                      active_jobs=jobs)
+            else:  # flags
+                flags = ServiceStatusFlags(execution_unit_up=op[2])
+                db_lin.update_dynamic(op[1], service_status_flags=flags)
+                db_idx.update_dynamic(op[1], service_status_flags=flags)
+            assert pool_idx.scan_order(_POOL_QUERY) == \
+                pool_lin.scan_order(_POOL_QUERY)
+
+    def test_coallocation_sequence_matches(self):
+        db_lin, pool_lin = _pool_fixture(True, "least_load", 2)
+        db_idx, pool_idx = _pool_fixture(False, "least_load", 2)
+        batch_lin = pool_lin.allocate_many(_POOL_QUERY, 6)
+        batch_idx = pool_idx.allocate_many(_POOL_QUERY, 6)
+        assert [a.machine_name for a in batch_lin] == \
+            [a.machine_name for a in batch_idx]
+
+    def test_query_sensitive_objective_falls_back_to_linear(self):
+        """best_fit_memory ranks per query; the indexed pool must serve
+        it through the linear walk and still agree with linear mode."""
+        query = Query(clauses=(
+            Clause("punch", "rsrc", "arch", Op.EQ, "sun"),
+            Clause("punch", "appl", "expectedmemoryuse", Op.EQ, 200.0),
+        ))
+        db_lin, pool_lin = _pool_fixture(True, "best_fit_memory", 1)
+        db_idx, pool_idx = _pool_fixture(False, "best_fit_memory", 1)
+        assert not pool_idx._indexed_usable(query)
+        assert pool_idx.scan_order(query) == pool_lin.scan_order(query)
+        assert pool_idx.allocate(query).machine_name == \
+            pool_lin.allocate(query).machine_name
+
+    def test_destroy_detaches_listener(self):
+        db, pool = _pool_fixture(False, "least_load", 1)
+        assert len(db._listeners) == 1
+        pool.destroy()
+        assert db._listeners == ()
+
+    def test_removed_then_readded_machine_rejoins_order(self):
+        """A cached machine deleted from the registry drops out of the
+        indexed order, and must return to its original slot when the
+        administrator re-registers it."""
+        db_lin, pool_lin = _pool_fixture(True, "least_load", 2)
+        db_idx, pool_idx = _pool_fixture(False, "least_load", 2)
+        victim = pool_idx.cache[3]
+        rec_lin = db_lin.remove(victim)
+        rec_idx = db_idx.remove(victim)
+        assert victim not in {n for _i, n in pool_idx.scan_order()}
+        db_lin.add(rec_lin)
+        db_idx.add(rec_idx)
+        assert pool_idx.scan_order(_POOL_QUERY) == \
+            pool_lin.scan_order(_POOL_QUERY)
+        # And it keeps re-ranking afterwards.
+        db_lin.update_dynamic(victim, current_load=0.0)
+        db_idx.update_dynamic(victim, current_load=0.0)
+        assert pool_idx.scan_order(_POOL_QUERY) == \
+            pool_lin.scan_order(_POOL_QUERY)

@@ -14,6 +14,7 @@ from repro.database.persistence import (
     loads_database,
     record_from_dict,
     record_to_dict,
+    restore_catalog,
     save_database,
 )
 from repro.database.records import ServiceStatusFlags
@@ -73,6 +74,92 @@ class TestPersistence:
         a = dumps_database(small_db)
         b = dumps_database(small_db)
         assert a == b  # deterministic: sorted keys, sorted machines
+
+
+class TestIndexSnapshot:
+    """Version-2 snapshots restore the index catalog instead of
+    rebuilding; every guard failure must fall back to a rebuild."""
+
+    def _parsed(self, db):
+        return json.loads(dumps_database(db))
+
+    def _records(self, payload):
+        return [record_from_dict(m) for m in payload["machines"]]
+
+    def test_v2_snapshot_restores_catalog(self, small_db):
+        payload = self._parsed(small_db)
+        assert payload["version"] == 2
+        catalog = restore_catalog(payload, self._records(payload))
+        assert catalog is not None
+        assert catalog.stats()["machines"] == len(small_db)
+
+    def test_restored_database_matches_rebuilt(self, fleet_db):
+        from repro.core.language import parse_query
+        from repro.core.plan import compile_plan
+        text = dumps_database(fleet_db)
+        restored = loads_database(text)
+        rebuilt = loads_database(text, use_index_snapshot=False)
+        assert restored.index_stats() == rebuilt.index_stats()
+        plan = compile_plan(parse_query(
+            "punch.rsrc.arch = sun\npunch.rsrc.memory = >=256").basic())
+        assert [r.machine_name for r in restored.match(plan)] == \
+            [r.machine_name for r in rebuilt.match(plan)]
+
+    def test_checksum_mismatch_falls_back(self, small_db):
+        payload = self._parsed(small_db)
+        payload["machines"][0]["current_load"] = 77.0  # hand-edited fleet
+        assert restore_catalog(payload, self._records(payload)) is None
+        # ...but the snapshot still loads, with correct (rebuilt) indexes.
+        db = loads_database(json.dumps(payload))
+        name = payload["machines"][0]["machine_name"]
+        assert db.get(name).current_load == 77.0
+        from repro.core.query import Query
+        got = [r.machine_name for r in db.match(None, include_taken=True)]
+        assert got == [r.machine_name
+                       for r in db.scan(None, include_taken=True)]
+
+    def test_index_schema_mismatch_falls_back(self, small_db):
+        payload = self._parsed(small_db)
+        payload["indexes"]["schema"] = 999
+        assert restore_catalog(payload, self._records(payload)) is None
+        assert len(loads_database(json.dumps(payload))) == len(small_db)
+
+    def test_structurally_broken_index_section_falls_back(self, small_db):
+        payload = self._parsed(small_db)
+        payload["indexes"]["hash"] = "corrupt"
+        assert restore_catalog(payload, self._records(payload)) is None
+
+    def test_unsorted_sorted_array_falls_back(self, fleet_db):
+        payload = self._parsed(fleet_db)
+        attr = next(a for a, b in payload["indexes"]["sorted"].items()
+                    if len(set(b["values"])) > 1)
+        payload["indexes"]["sorted"][attr]["values"].reverse()
+        assert restore_catalog(payload, self._records(payload)) is None
+
+    def test_misaligned_sorted_arrays_fall_back(self, small_db):
+        payload = self._parsed(small_db)
+        attr = next(iter(payload["indexes"]["sorted"]))
+        payload["indexes"]["sorted"][attr]["names"].append("ghost")
+        assert restore_catalog(payload, self._records(payload)) is None
+
+    def test_v1_snapshot_without_indexes_still_loads(self, small_db):
+        payload = self._parsed(small_db)
+        del payload["indexes"]
+        payload["version"] = 1
+        db = loads_database(json.dumps(payload))
+        assert db.names() == small_db.names()
+
+    def test_records_only_dump_is_v1_compatible_shape(self, small_db):
+        payload = json.loads(dumps_database(small_db,
+                                            include_indexes=False))
+        assert "indexes" not in payload
+        assert len(loads_database(json.dumps(payload))) == len(small_db)
+
+    def test_file_roundtrip_uses_snapshot(self, fleet_db, tmp_path):
+        path = tmp_path / "fleet.json"
+        save_database(fleet_db, path)
+        restored = load_database(path)
+        assert restored.index_stats() == fleet_db.index_stats()
 
 
 class TestCli:
