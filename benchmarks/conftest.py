@@ -17,8 +17,23 @@ published magnitudes.
 from __future__ import annotations
 
 import os
+import statistics
+import time
 
 import pytest
+
+
+def timed_median(fn, *args, repeats=5, **kwargs):
+    """Median wall-clock seconds of ``repeats`` calls, plus the last
+    result — the shared timing core of the ``test_micro_*_scale.py``
+    speedup gates."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), result
 
 
 def paper_scale() -> bool:

@@ -27,8 +27,11 @@ from repro.config import ResourcePoolConfig
 from repro.core.language import parse_query
 from repro.core.plan import compile_plan
 from repro.core.resource_pool import ResourcePool
+from repro.core.scheduler import IndexedPoolScheduler
+from repro.core.scheduling import get_objective
 from repro.core.signature import pool_name_for
 from repro.database.indexes import AttributeIndexCatalog
+from repro.database.persistence import dumps_database, loads_database
 from repro.database.whitepages import WhitePagesDatabase
 from repro.fleet import FleetSpec, build_database
 
@@ -43,6 +46,8 @@ TWO_EQ_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.osversion = 7.3"
 #: Stripe used by the indexed in-pool scheduler op (distinct from
 #: QUERY_TEXT's p07 so the pool-walk op can take/release p07 freely).
 POOL_SCHED_TEXT = "punch.rsrc.pool = p01"
+#: Indexed pools attached during the subscribed write-path op.
+SUBSCRIBED_POOLS = 200
 
 
 def _median(fn, repeats):
@@ -110,8 +115,51 @@ def measure() -> dict:
             pool.release(alloc.access_key)
 
         results["pool_alloc_indexed_s"] = _median(alloc_cycle, 9)
+
     finally:
         pool.destroy()
+
+    # Query-class rank cache: a query-sensitive objective served from a
+    # maintained per-class order instead of the linear walk (own stripe
+    # so the pools above stay untouched).
+    class_exemplar = parse_query("punch.rsrc.pool = p02").basic()
+    class_query = parse_query(
+        "punch.rsrc.pool = p02\npunch.appl.expectedmemoryuse = 300").basic()
+    class_pool = ResourcePool(
+        pool_name_for(class_exemplar), db, exemplar_query=class_exemplar,
+        config=ResourcePoolConfig(objective="best_fit_memory",
+                                  linear_scan=False))
+    class_pool.initialize()
+    try:
+        class_pool.scan_order(class_query)  # warm: builds the class order
+        results["pool_query_class_order_s"] = _median(
+            lambda: class_pool.scan_order(class_query), 9)
+    finally:
+        class_pool.destroy()
+
+    # Write path with many subscribed pools: update_dynamic must notify
+    # only the one scheduler whose cache holds the machine.
+    names_all = db.names()
+    objective = get_objective("least_load")
+    stripe = 20
+    scheds = [
+        IndexedPoolScheduler(db, names_all[p * stripe:(p + 1) * stripe],
+                             objective, tier_of=lambda i: 0)
+        for p in range(SUBSCRIBED_POOLS)
+    ]
+    try:
+        burst = names_all[:100]
+
+        def subscribed_burst():
+            for i, name in enumerate(burst):
+                db.update_dynamic(name, current_load=1.0 + (i % 7) / 8.0)
+
+        subscribed_burst()  # warm
+        results["update_dynamic_subscribed_s"] = \
+            _median(subscribed_burst, 3) / len(burst)
+    finally:
+        for sched in scheds:
+            sched.close()
 
     # Centralized-baseline ablation: indexed submit on the full fleet.
     central = CentralizedScheduler(db, use_index=True)
@@ -133,6 +181,16 @@ def measure() -> dict:
         return restored.match(plan)
 
     results["snapshot_restore_s"] = _median(snapshot_restore, 3)
+
+    # Full v3 cold start: parse the compact snapshot text, fast-load the
+    # records, restore the row-id index catalog, answer a first query.
+    v3_text = dumps_database(db, version=3)
+
+    def v3_cold_start():
+        restored = loads_database(v3_text)
+        return restored.match(plan)
+
+    results["snapshot_v3_load_s"] = _median(v3_cold_start, 3)
     return results
 
 

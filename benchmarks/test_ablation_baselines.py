@@ -10,7 +10,6 @@ the *active* directory serves.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.baselines.central import CentralizedScheduler
@@ -71,7 +70,7 @@ def test_dynamic_pools_scan_less_than_centralized(benchmark):
     actyp = run_once(benchmark, actyp_scan_cost)
     central = central_scan_cost()
     matchmaker = matchmaker_scan_cost()
-    print(f"\nmachines touched per scheduling decision:")
+    print("\nmachines touched per scheduling decision:")
     print(f"  ActYP dynamic pools : {actyp:8.1f}")
     print(f"  centralized (PBS)   : {central:8.1f}")
     print(f"  matchmaker (Condor) : {matchmaker:8.1f}")

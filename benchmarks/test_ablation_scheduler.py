@@ -10,7 +10,6 @@ source of the linear growth.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.config import PipelineConfig, ResourcePoolConfig

@@ -1,0 +1,116 @@
+"""Write-path listener scale gates (ISSUE 3 tentpole, part 1).
+
+With 1,000 indexed pools attached to one white pages, a monitoring
+refresh (``update_dynamic``) of a machine cached by exactly one pool
+must notify O(1) pools — the subscription map routes the record-change
+event to the single interested scheduler — and be >= 10x faster than
+the pre-subscription broadcast, which fanned the event out to every
+pool's listener just so each could discard it.
+
+The broadcast comparator is real, not simulated: the legacy
+``add_listener`` wildcard tier still exists (that is the compatibility
+shim), so the same scheduler callbacks are re-registered there and the
+identical workload is measured against both routing tiers.
+
+``REPRO_LISTENER_SCALE_POOLS`` overrides the pool count for quick local
+iterations; the committed gate runs at the full 1,000.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.scheduler import IndexedPoolScheduler
+from repro.core.scheduling import get_objective
+from repro.fleet import FleetSpec, build_database
+
+from benchmarks.conftest import timed_median as _timed
+
+POOLS = int(os.environ.get("REPRO_LISTENER_SCALE_POOLS", "1000"))
+MACHINES_PER_POOL = 20
+N = POOLS * MACHINES_PER_POOL
+
+#: update_dynamic calls per timing sample.
+BURST = 50
+
+
+def _schedulers(db, *, wildcard: bool):
+    """Attach one indexed scheduler per disjoint machine stripe.
+
+    ``wildcard=True`` re-registers every scheduler's callback on the
+    legacy broadcast tier (and drops its per-machine subscriptions) —
+    exactly the pre-subscription-map wiring.
+    """
+    names = db.names()
+    objective = get_objective("least_load")
+    schedulers = []
+    for p in range(POOLS):
+        cache = names[p * MACHINES_PER_POOL:(p + 1) * MACHINES_PER_POOL]
+        sched = IndexedPoolScheduler(db, cache, objective, tier_of=lambda i: 0)
+        if wildcard:
+            db.unsubscribe(sched._slots, sched._on_record_change)
+            db.add_listener(sched._on_record_change)
+        schedulers.append(sched)
+    return schedulers
+
+
+@pytest.fixture(scope="module")
+def subscribed():
+    db, _ = build_database(FleetSpec(size=N, seed=11))
+    return db, _schedulers(db, wildcard=False)
+
+
+@pytest.fixture(scope="module")
+def broadcast():
+    db, _ = build_database(FleetSpec(size=N, seed=11))
+    return db, _schedulers(db, wildcard=True)
+
+
+def _update_burst(db, names):
+    for i, name in enumerate(names):
+        db.update_dynamic(name, current_load=1.0 + (i % 7) / 8.0)
+
+
+def test_subscription_map_routes_to_one_pool(subscribed):
+    db, schedulers = subscribed
+    stats = db.listener_stats()
+    assert stats["wildcard"] == 0
+    assert stats["subscription_entries"] == N  # one pool per machine
+    victim = schedulers[0]
+    others = schedulers[1:]
+    before = [s.rekeys for s in others]
+    victim_before = victim.rekeys
+    db.update_dynamic(db.names()[0], current_load=3.3)
+    assert victim.rekeys == victim_before + 1
+    assert [s.rekeys for s in others] == before  # nobody else touched
+
+
+def test_update_dynamic_10x_faster_than_broadcast(subscribed, broadcast):
+    db_s, scheds_s = subscribed
+    db_b, scheds_b = broadcast
+    assert db_b.listener_stats()["wildcard"] == POOLS
+    names = db_s.names()[:BURST]
+    _update_burst(db_s, names), _update_burst(db_b, names)  # warm
+    sub_t, _ = _timed(_update_burst, db_s, names, repeats=5)
+    bro_t, _ = _timed(_update_burst, db_b, names, repeats=5)
+    speedup = bro_t / sub_t
+    print(f"\n  pools={POOLS}: broadcast {bro_t * 1e3:.2f} ms/burst, "
+          f"subscribed {sub_t * 1e3:.2f} ms/burst, speedup {speedup:.1f}x")
+    assert speedup >= 10.0, (
+        f"subscription-mapped update_dynamic only {speedup:.1f}x faster "
+        f"than broadcast ({sub_t * 1e3:.2f} ms vs {bro_t * 1e3:.2f} ms)"
+    )
+
+
+def test_both_tiers_maintain_identical_orders(subscribed, broadcast):
+    """The wildcard shim must stay semantically identical to the
+    subscription map — same re-keys, same resulting orders."""
+    db_s, scheds_s = subscribed
+    db_b, scheds_b = broadcast
+    names = db_s.names()[:MACHINES_PER_POOL * 3]
+    _update_burst(db_s, names)
+    _update_burst(db_b, names)
+    for s, b in zip(scheds_s[:3], scheds_b[:3]):
+        assert s.order() == b.order()

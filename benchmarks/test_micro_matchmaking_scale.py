@@ -12,7 +12,7 @@ iterations); the committed gate runs at the full 100,000.
 from __future__ import annotations
 
 import os
-import statistics
+from functools import partial
 import time
 
 import pytest
@@ -20,6 +20,10 @@ import pytest
 from repro.core.language import parse_query
 from repro.core.plan import compile_plan
 from repro.fleet import FleetSpec, build_database
+
+from benchmarks.conftest import timed_median
+
+_timed = partial(timed_median, repeats=3)
 
 N = int(os.environ.get("REPRO_MATCH_SCALE_N", "100000"))
 SMALL_N = max(1000, N // 8)
@@ -31,16 +35,6 @@ QUERY_TEXT = """
 punch.rsrc.pool = p07
 punch.rsrc.memory = >=256
 """
-
-
-def _timed(fn, *args, repeats=3, **kwargs):
-    samples = []
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn(*args, **kwargs)
-        samples.append(time.perf_counter() - t0)
-    return statistics.median(samples), result
 
 
 @pytest.fixture(scope="module")

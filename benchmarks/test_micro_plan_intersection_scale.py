@@ -14,14 +14,17 @@ matchmaking scale gate); the committed gate runs at 100,000.
 from __future__ import annotations
 
 import os
-import statistics
-import time
+from functools import partial
 
 import pytest
 
 from repro.core.language import parse_query
 from repro.core.plan import compile_plan
 from repro.fleet import FleetSpec, build_database
+
+from benchmarks.conftest import timed_median
+
+_timed = partial(timed_median, repeats=9)
 
 N = int(os.environ.get("REPRO_MATCH_SCALE_N", "100000"))
 
@@ -31,16 +34,6 @@ TWO_EQ_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.osversion = 7.3"
 #: The memory range probe covers most of the fleet: the cutoff must skip
 #: it rather than walk a 60k-name range for a 3k-candidate base set.
 CUTOFF_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.memory = >=256"
-
-
-def _timed(fn, *args, repeats=9, **kwargs):
-    samples = []
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn(*args, **kwargs)
-        samples.append(time.perf_counter() - t0)
-    return statistics.median(samples), result
 
 
 @pytest.fixture(scope="module")

@@ -14,8 +14,6 @@ pools of 10,000 machines each).
 from __future__ import annotations
 
 import os
-import statistics
-import time
 
 import pytest
 
@@ -25,20 +23,12 @@ from repro.core.resource_pool import ResourcePool
 from repro.core.signature import pool_name_for
 from repro.fleet import FleetSpec, build_database
 
+from benchmarks.conftest import timed_median as _timed
+
 N = int(os.environ.get("REPRO_POOL_SCALE_N", "100000"))
 STRIPES = 10  # N / 10 machines per pool
 
 QUERY_TEXT = "punch.rsrc.pool = p00"
-
-
-def _timed(fn, *args, repeats=5, **kwargs):
-    samples = []
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn(*args, **kwargs)
-        samples.append(time.perf_counter() - t0)
-    return statistics.median(samples), result
 
 
 def _pool(linear: bool):

@@ -15,8 +15,7 @@ gate runs at 100,000.
 from __future__ import annotations
 
 import os
-import statistics
-import time
+from functools import partial
 
 import pytest
 
@@ -26,19 +25,13 @@ from repro.database.indexes import AttributeIndexCatalog
 from repro.database.whitepages import WhitePagesDatabase
 from repro.fleet import FleetSpec, build_fleet
 
+from benchmarks.conftest import timed_median
+
+_timed = partial(timed_median, repeats=3)
+
 N = int(os.environ.get("REPRO_SNAPSHOT_SCALE_N", "100000"))
 
 QUERY_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.memory = >=256"
-
-
-def _timed(fn, *args, repeats=3, **kwargs):
-    samples = []
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn(*args, **kwargs)
-        samples.append(time.perf_counter() - t0)
-    return statistics.median(samples), result
 
 
 @pytest.fixture(scope="module")
@@ -95,16 +88,25 @@ def test_restored_catalog_survives_mutation_at_scale(fleet):
 
 def test_snapshot_roundtrips_through_json_at_scale(fleet):
     """The full dumps→loads path (records + index section + checksum)
-    must restore, not rebuild, and agree with the source database."""
+    must restore, not rebuild, and agree with the source database —
+    in both the compact default format and the v2 dict format."""
     import json
     from repro.database.persistence import (
-        dumps_database, record_from_dict, restore_catalog)
+        dumps_database, loads_database, record_from_dict, restore_catalog)
     records, _snapshot, plan = fleet
     db = WhitePagesDatabase(records)
-    payload = json.loads(dumps_database(db))
+    # v2 dict path, restore_catalog invoked directly.
+    payload = json.loads(dumps_database(db, version=2))
     parsed_records = [record_from_dict(m) for m in payload["machines"]]
     catalog = restore_catalog(payload, parsed_records)
     assert catalog is not None, "checksum/schema guard rejected own dump"
     restored = WhitePagesDatabase(parsed_records, catalog=catalog)
     assert [r.machine_name for r in restored.match(plan)] == \
+        [r.machine_name for r in db.match(plan)]
+    # Default (v3) path through the public loader.
+    restored3 = loads_database(dumps_database(db))
+    assert restored3.index_stats() == \
+        loads_database(dumps_database(db),
+                       use_index_snapshot=False).index_stats()
+    assert [r.machine_name for r in restored3.match(plan)] == \
         [r.machine_name for r in db.match(plan)]

@@ -1,0 +1,105 @@
+"""Compact v3 snapshot scale gates (ISSUE 3 tentpole, part 3).
+
+At 100k records the v3 snapshot (positional record rows, row-id index
+postings, compact separators) must be >= 3x smaller than the v2
+pretty-printed dict format, and a full cold start — ``loads_database``
+plus a first indexed query — must be >= 2x faster than loading the same
+fleet from v2, with identical answers.  v2 files must keep loading.
+
+``REPRO_SNAPSHOT_V3_SCALE_N`` overrides the record count; the committed
+gate runs at 100,000.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+
+import pytest
+
+from repro.core.language import parse_query
+from repro.core.plan import compile_plan
+from repro.database.persistence import dumps_database, loads_database
+from repro.database.whitepages import WhitePagesDatabase
+from repro.fleet import FleetSpec, build_fleet
+
+from benchmarks.conftest import timed_median
+
+_timed = partial(timed_median, repeats=3)
+
+N = int(os.environ.get("REPRO_SNAPSHOT_V3_SCALE_N", "100000"))
+
+QUERY_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.memory = >=256"
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    records = build_fleet(FleetSpec(size=N, seed=11, stripe_pools=32))
+    db = WhitePagesDatabase(records)
+    plan = compile_plan(parse_query(QUERY_TEXT).basic())
+    expected = [r.machine_name for r in db.match(plan)]
+    v2 = dumps_database(db, version=2)
+    v3 = dumps_database(db, version=3)
+    return v2, v3, plan, expected
+
+
+def test_v3_snapshot_3x_smaller_than_v2(snapshots):
+    v2, v3, _plan, _expected = snapshots
+    ratio = len(v2) / len(v3)
+    print(f"\n  n={N}: v2 {len(v2) / 1e6:.1f} MB, v3 {len(v3) / 1e6:.1f} MB, "
+          f"ratio {ratio:.2f}x")
+    assert ratio >= 3.0, (
+        f"v3 snapshot only {ratio:.2f}x smaller than v2 "
+        f"({len(v3) / 1e6:.1f} MB vs {len(v2) / 1e6:.1f} MB)"
+    )
+
+
+def test_v3_cold_start_2x_faster_than_v2(snapshots):
+    v2, v3, plan, expected = snapshots
+
+    def cold(text):
+        db = loads_database(text)
+        return db.match(plan)
+
+    _w2, got2 = cold(v2), None  # warm both paths once
+    _w3 = cold(v3)
+    v2_t, got2 = _timed(cold, v2, repeats=3)
+    v3_t, got3 = _timed(cold, v3, repeats=3)
+    assert [r.machine_name for r in got2] == expected
+    assert [r.machine_name for r in got3] == expected
+    assert expected  # non-trivial query
+    speedup = v2_t / v3_t
+    print(f"\n  n={N}: v2 cold start {v2_t:.2f} s, v3 {v3_t:.2f} s, "
+          f"speedup {speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"v3 cold start only {speedup:.2f}x faster than v2 "
+        f"({v3_t:.2f} s vs {v2_t:.2f} s)"
+    )
+
+
+def test_v2_snapshot_still_loads_identically(snapshots):
+    """Back-compat half of the gate: the v2 read path must keep working
+    and agree with the v3 read path record for record."""
+    v2, v3, plan, _expected = snapshots
+    db2 = loads_database(v2)
+    db3 = loads_database(v3)
+    assert db2.names() == db3.names()
+    sample = db2.names()[:: max(1, len(db2) // 500)]
+    for name in sample:
+        assert db2.get(name) == db3.get(name)
+
+
+def test_v3_survives_post_load_mutation_at_scale(snapshots):
+    """Mutations against a freshly v3-loaded database materialise the
+    lazy row-id postings; answers must stay oracle-equal afterwards."""
+    _v2, v3, plan, _expected = snapshots
+    db = loads_database(v3)
+    for i, name in enumerate(db.names()[:200]):
+        db.update_dynamic(name, current_load=float(i % 5), active_jobs=i % 3)
+    removed = db.names()[0]
+    db.remove(removed)
+    query = parse_query(QUERY_TEXT).basic()
+    got = [r.machine_name for r in db.match(plan)]
+    oracle = [r.machine_name for r in db.scan(query.matches_machine)]
+    assert got == oracle
+    assert removed not in set(got)

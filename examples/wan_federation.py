@@ -18,7 +18,6 @@ Reproduces the paper's deployment story end to end:
 Run:  python examples/wan_federation.py
 """
 
-from repro.appmgmt import ApplicationManager
 from repro.core.pipeline import build_service
 from repro.deploy.simulated import ClientSpec, SimulatedDeployment
 from repro.desktop import NetworkDesktop, UserAccount

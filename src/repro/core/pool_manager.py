@@ -33,10 +33,7 @@ from repro.database.directory import LocalDirectoryService, PoolInstanceEntry
 from repro.database.policy import PolicyRegistry
 from repro.database.shadow import ShadowAccountRegistry
 from repro.database.whitepages import WhitePagesDatabase
-from repro.errors import (
-    DelegationExhaustedError,
-    PoolCreationError,
-)
+from repro.errors import PoolCreationError
 from repro.net.address import Endpoint
 
 __all__ = [

@@ -217,13 +217,16 @@ class ResourcePool:
     def _indexed_usable(self, query: Optional[Query]) -> bool:
         """Can the maintained rank index answer this query's ordering?
 
-        Query-sensitive objectives (predicted-footprint placement) rank
-        differently per query; the index — keyed with ``query=None`` —
-        would change selection semantics, so those fall back to the
-        linear walk whenever a query is present.
+        Query-insensitive objectives are always indexable.  A
+        query-sensitive objective (predicted-footprint placement) is
+        indexable when it declares a ``query_class`` decomposition — the
+        scheduler then serves it from a per-query-class rank cache; one
+        without the decomposition falls back to the linear walk whenever
+        a query is present, since the base order (keyed ``query=None``)
+        would change selection semantics.
         """
-        return self._scheduler is not None and (
-            query is None or not self.objective.query_sensitive)
+        return self._scheduler is not None \
+            and self._scheduler.supports_query(query)
 
     def _linear_order(self, query: Optional[Query]) -> List[Tuple[int, str]]:
         """The paper's linear scan: every call touches the whole cache,
@@ -245,14 +248,14 @@ class ResourcePool:
         indexed mode reads the incrementally-maintained order.
         """
         if self._indexed_usable(query):
-            return self._scheduler.order()
+            return self._scheduler.order(query)
         return self._linear_order(query)
 
     def _iter_order(self, query: Optional[Query]):
         """Scheduling order as an iterator; lazy in indexed mode so
         selection stops at the first admissible machine."""
         if self._indexed_usable(query):
-            return self._scheduler.iter_order()
+            return self._scheduler.iter_order(query)
         return iter(self._linear_order(query))
 
     def _select(self, query: Query,

@@ -15,7 +15,7 @@ for a run with a known footprint.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.core.query import Query
 from repro.database.records import MachineRecord
@@ -25,6 +25,10 @@ __all__ = ["SchedulingObjective", "register_objective", "get_objective",
            "objective_names"]
 
 KeyFn = Callable[[MachineRecord, Optional[Query]], Tuple[float, ...]]
+#: Maps a query to its *query class*: a hashable key such that two
+#: queries with equal keys rank every record identically under the
+#: objective.  ``None`` means "ranks exactly like ``query=None``".
+ClassFn = Callable[[Query], Optional[Hashable]]
 
 
 @dataclass(frozen=True)
@@ -35,14 +39,25 @@ class SchedulingObjective:
     (e.g. a predicted memory footprint).  Query-insensitive objectives
     can be served from an incrementally-maintained rank index
     (:class:`repro.core.scheduler.IndexedPoolScheduler`) because their
-    keys depend on the record alone; query-sensitive ones must fall back
-    to the per-query walk whenever a query is present.
+    keys depend on the record alone.
+
+    A query-sensitive objective may additionally declare ``query_class``:
+    a factoring of its key into a (machine-static, query-class)
+    decomposition.  ``query_class(query)`` must return a hashable key
+    with the invariant that two queries mapping to the same key produce
+    the same ``rank_key`` for *every* record (``None`` meaning the query
+    ranks exactly like ``query=None``).  The indexed scheduler then
+    maintains one sorted rank list per observed class instead of taking
+    the per-query linear walk.  A query-sensitive objective *without*
+    ``query_class`` falls back to the linear walk whenever a query is
+    present, as before.
     """
 
     name: str
     key: KeyFn
     description: str = ""
     query_sensitive: bool = False
+    query_class: Optional[ClassFn] = None
 
     def rank_key(self, record: MachineRecord, query: Optional[Query] = None
                  ) -> Tuple[float, ...]:
@@ -113,6 +128,37 @@ def _best_fit_memory(record: MachineRecord, query: Optional[Query]
     return (surplus if surplus >= 0 else float("inf"),)
 
 
+def _best_fit_memory_class(query: Query) -> Optional[Hashable]:
+    """Class key: the predicted footprint (the only query input the key
+    reads).  Kept as the raw clause value — two queries with the same
+    value trivially rank identically; distinct-but-coercion-equal values
+    ("200" vs 200.0) land in separate classes, which costs one extra
+    cached order, never correctness."""
+    v = query.get("punch.appl.expectedmemoryuse")
+    if v is None:
+        return None
+    return ("expectedmemoryuse", v if isinstance(v, Hashable) else str(v))
+
+
+def _min_response_time_class(query: Query) -> Optional[Hashable]:
+    """Class key: exactly the query input the key function will read.
+
+    A qualified estimate takes precedence in ``_min_response_time`` —
+    ``expectedcpuuse`` is then ignored — so it must not fragment the
+    class (identical-ranking queries landing in distinct classes would
+    thrash the LRU for nothing)."""
+    qualified = query.get("punch.appl.cpuestimate")
+    if qualified is not None:
+        return ("cpuestimate",
+                qualified if isinstance(qualified, Hashable)
+                else str(qualified))
+    plain = query.get("punch.appl.expectedcpuuse")
+    if plain is None:
+        return None
+    return ("expectedcpuuse",
+            plain if isinstance(plain, Hashable) else str(plain))
+
+
 def _min_response_time(record: MachineRecord, query: Optional[Query]
                        ) -> Tuple[float, ...]:
     """Expected completion ~ duration_on_machine * (1 + load/cpus).
@@ -153,8 +199,8 @@ register_objective(SchedulingObjective(
 register_objective(SchedulingObjective(
     "best_fit_memory", _best_fit_memory,
     "smallest adequate memory surplus for the predicted footprint",
-    query_sensitive=True))
+    query_sensitive=True, query_class=_best_fit_memory_class))
 register_objective(SchedulingObjective(
     "min_response_time", _min_response_time,
     "minimise predicted completion time from the appl estimate",
-    query_sensitive=True))
+    query_sensitive=True, query_class=_min_response_time_class))

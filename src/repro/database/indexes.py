@@ -28,11 +28,16 @@ Design constraints:
 from __future__ import annotations
 
 import math
+import sys
+from array import array
+from base64 import b64decode, b64encode
 from bisect import bisect_left, insort
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 __all__ = [
     "INDEX_SCHEMA_VERSION",
+    "pack_array",
+    "unpack_array",
     "coerce_number",
     "loose_equal",
     "any_element_equal",
@@ -49,6 +54,31 @@ __all__ = [
 #: meaning — a loader seeing a different version must rebuild from the
 #: records instead of restoring.
 INDEX_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Packed-array codec (persistence format v3 sorted sections)
+# ---------------------------------------------------------------------------
+
+def pack_array(typecode: str, values: Iterable) -> str:
+    """Base64 of a little-endian packed array — one JSON string token
+    instead of one number token per element, which is what makes the
+    v3 sorted sections nearly free to parse."""
+    arr = array(typecode, values)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        arr = arr[:]
+        arr.byteswap()
+    return b64encode(arr.tobytes()).decode("ascii")
+
+
+def unpack_array(typecode: str, data: str) -> array:
+    """Invert :func:`pack_array`; raises ``ValueError`` on malformed
+    base64 or a byte length that does not divide evenly (callers treat
+    any failure as "rebuild")."""
+    arr = array(typecode, b64decode(data, validate=True))
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        arr.byteswap()
+    return arr
 
 
 # ---------------------------------------------------------------------------
@@ -130,20 +160,36 @@ class HashAttrIndex:
     the token is first probed or mutated — most tokens of a large fleet
     (machine names, measured loads) are never touched, so converting all
     of them to sets up front would put an O(N) term back into the cold
-    start this layout exists to remove.
+    start this layout exists to remove.  A v3 snapshot restore
+    additionally hands over a **name table** (``_table``): postings then
+    hold record-row indices instead of name strings (a fraction of the
+    bytes and JSON tokens), resolved through the table on first touch.
     """
 
-    __slots__ = ("_postings",)
+    __slots__ = ("_postings", "_table")
 
     def __init__(self) -> None:
-        #: token -> set (live) or list (restored, not yet touched).
+        #: token -> set (live) or list (restored, not yet touched; name
+        #: strings, or row indices when ``_table`` is set).
         self._postings: Dict[str, Any] = {}
+        #: Row-index -> machine name, for postings restored in row-id
+        #: encoding; None for live/v2 postings.
+        self._table: Optional[List[str]] = None
+
+    def _decode(self, posting: Any) -> Any:
+        """An untouched posting's machine names (no caching)."""
+        if type(posting) is not set and self._table is not None:
+            table = self._table
+            if type(posting) is int:  # singleton row-id posting
+                return (table[posting],)
+            return [table[i] for i in posting]
+        return posting
 
     def _posting_set(self, token: str) -> Optional[Set[str]]:
         posting = self._postings.get(token)
         if posting is None or type(posting) is set:
             return posting
-        posting = set(posting)
+        posting = set(self._decode(posting))
         self._postings[token] = posting
         return posting
 
@@ -183,21 +229,40 @@ class SortedAttrIndex:
     (``_frozen``); range probes bisect the value array directly, and the
     pair list is only materialised by the first mutation — restoring a
     large fleet therefore never pays the O(n) tuple build for indexes
-    that are read but not written.
+    that are read but not written.  As with :class:`HashAttrIndex`, a
+    v3 restore sets ``_table`` and the frozen name array holds record-row
+    indices, resolved per probe result (probe slices are small).
     """
 
-    __slots__ = ("_pairs", "_frozen")
+    __slots__ = ("_pairs", "_frozen", "_table")
 
     def __init__(self) -> None:
         self._pairs: List[Tuple[float, str]] = []
         #: (values, names) parallel arrays from a snapshot, or None.
-        self._frozen: Optional[Tuple[List[float], List[str]]] = None
+        self._frozen: Optional[Tuple[List[float], List[Any]]] = None
+        #: Row-index -> machine name when the frozen name array is in
+        #: row-id encoding; None otherwise.
+        self._table: Optional[List[str]] = None
+
+    def _frozen_names(self, start: int, stop: int) -> List[str]:
+        names = self._frozen[1][start:stop]
+        if self._table is not None:
+            table = self._table
+            return [table[i] for i in names]
+        return names
+
+    @staticmethod
+    def _value_list(values) -> List[float]:
+        """Frozen values as plain floats (packed arrays box on access)."""
+        return list(values) if isinstance(values, list) else values.tolist()
 
     def _materialize(self) -> None:
         if self._frozen is not None:
             values, names = self._frozen
-            self._pairs = list(zip(values, names))
+            self._pairs = list(zip(self._value_list(values),
+                                   self._frozen_names(0, len(names))))
             self._frozen = None
+            self._table = None
 
     def add(self, value: float, name: str) -> None:
         self._materialize()
@@ -237,7 +302,7 @@ class SortedAttrIndex:
                  incl_hi: bool = True) -> List[str]:
         start, stop = self._bounds(lo, hi, incl_lo, incl_hi)
         if self._frozen is not None:
-            return self._frozen[1][start:stop]
+            return self._frozen_names(start, stop)
         return [name for _value, name in self._pairs[start:stop]]
 
     def __len__(self) -> int:
@@ -336,6 +401,55 @@ class AttributeIndexCatalog:
         # their eq_tokens differ), so a type change always re-indexes.
         return type(a) is type(b) and a == b
 
+    #: Dynamic record fields (monitoring-owned, fields 1-6) that surface
+    #: in the attribute view, with their view key and value transform.
+    #: ``last_update_time`` and the service flags are deliberately absent
+    #: — they never appear in views, so refreshing them costs no index
+    #: work at all.
+    _DYNAMIC_VIEW_ATTRS = {
+        "current_load": ("load", lambda r: r.current_load),
+        "active_jobs": ("jobs", lambda r: r.active_jobs),
+        "available_memory_mb": ("freememory", lambda r: r.available_memory_mb),
+        "available_swap_mb": ("freeswap", lambda r: r.available_swap_mb),
+        "state": ("state", lambda r: str(r.state)),
+    }
+
+    def replace_dynamic(self, record, changed_fields: Iterable[str]) -> None:
+        """Re-index a monitoring refresh touching only ``changed_fields``.
+
+        The write-path fast path behind
+        :meth:`~repro.database.whitepages.WhitePagesDatabase
+        .update_dynamic`: the caller names exactly the record fields it
+        replaced, so only those attributes are diffed and re-indexed —
+        skipping the full view rebuild and O(attrs) diff of
+        :meth:`replace`.  Falls back to :meth:`replace` for machines
+        whose view is still lazy (snapshot restore) and ignores fields
+        shadowed by admin parameters (the view keeps the admin value,
+        exactly as a full rebuild would).
+        """
+        name = record.machine_name
+        view = self._views.get(name)
+        if view is None:
+            self.replace(record)
+            return
+        admin = record.admin_parameters
+        for field_name in changed_fields:
+            spec = self._DYNAMIC_VIEW_ATTRS.get(field_name)
+            if spec is None:
+                continue  # not a view attribute (e.g. last_update_time)
+            attr, value_of = spec
+            if attr in admin:
+                continue  # admin parameter shadows the built-in field
+            new_value = value_of(record)
+            old_value = view.get(attr)
+            if self._same_indexed_value(old_value, new_value):
+                continue
+            self._unindex_one(attr, old_value, name)
+            self._index_one(attr, new_value, name)
+            # In-place view update keeps the cached view (shared with
+            # match verification, under the registry lock) consistent.
+            view[attr] = new_value
+
     def replace(self, record) -> None:
         """Re-index ``record``; only attributes whose value changed move."""
         name = record.machine_name
@@ -427,7 +541,8 @@ class AttributeIndexCatalog:
         def sorted_block(sidx: SortedAttrIndex) -> Dict[str, Any]:
             if sidx._frozen is not None:
                 values, names = sidx._frozen
-                return {"values": list(values), "names": list(names)}
+                return {"values": sidx._value_list(values),
+                        "names": sidx._frozen_names(0, len(names))}
             return {
                 "values": [v for v, _n in sidx._pairs],
                 "names": [n for _v, n in sidx._pairs],
@@ -436,9 +551,9 @@ class AttributeIndexCatalog:
         return {
             "schema": INDEX_SCHEMA_VERSION,
             "hash": {
-                # sorted() canonicalises both live sets and still-frozen
-                # posting lists.
-                attr: {token: sorted(names)
+                # sorted() canonicalises live sets, still-frozen posting
+                # lists, and row-id postings (decoded back to names).
+                attr: {token: sorted(idx._decode(names))
                        for token, names in idx._postings.items()}
                 for attr, idx in self._hash.items()
             },
@@ -458,32 +573,118 @@ class AttributeIndexCatalog:
         calling); views are rebuilt from them directly.  Raises
         ``ValueError`` on a schema-version mismatch — callers fall back
         to :meth:`bulk_load`.
+
+        ``data`` may carry ``encoding: "rowid"`` (persistence format
+        v3): postings and sorted name arrays then hold indices into
+        ``records`` — which must be in the snapshot's row order — and
+        are resolved lazily through a shared name table, so the restore
+        never walks the posting contents at all.
         """
         if data.get("schema") != INDEX_SCHEMA_VERSION:
             raise ValueError(
                 f"index snapshot schema {data.get('schema')!r} != "
                 f"{INDEX_SCHEMA_VERSION}")
         cat = cls()
+        records = list(records)
         # Views materialise on first touch; restore stays O(index size).
         cat._lazy = {record.machine_name: record for record in records}
+        table: Optional[List[str]] = None
+        if data.get("encoding") == "rowid":
+            table = [record.machine_name for record in records]
+
+        n_rows = len(table) if table is not None else 0
+
+        def check_id_range(ids, attr: str) -> None:
+            # Row ids must lie within the record table; callers
+            # guarantee the entries are real ints.  min/max bound the
+            # range without a Python-level loop.  Running the checks
+            # eagerly keeps the "structurally broken section falls back
+            # to a rebuild" contract that the lazy decode would
+            # otherwise defer to query time.
+            if len(ids) and (min(ids) < 0 or max(ids) >= n_rows):
+                raise ValueError(f"row id out of range for {attr!r}")
+
+        singleton_ok = table is not None
         for attr, postings in data["hash"].items():
-            if not all(type(names) is list for names in postings.values()):
+            if not all(type(names) is list
+                       or (singleton_ok and type(names) is int)
+                       for names in postings.values()):
                 raise ValueError(f"hash postings for {attr!r} not lists")
+            if table is not None:
+                values = list(postings.values())
+                # Most tokens of high-cardinality attributes are bare
+                # singleton ids (`type is int` excludes booleans):
+                # validate them in one min/max batch.
+                check_id_range([v for v in values if type(v) is int], attr)
+                for ids in values:
+                    if type(ids) is not int:
+                        # Strict int elements: booleans would silently
+                        # index rows 0/1 and floats would fault lazily.
+                        if not all(type(i) is int for i in ids):
+                            raise ValueError(
+                                f"non-integer row id for {attr!r}")
+                        check_id_range(ids, attr)
             idx = HashAttrIndex()
             # Postings stay as the parsed lists until first touched.
             idx._postings = dict(postings)
+            idx._table = table
             cat._hash[attr] = idx
         for attr, block in data["sorted"].items():
             values, names = block["values"], block["names"]
-            # Structural guards: bisect correctness depends on ascending
-            # order, and parallel arrays must line up.  (sorted() on an
-            # already-sorted list is a fast O(n) pass.)
-            if len(values) != len(names):
-                raise ValueError(f"sorted arrays for {attr!r} misaligned")
-            if values != sorted(values):
-                raise ValueError(f"sorted values for {attr!r} not ascending")
+            if isinstance(values, str) or isinstance(names, str):
+                # Packed (base64 little-endian) arrays — only legal in
+                # row-id encoding.  numpy (when available) gives
+                # zero-copy views plus C-speed monotonicity/bounds
+                # checks; without it, the stdlib codec restores the
+                # same structures a little slower.  Any unpacking
+                # failure raises into the caller's rebuild fallback.
+                if table is None or not isinstance(values, str) \
+                        or not isinstance(names, str):
+                    raise ValueError(f"packed arrays for {attr!r} malformed")
+                try:
+                    import numpy as np
+                except ImportError:  # pragma: no cover - numpy-less install
+                    np = None
+                if np is not None:
+                    values = np.frombuffer(b64decode(values, validate=True),
+                                           dtype="<f8")
+                    names = np.frombuffer(b64decode(names, validate=True),
+                                          dtype="<u4")
+                    # Elementwise <= (not np.diff: inf - inf is NaN, so
+                    # diff would falsely reject repeated infinities).
+                    ascending = len(values) == 0 or \
+                        bool((values[:-1] <= values[1:]).all())
+                else:
+                    values = unpack_array("d", values)
+                    names = unpack_array("I", names)
+                    value_list = values.tolist()
+                    ascending = value_list == sorted(value_list)
+                if len(values) != len(names):
+                    raise ValueError(f"sorted arrays for {attr!r} misaligned")
+                if not ascending:
+                    raise ValueError(
+                        f"sorted values for {attr!r} not ascending")
+                max_id = (int(names.max()) if np is not None else max(names)) \
+                    if len(names) else -1
+                if max_id >= n_rows:
+                    raise ValueError(f"row id out of range for {attr!r}")
+            else:
+                if table is not None:
+                    if not all(type(i) is int for i in names):
+                        raise ValueError(f"non-integer row id for {attr!r}")
+                    check_id_range(names, attr)
+                # Structural guards: bisect correctness depends on
+                # ascending order, and parallel arrays must line up.
+                # (sorted() on an already-sorted list is a fast O(n)
+                # pass.)
+                if len(values) != len(names):
+                    raise ValueError(f"sorted arrays for {attr!r} misaligned")
+                if values != sorted(values):
+                    raise ValueError(
+                        f"sorted values for {attr!r} not ascending")
             sidx = SortedAttrIndex()
             sidx._frozen = (values, names)
+            sidx._table = table
             cat._sorted[attr] = sidx
         return cat
 

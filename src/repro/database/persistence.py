@@ -2,15 +2,27 @@
 
 The paper's database was an operational store maintained by
 administrators; a library users can adopt needs the fleet definition to
-survive restarts and travel between tools.  The format is stable JSON —
-one object per machine, field names matching Figure 3's schema — so
-fleets can be version-controlled and diffed.
+survive restarts and travel between tools.  Version 2 is stable
+pretty-printed JSON — one object per machine, field names matching
+Figure 3's schema — so fleets can be version-controlled and diffed.
 
-Format version 2 additionally embeds an image of the
+**Format version 3** (the default write format) is the compact cold-start
+encoding: machine records as *positional rows* (layout declared by the
+embedded ``row_schema``, which must equal
+:data:`~repro.database.records.RECORD_ROW_FIELDS`), no indentation, and
+service flags packed into a bit mask.  At 100k records this cuts the
+snapshot to a fraction of the v2 size, and loading goes through
+:meth:`~repro.database.records.MachineRecord.from_row` — a fast loader
+that skips the per-field dict dispatch and re-validation of the v2
+record parser, which dominated v2 cold start.  Both v1 and v2 files
+still load through the dict path; ``version=2`` keeps writing the
+diff-friendly format for fleets that are version-controlled.
+
+Format versions 2 and 3 embed an image of the
 :class:`~repro.database.indexes.AttributeIndexCatalog` so startup can
 *restore* the indexes instead of rebuilding them from scratch — the
-O(N·attrs·log N) tokenise-and-sort pass that dominates cold start at
-large N.  The index section is guarded twice:
+O(N·attrs·log N) tokenise-and-sort pass that used to dominate cold
+start at large N.  The index section is guarded twice:
 
 - an **index schema version** (:data:`~repro.database.indexes
   .INDEX_SCHEMA_VERSION`): a snapshot written under different token/
@@ -33,14 +45,19 @@ structure check out — delete the ``indexes`` key (or load with
 
 from __future__ import annotations
 
+import gc
 import json
 import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.database.fields import MachineState
-from repro.database.indexes import AttributeIndexCatalog
-from repro.database.records import MachineRecord, ServiceStatusFlags
+from repro.database.indexes import AttributeIndexCatalog, pack_array
+from repro.database.records import (
+    MachineRecord,
+    RECORD_ROW_FIELDS,
+    ServiceStatusFlags,
+)
 from repro.database.whitepages import WhitePagesDatabase
 from repro.errors import DatabaseError
 
@@ -48,9 +65,10 @@ __all__ = ["record_to_dict", "record_from_dict", "save_database",
            "load_database", "dumps_database", "loads_database",
            "restore_catalog"]
 
-_FORMAT_VERSION = 2
-#: Versions this loader understands (1 = records only, no index section).
-_SUPPORTED_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+#: Versions this loader understands (1 = records only, no index section;
+#: 2 = verbose record dicts + index image; 3 = compact positional rows).
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def record_to_dict(record: MachineRecord) -> Dict[str, Any]:
@@ -118,38 +136,121 @@ def record_from_dict(data: Dict[str, Any]) -> MachineRecord:
         raise DatabaseError(f"malformed machine record: {exc}") from exc
 
 
-def _machines_checksum(machines: List[Dict[str, Any]]) -> int:
+def _machines_checksum(machines: List[Any]) -> int:
     """CRC over the canonical serialisation of the record section.
 
     Canonical = compact separators + sorted keys, so the value is stable
     across dump → parse → re-dump (JSON floats round-trip through repr).
+    Works for both v2 dicts and v3 rows.
     """
     canon = json.dumps(machines, sort_keys=True, separators=(",", ":"))
     return zlib.crc32(canon.encode("utf-8"))
 
 
+def _index_image_to_row_ids(image: Dict[str, Any],
+                            row_of: Dict[str, int]) -> Dict[str, Any]:
+    """Re-encode a catalog image's machine names as record-row indices.
+
+    The records section already stores every machine name once (rows are
+    in name order), so the v3 index section references machines by row
+    number instead of repeating multi-byte name strings in every posting
+    and sorted array — the bulk of the v2 index section's size.
+    Singleton postings (most tokens of high-cardinality attributes like
+    machine names and measured loads) collapse to a bare row id, and the
+    sorted sections' parallel arrays are packed little-endian base64
+    (float64 values, uint32 row ids): one string token each instead of
+    one number token per machine, which is most of what makes the v3
+    parse fast.
+    """
+    def posting_ids(names: List[str]) -> Any:
+        ids = [row_of[n] for n in names]
+        return ids[0] if len(ids) == 1 else ids
+
+    return {
+        "schema": image["schema"],
+        "encoding": "rowid",
+        "hash": {
+            attr: {token: posting_ids(names)
+                   for token, names in postings.items()}
+            for attr, postings in image["hash"].items()
+        },
+        "sorted": {
+            attr: {"values": pack_array("d", block["values"]),
+                   "names": pack_array(
+                       "I", [row_of[n] for n in block["names"]])}
+            for attr, block in image["sorted"].items()
+        },
+    }
+
+
+def _raw_machines_span(text: str) -> Optional[str]:
+    """The byte-exact ``machines`` array of a v3 dump, or None.
+
+    v3 dumps are written by this module with fixed serialisation options
+    (sorted keys, compact separators), so the machines array always sits
+    between the literal ``"machines":`` and ``,"row_schema":`` markers.
+    Checksumming this span directly saves the O(file) canonical re-dump
+    of the record section on the cold-start path; a file that was
+    reformatted by hand simply misses the span (or mismatches) and falls
+    back to the canonical computation.
+    """
+    start = text.find('"machines":')
+    if start < 0:
+        return None
+    start += len('"machines":')
+    end = text.find(',"row_schema":', start)
+    if end < 0:
+        return None
+    return text[start:end]
+
+
 def dumps_database(db: WhitePagesDatabase, *,
-                   include_indexes: bool = True) -> str:
+                   include_indexes: bool = True,
+                   version: int = _FORMAT_VERSION) -> str:
+    """Serialise the database (records + optional index image).
+
+    ``version=3`` (the default) writes the compact positional-row
+    format; ``version=2`` writes the pretty-printed dict-per-machine
+    format for fleets that live under version control.
+    """
+    if version not in (2, 3):
+        raise DatabaseError(f"cannot write snapshot version {version!r}")
     # One atomic capture: records and catalog image from the same lock
     # hold, so the checksum can never bless an index section that
     # reflects a mutation the record section missed.
     records, catalog_image = db.snapshot_state()
-    machines = [record_to_dict(record) for record in records]
-    payload: Dict[str, Any] = {
-        "format": "repro.whitepages",
-        "version": _FORMAT_VERSION,
-        "machines": machines,
-    }
+    if version == 3:
+        machines: List[Any] = [record.to_row() for record in records]
+        payload: Dict[str, Any] = {
+            "format": "repro.whitepages",
+            "version": 3,
+            "row_schema": list(RECORD_ROW_FIELDS),
+            "machines": machines,
+        }
+    else:
+        machines = [record_to_dict(record) for record in records]
+        payload = {
+            "format": "repro.whitepages",
+            "version": 2,
+            "machines": machines,
+        }
     if include_indexes:
-        payload["indexes"] = dict(
-            catalog_image,
-            checksum=_machines_checksum(machines),
-        )
+        if version == 3:
+            row_of = {record.machine_name: i
+                      for i, record in enumerate(records)}
+            index_payload = _index_image_to_row_ids(catalog_image, row_of)
+        else:
+            index_payload = dict(catalog_image)
+        index_payload["checksum"] = _machines_checksum(machines)
+        payload["indexes"] = index_payload
+    if version == 3:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def restore_catalog(payload: Dict[str, Any],
-                    records: List[MachineRecord]
+                    records: List[MachineRecord],
+                    *, machines_text: Optional[str] = None
                     ) -> Optional[AttributeIndexCatalog]:
     """Restore the index section of a parsed snapshot, or None.
 
@@ -157,21 +258,48 @@ def restore_catalog(payload: Dict[str, Any],
     schema this code does not understand, a checksum that does not match
     the record section, or a structurally broken section.  All four are
     legal inputs — the records are the source of truth.
+
+    ``machines_text``, when given, is the byte-exact serialisation of
+    the record section (see :func:`_raw_machines_span`): its CRC is
+    tried first, skipping the canonical re-dump; on mismatch the
+    canonical computation still gets the final word.
     """
     index_payload = payload.get("indexes")
     if not isinstance(index_payload, dict):
         return None
     checksum = index_payload.get("checksum")
-    if checksum != _machines_checksum(payload.get("machines", [])):
-        return None
+    if machines_text is None or \
+            checksum != zlib.crc32(machines_text.encode("utf-8")):
+        if checksum != _machines_checksum(payload.get("machines", [])):
+            return None
     try:
         return AttributeIndexCatalog.from_snapshot(index_payload, records)
-    except (ValueError, KeyError, TypeError, AttributeError):
+    except (ValueError, KeyError, TypeError, AttributeError, IndexError):
         return None
 
 
 def loads_database(text: str, *, use_index_snapshot: bool = True
                    ) -> WhitePagesDatabase:
+    """Parse a snapshot (any supported version) into a database.
+
+    Collection is paused for the duration: a bulk load allocates
+    millions of long-lived containers and no cycles, so letting the
+    generational GC walk the growing heap on its usual thresholds
+    multiplies load time several-fold for nothing.
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _loads_database_inner(text,
+                                     use_index_snapshot=use_index_snapshot)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _loads_database_inner(text: str, *, use_index_snapshot: bool
+                          ) -> WhitePagesDatabase:
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -179,19 +307,34 @@ def loads_database(text: str, *, use_index_snapshot: bool = True
     if not isinstance(payload, dict) or \
             payload.get("format") != "repro.whitepages":
         raise DatabaseError("not a repro.whitepages snapshot")
-    if payload.get("version") not in _SUPPORTED_VERSIONS:
-        raise DatabaseError(
-            f"unsupported snapshot version {payload.get('version')!r}"
-        )
+    version = payload.get("version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise DatabaseError(f"unsupported snapshot version {version!r}")
+    if version == 3:
+        if payload.get("row_schema") != list(RECORD_ROW_FIELDS):
+            raise DatabaseError(
+                "v3 snapshot row schema does not match this build "
+                f"(got {payload.get('row_schema')!r})")
+        from_row = MachineRecord.from_row
+        try:
+            records = [from_row(row) for row in payload.get("machines", [])]
+        except (KeyError, ValueError, TypeError, IndexError) as exc:
+            raise DatabaseError(f"malformed v3 machine row: {exc}") from exc
+        catalog = restore_catalog(
+            payload, records, machines_text=_raw_machines_span(text)) \
+            if use_index_snapshot else None
+        return WhitePagesDatabase(records, catalog=catalog)
     records = [record_from_dict(m) for m in payload.get("machines", [])]
     catalog = restore_catalog(payload, records) if use_index_snapshot else None
     return WhitePagesDatabase(records, catalog=catalog)
 
 
 def save_database(db: WhitePagesDatabase, path: Union[str, Path], *,
-                  include_indexes: bool = True) -> None:
-    Path(path).write_text(dumps_database(db, include_indexes=include_indexes),
-                          encoding="utf-8")
+                  include_indexes: bool = True,
+                  version: int = _FORMAT_VERSION) -> None:
+    Path(path).write_text(
+        dumps_database(db, include_indexes=include_indexes, version=version),
+        encoding="utf-8")
 
 
 def load_database(path: Union[str, Path], *, use_index_snapshot: bool = True

@@ -2,13 +2,29 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, FrozenSet, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional
 
 from repro.database.fields import MachineState
 from repro.errors import ConfigError
 
-__all__ = ["MachineRecord", "ServiceStatusFlags"]
+__all__ = ["MachineRecord", "ServiceStatusFlags", "RECORD_ROW_FIELDS"]
+
+#: Positional layout of :meth:`MachineRecord.to_row` /
+#: :meth:`MachineRecord.from_row` (persistence format v3).  The service
+#: status flags are packed into one bit mask (bit 0 = execution unit,
+#: bit 1 = PVFS manager, bit 2 = proxy server).  Any change to this
+#: tuple is a row-schema change: bump the version embedded in v3
+#: snapshots (see :mod:`repro.database.persistence`).
+RECORD_ROW_FIELDS = (
+    "machine_name", "state", "current_load", "active_jobs",
+    "available_memory_mb", "available_swap_mb", "last_update_time",
+    "service_flag_bits", "effective_speed", "num_cpus",
+    "max_allowed_load", "machine_object_pointer", "shared_account",
+    "execution_unit_port", "pvfs_mount_manager_port", "user_groups",
+    "tool_groups", "shadow_account_pool", "usage_policy",
+    "admin_parameters",
+)
 
 
 @dataclass(frozen=True)
@@ -130,6 +146,107 @@ class MachineRecord:
             view[key] = value
         return view
 
+    # -- compact row codec (persistence format v3) -------------------------------
+
+    def to_row(self) -> List[Any]:
+        """Positional encoding following :data:`RECORD_ROW_FIELDS`.
+
+        Field values are coerced to their canonical types on the way
+        *out* so :meth:`from_row` — the cold-start hot loop — can trust
+        the parsed JSON types without per-field conversion.
+        """
+        flags = self.service_status_flags
+        return [
+            self.machine_name,
+            self.state.value,
+            float(self.current_load),
+            int(self.active_jobs),
+            float(self.available_memory_mb),
+            float(self.available_swap_mb),
+            float(self.last_update_time),
+            (1 if flags.execution_unit_up else 0)
+            | (2 if flags.pvfs_manager_up else 0)
+            | (4 if flags.proxy_server_up else 0),
+            float(self.effective_speed),
+            int(self.num_cpus),
+            float(self.max_allowed_load),
+            self.machine_object_pointer,
+            self.shared_account,
+            int(self.execution_unit_port),
+            int(self.pvfs_mount_manager_port),
+            sorted(self.user_groups),
+            sorted(self.tool_groups),
+            self.shadow_account_pool,
+            self.usage_policy,
+            dict(self.admin_parameters),
+        ]
+
+    @classmethod
+    def from_row(cls, row: List[Any]) -> "MachineRecord":
+        """Fast loader for :meth:`to_row` output.
+
+        This is the per-record inner loop of a v3 cold start, so it
+        deliberately bypasses the dataclass constructor's per-field
+        dict dispatch *and* ``__post_init__`` validation: the row came
+        from a snapshot this code wrote (types canonicalised by
+        ``to_row``, values validated when the record was first built,
+        section guarded by the snapshot checksum).  The row's group
+        lists and admin-parameter dict are **consumed** — the caller
+        must not reuse the row afterwards.  A malformed row surfaces as
+        ``ValueError``/``KeyError``/``TypeError`` for the persistence
+        layer to wrap.
+        """
+        (machine_name, state, current_load, active_jobs,
+         available_memory_mb, available_swap_mb, last_update_time,
+         flag_bits, effective_speed, num_cpus, max_allowed_load,
+         machine_object_pointer, shared_account, execution_unit_port,
+         pvfs_mount_manager_port, user_groups, tool_groups,
+         shadow_account_pool, usage_policy, admin_parameters) = row
+        # The same domain guards __post_init__ enforces, applied inline:
+        # a hand-edited row must fail at load, like the v2 parser, not
+        # divide by zero in a rank key later.
+        if not machine_name:
+            raise ValueError("machine_name must be non-empty")
+        if num_cpus < 1:
+            raise ValueError(f"num_cpus must be >= 1, got {num_cpus}")
+        if effective_speed <= 0:
+            raise ValueError("effective_speed must be > 0")
+        if max_allowed_load <= 0:
+            raise ValueError("max_allowed_load must be > 0")
+        if current_load < 0 or active_jobs < 0:
+            raise ValueError("load and job counts must be >= 0")
+        if not 0 <= flag_bits <= 7:
+            # Explicit: Python's negative indexing would otherwise map
+            # -1 to a valid (and wrong) flag combination silently.
+            raise ValueError(f"service flag bits out of range: {flag_bits}")
+        rec = object.__new__(cls)
+        # Wholesale __dict__ replacement via object.__setattr__ skips
+        # the frozen-dataclass __setattr__ machinery (which would raise)
+        # and its per-field function-call overhead.
+        object.__setattr__(rec, "__dict__", {
+            "machine_name": machine_name,
+            "state": _STATE_BY_VALUE[state],
+            "current_load": current_load,
+            "active_jobs": active_jobs,
+            "available_memory_mb": available_memory_mb,
+            "available_swap_mb": available_swap_mb,
+            "last_update_time": last_update_time,
+            "service_status_flags": _FLAGS_BY_BITS[flag_bits],
+            "effective_speed": effective_speed,
+            "num_cpus": num_cpus,
+            "max_allowed_load": max_allowed_load,
+            "machine_object_pointer": machine_object_pointer,
+            "shared_account": shared_account,
+            "execution_unit_port": execution_unit_port,
+            "pvfs_mount_manager_port": pvfs_mount_manager_port,
+            "user_groups": frozenset(user_groups),
+            "tool_groups": frozenset(tool_groups),
+            "shadow_account_pool": shadow_account_pool,
+            "usage_policy": usage_policy,
+            "admin_parameters": admin_parameters,
+        })
+        return rec
+
     def with_dynamic(
         self,
         *,
@@ -141,11 +258,25 @@ class MachineRecord:
         service_status_flags: Optional[ServiceStatusFlags] = None,
         state: Optional[MachineState] = None,
     ) -> "MachineRecord":
-        """Copy with monitoring-owned fields (1–7) replaced."""
+        """Copy with monitoring-owned fields (1–7) replaced.
+
+        This is the white-pages write-path hot loop (every monitoring
+        refresh and every allocation's load bump), so the copy swaps the
+        instance ``__dict__`` directly instead of going through the
+        dataclass constructor — ``__post_init__``'s checks on the
+        *static* fields cannot fail on a copy, and the two dynamic
+        validations it would re-run are applied here explicitly.  The
+        admin-parameter mapping is shared, not copied: it was privatised
+        when this record was first built and is never mutated.
+        """
         updates: Dict[str, Any] = {}
         if current_load is not None:
+            if current_load < 0:
+                raise ConfigError("load and job counts must be >= 0")
             updates["current_load"] = current_load
         if active_jobs is not None:
+            if active_jobs < 0:
+                raise ConfigError("load and job counts must be >= 0")
             updates["active_jobs"] = active_jobs
         if available_memory_mb is not None:
             updates["available_memory_mb"] = available_memory_mb
@@ -157,4 +288,21 @@ class MachineRecord:
             updates["service_status_flags"] = service_status_flags
         if state is not None:
             updates["state"] = state
-        return replace(self, **updates)
+        rec = object.__new__(MachineRecord)
+        new_dict = dict(self.__dict__)
+        new_dict.update(updates)
+        object.__setattr__(rec, "__dict__", new_dict)
+        return rec
+
+
+#: Interned lookup tables for the row fast path: enum resolution and the
+#: eight possible flag combinations, built once at import.
+_STATE_BY_VALUE: Dict[str, MachineState] = {s.value: s for s in MachineState}
+_FLAGS_BY_BITS = tuple(
+    ServiceStatusFlags(
+        execution_unit_up=bool(bits & 1),
+        pvfs_manager_up=bool(bits & 2),
+        proxy_server_up=bool(bits & 4),
+    )
+    for bits in range(8)
+)

@@ -53,6 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
 __all__ = ["WhitePagesDatabase"]
 
 Predicate = Callable[[MachineRecord], bool]
+#: Record-change callback: ``fn(machine_name, record_or_None)``.
+Listener = Callable[[str, Optional[MachineRecord]], None]
 
 
 class WhitePagesDatabase:
@@ -77,10 +79,14 @@ class WhitePagesDatabase:
     responsible for its consistency with ``records`` (the persistence
     layer guards this with a checksum and falls back to a rebuild).
 
-    Record-change **listeners** (:meth:`add_listener`) are invoked — under
-    the registry lock — whenever a record is replaced or removed; the
-    indexed in-pool scheduler uses this to re-rank only the machine whose
-    record actually changed instead of re-walking its cache.
+    Record-change **listeners** are invoked — under the registry lock —
+    whenever a record is replaced or removed; the indexed in-pool
+    scheduler uses this to re-rank only the machine whose record actually
+    changed instead of re-walking its cache.  Listeners are kept in a
+    **per-machine subscription map** (:meth:`subscribe`: machine name →
+    interested listeners) plus a **wildcard tier** (:meth:`add_listener`),
+    so an ``update_dynamic`` notifies only the O(1) listeners that cache
+    that machine instead of broadcasting to every indexed pool.
     """
 
     #: Plan execution may intersect up to this many index probes before
@@ -98,8 +104,12 @@ class WhitePagesDatabase:
         self._taken_by: Dict[str, str] = {}  # machine name -> pool name
         self._names: List[str] = []          # sorted, maintained on add/remove
         self._free: Set[str] = set()         # names not in _taken_by
-        self._listeners: Tuple[Callable[[str, Optional[MachineRecord]], None],
-                               ...] = ()
+        #: Wildcard tier: hears every record change (the legacy
+        #: ``add_listener`` contract; rarely populated in the fast path).
+        self._wildcard_listeners: Tuple[Listener, ...] = ()
+        #: Subscription map: machine name -> listeners that cache it.
+        #: Tuples (copy-on-write) so _notify iterates without copying.
+        self._subscriptions: Dict[str, Tuple[Listener, ...]] = {}
         initial = list(records)
         for rec in initial:
             if rec.machine_name in self._records:
@@ -115,27 +125,84 @@ class WhitePagesDatabase:
 
     # -- change listeners -----------------------------------------------------
 
-    def add_listener(
-            self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
-        """Subscribe ``fn(machine_name, record)`` to record replacements.
+    def subscribe(self, machine_names: Iterable[str], fn: "Listener") -> None:
+        """Subscribe ``fn(machine_name, record)`` to changes of the named
+        machines only.
 
         ``record`` is the new version, or ``None`` when the machine was
-        removed.  Listeners run under the registry lock and must not
-        mutate the database.
+        removed.  Subscriptions are keyed by *name*, not by registration
+        state: a machine removed from the registry and later re-added
+        still notifies its subscribers (the indexed pool scheduler relies
+        on this to restore the machine to its slot).  Listeners run under
+        the registry lock and must not mutate the database.
         """
         with self._lock:
-            self._listeners = self._listeners + (fn,)
+            for name in machine_names:
+                self._subscriptions[name] = \
+                    self._subscriptions.get(name, ()) + (fn,)
+
+    def unsubscribe(self, machine_names: Iterable[str],
+                    fn: "Listener") -> None:
+        """Remove ``fn``'s subscription on the named machines.
+
+        Comparison is by equality, not identity: bound methods are
+        re-created per attribute access but compare equal for the same
+        receiver.  Unknown names and absent subscriptions are ignored.
+        """
+        with self._lock:
+            for name in machine_names:
+                subs = self._subscriptions.get(name)
+                if subs is None:
+                    continue
+                remaining = tuple(l for l in subs if l != fn)
+                if remaining:
+                    self._subscriptions[name] = remaining
+                else:
+                    del self._subscriptions[name]
+
+    def add_listener(
+            self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
+        """Subscribe ``fn(machine_name, record)`` to *every* record change.
+
+        This is the legacy broadcast contract, kept as the wildcard tier
+        of the subscription map; a listener that only caches a known
+        machine set should :meth:`subscribe` instead so an unrelated
+        ``update_dynamic`` never touches it.
+        """
+        with self._lock:
+            self._wildcard_listeners = self._wildcard_listeners + (fn,)
 
     def remove_listener(
             self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
+        """Remove ``fn`` wherever it is registered (wildcard tier *and*
+        every per-machine subscription)."""
         with self._lock:
-            # Equality, not identity: bound methods are re-created per
-            # attribute access, but compare equal for the same receiver.
-            self._listeners = tuple(l for l in self._listeners if l != fn)
+            self._wildcard_listeners = tuple(
+                l for l in self._wildcard_listeners if l != fn)
+            for name in [n for n, subs in self._subscriptions.items()
+                         if any(l == fn for l in subs)]:
+                remaining = tuple(l for l in self._subscriptions[name]
+                                  if l != fn)
+                if remaining:
+                    self._subscriptions[name] = remaining
+                else:
+                    del self._subscriptions[name]
+
+    def listener_stats(self) -> Dict[str, int]:
+        """Observability: wildcard count, subscribed machines, entries."""
+        with self._lock:
+            return {
+                "wildcard": len(self._wildcard_listeners),
+                "subscribed_machines": len(self._subscriptions),
+                "subscription_entries": sum(
+                    len(subs) for subs in self._subscriptions.values()),
+            }
 
     def _notify(self, machine_name: str,
                 record: Optional[MachineRecord]) -> None:
-        for fn in self._listeners:
+        for fn in self._wildcard_listeners:
+            fn(machine_name, record)
+        for fn in self._subscriptions.get(machine_name, ()):
             fn(machine_name, record)
 
     # -- registry CRUD --------------------------------------------------------
@@ -185,14 +252,18 @@ class WhitePagesDatabase:
     def update_dynamic(self, machine_name: str, **dynamic) -> MachineRecord:
         """Apply a monitoring refresh (fields 1-7) atomically.
 
-        Only the indexes of attributes whose value actually changed are
-        touched, so a load refresh is O(log n), not a re-index.
+        The kwargs name exactly the fields being replaced, so the
+        catalog re-indexes only those attributes
+        (:meth:`~repro.database.indexes.AttributeIndexCatalog
+        .replace_dynamic`) — a load refresh is two bisects, not a view
+        rebuild — and the notification reaches only the listeners
+        subscribed to this machine (plus the wildcard tier).
         """
         with self._lock:
             rec = self.get(machine_name)
             new = rec.with_dynamic(**dynamic)
             self._records[machine_name] = new
-            self._catalog.replace(new)
+            self._catalog.replace_dynamic(new, dynamic)
             self._notify(machine_name, new)
             return new
 

@@ -25,18 +25,13 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence
 
-import numpy as np
 
 from repro.config import PipelineConfig
 from repro.core.pool_manager import PoolManager
 from repro.core.query_manager import QueryManager
 from repro.database.directory import LocalDirectoryService
 from repro.database.whitepages import WhitePagesDatabase
-from repro.deploy.simulated import (
-    ClientSpec,
-    _PoolManagerServer,
-    _QueryManagerServer,
-)
+from repro.deploy.simulated import _PoolManagerServer, _QueryManagerServer
 from repro.errors import ConfigError
 from repro.net.address import Endpoint
 from repro.net.latency import DomainLatencyModel

@@ -113,7 +113,7 @@ def build_fleet(spec: FleetSpec) -> List[MachineRecord]:
             for license_name in profile.licenses:
                 # Half of the machines of a profile carry each license.
                 if rng.random() < 0.5:
-                    params[f"license"] = license_name
+                    params["license"] = license_name
             if spec.stripe_pools > 0:
                 params["pool"] = f"p{serial % spec.stripe_pools:02d}"
             records.append(MachineRecord(

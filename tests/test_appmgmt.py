@@ -14,7 +14,6 @@ from repro.appmgmt.knowledge_base import (
 from repro.appmgmt.parser import parse_tool_request
 from repro.appmgmt.perf_model import PerformanceModel
 from repro.appmgmt.query_builder import ApplicationManager
-from repro.core.language import parse_query
 from repro.errors import ConfigError
 
 

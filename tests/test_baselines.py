@@ -10,7 +10,6 @@ from repro.baselines.static_pools import StaticPoolScheduler
 from repro.core.language import parse_query
 from repro.errors import ConfigError, NoResourceAvailableError, NoSuchPoolError
 
-from tests.conftest import make_machine
 
 
 def q(text):

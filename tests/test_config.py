@@ -9,7 +9,6 @@ import pytest
 from repro.config import (
     CostModel,
     LatencyConfig,
-    MonitorConfig,
     PipelineConfig,
     PoolManagerConfig,
     QueryManagerConfig,

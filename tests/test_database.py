@@ -16,9 +16,8 @@ from repro.database.policy import (
     group_in,
     load_below,
 )
-from repro.database.records import MachineRecord, ServiceStatusFlags
+from repro.database.records import MachineRecord
 from repro.database.shadow import ShadowAccountPool, ShadowAccountRegistry
-from repro.database.whitepages import WhitePagesDatabase
 from repro.errors import (
     ConfigError,
     DirectoryError,

@@ -2,14 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.config import (
-    CostModel,
-    PipelineConfig,
-    PoolManagerConfig,
-    ResourcePoolConfig,
-)
+from repro.config import PipelineConfig, ResourcePoolConfig
 from repro.deploy.simulated import (
     ClientSpec,
     DeploymentSpec,

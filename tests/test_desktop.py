@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.pipeline import build_service
-from repro.desktop.desktop import AuthorizationError, NetworkDesktop, UserAccount
+from repro.desktop.desktop import NetworkDesktop, UserAccount
 from repro.desktop.session import RunSession, SessionError, SessionState
 from repro.desktop.vfs import VfsError, VirtualFileSystem
 from repro.errors import ReproError

@@ -5,8 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.estimates import (
-    KNOWN_REFERENCES,
-    CpuEstimate,
     ReferenceMachine,
     normalise_for,
     parse_cpu_estimate,

@@ -16,7 +16,7 @@ from repro.config import PipelineConfig, PoolManagerConfig
 from repro.core.janitor import PoolJanitor
 from repro.core.language import parse_query
 from repro.core.pipeline import build_service
-from repro.core.pool_manager import PoolManager, RouteToPool
+from repro.core.pool_manager import PoolManager
 from repro.core.resource_pool import ResourcePool
 from repro.core.signature import pool_name_for
 from repro.database.directory import LocalDirectoryService
@@ -24,7 +24,6 @@ from repro.deploy.simulated import ClientSpec, DeploymentSpec, SimulatedDeployme
 from repro.errors import NoResourceAvailableError
 from repro.fleet import FleetSpec, build_database
 
-from tests.conftest import make_machine
 
 
 def sun_q(extra=""):

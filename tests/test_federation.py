@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import PipelineConfig, PoolManagerConfig
 from repro.deploy.federation import DomainSpec, FederatedDeployment
 from repro.errors import ConfigError
 from repro.fleet import ArchProfile, FleetSpec, build_database

@@ -7,13 +7,7 @@ from collections import Counter
 import pytest
 
 from repro.errors import ConfigError
-from repro.fleet import (
-    ArchProfile,
-    DEFAULT_PROFILES,
-    FleetSpec,
-    build_database,
-    build_fleet,
-)
+from repro.fleet import ArchProfile, FleetSpec, build_database, build_fleet
 
 
 class TestFleetSpec:

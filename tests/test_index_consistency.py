@@ -354,25 +354,51 @@ class TestIndexedPoolSchedulerEquivalence:
         assert [a.machine_name for a in batch_lin] == \
             [a.machine_name for a in batch_idx]
 
-    def test_query_sensitive_objective_falls_back_to_linear(self):
-        """best_fit_memory ranks per query; the indexed pool must serve
-        it through the linear walk and still agree with linear mode."""
+    def test_query_sensitive_objective_uses_class_cache(self):
+        """best_fit_memory ranks per query; the indexed pool serves it
+        from a per-query-class rank cache and must agree with linear
+        mode."""
         query = Query(clauses=(
             Clause("punch", "rsrc", "arch", Op.EQ, "sun"),
             Clause("punch", "appl", "expectedmemoryuse", Op.EQ, 200.0),
         ))
         db_lin, pool_lin = _pool_fixture(True, "best_fit_memory", 1)
         db_idx, pool_idx = _pool_fixture(False, "best_fit_memory", 1)
-        assert not pool_idx._indexed_usable(query)
+        assert pool_idx._indexed_usable(query)
         assert pool_idx.scan_order(query) == pool_lin.scan_order(query)
+        assert pool_idx._scheduler.cached_query_classes == 1
         assert pool_idx.allocate(query).machine_name == \
             pool_lin.allocate(query).machine_name
 
+    def test_query_sensitive_without_class_falls_back_to_linear(self):
+        """A query-sensitive objective that declares no query_class
+        decomposition must keep the pre-cache fallback semantics."""
+        from repro.core.scheduling import (SchedulingObjective,
+                                           register_objective, _REGISTRY)
+        name = "_test_opaque_sensitive"
+        if name not in _REGISTRY:
+            register_objective(SchedulingObjective(
+                name, lambda record, query: (record.current_load,),
+                query_sensitive=True))
+        query = Query(clauses=(
+            Clause("punch", "rsrc", "arch", Op.EQ, "sun"),
+        ))
+        db_idx, pool_idx = _pool_fixture(False, name, 1)
+        db_lin, pool_lin = _pool_fixture(True, name, 1)
+        assert not pool_idx._indexed_usable(query)
+        assert pool_idx._indexed_usable(None)
+        assert pool_idx.scan_order(query) == pool_lin.scan_order(query)
+
     def test_destroy_detaches_listener(self):
         db, pool = _pool_fixture(False, "least_load", 1)
-        assert len(db._listeners) == 1
+        stats = db.listener_stats()
+        assert stats["subscribed_machines"] == len(_POOL_MACHINES)
+        assert stats["subscription_entries"] == len(_POOL_MACHINES)
+        assert stats["wildcard"] == 0
         pool.destroy()
-        assert db._listeners == ()
+        stats = db.listener_stats()
+        assert stats["subscribed_machines"] == 0
+        assert stats["subscription_entries"] == 0
 
     def test_removed_then_readded_machine_rejoins_order(self):
         """A cached machine deleted from the registry drops out of the
@@ -393,3 +419,210 @@ class TestIndexedPoolSchedulerEquivalence:
         db_idx.update_dynamic(victim, current_load=0.0)
         assert pool_idx.scan_order(_POOL_QUERY) == \
             pool_lin.scan_order(_POOL_QUERY)
+
+
+# ---------------------------------------------------------------------------
+# Query-class rank caches vs the linear walk
+# ---------------------------------------------------------------------------
+
+#: A small palette of predicted footprints / CPU estimates — few enough
+#: that classes are reused (cache hits), many enough to exercise the
+#: MAX_QUERY_CLASSES LRU eviction.
+_FOOTPRINTS = tuple(float(64 * (i + 1)) for i in range(12))
+
+
+def _classed_query(objective: str, value: float) -> Query:
+    if objective == "best_fit_memory":
+        appl = Clause("punch", "appl", "expectedmemoryuse", Op.EQ, value)
+    else:
+        appl = Clause("punch", "appl", "expectedcpuuse", Op.EQ, value)
+    return Query(clauses=(
+        Clause("punch", "rsrc", "arch", Op.EQ, "sun"), appl))
+
+
+_classed_ops = st.one_of(
+    st.tuples(st.just("alloc"), st.sampled_from(_FOOTPRINTS)),
+    st.tuples(st.just("alloc_plain")),
+    st.tuples(st.just("release"), st.integers(min_value=0, max_value=9)),
+    st.tuples(st.just("update"), st.sampled_from(_POOL_MACHINES),
+              st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+              st.integers(min_value=0, max_value=4)),
+    st.tuples(st.just("memory"), st.sampled_from(_POOL_MACHINES),
+              st.sampled_from(_FOOTPRINTS)),
+)
+
+
+class TestQueryClassRankCacheEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(_classed_ops, max_size=40),
+        objective=st.sampled_from(("best_fit_memory", "min_response_time")),
+        replica_count=st.sampled_from((1, 2)),
+    )
+    def test_same_machine_sequence_as_linear(self, ops, objective,
+                                             replica_count):
+        """Query-sensitive objectives served from the per-query-class
+        rank caches must pick exactly the machines the linear walk
+        picks, step for step, across interleaved query classes and
+        record changes (including LRU eviction and rebuild)."""
+        db_lin, pool_lin = _pool_fixture(True, objective, replica_count)
+        db_idx, pool_idx = _pool_fixture(False, objective, replica_count)
+        keys_lin, keys_idx = [], []
+        last_query = _classed_query(objective, _FOOTPRINTS[0])
+        for op in ops:
+            if op[0] in ("alloc", "alloc_plain"):
+                query = (_classed_query(objective, op[1])
+                         if op[0] == "alloc" else _POOL_QUERY)
+                last_query = query
+                try:
+                    a_lin = pool_lin.allocate(query)
+                except NoResourceAvailableError:
+                    with pytest.raises(NoResourceAvailableError):
+                        pool_idx.allocate(query)
+                    continue
+                a_idx = pool_idx.allocate(query)
+                assert a_lin.machine_name == a_idx.machine_name
+                keys_lin.append(a_lin.access_key)
+                keys_idx.append(a_idx.access_key)
+            elif op[0] == "release":
+                if not keys_lin:
+                    continue
+                i = op[1] % len(keys_lin)
+                pool_lin.release(keys_lin.pop(i))
+                pool_idx.release(keys_idx.pop(i))
+            elif op[0] == "update":
+                _kind, name, load, jobs = op
+                db_lin.update_dynamic(name, current_load=load,
+                                      active_jobs=jobs)
+                db_idx.update_dynamic(name, current_load=load,
+                                      active_jobs=jobs)
+            else:  # memory refresh: re-ranks the class caches
+                db_lin.update_dynamic(op[1], available_memory_mb=op[2])
+                db_idx.update_dynamic(op[1], available_memory_mb=op[2])
+            assert pool_idx.scan_order(last_query) == \
+                pool_lin.scan_order(last_query)
+
+    def test_class_cache_is_bounded_lru(self):
+        from repro.core.scheduler import MAX_QUERY_CLASSES
+        db_idx, pool_idx = _pool_fixture(False, "best_fit_memory", 1)
+        db_lin, pool_lin = _pool_fixture(True, "best_fit_memory", 1)
+        for value in _FOOTPRINTS:
+            q = _classed_query("best_fit_memory", value)
+            assert pool_idx.scan_order(q) == pool_lin.scan_order(q)
+        assert pool_idx._scheduler.cached_query_classes <= MAX_QUERY_CLASSES
+        # An evicted class rebuilds and still answers correctly.
+        q0 = _classed_query("best_fit_memory", _FOOTPRINTS[0])
+        assert pool_idx.scan_order(q0) == pool_lin.scan_order(q0)
+
+    def test_qualified_estimate_does_not_fragment_classes(self):
+        """expectedcpuuse is ignored by _min_response_time when a
+        qualified cpuestimate is present, so varying it must not mint
+        new rank-cache classes (LRU thrash on identical orders)."""
+        db_idx, pool_idx = _pool_fixture(False, "min_response_time", 1)
+        db_lin, pool_lin = _pool_fixture(True, "min_response_time", 1)
+        for cpu in (100.0, 200.0, 300.0):
+            q = Query(clauses=(
+                Clause("punch", "rsrc", "arch", Op.EQ, "sun"),
+                Clause("punch", "appl", "cpuestimate", Op.EQ, "1000s"),
+                Clause("punch", "appl", "expectedcpuuse", Op.EQ, cpu),
+            ))
+            assert pool_idx.scan_order(q) == pool_lin.scan_order(q)
+        assert pool_idx._scheduler.cached_query_classes == 1
+
+    def test_footprintless_query_reuses_base_order(self):
+        """A query with no appl clauses ranks exactly like query=None;
+        the scheduler must not burn a class-cache slot on it."""
+        db_idx, pool_idx = _pool_fixture(False, "best_fit_memory", 1)
+        pool_idx.scan_order(_POOL_QUERY)
+        assert pool_idx._scheduler.cached_query_classes == 0
+
+    def test_coallocation_with_query_class_matches_linear(self):
+        query = _classed_query("best_fit_memory", 200.0)
+        db_lin, pool_lin = _pool_fixture(True, "best_fit_memory", 2)
+        db_idx, pool_idx = _pool_fixture(False, "best_fit_memory", 2)
+        batch_lin = pool_lin.allocate_many(query, 5)
+        batch_idx = pool_idx.allocate_many(query, 5)
+        assert [a.machine_name for a in batch_lin] == \
+            [a.machine_name for a in batch_idx]
+
+
+# ---------------------------------------------------------------------------
+# Listener subscription bookkeeping under pool/machine churn
+# ---------------------------------------------------------------------------
+
+_sub_ops = st.one_of(
+    st.tuples(st.just("create"), st.integers(min_value=0, max_value=5)),
+    st.tuples(st.just("destroy"), st.integers(min_value=0, max_value=5)),
+    st.tuples(st.just("register"), st.sampled_from(_POOL_MACHINES)),
+    st.tuples(st.just("deregister"), st.sampled_from(_POOL_MACHINES)),
+    st.tuples(st.just("refresh"), st.sampled_from(_POOL_MACHINES),
+              st.floats(min_value=0.0, max_value=6.0, allow_nan=False)),
+)
+
+
+class TestListenerSubscriptionBookkeeping:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=st.lists(_sub_ops, max_size=40))
+    def test_no_leaked_or_missed_subscriptions(self, ops):
+        """Randomized pool create/destroy interleaved with machine
+        register/remove and refreshes: the subscription map must hold
+        exactly one entry per (live pool, cached machine) — nothing
+        leaked after destroys, nothing missed while live (every live
+        pool's maintained order keeps matching a from-scratch
+        recomputation after every step)."""
+        db = WhitePagesDatabase([
+            MachineRecord(machine_name=name, current_load=float(i % 3),
+                          admin_parameters={"arch": "sun"})
+            for i, name in enumerate(_POOL_MACHINES)
+        ])
+        removed: dict = {}
+        pools: dict = {}
+        serial = 0
+        for op in ops:
+            if op[0] == "create":
+                slot = op[1]
+                if slot in pools:
+                    continue
+                pool = ResourcePool(
+                    PoolName(signature="sig", identifier=f"sub{slot}-{serial}"),
+                    db, config=ResourcePoolConfig(linear_scan=False),
+                    exemplar_query=_POOL_QUERY,
+                )
+                serial += 1
+                pool.initialize()
+                if pool.size == 0:
+                    pool.destroy()
+                else:
+                    pools[slot] = pool
+            elif op[0] == "destroy":
+                pool = pools.pop(op[1], None)
+                if pool is not None:
+                    pool.destroy()
+            elif op[0] == "register":
+                rec = removed.pop(op[1], None)
+                if rec is not None:
+                    db.add(rec)
+            elif op[0] == "deregister":
+                if op[1] in db and op[1] not in removed:
+                    removed[op[1]] = db.remove(op[1])
+            else:  # refresh
+                if op[1] in db:
+                    db.update_dynamic(op[1], current_load=op[2])
+            stats = db.listener_stats()
+            expected_entries = sum(p.size for p in pools.values())
+            assert stats["subscription_entries"] == expected_entries
+            assert stats["wildcard"] == 0
+            for pool in pools.values():
+                if any(name in removed for name in pool.cache):
+                    # The linear oracle faults on a deregistered cached
+                    # machine; the indexed order must just drop it.
+                    assert all(name not in removed
+                               for _i, name in pool.scan_order())
+                else:
+                    # A missed notification would leave a stale rank here.
+                    assert pool.scan_order() == pool._linear_order(None)
+        for pool in pools.values():
+            pool.destroy()
+        stats = db.listener_stats()
+        assert stats["subscription_entries"] == 0
+        assert stats["subscribed_machines"] == 0

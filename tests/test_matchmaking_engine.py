@@ -10,7 +10,6 @@ from repro.core.operators import Op, RangeValue
 from repro.core.plan import (
     AttrBound,
     ClauseSet,
-    QueryPlan,
     compile_plan,
     machine_admissible,
 )

@@ -10,7 +10,7 @@ from repro.core.resource_pool import ResourcePool
 from repro.errors import AddressError, ConfigError, PoolCreationError, TransportError
 from repro.net.address import Endpoint
 from repro.net.latency import ConstantLatency, DomainLatencyModel
-from repro.net.proxy import ProxyRegistry, ProxyServer
+from repro.net.proxy import ProxyRegistry
 from repro.net.transport import SimTransport
 from repro.sim.kernel import Simulator
 

@@ -19,7 +19,6 @@ from repro.database.persistence import (
 )
 from repro.database.records import ServiceStatusFlags
 from repro.errors import DatabaseError
-from repro.fleet import FleetSpec, build_database
 
 from tests.conftest import make_machine
 
@@ -81,7 +80,7 @@ class TestIndexSnapshot:
     rebuilding; every guard failure must fall back to a rebuild."""
 
     def _parsed(self, db):
-        return json.loads(dumps_database(db))
+        return json.loads(dumps_database(db, version=2))
 
     def _records(self, payload):
         return [record_from_dict(m) for m in payload["machines"]]
@@ -96,7 +95,7 @@ class TestIndexSnapshot:
     def test_restored_database_matches_rebuilt(self, fleet_db):
         from repro.core.language import parse_query
         from repro.core.plan import compile_plan
-        text = dumps_database(fleet_db)
+        text = dumps_database(fleet_db, version=2)
         restored = loads_database(text)
         rebuilt = loads_database(text, use_index_snapshot=False)
         assert restored.index_stats() == rebuilt.index_stats()
@@ -113,7 +112,6 @@ class TestIndexSnapshot:
         db = loads_database(json.dumps(payload))
         name = payload["machines"][0]["machine_name"]
         assert db.get(name).current_load == 77.0
-        from repro.core.query import Query
         got = [r.machine_name for r in db.match(None, include_taken=True)]
         assert got == [r.machine_name
                        for r in db.scan(None, include_taken=True)]
@@ -159,6 +157,185 @@ class TestIndexSnapshot:
         path = tmp_path / "fleet.json"
         save_database(fleet_db, path)
         restored = load_database(path)
+        assert restored.index_stats() == fleet_db.index_stats()
+
+
+class TestV3CompactSnapshot:
+    """Version-3 compact snapshots: positional rows, fast loader, the
+    same guard-and-fallback discipline as v2 — and v2 files still load."""
+
+    def test_default_write_format_is_v3(self, small_db):
+        payload = json.loads(dumps_database(small_db))
+        assert payload["version"] == 3
+        assert payload["row_schema"][0] == "machine_name"
+        assert isinstance(payload["machines"][0], list)
+
+    def test_row_codec_roundtrip(self):
+        from repro.database.records import MachineRecord
+        rec = make_machine(
+            "m1",
+            state=MachineState.BLOCKED,
+            current_load=1.5,
+            shared_account="nobody",
+            usage_policy="light",
+            service_status_flags=ServiceStatusFlags(pvfs_manager_up=False),
+        )
+        assert MachineRecord.from_row(rec.to_row()) == rec
+
+    def test_v3_roundtrip_equals_v2_roundtrip(self, fleet_db):
+        via_v3 = loads_database(dumps_database(fleet_db, version=3))
+        via_v2 = loads_database(dumps_database(fleet_db, version=2))
+        assert via_v3.names() == via_v2.names()
+        for name in via_v3.names():
+            assert via_v3.get(name) == via_v2.get(name)
+
+    def test_v3_is_smaller_than_v2(self, fleet_db):
+        v3 = dumps_database(fleet_db, version=3)
+        v2 = dumps_database(fleet_db, version=2)
+        assert len(v3) * 3 <= len(v2)
+
+    def test_v3_restores_catalog(self, fleet_db):
+        text = dumps_database(fleet_db, version=3)
+        restored = loads_database(text)
+        rebuilt = loads_database(text, use_index_snapshot=False)
+        assert restored.index_stats() == rebuilt.index_stats()
+
+    def test_row_schema_mismatch_rejected(self, small_db):
+        payload = json.loads(dumps_database(small_db, version=3))
+        payload["row_schema"] = payload["row_schema"][:-1]
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(payload))
+
+    def test_malformed_row_rejected(self, small_db):
+        payload = json.loads(dumps_database(small_db, version=3))
+        payload["machines"][0] = payload["machines"][0][:-1]  # short row
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(payload))
+
+    def test_out_of_range_row_id_falls_back_to_rebuild(self, small_db):
+        """A structurally broken row-id posting must be rejected at
+        restore (silent rebuild), not crash the first probe."""
+        payload = json.loads(dumps_database(small_db, version=3))
+        attr = next(iter(payload["indexes"]["hash"]))
+        token = next(iter(payload["indexes"]["hash"][attr]))
+        payload["indexes"]["hash"][attr][token] = [999999]
+        # Keep the checksum valid: only the index section was edited.
+        db = loads_database(json.dumps(payload))
+        got = [r.machine_name for r in db.match(None, include_taken=True)]
+        assert got == [r.machine_name
+                       for r in db.scan(None, include_taken=True)]
+
+    def test_corrupt_packed_array_falls_back_to_rebuild(self, small_db):
+        payload = json.loads(dumps_database(small_db, version=3))
+        attr = next(iter(payload["indexes"]["sorted"]))
+        for corrupt in ("not/base64!!", "QUJD"):  # bad chars; 3b != k*4
+            payload["indexes"]["sorted"][attr]["names"] = corrupt
+            db = loads_database(json.dumps(payload))
+            assert len(db) == len(small_db)
+            got = [r.machine_name
+                   for r in db.match(None, include_taken=True)]
+            assert got == [r.machine_name
+                           for r in db.scan(None, include_taken=True)]
+
+    def test_boolean_row_ids_fall_back_to_rebuild(self, small_db):
+        """JSON true/false in a posting list must not index rows 1/0."""
+        payload = json.loads(dumps_database(small_db, version=3))
+        for attr, postings in payload["indexes"]["hash"].items():
+            token = next(iter(postings))
+            postings[token] = [True, False]
+            break
+        db = loads_database(json.dumps(payload))
+        got = [r.machine_name for r in db.match(None, include_taken=True)]
+        assert got == [r.machine_name
+                       for r in db.scan(None, include_taken=True)]
+
+    def test_out_of_range_packed_sorted_id_falls_back(self, small_db):
+        from repro.database.indexes import pack_array
+        payload = json.loads(dumps_database(small_db, version=3))
+        attr = next(iter(payload["indexes"]["sorted"]))
+        n = len(payload["machines"])
+        payload["indexes"]["sorted"][attr] = {
+            "values": pack_array("d", [1.0]),
+            "names": pack_array("I", [n + 7]),
+        }
+        db = loads_database(json.dumps(payload))
+        assert len(db) == len(small_db)
+
+    def test_invalid_row_values_rejected_at_load(self, small_db):
+        """from_row applies the same domain guards as the v2 parser."""
+        from repro.database.records import RECORD_ROW_FIELDS
+        for field_name, bad in [("num_cpus", 0), ("effective_speed", 0.0),
+                                ("max_allowed_load", 0.0),
+                                ("current_load", -1.0),
+                                ("active_jobs", -2)]:
+            payload = json.loads(dumps_database(small_db, version=3))
+            col = RECORD_ROW_FIELDS.index(field_name)
+            payload["machines"][0][col] = bad
+            with pytest.raises(DatabaseError):
+                loads_database(json.dumps(payload))
+
+    def test_repeated_infinite_sorted_values_restore(self):
+        """Two machines sharing an infinite numeric parameter must not
+        trip the packed monotonicity check (inf - inf is NaN under a
+        diff, but inf <= inf is True)."""
+        from repro.database.whitepages import WhitePagesDatabase
+        db = WhitePagesDatabase([
+            make_machine("m1", admin_parameters={"weight": "inf"}),
+            make_machine("m2", admin_parameters={"weight": "inf"}),
+        ])
+        restored = loads_database(dumps_database(db, version=3))
+        rebuilt = loads_database(dumps_database(db, version=3),
+                                 use_index_snapshot=False)
+        assert restored.index_stats() == rebuilt.index_stats()
+
+    def test_negative_flag_bits_rejected(self, small_db):
+        from repro.database.records import RECORD_ROW_FIELDS
+        payload = json.loads(dumps_database(small_db, version=3))
+        col = RECORD_ROW_FIELDS.index("service_flag_bits")
+        payload["machines"][0][col] = -1
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(payload))
+
+    def test_unpack_array_roundtrip_and_errors(self):
+        from repro.database.indexes import pack_array, unpack_array
+        vals = [0.0, 1.5, float("inf")]
+        assert unpack_array("d", pack_array("d", vals)).tolist() == vals
+        ids = [0, 7, 4096]
+        assert unpack_array("I", pack_array("I", ids)).tolist() == ids
+        with pytest.raises(ValueError):
+            unpack_array("d", "not/base64!!")
+        with pytest.raises(ValueError):
+            unpack_array("d", "QUJD")  # 3 bytes, not a multiple of 8
+
+    def test_edited_row_fails_checksum_but_loads(self, small_db):
+        payload = json.loads(dumps_database(small_db, version=3))
+        payload["machines"][0][2] = 77.0  # current_load, hand-edited
+        db = loads_database(json.dumps(payload))
+        name = payload["machines"][0][0]
+        assert db.get(name).current_load == 77.0
+        got = [r.machine_name for r in db.match(None, include_taken=True)]
+        assert got == [r.machine_name
+                       for r in db.scan(None, include_taken=True)]
+
+    def test_records_only_v3_loads(self, small_db):
+        payload = json.loads(dumps_database(small_db, version=3,
+                                            include_indexes=False))
+        assert "indexes" not in payload
+        assert len(loads_database(json.dumps(payload))) == len(small_db)
+
+    def test_v3_dump_is_deterministic(self, small_db):
+        assert dumps_database(small_db, version=3) == \
+            dumps_database(small_db, version=3)
+
+    def test_unknown_write_version_rejected(self, small_db):
+        with pytest.raises(DatabaseError):
+            dumps_database(small_db, version=4)
+
+    def test_v3_file_roundtrip(self, fleet_db, tmp_path):
+        path = tmp_path / "fleet.v3.json"
+        save_database(fleet_db, path, version=3)
+        restored = load_database(path)
+        assert restored.names() == fleet_db.names()
         assert restored.index_stats() == fleet_db.index_stats()
 
 

@@ -5,18 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import PipelineConfig, PoolManagerConfig, QueryManagerConfig
+from repro.config import PoolManagerConfig, QueryManagerConfig
 from repro.core.language import parse_query
 from repro.core.pipeline import build_service
 from repro.core.pool_manager import Delegate, PoolManager, RouteFailed, RouteToPool
 from repro.core.query_manager import QueryManager
 from repro.core.signature import pool_name_for
 from repro.database.directory import LocalDirectoryService
-from repro.database.whitepages import WhitePagesDatabase
 from repro.errors import ConfigError, NoResourceAvailableError, PipelineError, PoolCreationError
 from repro.net.address import Endpoint
 
-from tests.conftest import make_machine
 
 
 def sun_q(extra=""):

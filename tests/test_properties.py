@@ -4,13 +4,11 @@ from __future__ import annotations
 
 import string
 
-import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.core.decompose import ReintegrationBuffer, decompose
-from repro.core.language import CompositeQuery, parse_query, punch_language
+from repro.core.language import CompositeQuery
 from repro.core.operators import Op, RangeValue, compare
 from repro.core.query import Allocation, Clause, Query, QueryResult
 from repro.core.signature import pool_name_for

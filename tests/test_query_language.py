@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.language import (
-    CompositeQuery,
     KeySpec,
     QueryLanguage,
     ValueKind,

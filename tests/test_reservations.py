@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.language import parse_query
 from repro.core.reservations import (
-    Reservation,
     ReservationBook,
     ReservationError,
     claim_reservation,

@@ -7,7 +7,7 @@ import pytest
 from repro.config import ResourcePoolConfig
 from repro.core.language import parse_query
 from repro.core.resource_pool import ResourcePool
-from repro.core.signature import PoolName, pool_name_for
+from repro.core.signature import pool_name_for
 from repro.database.fields import MachineState
 from repro.database.policy import PolicyRegistry, load_below
 from repro.database.records import ServiceStatusFlags

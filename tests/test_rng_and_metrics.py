@@ -7,7 +7,11 @@ import math
 import numpy as np
 import pytest
 
-from repro.sim.metrics import ResponseTimeStats, SeriesCollector, Summary, TimeWeightedGauge
+from repro.sim.metrics import (
+    ResponseTimeStats,
+    SeriesCollector,
+    TimeWeightedGauge,
+)
 from repro.sim.rng import RandomStreams, stable_hash32
 
 

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.language import parse_query
 from repro.core.operators import Op, RangeValue
-from repro.core.query import Allocation, Clause, Query, QueryResult
+from repro.core.query import Allocation, Clause, QueryResult
 from repro.errors import RuntimeProtocolError
 from repro.fleet import FleetSpec, build_database
 from repro.runtime.distributed import DistributedActYP

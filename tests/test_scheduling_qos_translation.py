@@ -8,7 +8,6 @@ import pytest
 from repro.core.language import parse_query
 from repro.core.qos import RedundantFanout, qos_profile
 from repro.core.scheduling import (
-    SchedulingObjective,
     get_objective,
     objective_names,
     register_objective,

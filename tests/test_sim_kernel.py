@@ -5,15 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.kernel import (
-    AllOf,
-    AnyOf,
-    Event,
-    Interrupt,
-    Resource,
-    Simulator,
-    Store,
-)
+from repro.sim.kernel import Interrupt, Resource, Simulator, Store
 
 
 class TestEventBasics:

@@ -7,7 +7,6 @@ import pytest
 
 from repro.config import MonitorConfig
 from repro.database.fields import MachineState
-from repro.database.whitepages import WhitePagesDatabase
 from repro.errors import ConfigError
 from repro.monitoring.collectors import (
     OrnsteinUhlenbeckLoadCollector,
