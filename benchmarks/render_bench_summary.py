@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Render a BENCH_<date>.json timings file as a markdown ops/s table.
+
+Used by the bench-trend workflow to print the measured suite into the
+GitHub job summary::
+
+    python benchmarks/render_bench_summary.py BENCH_2026-07-28.json \
+        >> "$GITHUB_STEP_SUMMARY"
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def render(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    timings = data["timings_s"]
+    lines = [
+        f"### Smoke benchmark trend — {data['n_records']:,} records",
+        "",
+        "| operation | time | ops/s |",
+        "|---|---:|---:|",
+    ]
+    for op, seconds in sorted(timings.items()):
+        ops = f"{1.0 / seconds:,.0f}" if seconds > 0 else "inf"
+        lines.append(f"| `{op}` | {_fmt_time(seconds)} | {ops} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    sys.stdout.write(render(argv[1]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

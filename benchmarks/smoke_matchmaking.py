@@ -11,6 +11,11 @@ Usage::
 
     PYTHONPATH=src python benchmarks/smoke_matchmaking.py
     PYTHONPATH=src python benchmarks/smoke_matchmaking.py --write-baseline
+    PYTHONPATH=src python benchmarks/smoke_matchmaking.py --json-out out.json
+
+``--json-out`` additionally writes the measured timings as JSON — the
+bench-trend CI workflow uses it to archive one ``BENCH_<date>.json``
+per scheduled run and render an ops/s table into the job summary.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.core.scheduling import get_objective
 from repro.core.signature import pool_name_for
 from repro.database.indexes import AttributeIndexCatalog
 from repro.database.persistence import dumps_database, loads_database
+from repro.database.sharding import ShardedWhitePagesDatabase
 from repro.database.whitepages import WhitePagesDatabase
 from repro.fleet import FleetSpec, build_database
 
@@ -191,6 +197,24 @@ def measure() -> dict:
         return restored.match(plan)
 
     results["snapshot_v3_load_s"] = _median(v3_cold_start, 3)
+
+    # Sharded fan-out: an 8-shard serial match (fan out + name merge)
+    # and the routed point-write path.  Gated at 5x like every other op
+    # (the baseline was re-recorded with these keys); the dedicated
+    # scale gate separately enforces the *parallel* speedup, and the
+    # bench-trend workflow archives the absolute timings.
+    sharded = ShardedWhitePagesDatabase(
+        [db.get(name) for name in db.names()], shards=8)
+    sharded.match(plan)  # warm
+    results["sharded_match_fanout_s"] = _median(
+        lambda: sharded.match(plan), 5)
+
+    def sharded_dynamic_burst():
+        for i, name in enumerate(names):
+            sharded.update_dynamic(name, current_load=float(i % 4))
+
+    results["sharded_update_dynamic_s"] = \
+        _median(sharded_dynamic_burst, 3) / len(names)
     return results
 
 
@@ -198,9 +222,16 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write-baseline", action="store_true",
                         help="record current timings as the new baseline")
+    parser.add_argument("--json-out", metavar="PATH",
+                        help="also write the measured timings as JSON "
+                             "(bench-trend archive format)")
     args = parser.parse_args()
 
     measured = measure()
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(
+            {"n_records": N, "timings_s": measured}, indent=2) + "\n")
+        print(f"timings written to {args.json_out}")
     if args.write_baseline:
         BASELINE_PATH.write_text(json.dumps(
             {"n_records": N, "timings_s": measured}, indent=2) + "\n")

@@ -7,9 +7,10 @@ event to the single interested scheduler — and be >= 10x faster than
 the pre-subscription broadcast, which fanned the event out to every
 pool's listener just so each could discard it.
 
-The broadcast comparator is real, not simulated: the legacy
-``add_listener`` wildcard tier still exists (that is the compatibility
-shim), so the same scheduler callbacks are re-registered there and the
+The broadcast comparator is real, not simulated: the wildcard tier
+still exists (it backs the deprecated ``add_listener`` shim), so the
+same scheduler callbacks are re-registered there — via the internal
+``_add_wildcard``, since ``add_listener`` itself now warns — and the
 identical workload is measured against both routing tiers.
 
 ``REPRO_LISTENER_SCALE_POOLS`` overrides the pool count for quick local
@@ -51,7 +52,7 @@ def _schedulers(db, *, wildcard: bool):
         sched = IndexedPoolScheduler(db, cache, objective, tier_of=lambda i: 0)
         if wildcard:
             db.unsubscribe(sched._slots, sched._on_record_change)
-            db.add_listener(sched._on_record_change)
+            db._add_wildcard(sched._on_record_change)
         schedulers.append(sched)
     return schedulers
 

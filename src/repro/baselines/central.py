@@ -21,7 +21,7 @@ from repro.core.plan import compile_plan, machine_admissible
 from repro.core.query import Allocation, Query
 from repro.core.scheduling import get_objective
 from repro.database.records import MachineRecord
-from repro.database.whitepages import WhitePagesDatabase
+from repro.database.sharding import WhitePages
 from repro.errors import ConfigError, NoResourceAvailableError
 
 import secrets
@@ -57,7 +57,7 @@ class CentralizedScheduler:
     indexed" ablation point.
     """
 
-    def __init__(self, database: WhitePagesDatabase,
+    def __init__(self, database: WhitePages,
                  queues: Sequence[QueueSpec] = DEFAULT_QUEUES,
                  *, use_index: bool = False):
         self.use_index = use_index

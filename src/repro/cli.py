@@ -21,6 +21,12 @@ from typing import List, Optional
 
 from repro.fleet import FleetSpec, build_fleet
 from repro.database.persistence import load_database, save_database
+from repro.database.sharding import (
+    ShardedWhitePagesDatabase,
+    is_shard_manifest,
+    load_sharded_database,
+    save_sharded_database,
+)
 from repro.database.whitepages import WhitePagesDatabase
 
 __all__ = ["main"]
@@ -43,9 +49,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     spec = FleetSpec(size=args.size, domain=args.domain,
                      stripe_pools=args.stripe_pools, seed=args.seed)
-    db = WhitePagesDatabase(build_fleet(spec))
-    save_database(db, args.out)
-    print(f"wrote {len(db)} machines to {args.out}")
+    records = build_fleet(spec)
+    if args.shards > 1:
+        db = ShardedWhitePagesDatabase(records, shards=args.shards)
+        paths = save_sharded_database(db, args.out)
+        print(f"wrote {len(db)} machines to {args.out} "
+              f"({args.shards} shards, {len(paths) - 1} shard files)")
+    else:
+        db = WhitePagesDatabase(records)
+        save_database(db, args.out)
+        print(f"wrote {len(db)} machines to {args.out}")
     return 0
 
 
@@ -54,7 +67,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.server import ActYPServer
 
     if args.fleet:
-        db = load_database(args.fleet)
+        if args.shards > 1 or is_shard_manifest(args.fleet):
+            db = load_sharded_database(
+                args.fleet, shards=args.shards if args.shards > 1 else None)
+        else:
+            db = load_database(args.fleet)
+    elif args.shards > 1:
+        db = ShardedWhitePagesDatabase(
+            build_fleet(FleetSpec(size=args.size)), shards=args.shards)
     else:
         db = WhitePagesDatabase(build_fleet(FleetSpec(size=args.size)))
     service = build_service(db, n_pool_managers=args.pool_managers)
@@ -114,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--domain", default="purdue")
     p_fleet.add_argument("--stripe-pools", type=int, default=0)
     p_fleet.add_argument("--seed", type=int, default=7)
+    p_fleet.add_argument("--shards", type=int, default=1,
+                         help="write a per-shard snapshot set (manifest + "
+                              "one v3 file per shard)")
     p_fleet.add_argument("--out", required=True)
     p_fleet.set_defaults(fn=_cmd_fleet)
 
@@ -124,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=7070)
     p_serve.add_argument("--pool-managers", type=int, default=2)
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="serve from a sharded database (snapshots "
+                              "are re-partitioned as needed)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_query = sub.add_parser("query", help="query a live service")

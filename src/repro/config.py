@@ -170,10 +170,18 @@ class ResourcePoolConfig:
     #: Use the O(n) linear scan the paper describes (True) or the indexed
     #: ablation scheduler (False).
     linear_scan: bool = True
+    #: LRU cap on per-query-class rank orders kept by the indexed
+    #: scheduler.  Each cached class costs O(pool) memory plus one
+    #: re-key per record change; a workload with more live footprint
+    #: classes than this thrashes (evict + rebuild per query), so pools
+    #: serving diverse predicted-footprint traffic should raise it.
+    max_query_classes: int = 8
 
     def validated(self) -> "ResourcePoolConfig":
         if self.scheduler_processes < 1:
             raise ConfigError("scheduler_processes must be >= 1")
+        if self.max_query_classes < 1:
+            raise ConfigError("max_query_classes must be >= 1")
         return self
 
 

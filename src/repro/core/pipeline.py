@@ -41,7 +41,7 @@ from repro.core.resource_pool import ResourcePool
 from repro.database.directory import LocalDirectoryService
 from repro.database.policy import PolicyRegistry
 from repro.database.shadow import ShadowAccountRegistry
-from repro.database.whitepages import WhitePagesDatabase
+from repro.database.sharding import WhitePages
 from repro.errors import NoResourceAvailableError, PipelineError
 from repro.net.address import Endpoint
 
@@ -53,7 +53,7 @@ class ActYPService:
 
     def __init__(
         self,
-        database: WhitePagesDatabase,
+        database: WhitePages,
         query_manager: QueryManager,
         pool_managers: Dict[Endpoint, PoolManager],
     ):
@@ -246,7 +246,7 @@ class ActYPService:
 
 
 def build_service(
-    database: WhitePagesDatabase,
+    database: WhitePages,
     *,
     config: Optional[PipelineConfig] = None,
     n_pool_managers: int = 1,

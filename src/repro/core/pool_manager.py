@@ -32,7 +32,7 @@ from repro.core.signature import PoolName, pool_name_for
 from repro.database.directory import LocalDirectoryService, PoolInstanceEntry
 from repro.database.policy import PolicyRegistry
 from repro.database.shadow import ShadowAccountRegistry
-from repro.database.whitepages import WhitePagesDatabase
+from repro.database.sharding import WhitePages
 from repro.errors import PoolCreationError
 from repro.net.address import Endpoint
 
@@ -107,7 +107,7 @@ class PoolManager:
         self,
         name: str,
         directory: LocalDirectoryService,
-        database: WhitePagesDatabase,
+        database: WhitePages,
         *,
         config: Optional[PoolManagerConfig] = None,
         pool_config: Optional[ResourcePoolConfig] = None,

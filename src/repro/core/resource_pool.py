@@ -78,7 +78,10 @@ class ResourcePool:
     name:
         The pool's signature+identifier name.
     database:
-        The white-pages database to walk at initialisation.
+        The white-pages database to walk at initialisation — a plain
+        :class:`WhitePagesDatabase` or the sharded facade
+        (:class:`~repro.database.sharding.ShardedWhitePagesDatabase`);
+        the pool only uses the duck-typed surface shared by both.
     instance_number:
         This replica's number (0-based).
     replica_count:
@@ -196,7 +199,8 @@ class ResourcePool:
         if not self.config.linear_scan:
             self._scheduler = IndexedPoolScheduler(
                 self.database, self._cache, self.objective,
-                tier_of=self._bias_tier)
+                tier_of=self._bias_tier,
+                max_query_classes=self.config.max_query_classes)
 
     # -- scheduling -----------------------------------------------------------------
 

@@ -57,6 +57,7 @@ single-writer discipline.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import insort, bisect_left
 from collections import OrderedDict
 from typing import (
@@ -85,10 +86,13 @@ __all__ = ["IndexedPoolScheduler", "MAX_QUERY_CLASSES"]
 #: linear scan's ``(key, idx, name)`` sort fields within one bias tier.
 _Entry = Tuple[Tuple[float, ...], int, str]
 
-#: Query-class orders kept per scheduler (LRU).  Each order costs
-#: O(pool) memory and one re-key per record change; workloads normally
-#: reuse a handful of predicted-footprint classes, so a small cap bounds
-#: write amplification without evicting live classes.
+#: Default query-class orders kept per scheduler (LRU).  Each order
+#: costs O(pool) memory and one re-key per record change; workloads
+#: normally reuse a handful of predicted-footprint classes, so a small
+#: cap bounds write amplification without evicting live classes.
+#: Per-pool override: :attr:`repro.config.ResourcePoolConfig
+#: .max_query_classes` (a workload with many live footprint classes
+#: would thrash the default).
 MAX_QUERY_CLASSES = 8
 
 
@@ -154,7 +158,8 @@ class _RankOrder:
 
     def on_change(self, name: str, slot: Tuple[int, int],
                   record: Optional[MachineRecord]) -> None:
-        """Re-rank ``name``; runs under the registry lock."""
+        """Re-rank ``name``; runs under the owning shard's registry lock
+        plus the scheduler mutex."""
         tier, idx = slot
         entries = self.tiers.setdefault(tier, [])
         if tier not in self.tier_order:
@@ -192,7 +197,7 @@ class _RankOrder:
     def snapshot(self, lock) -> List[Tuple[int, str]]:
         """The current order as a list that is never mutated in place.
 
-        Rebuilding takes the registry lock so the tier lists cannot be
+        Rebuilding takes the scheduler mutex so the tier lists cannot be
         resorted mid-walk by a concurrent monitoring refresh; once
         published, a snapshot list is only ever *replaced*, so readers
         iterate it lock-free.
@@ -276,13 +281,31 @@ class IndexedPoolScheduler:
         maintained order per observed query class.
     tier_of:
         Maps a cache index to its replica-bias tier (0 = preferred).
+    max_query_classes:
+        LRU cap on maintained query-class orders (default
+        :data:`MAX_QUERY_CLASSES`; pools pass
+        :attr:`~repro.config.ResourcePoolConfig.max_query_classes`).
+
+    The database may be a plain :class:`WhitePagesDatabase` or the
+    sharded facade: a pool's cache can span shards, so the scheduler's
+    own mutex — not the (per-shard) registry lock — protects the tier
+    lists, and builds take ``database.exclusive()`` so no record change
+    on *any* shard can slip between build and subscription.
     """
 
     def __init__(self, database: WhitePagesDatabase, cache: Sequence[str],
                  objective: SchedulingObjective,
-                 tier_of: Callable[[int], int]):
+                 tier_of: Callable[[int], int], *,
+                 max_query_classes: int = MAX_QUERY_CLASSES):
         self.database = database
         self.objective = objective
+        self.max_query_classes = max(1, int(max_query_classes))
+        #: Protects the maintained orders.  Listeners on different
+        #: shards of a sharded database run under different registry
+        #: locks, so the registry lock alone cannot serialise them
+        #: against each other or against builds.  Lock order everywhere:
+        #: registry/shard locks first, this mutex second.
+        self._mutex = threading.RLock()
         #: name -> (tier, cache index): fixed pool membership, so a
         #: machine removed from the registry and later re-registered can
         #: be restored to its slot in the order.
@@ -292,14 +315,16 @@ class IndexedPoolScheduler:
         #: query class key -> maintained order, LRU by last use.  Only
         #: populated for objectives that declare ``query_class``.
         self._classes: "OrderedDict[Hashable, _RankOrder]" = OrderedDict()
-        # The registry lock (re-entrant) serialises the build against
-        # concurrent record changes; subscribing inside the same hold
-        # means no change can slip between build and subscription.
-        with database._lock:
-            self._base = _RankOrder(
-                lambda record: objective.rank_key(record, None),
-                database, self._slots)
-            database.subscribe(self._slots, self._on_record_change)
+        # Exclusive hold (the registry lock; every shard lock when
+        # sharded) serialises the build against concurrent record
+        # changes; subscribing inside the same hold means no change can
+        # slip between build and subscription.
+        with database.exclusive():
+            with self._mutex:
+                self._base = _RankOrder(
+                    lambda record: objective.rank_key(record, None),
+                    database, self._slots)
+                database.subscribe(self._slots, self._on_record_change)
 
     # -- maintenance ----------------------------------------------------------
 
@@ -322,21 +347,24 @@ class IndexedPoolScheduler:
         """Subscription callback: re-rank ``name`` in every maintained
         order.
 
-        Runs under the registry lock (listeners are invoked inside it),
-        so tier-list surgery never races a concurrent build.  The
-        subscription map guarantees ``name`` is one of ours.
+        Runs under the owning registry/shard lock (listeners are invoked
+        inside it); the scheduler mutex additionally serialises it
+        against listeners firing from *other* shards and against builds.
+        The subscription map guarantees ``name`` is one of ours.
         """
         slot = self._slots.get(name)
         if slot is None:
             return  # wildcard-era shim safety; cannot happen via subscribe
-        self._base.on_change(name, slot, record)
-        for order in self._classes.values():
-            order.on_change(name, slot, record)
+        with self._mutex:
+            self._base.on_change(name, slot, record)
+            for order in self._classes.values():
+                order.on_change(name, slot, record)
 
     def close(self) -> None:
         """Detach from the database (pool destroyed or split)."""
         self.database.unsubscribe(self._slots, self._on_record_change)
-        self._classes.clear()
+        with self._mutex:
+            self._classes.clear()
 
     # -- query-class routing --------------------------------------------------
 
@@ -362,18 +390,27 @@ class IndexedPoolScheduler:
             # The query carries no class-relevant clauses: the objective
             # ranks it exactly like query=None.
             return self._base
-        with self.database._lock:
+        with self._mutex:
             order = self._classes.get(key)
             if order is not None:
                 self._classes.move_to_end(key)
                 return order
-            order = _RankOrder(
-                lambda record: self.objective.rank_key(record, query),
-                self.database, self._slots)
-            self._classes[key] = order
-            while len(self._classes) > MAX_QUERY_CLASSES:
-                self._classes.popitem(last=False)
-            return order
+        # Build outside the mutex-first path: a build reads records, so
+        # it must take the registry hold *before* the mutex to keep the
+        # global lock order (shard locks, then scheduler mutex).
+        with self.database.exclusive():
+            with self._mutex:
+                order = self._classes.get(key)
+                if order is not None:
+                    self._classes.move_to_end(key)
+                    return order
+                order = _RankOrder(
+                    lambda record: self.objective.rank_key(record, query),
+                    self.database, self._slots)
+                self._classes[key] = order
+                while len(self._classes) > self.max_query_classes:
+                    self._classes.popitem(last=False)
+                return order
 
     # -- order ----------------------------------------------------------------
 
@@ -385,7 +422,7 @@ class IndexedPoolScheduler:
         """Lazily yield ``(cache_index, name)`` in scheduling order for
         ``query``'s class (base order when ``query`` is None or the
         objective ignores queries)."""
-        return self._order_for(query).iter_order(self.database._lock)
+        return self._order_for(query).iter_order(self._mutex)
 
     def order(self, query: Optional["Query"] = None
               ) -> List[Tuple[int, str]]:
@@ -394,4 +431,4 @@ class IndexedPoolScheduler:
         Callers get a copy so they can never corrupt the published
         snapshot.
         """
-        return list(self._order_for(query).snapshot(self.database._lock))
+        return list(self._order_for(query).snapshot(self._mutex))

@@ -13,6 +13,10 @@ Public API:
   Figure 3 schema.
 - :class:`~repro.database.whitepages.WhitePagesDatabase` — registry with
   match/take/release operations (and a deprecated linear ``scan`` shim).
+- :class:`~repro.database.sharding.ShardedWhitePagesDatabase` — the same
+  surface hash-partitioned across N shards, with fanned-out queries,
+  per-shard snapshots, and a fork-based
+  :class:`~repro.database.sharding.ParallelMatcher`.
 - :mod:`~repro.database.indexes` — the matchmaking engine's storage half:
   incrementally-maintained hash/sorted attribute indexes the database
   executes compiled query plans against.
@@ -27,6 +31,14 @@ from repro.database.fields import FIELD_NAMES, MachineState
 from repro.database.indexes import AttributeIndexCatalog
 from repro.database.records import MachineRecord
 from repro.database.whitepages import WhitePagesDatabase
+from repro.database.sharding import (
+    ParallelMatcher,
+    ShardedWhitePagesDatabase,
+    WhitePages,
+    load_sharded_database,
+    save_sharded_database,
+    shard_of,
+)
 from repro.database.directory import LocalDirectoryService, PoolInstanceEntry
 from repro.database.shadow import ShadowAccount, ShadowAccountPool
 
@@ -36,6 +48,12 @@ __all__ = [
     "MachineRecord",
     "AttributeIndexCatalog",
     "WhitePagesDatabase",
+    "ShardedWhitePagesDatabase",
+    "ParallelMatcher",
+    "WhitePages",
+    "shard_of",
+    "save_sharded_database",
+    "load_sharded_database",
     "LocalDirectoryService",
     "PoolInstanceEntry",
     "ShadowAccount",

@@ -25,6 +25,7 @@ callers still holding opaque predicates; new code compiles a plan
 from __future__ import annotations
 
 import threading
+import warnings
 from bisect import bisect_left, insort
 from typing import (
     Any,
@@ -164,11 +165,22 @@ class WhitePagesDatabase:
             self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
         """Subscribe ``fn(machine_name, record)`` to *every* record change.
 
-        This is the legacy broadcast contract, kept as the wildcard tier
-        of the subscription map; a listener that only caches a known
-        machine set should :meth:`subscribe` instead so an unrelated
-        ``update_dynamic`` never touches it.
+        .. deprecated::
+            This is the legacy broadcast contract, kept as the wildcard
+            tier of the subscription map; a listener that only caches a
+            known machine set should :meth:`subscribe` instead so an
+            unrelated ``update_dynamic`` never touches it.
         """
+        warnings.warn(
+            "WhitePagesDatabase.add_listener is deprecated; subscribe() to "
+            "the machines the listener actually caches instead",
+            DeprecationWarning, stacklevel=2)
+        self._add_wildcard(fn)
+
+    def _add_wildcard(self, fn: Callable[[str, Optional[MachineRecord]],
+                                         None]) -> None:
+        """Wildcard registration without the deprecation warning — for
+        the broadcast-cost benchmarks and the sharded facade's shim."""
         with self._lock:
             self._wildcard_listeners = self._wildcard_listeners + (fn,)
 
@@ -279,6 +291,16 @@ class WhitePagesDatabase:
         with self._lock:
             return list(self._names)
 
+    def exclusive(self):
+        """The registry lock, for callers that must make several
+        operations atomic (snapshot capture, scheduler attachment).
+
+        The sharded facade (:mod:`repro.database.sharding`) implements
+        the same method by acquiring every shard lock in shard order;
+        code written against ``exclusive()`` works on either database.
+        """
+        return self._lock
+
     # -- matching ----------------------------------------------------------------
 
     def match(self, plan: Any = None, *, include_taken: bool = False
@@ -318,6 +340,12 @@ class WhitePagesDatabase:
                     out.append(rec)
             out.sort(key=lambda r: r.machine_name)
             return out
+
+    def count(self, plan: Any = None, *, include_taken: bool = False) -> int:
+        """Number of records a plan matches (the fan-out-friendly form:
+        a sharded fan-out ships one integer per shard instead of the
+        record lists)."""
+        return len(self.match(plan, include_taken=include_taken))
 
     def _plan_candidates(self, plan: "QueryPlan", include_taken: bool
                          ) -> Iterable[str]:

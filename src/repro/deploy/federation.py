@@ -30,7 +30,7 @@ from repro.config import PipelineConfig
 from repro.core.pool_manager import PoolManager
 from repro.core.query_manager import QueryManager
 from repro.database.directory import LocalDirectoryService
-from repro.database.whitepages import WhitePagesDatabase
+from repro.database.sharding import WhitePages
 from repro.deploy.simulated import _PoolManagerServer, _QueryManagerServer
 from repro.errors import ConfigError
 from repro.net.address import Endpoint
@@ -48,7 +48,7 @@ class DomainSpec:
     """One administrative domain of the federation."""
 
     name: str
-    database: WhitePagesDatabase
+    database: WhitePages
     n_pool_managers: int = 1
     n_query_managers: int = 1
     #: False turns the domain into a pure front-end that always delegates.

@@ -47,7 +47,7 @@ from repro.core.query_manager import QueryManager
 from repro.core.resource_pool import ResourcePool
 from repro.core.signature import PoolName, pool_name_for
 from repro.database.directory import LocalDirectoryService
-from repro.database.whitepages import WhitePagesDatabase
+from repro.database.sharding import WhitePages
 from repro.errors import ConfigError, NoResourceAvailableError, PipelineError
 from repro.net.address import Endpoint
 from repro.net.latency import DomainLatencyModel, LatencyModel
@@ -346,7 +346,7 @@ class SimulatedDeployment:
 
     def __init__(
         self,
-        database: WhitePagesDatabase,
+        database: WhitePages,
         *,
         spec: Optional[DeploymentSpec] = None,
         latency: Optional[LatencyModel] = None,
@@ -666,7 +666,7 @@ def _replay_trace(deployment: "SimulatedDeployment", trace, *,
 
 
 def run_closed_loop_experiment(
-    database: WhitePagesDatabase,
+    database: WhitePages,
     *,
     pool_queries: Sequence[str],
     client_payloads,

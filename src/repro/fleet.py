@@ -137,11 +137,24 @@ def build_database(
     spec: Optional[FleetSpec] = None,
     *,
     with_shadows: bool = False,
-) -> Tuple[WhitePagesDatabase, Optional[ShadowAccountRegistry]]:
-    """Build a white-pages database (and optionally shadow registry)."""
+    shards: int = 1,
+    shard_workers: Optional[int] = None,
+):
+    """Build a white-pages database (and optionally shadow registry).
+
+    ``shards > 1`` partitions the fleet across a
+    :class:`~repro.database.sharding.ShardedWhitePagesDatabase`
+    (``shard_workers`` enables its thread fan-out); the default stays a
+    plain single-shard :class:`WhitePagesDatabase`.
+    """
     spec = spec or FleetSpec()
     records = build_fleet(spec)
-    db = WhitePagesDatabase(records)
+    if shards > 1:
+        from repro.database.sharding import ShardedWhitePagesDatabase
+        db = ShardedWhitePagesDatabase(records, shards=shards,
+                                       max_workers=shard_workers)
+    else:
+        db = WhitePagesDatabase(records)
     registry: Optional[ShadowAccountRegistry] = None
     if with_shadows:
         registry = ShadowAccountRegistry()
