@@ -215,6 +215,37 @@ def measure() -> dict:
 
     results["sharded_update_dynamic_s"] = \
         _median(sharded_dynamic_burst, 3) / len(names)
+
+    # Persistent shard service: the same selective match and routed
+    # point-write paths, but against live out-of-process workers over
+    # the wire protocol (absolute numbers include localhost RTTs; the
+    # dedicated scale gate separately enforces the amortized speedup
+    # over fork-per-match).
+    import tempfile
+
+    from repro.database.service import ShardSupervisor
+
+    with tempfile.TemporaryDirectory() as tmp:
+        supervisor = ShardSupervisor(
+            8, snapshot_dir=tmp,
+            records=[db.get(name) for name in db.names()])
+        supervisor.start()
+        try:
+            client = supervisor.client()
+            client.match(plan)  # warm sockets and worker caches
+            results["remote_match_fanout_s"] = _median(
+                lambda: client.match(plan), 5)
+            remote_names = names[:100]
+
+            def remote_dynamic_burst():
+                for i, name in enumerate(remote_names):
+                    client.update_dynamic(name, current_load=float(i % 4))
+
+            remote_dynamic_burst()  # warm
+            results["remote_update_dynamic_s"] = \
+                _median(remote_dynamic_burst, 3) / len(remote_names)
+        finally:
+            supervisor.stop()
     return results
 
 

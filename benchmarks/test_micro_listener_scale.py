@@ -7,11 +7,12 @@ event to the single interested scheduler — and be >= 10x faster than
 the pre-subscription broadcast, which fanned the event out to every
 pool's listener just so each could discard it.
 
-The broadcast comparator is real, not simulated: the wildcard tier
-still exists (it backs the deprecated ``add_listener`` shim), so the
-same scheduler callbacks are re-registered there — via the internal
-``_add_wildcard``, since ``add_listener`` itself now warns — and the
-identical workload is measured against both routing tiers.
+The wildcard tier that used to back the broadcast comparator was
+deleted in ISSUE 5 (it had been deprecated since PR 4), so broadcast is
+reconstructed explicitly: one forwarding listener, subscribed to the
+machines under test, that calls every scheduler's callback — exactly
+the per-update work the old tier did, with the same per-scheduler
+discard for machines outside a pool's slots.
 
 ``REPRO_LISTENER_SCALE_POOLS`` overrides the pool count for quick local
 iterations; the committed gate runs at the full 1,000.
@@ -37,12 +38,13 @@ N = POOLS * MACHINES_PER_POOL
 BURST = 50
 
 
-def _schedulers(db, *, wildcard: bool):
+def _schedulers(db, *, broadcast: bool):
     """Attach one indexed scheduler per disjoint machine stripe.
 
-    ``wildcard=True`` re-registers every scheduler's callback on the
-    legacy broadcast tier (and drops its per-machine subscriptions) —
-    exactly the pre-subscription-map wiring.
+    ``broadcast=True`` drops every scheduler's own subscriptions and
+    installs a single forwarder that fans each change out to every
+    scheduler's callback — the pre-subscription-map wiring, where
+    every pool heard every write and POOLS-1 of them discarded it.
     """
     names = db.names()
     objective = get_objective("least_load")
@@ -50,23 +52,28 @@ def _schedulers(db, *, wildcard: bool):
     for p in range(POOLS):
         cache = names[p * MACHINES_PER_POOL:(p + 1) * MACHINES_PER_POOL]
         sched = IndexedPoolScheduler(db, cache, objective, tier_of=lambda i: 0)
-        if wildcard:
+        if broadcast:
             db.unsubscribe(sched._slots, sched._on_record_change)
-            db._add_wildcard(sched._on_record_change)
         schedulers.append(sched)
+    if broadcast:
+        def forwarder(name, record):
+            for sched in schedulers:
+                sched._on_record_change(name, record)
+
+        db.subscribe(names, forwarder)
     return schedulers
 
 
 @pytest.fixture(scope="module")
 def subscribed():
     db, _ = build_database(FleetSpec(size=N, seed=11))
-    return db, _schedulers(db, wildcard=False)
+    return db, _schedulers(db, broadcast=False)
 
 
 @pytest.fixture(scope="module")
 def broadcast():
     db, _ = build_database(FleetSpec(size=N, seed=11))
-    return db, _schedulers(db, wildcard=True)
+    return db, _schedulers(db, broadcast=True)
 
 
 def _update_burst(db, names):
@@ -77,7 +84,6 @@ def _update_burst(db, names):
 def test_subscription_map_routes_to_one_pool(subscribed):
     db, schedulers = subscribed
     stats = db.listener_stats()
-    assert stats["wildcard"] == 0
     assert stats["subscription_entries"] == N  # one pool per machine
     victim = schedulers[0]
     others = schedulers[1:]
@@ -91,7 +97,9 @@ def test_subscription_map_routes_to_one_pool(subscribed):
 def test_update_dynamic_10x_faster_than_broadcast(subscribed, broadcast):
     db_s, scheds_s = subscribed
     db_b, scheds_b = broadcast
-    assert db_b.listener_stats()["wildcard"] == POOLS
+    # The forwarder is one subscription entry per machine, dispatching
+    # to all POOLS schedulers.
+    assert db_b.listener_stats()["subscription_entries"] == N
     names = db_s.names()[:BURST]
     _update_burst(db_s, names), _update_burst(db_b, names)  # warm
     sub_t, _ = _timed(_update_burst, db_s, names, repeats=5)
@@ -105,9 +113,9 @@ def test_update_dynamic_10x_faster_than_broadcast(subscribed, broadcast):
     )
 
 
-def test_both_tiers_maintain_identical_orders(subscribed, broadcast):
-    """The wildcard shim must stay semantically identical to the
-    subscription map — same re-keys, same resulting orders."""
+def test_both_wirings_maintain_identical_orders(subscribed, broadcast):
+    """The broadcast reconstruction must stay semantically identical to
+    the subscription map — same re-keys, same resulting orders."""
     db_s, scheds_s = subscribed
     db_b, scheds_b = broadcast
     names = db_s.names()[:MACHINES_PER_POOL * 3]

@@ -7,6 +7,10 @@ Commands
 - ``fleet --size N --out fleet.json`` — generate and save a synthetic
   white-pages snapshot.
 - ``serve --fleet fleet.json --port P`` — run the asyncio ActYP service.
+- ``serve --shard-service "H:P,H:P"`` — same, but the white pages lives
+  in already-running shard workers reached over the wire protocol.
+- ``shard-serve --shards N`` — run a supervised shard-worker fleet
+  (spawn, health-check, restart-from-checkpoint) in the foreground.
 - ``query --host H --port P "<query text>"`` — submit a query to a live
   service and print the allocation.
 """
@@ -21,6 +25,7 @@ from typing import List, Optional
 
 from repro.fleet import FleetSpec, build_fleet
 from repro.database.persistence import load_database, save_database
+from repro.database.records import MachineRecord
 from repro.database.sharding import (
     ShardedWhitePagesDatabase,
     is_shard_manifest,
@@ -62,11 +67,57 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fleet_records(path: str) -> List[MachineRecord]:
+    """Records from any snapshot flavour (manifest or plain v1/v2/v3)."""
+    db = load_sharded_database(path)
+    return [db.get(name) for name in db.names()]
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.database.service import ShardSupervisor
+
+    if args.fleet:
+        records = _load_fleet_records(args.fleet)
+    else:
+        records = build_fleet(FleetSpec(size=args.size))
+    supervisor = ShardSupervisor(
+        args.shards, host=args.host, snapshot_dir=args.snapshot_dir,
+        records=records)
+    supervisor.start()
+    endpoints = ",".join(f"{h}:{p}" for h, p in supervisor.endpoints)
+    print(f"shard service: {args.shards} workers, {len(records)} machines")
+    print(f"endpoints: {endpoints}")
+    print(f"(connect with: repro serve --shard-service \"{endpoints}\"; "
+          f"Ctrl-C to stop)")
+    try:
+        last_checkpoint = time.monotonic()
+        while True:
+            time.sleep(args.health_interval)
+            for index in supervisor.ensure_alive():
+                print(f"restarted shard worker {index} from snapshot")
+            if (args.checkpoint_interval
+                    and time.monotonic() - last_checkpoint
+                    >= args.checkpoint_interval):
+                manifest = supervisor.checkpoint()
+                last_checkpoint = time.monotonic()
+                print(f"checkpoint written: {manifest}")
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("stopping workers")
+    finally:
+        supervisor.stop()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.pipeline import build_service
     from repro.runtime.server import ActYPServer
 
-    if args.fleet:
+    if args.shard_service:
+        from repro.database.service import ShardServiceClient, parse_endpoints
+        db = ShardServiceClient(parse_endpoints(args.shard_service))
+    elif args.fleet:
         if args.shards > 1 or is_shard_manifest(args.fleet):
             db = load_sharded_database(
                 args.fleet, shards=args.shards if args.shards > 1 else None)
@@ -150,7 +201,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--shards", type=int, default=1,
                          help="serve from a sharded database (snapshots "
                               "are re-partitioned as needed)")
+    p_serve.add_argument("--shard-service", metavar="ENDPOINTS",
+                         help="serve from live shard workers instead of an "
+                              "in-process database; comma-separated "
+                              "host:port list in shard order (see "
+                              "'shard-serve')")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_shard = sub.add_parser(
+        "shard-serve",
+        help="run a supervised fleet of live shard workers")
+    p_shard.add_argument("--shards", type=int, default=2)
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--fleet",
+                         help="seed snapshot (plain or shard manifest)")
+    p_shard.add_argument("--size", type=int, default=200,
+                         help="synthetic fleet size when no snapshot given")
+    p_shard.add_argument("--snapshot-dir", default="shard-snapshots",
+                         help="directory for seed/checkpoint shard files")
+    p_shard.add_argument("--health-interval", type=float, default=2.0,
+                         help="seconds between worker health sweeps")
+    p_shard.add_argument("--checkpoint-interval", type=float, default=0.0,
+                         help="seconds between automatic checkpoints "
+                              "(0 = only the initial seed)")
+    p_shard.set_defaults(fn=_cmd_shard_serve)
 
     p_query = sub.add_parser("query", help="query a live service")
     p_query.add_argument("text")

@@ -354,7 +354,7 @@ class IndexedPoolScheduler:
         """
         slot = self._slots.get(name)
         if slot is None:
-            return  # wildcard-era shim safety; cannot happen via subscribe
+            return  # not ours (broadcast-style forwarders); discard
         with self._mutex:
             self._base.on_change(name, slot, record)
             for order in self._classes.values():

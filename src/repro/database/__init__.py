@@ -17,6 +17,13 @@ Public API:
   surface hash-partitioned across N shards, with fanned-out queries,
   per-shard snapshots, and a fork-based
   :class:`~repro.database.sharding.ParallelMatcher`.
+- :class:`~repro.database.service.ShardServiceClient` /
+  :class:`~repro.database.service.ShardSupervisor` — the persistent
+  shard service: the same surface again, but over live out-of-process
+  :class:`~repro.runtime.shard_worker.ShardWorker` processes behind
+  the wire protocol (import :mod:`repro.database.service` directly;
+  kept out of this namespace so the core database layer does not pull
+  the runtime at import time).
 - :mod:`~repro.database.indexes` — the matchmaking engine's storage half:
   incrementally-maintained hash/sorted attribute indexes the database
   executes compiled query plans against.

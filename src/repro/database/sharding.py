@@ -52,7 +52,6 @@ import json
 import multiprocessing
 import os
 import threading
-import warnings
 import zlib
 from contextlib import contextmanager
 from pathlib import Path
@@ -121,6 +120,15 @@ def _merge_by_name(parts: Sequence[List[MachineRecord]]
     if len(live) == 1:
         return live[0]
     return list(heapq.merge(*live, key=lambda r: r.machine_name))
+
+
+def _merge_names(parts: Sequence[List[str]]) -> List[str]:
+    """Same merge for bare name lists (names() / match_names() shapes,
+    here and in the shard-service client)."""
+    live = [p for p in parts if p]
+    if len(live) <= 1:
+        return live[0] if live else []
+    return list(heapq.merge(*live))
 
 
 class ShardedWhitePagesDatabase:
@@ -293,20 +301,6 @@ class ShardedWhitePagesDatabase:
         for i, names in groups.items():
             self._shards[i].unsubscribe(names, fn)
 
-    def add_listener(self, fn: Listener) -> None:
-        """Wildcard listener on every shard.
-
-        .. deprecated::
-            Broadcast listeners re-couple every write to every consumer;
-            :meth:`subscribe` to the machines actually cached instead.
-        """
-        warnings.warn(
-            "add_listener is deprecated; subscribe() to the machines the "
-            "listener actually caches instead",
-            DeprecationWarning, stacklevel=2)
-        for shard in self._shards:
-            shard._add_wildcard(fn)
-
     def remove_listener(self, fn: Listener) -> None:
         for shard in self._shards:
             shard.remove_listener(fn)
@@ -340,11 +334,7 @@ class ShardedWhitePagesDatabase:
         return machine_name in self.shard_for(machine_name)
 
     def names(self) -> List[str]:
-        parts = [shard.names() for shard in self._shards]
-        live = [p for p in parts if p]
-        if len(live) <= 1:
-            return live[0] if live else []
-        return list(heapq.merge(*live))
+        return _merge_names([shard.names() for shard in self._shards])
 
     # -- matching -------------------------------------------------------------
 
@@ -539,11 +529,7 @@ class ParallelMatcher:
                 (self._token, i, plan, include_taken))
             for i in range(len(self._database.shards))
         ]
-        parts = [r.get() for r in results]
-        live = [p for p in parts if p]
-        if len(live) <= 1:
-            return live[0] if live else []
-        return list(heapq.merge(*live))
+        return _merge_names([r.get() for r in results])
 
     def match(self, plan: Any = None, *,
               include_taken: bool = False) -> List[MachineRecord]:

@@ -25,7 +25,6 @@ callers still holding opaque predicates; new code compiles a plan
 from __future__ import annotations
 
 import threading
-import warnings
 from bisect import bisect_left, insort
 from typing import (
     Any,
@@ -83,11 +82,14 @@ class WhitePagesDatabase:
     Record-change **listeners** are invoked — under the registry lock —
     whenever a record is replaced or removed; the indexed in-pool
     scheduler uses this to re-rank only the machine whose record actually
-    changed instead of re-walking its cache.  Listeners are kept in a
+    changed instead of re-walking its cache.  Listeners live in a
     **per-machine subscription map** (:meth:`subscribe`: machine name →
-    interested listeners) plus a **wildcard tier** (:meth:`add_listener`),
-    so an ``update_dynamic`` notifies only the O(1) listeners that cache
-    that machine instead of broadcasting to every indexed pool.
+    interested listeners), so an ``update_dynamic`` notifies only the
+    O(1) listeners that cache that machine.  (The legacy ``add_listener``
+    broadcast tier was deprecated in PR 4 and has been removed: a
+    consumer that genuinely needs every change subscribes to every
+    name — the cost is then visible at the call site instead of taxing
+    the write path invisibly.)
     """
 
     #: Plan execution may intersect up to this many index probes before
@@ -105,9 +107,6 @@ class WhitePagesDatabase:
         self._taken_by: Dict[str, str] = {}  # machine name -> pool name
         self._names: List[str] = []          # sorted, maintained on add/remove
         self._free: Set[str] = set()         # names not in _taken_by
-        #: Wildcard tier: hears every record change (the legacy
-        #: ``add_listener`` contract; rarely populated in the fast path).
-        self._wildcard_listeners: Tuple[Listener, ...] = ()
         #: Subscription map: machine name -> listeners that cache it.
         #: Tuples (copy-on-write) so _notify iterates without copying.
         self._subscriptions: Dict[str, Tuple[Listener, ...]] = {}
@@ -161,36 +160,10 @@ class WhitePagesDatabase:
                 else:
                     del self._subscriptions[name]
 
-    def add_listener(
-            self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
-        """Subscribe ``fn(machine_name, record)`` to *every* record change.
-
-        .. deprecated::
-            This is the legacy broadcast contract, kept as the wildcard
-            tier of the subscription map; a listener that only caches a
-            known machine set should :meth:`subscribe` instead so an
-            unrelated ``update_dynamic`` never touches it.
-        """
-        warnings.warn(
-            "WhitePagesDatabase.add_listener is deprecated; subscribe() to "
-            "the machines the listener actually caches instead",
-            DeprecationWarning, stacklevel=2)
-        self._add_wildcard(fn)
-
-    def _add_wildcard(self, fn: Callable[[str, Optional[MachineRecord]],
-                                         None]) -> None:
-        """Wildcard registration without the deprecation warning — for
-        the broadcast-cost benchmarks and the sharded facade's shim."""
-        with self._lock:
-            self._wildcard_listeners = self._wildcard_listeners + (fn,)
-
     def remove_listener(
             self, fn: Callable[[str, Optional[MachineRecord]], None]) -> None:
-        """Remove ``fn`` wherever it is registered (wildcard tier *and*
-        every per-machine subscription)."""
+        """Remove every per-machine subscription of ``fn``."""
         with self._lock:
-            self._wildcard_listeners = tuple(
-                l for l in self._wildcard_listeners if l != fn)
             for name in [n for n, subs in self._subscriptions.items()
                          if any(l == fn for l in subs)]:
                 remaining = tuple(l for l in self._subscriptions[name]
@@ -201,10 +174,9 @@ class WhitePagesDatabase:
                     del self._subscriptions[name]
 
     def listener_stats(self) -> Dict[str, int]:
-        """Observability: wildcard count, subscribed machines, entries."""
+        """Observability: subscribed machines and subscription entries."""
         with self._lock:
             return {
-                "wildcard": len(self._wildcard_listeners),
                 "subscribed_machines": len(self._subscriptions),
                 "subscription_entries": sum(
                     len(subs) for subs in self._subscriptions.values()),
@@ -212,8 +184,6 @@ class WhitePagesDatabase:
 
     def _notify(self, machine_name: str,
                 record: Optional[MachineRecord]) -> None:
-        for fn in self._wildcard_listeners:
-            fn(machine_name, record)
         for fn in self._subscriptions.get(machine_name, ()):
             fn(machine_name, record)
 
@@ -269,7 +239,7 @@ class WhitePagesDatabase:
         (:meth:`~repro.database.indexes.AttributeIndexCatalog
         .replace_dynamic`) — a load refresh is two bisects, not a view
         rebuild — and the notification reaches only the listeners
-        subscribed to this machine (plus the wildcard tier).
+        subscribed to this machine.
         """
         with self._lock:
             rec = self.get(machine_name)

@@ -15,22 +15,29 @@ query, and receive machine + port + access key).
 
 from repro.runtime.protocol import (
     MAX_FRAME_BYTES,
+    MAX_MESSAGE_BYTES,
     decode_frame,
     encode_frame,
+    encode_message,
     read_frame,
     result_to_dict,
     write_frame,
 )
 from repro.runtime.server import ActYPServer
 from repro.runtime.client import ActYPClient
+from repro.runtime.shard_worker import ShardWorker, run_shard_worker
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "MAX_MESSAGE_BYTES",
     "encode_frame",
+    "encode_message",
     "decode_frame",
     "read_frame",
     "write_frame",
     "result_to_dict",
     "ActYPServer",
     "ActYPClient",
+    "ShardWorker",
+    "run_shard_worker",
 ]

@@ -1,7 +1,7 @@
 """Wire protocol of the live runtime: length-prefixed JSON frames.
 
-Frame = 4-byte big-endian length + UTF-8 JSON object.  Every frame is an
-object with a ``kind`` plus kind-specific fields:
+Frame = 4-byte big-endian length + UTF-8 JSON object.  Every message is
+an object with a ``kind`` plus kind-specific fields:
 
 - request  ``{"kind": "query", "payload": <text>, "format": "punch"}``
 - request  ``{"kind": "release", "access_key": <hex>}``
@@ -11,12 +11,33 @@ object with a ``kind`` plus kind-specific fields:
 
 The protocol is deliberately simple — the paper's pipeline moved queries
 as key-value text over TCP/UDP; JSON is the 2020s equivalent.
+
+Continuation frames
+-------------------
+Queries and allocations are tiny, but the shard service
+(:mod:`repro.runtime.shard_worker`) ships bulk ``match`` result sets and
+whole v3 snapshots, which can exceed the 1 MiB single-frame bound.  A
+logical message larger than :data:`MAX_FRAME_BYTES` is therefore split
+into **continuation frames**: the JSON body bytes are chunked, and every
+chunk except the last sets the high bit of its length prefix.  A reader
+accumulates flagged chunks until the final (unflagged) frame and decodes
+the concatenation.  Single-frame messages are byte-identical to the
+pre-continuation encoding, so old and new peers interoperate for every
+message that fits in one frame; the total reassembled size is capped at
+:data:`MAX_MESSAGE_BYTES` so a hostile stream still cannot balloon
+memory.
+
+The async helpers (:func:`read_frame` / :func:`write_frame`) serve the
+asyncio runtime; the ``_sock`` variants speak the identical encoding
+over blocking sockets for synchronous callers (the shard-service client
+is called from pool/scheduler code that is not async).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import struct
 from typing import Any, Dict
 
@@ -25,28 +46,70 @@ from repro.errors import RuntimeProtocolError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "MAX_MESSAGE_BYTES",
     "encode_frame",
+    "encode_message",
     "decode_frame",
     "read_frame",
     "write_frame",
+    "read_frame_sock",
+    "write_frame_sock",
     "result_to_dict",
     "allocation_to_dict",
 ]
 
-#: Upper bound on a frame body; queries and results are tiny, so anything
-#: bigger indicates a corrupt or hostile stream.
+#: Upper bound on a single frame body; anything bigger must be split
+#: into continuation frames (or indicates a corrupt or hostile stream).
 MAX_FRAME_BYTES = 1 << 20
 
+#: Upper bound on a reassembled multi-frame message.  Large enough for a
+#: full-shard match result or snapshot at million-record fleets, small
+#: enough that a hostile length prefix cannot exhaust memory.
+MAX_MESSAGE_BYTES = 1 << 30
+
 _LEN = struct.Struct(">I")
+#: High bit of the length prefix: "another chunk of this message
+#: follows".  Legal frame lengths are <= MAX_FRAME_BYTES, so the bit can
+#: never be set on a well-formed pre-continuation frame.
+_CONT_FLAG = 0x80000000
 
 
 def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Encode ``obj`` as exactly one frame; raises when it cannot fit.
+
+    Callers that may produce bulk replies should use
+    :func:`encode_message`, which splits into continuation frames
+    instead of failing.
+    """
     body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise RuntimeProtocolError(
             f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}"
         )
     return _LEN.pack(len(body)) + body
+
+
+def encode_message(obj: Dict[str, Any]) -> bytes:
+    """Encode ``obj`` as one frame, or several continuation frames.
+
+    The common case (body <= :data:`MAX_FRAME_BYTES`) produces output
+    byte-identical to :func:`encode_frame`.
+    """
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) <= MAX_FRAME_BYTES:
+        return _LEN.pack(len(body)) + body
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise RuntimeProtocolError(
+            f"message of {len(body)} bytes exceeds limit {MAX_MESSAGE_BYTES}"
+        )
+    out = bytearray()
+    for start in range(0, len(body), MAX_FRAME_BYTES):
+        chunk = body[start:start + MAX_FRAME_BYTES]
+        last = start + MAX_FRAME_BYTES >= len(body)
+        header = len(chunk) if last else (len(chunk) | _CONT_FLAG)
+        out += _LEN.pack(header)
+        out += chunk
+    return bytes(out)
 
 
 def decode_frame(body: bytes) -> Dict[str, Any]:
@@ -59,21 +122,82 @@ def decode_frame(body: bytes) -> Dict[str, Any]:
     return obj
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Dict[str, Any]:
-    header = await reader.readexactly(_LEN.size)
-    (length,) = _LEN.unpack(header)
-    if length > MAX_FRAME_BYTES:
+def _check_chunk_length(length: int, total_so_far: int) -> int:
+    """Validate one chunk's announced length against both caps; returns
+    the payload length with the continuation flag stripped."""
+    payload = length & ~_CONT_FLAG
+    if payload > MAX_FRAME_BYTES:
         raise RuntimeProtocolError(
-            f"announced frame of {length} bytes exceeds limit"
+            f"announced frame of {payload} bytes exceeds limit"
         )
-    body = await reader.readexactly(length)
-    return decode_frame(body)
+    if length & _CONT_FLAG and payload == 0:
+        # encode_message never emits empty continuation chunks; a
+        # stream of them would otherwise loop the reader forever
+        # without ever tripping the byte caps.
+        raise RuntimeProtocolError("empty continuation frame")
+    if total_so_far + payload > MAX_MESSAGE_BYTES:
+        raise RuntimeProtocolError(
+            f"reassembled message exceeds {MAX_MESSAGE_BYTES} byte limit"
+        )
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one logical message (reassembling continuation frames)."""
+    parts: list = []
+    total = 0
+    while True:
+        header = await reader.readexactly(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        payload = _check_chunk_length(length, total)
+        body = await reader.readexactly(payload)
+        parts.append(body)
+        total += payload
+        if not length & _CONT_FLAG:
+            break
+    return decode_frame(parts[0] if len(parts) == 1 else b"".join(parts))
 
 
 async def write_frame(writer: asyncio.StreamWriter, obj: Dict[str, Any]
                       ) -> None:
-    writer.write(encode_frame(obj))
+    writer.write(encode_message(obj))
     await writer.drain()
+
+
+# -- synchronous (blocking-socket) counterparts ------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise on a truncated stream."""
+    parts: list = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise RuntimeProtocolError(
+                f"connection closed mid-frame ({n - remaining} of {n} bytes)")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def read_frame_sock(sock: socket.socket) -> Dict[str, Any]:
+    """Blocking read of one logical message from ``sock``."""
+    parts: list = []
+    total = 0
+    while True:
+        (length,) = _LEN.unpack(_recv_exactly(sock, _LEN.size))
+        payload = _check_chunk_length(length, total)
+        parts.append(_recv_exactly(sock, payload))
+        total += payload
+        if not length & _CONT_FLAG:
+            break
+    return decode_frame(parts[0] if len(parts) == 1 else b"".join(parts))
+
+
+def write_frame_sock(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    """Blocking write of one logical message to ``sock``."""
+    sock.sendall(encode_message(obj))
 
 
 def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:

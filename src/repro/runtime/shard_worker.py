@@ -1,0 +1,508 @@
+"""Long-lived shard workers: live white-pages shards behind the wire.
+
+PR 4's :class:`~repro.database.sharding.ParallelMatcher` buys multi-core
+matching by forking point-in-time copies of the shards — every matcher
+pays the fork + copy-on-write cost and discards all warm state when it
+closes.  A :class:`ShardWorker` is the persistent alternative: one
+process owns one **live** :class:`~repro.database.whitepages
+.WhitePagesDatabase` shard — attribute indexes, subscription map, and
+query-class caches stay warm across requests — and serves shard verbs
+over the length-prefixed JSON frame protocol
+(:mod:`repro.runtime.protocol`).  The client half
+(:class:`~repro.database.service.ShardServiceClient`) routes point
+operations by CRC-32 of the machine name and fans queries out across
+workers, so the whole service presents the duck-typed ``WhitePages``
+surface out-of-process.
+
+Verb table (request ``kind`` → reply ``kind``)
+----------------------------------------------
+=================  =========================  ==============================
+verb               request fields             reply
+=================  =========================  ==============================
+``register``       ``row``                    ``ok``
+``remove``         ``name``                   ``record`` (the removed row)
+``get``            ``name``                   ``record``
+``update``         ``row``                    ``ok``
+``update_dynamic`` ``name``, ``dynamic``      ``record`` (the new row)
+``match``          ``clauses``,               ``records`` (rows) or
+                   ``include_taken``,         ``names``
+                   ``names_only``
+``count``          ``clauses``,               ``count``
+                   ``include_taken``
+``names``          —                          ``names``
+``scan``           ``include_taken``          ``records`` (rows, name order)
+``take``           ``name``, ``pool``         ``ok`` with ``taken`` bool
+``take_all``       ``names``, ``pool``        ``names`` (actually taken)
+``release``        ``name``, ``pool``         ``ok``
+``release_pool``   ``pool``                   ``count``
+``holder_of``      ``name``                   ``holder`` (name or null)
+``taken_count``    —                          ``count``
+``free_names``     —                          ``names`` (unsorted)
+``count_up``       —                          ``count``
+``len``            —                          ``count``
+``contains``       ``name``                   ``ok`` with ``contains`` bool
+``snapshot``       ``path`` (optional),       ``snapshot`` (``crc``,
+                   ``version``                ``machines``; ``text`` inline
+                                              when no path given)
+``health``         —                          ``health`` (pid, shard index,
+                                              machines, requests, ...)
+``reset``          ``rows`` (optional)        ``ok`` (fresh database)
+``shutdown``       —                          ``ok``, then the server stops
+=================  =========================  ==============================
+
+Database errors cross the wire as ``{"kind": "error", "error":
+"<exception class>", "message": ...}``; the client re-raises the named
+:mod:`repro.errors` class, so remote error paths are type-identical to
+the in-process ones.  Records travel as compact v3 rows
+(:data:`~repro.database.records.RECORD_ROW_FIELDS`), queries as the
+clause encoding of :mod:`repro.runtime.wire`.  Replies larger than one
+frame (bulk matches, inline snapshots) ride the protocol's continuation
+frames.
+
+A worker validates routing on every ``register``: a record whose name
+CRC-routes to a different shard is refused, so a mis-configured client
+cannot silently split the name space.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import time
+import zlib
+from typing import Any, Dict, List, Optional
+
+from repro.database.records import (
+    MachineRecord,
+    _FLAGS_BY_BITS,
+    _STATE_BY_VALUE,
+)
+from repro.database.sharding import shard_of
+from repro.database.whitepages import WhitePagesDatabase
+from repro.errors import DatabaseError, ReproError, RuntimeProtocolError
+from repro.runtime.protocol import read_frame, write_frame
+from repro.runtime.wire import clause_from_dict, clause_to_dict
+
+__all__ = [
+    "ShardWorker",
+    "run_shard_worker",
+    "encode_dynamic",
+    "decode_dynamic",
+    "clauses_to_wire",
+    "clauses_from_wire",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Dynamic fields (1-7) that need a codec beyond JSON's native types.
+_STATE_KEY = "state"
+_FLAGS_KEY = "service_status_flags"
+
+
+def encode_dynamic(dynamic: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe encoding of ``update_dynamic`` kwargs (state → value
+    string, service flags → bit mask; numbers pass through)."""
+    out: Dict[str, Any] = {}
+    for key, value in dynamic.items():
+        if key == _STATE_KEY and value is not None:
+            out[key] = str(value)
+        elif key == _FLAGS_KEY and value is not None:
+            out[key] = ((1 if value.execution_unit_up else 0)
+                        | (2 if value.pvfs_manager_up else 0)
+                        | (4 if value.proxy_server_up else 0))
+        else:
+            out[key] = value
+    return out
+
+
+def decode_dynamic(dynamic: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in dynamic.items():
+        if key == _STATE_KEY and value is not None:
+            out[key] = _STATE_BY_VALUE[value]
+        elif key == _FLAGS_KEY and value is not None:
+            out[key] = _FLAGS_BY_BITS[int(value)]
+        else:
+            out[key] = value
+    return out
+
+
+def clauses_to_wire(plan: Any) -> Optional[List[Dict[str, Any]]]:
+    """Normalise any ``match()`` plan argument to a wire clause list.
+
+    ``None`` (match-all) stays ``None``; a compiled plan contributes its
+    clause set, so compilation on the worker side reproduces the exact
+    plan the caller held.
+    """
+    from repro.core.plan import ClauseSet, QueryPlan
+    from repro.core.query import Query
+    if plan is None:
+        return None
+    if isinstance(plan, QueryPlan):
+        clause_set = plan.clause_set
+    elif isinstance(plan, ClauseSet):
+        clause_set = plan
+    elif isinstance(plan, Query):
+        clause_set = ClauseSet.from_query(plan)
+    else:  # raw clause iterable
+        clause_set = ClauseSet.from_clauses(plan)
+    return [clause_to_dict(c) for c in clause_set.clauses]
+
+
+def clauses_from_wire(data: Optional[List[Dict[str, Any]]]) -> Any:
+    if data is None:
+        return None
+    return [clause_from_dict(c) for c in data]
+
+
+class ShardWorker:
+    """One live shard behind a TCP endpoint.
+
+    Parameters
+    ----------
+    database:
+        The shard's live :class:`WhitePagesDatabase` (indexes and caches
+        stay warm for the worker's lifetime).
+    shard_index, shards:
+        This worker's slot in the N-shard layout; ``register`` refuses
+        records that :func:`~repro.database.sharding.shard_of` routes
+        elsewhere.  ``shards=1`` accepts every name.
+    """
+
+    def __init__(self, database: Optional[WhitePagesDatabase] = None, *,
+                 shard_index: int = 0, shards: int = 1):
+        if not 0 <= shard_index < shards:
+            raise DatabaseError(
+                f"shard index {shard_index} outside 0..{shards - 1}")
+        self.database = database if database is not None \
+            else WhitePagesDatabase()
+        self.shard_index = shard_index
+        self.shards = shards
+        self.requests = 0
+        self.started_at = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        #: Live connections, so stop() can close them instead of
+        #: letting loop teardown cancel mid-read tasks (which asyncio
+        #: 3.11 logs noisily).
+        self._writers: set = set()
+        self._conn_tasks: set = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        if self._server is not None:
+            raise RuntimeProtocolError("shard worker already started")
+        self._server = await asyncio.start_server(self._on_connect,
+                                                  host, port)
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeProtocolError("shard worker is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Close surviving connections and let their handler tasks exit
+        # through the clean-EOF path before the loop tears down.
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` verb arrives, then stop."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def __aenter__(self) -> "ShardWorker":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        task = asyncio.current_task()
+        self._writers.add(writer)
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except asyncio.IncompleteReadError:
+                    break  # clean disconnect
+                response = self._dispatch(frame)
+                await write_frame(writer, response)
+                if frame.get("kind") == "shutdown":
+                    self._shutdown.set()
+                    break
+        except RuntimeProtocolError as exc:
+            logger.warning("shard %d: protocol error from %s: %s",
+                           self.shard_index, peer, exc)
+            try:
+                await write_frame(writer, {
+                    "kind": "error", "error": "RuntimeProtocolError",
+                    "message": str(exc)})
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self.requests += 1
+        kind = frame.get("kind")
+        handler = getattr(self, f"_verb_{kind}", None)
+        if handler is None:
+            return {"kind": "error", "error": "RuntimeProtocolError",
+                    "message": f"unknown shard verb {kind!r}"}
+        try:
+            return handler(frame)
+        except ReproError as exc:
+            return {"kind": "error", "error": type(exc).__name__,
+                    "message": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"kind": "error", "error": "RuntimeProtocolError",
+                    "message": f"malformed {kind!r} request: {exc}"}
+
+    def _check_routing(self, name: str) -> None:
+        if self.shards > 1 and shard_of(name, self.shards) != self.shard_index:
+            raise DatabaseError(
+                f"record {name!r} routes to shard "
+                f"{shard_of(name, self.shards)}, not {self.shard_index}")
+
+    # -- registry CRUD ---------------------------------------------------------
+
+    def _verb_register(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        record = MachineRecord.from_row(frame["row"])
+        self._check_routing(record.machine_name)
+        self.database.add(record)
+        return {"kind": "ok"}
+
+    def _verb_remove(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        record = self.database.remove(str(frame["name"]))
+        return {"kind": "record", "row": record.to_row()}
+
+    def _verb_get(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        record = self.database.get(str(frame["name"]))
+        return {"kind": "record", "row": record.to_row()}
+
+    def _verb_update(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        record = MachineRecord.from_row(frame["row"])
+        self._check_routing(record.machine_name)
+        self.database.update(record)
+        return {"kind": "ok"}
+
+    def _verb_update_dynamic(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        dynamic = decode_dynamic(dict(frame.get("dynamic", {})))
+        record = self.database.update_dynamic(str(frame["name"]), **dynamic)
+        return {"kind": "record", "row": record.to_row()}
+
+    # -- matching --------------------------------------------------------------
+
+    def _verb_match(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        clauses = clauses_from_wire(frame.get("clauses"))
+        include_taken = bool(frame.get("include_taken", False))
+        matches = self.database.match(clauses, include_taken=include_taken)
+        if frame.get("names_only"):
+            return {"kind": "names",
+                    "names": [r.machine_name for r in matches]}
+        return {"kind": "records", "rows": [r.to_row() for r in matches]}
+
+    def _verb_count(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        clauses = clauses_from_wire(frame.get("clauses"))
+        return {"kind": "count", "count": self.database.count(
+            clauses, include_taken=bool(frame.get("include_taken", False)))}
+
+    def _verb_names(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "names", "names": self.database.names()}
+
+    def _verb_scan(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        records = self.database.scan(
+            None, include_taken=bool(frame.get("include_taken", False)))
+        return {"kind": "records", "rows": [r.to_row() for r in records]}
+
+    def _verb_count_up(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "count", "count": self.database.count_up()}
+
+    def _verb_len(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "count", "count": len(self.database)}
+
+    def _verb_contains(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "ok",
+                "contains": str(frame["name"]) in self.database}
+
+    # -- take / release --------------------------------------------------------
+
+    def _verb_take(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        taken = self.database.take(str(frame["name"]), str(frame["pool"]))
+        return {"kind": "ok", "taken": taken}
+
+    def _verb_take_all(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        got = self.database.take_all(
+            [str(n) for n in frame.get("names", [])], str(frame["pool"]))
+        return {"kind": "names", "names": got}
+
+    def _verb_release(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self.database.release(str(frame["name"]), str(frame["pool"]))
+        return {"kind": "ok"}
+
+    def _verb_release_pool(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "count",
+                "count": self.database.release_pool(str(frame["pool"]))}
+
+    def _verb_holder_of(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "holder",
+                "holder": self.database.holder_of(str(frame["name"]))}
+
+    def _verb_taken_count(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "count", "count": self.database.taken_count()}
+
+    def _verb_free_names(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        # Unsorted by contract (see the verb table): the client unions
+        # the per-shard sets, so ordering here is wasted work.
+        return {"kind": "names",
+                "names": list(self.database.free_names())}
+
+    # -- observability / persistence / lifecycle -------------------------------
+
+    def _verb_health(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "kind": "health",
+            "pid": os.getpid(),
+            "shard_index": self.shard_index,
+            "shards": self.shards,
+            "machines": len(self.database),
+            "requests": self.requests,
+            "uptime_s": time.monotonic() - self.started_at,
+            "index_stats": self.database.index_stats(),
+        }
+
+    def _verb_snapshot(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Write (or return) a v3 snapshot of the live shard.
+
+        With a ``path`` the text stays worker-side — the supervisor's
+        checkpoint of a 100 MB shard costs one small reply, not a bulk
+        transfer; without one the text rides back inline on
+        continuation frames.
+        """
+        from repro.database.persistence import dumps_database
+        version = int(frame.get("version", 3))
+        text = dumps_database(self.database, version=version)
+        crc = zlib.crc32(text.encode("utf-8"))
+        reply = {"kind": "snapshot", "crc": crc,
+                 "machines": len(self.database), "version": version}
+        path = frame.get("path")
+        if path:
+            try:
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.replace(tmp, path)  # atomic: never a torn snapshot file
+            except OSError as exc:
+                # Surface filesystem failures (deleted snapshot dir,
+                # disk full) as an error frame, not a dead connection.
+                raise DatabaseError(
+                    f"snapshot write to {path!r} failed: {exc}") from exc
+            reply["path"] = str(path)
+        else:
+            reply["text"] = text
+        return reply
+
+    def _verb_reset(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Replace the live shard with a fresh database (optionally
+        seeded from ``rows``) — test and re-seed tooling."""
+        records = [MachineRecord.from_row(row)
+                   for row in frame.get("rows", [])]
+        for record in records:
+            self._check_routing(record.machine_name)
+        self.database = WhitePagesDatabase(records)
+        return {"kind": "ok", "machines": len(records)}
+
+    def _verb_shutdown(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"kind": "ok"}
+
+
+# ---------------------------------------------------------------------------
+# Process entry point
+# ---------------------------------------------------------------------------
+
+
+def _load_shard_database(snapshot_path: Optional[str]
+                         ) -> WhitePagesDatabase:
+    if not snapshot_path or not os.path.exists(snapshot_path):
+        return WhitePagesDatabase()
+    from repro.database.persistence import loads_database
+    with open(snapshot_path, encoding="utf-8") as fh:
+        return loads_database(fh.read())
+
+
+def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
+                     snapshot_path: Optional[str] = None,
+                     ready_conn: Any = None) -> None:
+    """Process entry: own one shard, serve verbs until ``shutdown``.
+
+    Builds the shard database (empty, or cold-started from a per-shard
+    v3 snapshot file), binds the TCP endpoint, reports the bound port
+    through ``ready_conn`` (a :func:`multiprocessing.Pipe` end) so the
+    supervisor can hand out real endpoints even when ``port=0``, then
+    serves until a ``shutdown`` verb or SIGTERM.
+
+    Importable and picklable, so it works under both the ``fork`` and
+    ``spawn`` start methods (and as a CLI foreground process via
+    ``repro shard-serve``).
+    """
+    database = _load_shard_database(snapshot_path)
+    worker = ShardWorker(database, shard_index=shard_index, shards=shards)
+
+    async def main() -> None:
+        import signal
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                # Ctrl-C in foreground mode (or a supervisor's TERM)
+                # becomes a graceful shutdown: connections drain, no
+                # cancelled-task noise at loop teardown.
+                loop.add_signal_handler(signum, worker._shutdown.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break  # non-POSIX loop: fall back to KeyboardInterrupt
+        await worker.start(host, port)
+        if ready_conn is not None:
+            ready_conn.send({"shard_index": shard_index,
+                             "port": worker.port, "pid": os.getpid(),
+                             "machines": len(database)})
+            ready_conn.close()
+        else:  # CLI foreground mode: print the endpoint for operators
+            print(json.dumps({"shard_index": shard_index,
+                              "port": worker.port,
+                              "machines": len(database)}), flush=True)
+        await worker.serve_until_shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        # Ctrl-C in foreground mode signals the whole process group;
+        # the supervisor (or operator) is already tearing us down —
+        # exit quietly instead of spraying one traceback per worker.
+        pass

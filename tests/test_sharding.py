@@ -476,25 +476,32 @@ class TestQueryClassCapConfig:
             ResourcePoolConfig(max_query_classes=0).validated()
 
 
-class TestListenerDeprecation:
-    def test_add_listener_warns_but_still_broadcasts(self, small_db):
-        seen = []
-        with pytest.warns(DeprecationWarning, match="subscribe"):
-            small_db.add_listener(lambda name, rec: seen.append(name))
-        name = small_db.names()[0]
-        small_db.update_dynamic(name, current_load=1.5)
-        assert seen == [name]
+class TestListenerTierRemoval:
+    """The PR 4-deprecated ``add_listener`` wildcard tier is gone: the
+    subscription map is the only listener surface on both layouts."""
 
-    def test_sharded_add_listener_warns_once_and_broadcasts(self):
+    def test_add_listener_is_gone(self, small_db):
+        assert not hasattr(small_db, "add_listener")
+        sharded = ShardedWhitePagesDatabase(
+            [_record(n, "sun", "128", 0.0, True) for n in _NAMES], shards=4)
+        assert not hasattr(sharded, "add_listener")
+
+    def test_subscription_covers_the_old_contract(self):
+        """A consumer that wants every change subscribes to every name —
+        same notifications the wildcard tier delivered."""
         db = ShardedWhitePagesDatabase(
             [_record(n, "sun", "128", 0.0, True) for n in _NAMES], shards=4)
         seen = []
-        with pytest.warns(DeprecationWarning) as caught:
-            db.add_listener(lambda name, rec: seen.append(name))
-        assert len(caught) == 1
+        listener = lambda name, rec: seen.append(name)  # noqa: E731
+        db.subscribe(_NAMES, listener)
         db.update_dynamic("m03", current_load=2.0)
         assert seen == ["m03"]
-        assert db.listener_stats()["wildcard"] == 4  # one tier per shard
+        stats = db.listener_stats()
+        assert stats["subscription_entries"] == len(_NAMES)
+        assert "wildcard" not in stats
+        db.remove_listener(listener)
+        db.update_dynamic("m03", current_load=1.0)
+        assert seen == ["m03"]
         db.remove_listener(seen.append)  # unknown fn: no-op, no raise
 
 
