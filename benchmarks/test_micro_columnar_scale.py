@@ -1,0 +1,217 @@
+"""Columnar match kernel scale gates (ISSUE 6 tentpole).
+
+Two claims, gated independently:
+
+* At 100k records, a broad range conjunction — no selective equality
+  for the hash indexes, so the row path degenerates to a per-record
+  verify loop — must run >= 3x faster through the columnar mask sweep
+  (measured ~18-45x), record- and order-identical to the row path.
+
+* At 1M records, the full register -> v4 snapshot -> mmap-load ->
+  match cycle must hold its cold-start budgets: the v4 mmap cold
+  start (parse rows + attach the binary column sidecar + first
+  columnar match) beats the plain v3 JSON cold start (parse rows +
+  first row-path match), every sidecar column is still frozen
+  (mmap-backed, zero-copy) after the match, and resident growth stays
+  within a per-record byte budget.
+
+The 1M smoke uses a slim synthetic fleet (default record fields plus
+varied dynamics — no admin-parameter shadow attributes) so the gate
+fits CI-runner memory; the kernel itself is fleet-agnostic and the
+100k gate runs the full ``FleetSpec`` fleet.
+
+``REPRO_COLUMNAR_SCALE_N`` / ``REPRO_COLUMNAR_SMOKE_N`` override the
+record counts; the committed gate runs at 100,000 / 1,000,000.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.core.language import parse_query
+from repro.core.plan import compile_plan
+from repro.database import columnar as columnar_mod
+from repro.database.persistence import load_database, save_database
+from repro.database.records import MachineRecord
+from repro.database.whitepages import WhitePagesDatabase
+from repro.fleet import FleetSpec, build_fleet
+
+from benchmarks.conftest import timed_median
+
+pytestmark = pytest.mark.skipif(
+    not columnar_mod.HAVE_NUMPY, reason="columnar kernel needs numpy")
+
+_timed = partial(timed_median, repeats=3)
+
+N = int(os.environ.get("REPRO_COLUMNAR_SCALE_N", "100000"))
+SMOKE_N = int(os.environ.get("REPRO_COLUMNAR_SMOKE_N", "1000000"))
+
+#: Broad range conjunction: both clauses are ordered comparisons, so
+#: the planner has no equality to probe and the row path must verify
+#: every record — the case the mask sweep exists for.  ``memory`` is
+#: the FleetSpec fleet's admin-parameter attribute.
+BROAD_TEXT = "punch.rsrc.memory = >=256\npunch.rsrc.load = <3.0"
+
+#: Same shape for the slim smoke fleet, over built-in dynamic fields
+#: (the slim records carry no admin parameters).
+SMOKE_TEXT = "punch.rsrc.freememory = >=256\npunch.rsrc.load = <3.0"
+
+#: Resident-growth budget for the v4 mmap cold start, bytes per
+#: record.  The slim 1M smoke measures ~2.5 kB/record — the parsed
+#: Python record objects and the index catalog dominate; the mapped
+#: columns themselves add page-cache, not anonymous memory — so
+#: 4 kB/record is ~1.6x headroom while still failing a cold start
+#: that re-materialises whole-fleet state a second time.
+RSS_BUDGET_BYTES_PER_RECORD = 4000
+
+
+def _rss_mb() -> float:
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmRSS"):
+                return int(line.split()[1]) / 1024.0
+    return 0.0  # pragma: no cover - /proc always has VmRSS on Linux
+
+
+def _slim_fleet(n):
+    """A million-record fleet that fits CI memory: default static
+    fields, varied dynamics so the broad query has mixed outcomes."""
+    return [
+        MachineRecord(
+            machine_name=f"s{i:07d}",
+            current_load=(i % 80) / 10.0,
+            active_jobs=i % 3,
+            available_memory_mb=float(64 << (i % 4)),
+            effective_speed=200.0 + (i % 50) * 10.0,
+            num_cpus=1 + i % 8,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def broad_plan():
+    return compile_plan(parse_query(BROAD_TEXT).basic())
+
+
+@pytest.fixture(scope="module")
+def fleet_records():
+    return build_fleet(FleetSpec(size=N, seed=11, stripe_pools=32))
+
+
+def test_columnar_broad_match_3x_over_row_verify(fleet_records, broad_plan):
+    row_db = WhitePagesDatabase(fleet_records)
+    col_db = WhitePagesDatabase(fleet_records, columnar=True)
+
+    # The kernel must actually engage — a silent fall-through to the
+    # row path would "pass" any equivalence check while gating nothing.
+    assert col_db._match_columnar(broad_plan, False) is not None
+
+    row_db.match(broad_plan)  # warm both paths once
+    col_db.match(broad_plan)
+    row_t, row_got = _timed(row_db.match, broad_plan)
+    col_t, col_got = _timed(col_db.match, broad_plan)
+
+    assert [r.machine_name for r in col_got] == \
+        [r.machine_name for r in row_got]
+    assert row_got  # non-trivial query
+    speedup = row_t / col_t
+    print(f"\n  n={N}: row verify {row_t * 1e3:.1f} ms, "
+          f"columnar {col_t * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= 3.0, (
+        f"columnar broad match only {speedup:.2f}x faster than the "
+        f"row-path verify loop ({col_t * 1e3:.1f} ms vs "
+        f"{row_t * 1e3:.1f} ms)"
+    )
+
+
+def test_columnar_selective_queries_keep_index_plans(fleet_records):
+    """The crossover guard: a selective equality probe must decline
+    the mask sweep and stay on the hash-index path at scale."""
+    col_db = WhitePagesDatabase(fleet_records, columnar=True)
+    selective = compile_plan(parse_query(
+        "punch.rsrc.pool = p07\npunch.rsrc.memory = >=256").basic())
+    assert col_db._match_columnar(selective, False) is None
+    row_db = WhitePagesDatabase(fleet_records)
+    assert [r.machine_name for r in col_db.match(selective)] == \
+        [r.machine_name for r in row_db.match(selective)]
+
+
+def test_v4_mmap_cold_start_beats_v3_json_at_1m(tmp_path):
+    smoke_plan = compile_plan(parse_query(SMOKE_TEXT).basic())
+    db = WhitePagesDatabase(_slim_fleet(SMOKE_N), columnar=True)
+    v3_path = Path(tmp_path) / "fleet_v3.json"
+    v4_path = Path(tmp_path) / "fleet_v4.json"
+    save_database(db, v3_path, version=3)
+    save_database(db, v4_path, version=4)
+    assert v4_path.with_name(v4_path.name + ".cols").is_file()
+    del db
+    gc.collect()
+
+    # Plain v3 cold start: parse rows, first match runs the row path.
+    t3, got3 = _timed(lambda: (
+        lambda d: (d, d.match(smoke_plan)))(load_database(v3_path)),
+        repeats=1)
+    names3 = [r.machine_name for r in got3[1]]
+    assert not got3[0].columnar
+    del got3
+    gc.collect()
+
+    # v4 mmap cold start: parse the same rows, attach the sidecar,
+    # first match runs the columnar kernel over the mapped arrays.
+    rss_before = _rss_mb()
+    t4, got4 = _timed(lambda: (
+        lambda d: (d, d.match(smoke_plan)))(load_database(v4_path)),
+        repeats=1)
+    rss_delta = _rss_mb() - rss_before
+    db4, matches4 = got4
+    assert [r.machine_name for r in matches4] == names3
+    assert names3  # non-trivial query
+
+    # Zero-copy proof: matching must not thaw a single column.
+    stats = db4.index_stats()["columnar"]
+    assert db4.columnar
+    assert stats["columns"]
+    assert stats["frozen_columns"] == stats["columns"], (
+        f"match thawed columns: only {len(stats['frozen_columns'])} of "
+        f"{len(stats['columns'])} still frozen"
+    )
+
+    speedup = t3 / t4
+    budget_mb = SMOKE_N * RSS_BUDGET_BYTES_PER_RECORD / 1e6
+    print(f"\n  n={SMOKE_N}: v3 cold start {t3:.1f} s, v4 mmap {t4:.1f} s, "
+          f"speedup {speedup:.2f}x, rss delta {rss_delta:.0f} MB "
+          f"(budget {budget_mb:.0f} MB)")
+    assert t4 < t3, (
+        f"v4 mmap cold start ({t4:.1f} s) did not beat the plain v3 "
+        f"JSON cold start ({t3:.1f} s) at {SMOKE_N} records"
+    )
+    assert rss_delta <= budget_mb, (
+        f"v4 cold start grew RSS by {rss_delta:.0f} MB, over the "
+        f"{budget_mb:.0f} MB budget ({RSS_BUDGET_BYTES_PER_RECORD} "
+        f"B/record)"
+    )
+
+
+def test_v4_sidecar_small_next_to_rows(tmp_path):
+    """The sidecar is packed binary — it must stay a small fraction of
+    the JSON rows it accelerates (8 B per record per column plus
+    headers, vs hundreds of JSON bytes per row)."""
+    n = min(SMOKE_N, 200_000)
+    db = WhitePagesDatabase(_slim_fleet(n), columnar=True)
+    v4_path = Path(tmp_path) / "fleet_v4.json"
+    save_database(db, v4_path, version=4)
+    main = v4_path.stat().st_size
+    sidecar = v4_path.with_name(v4_path.name + ".cols").stat().st_size
+    ratio = sidecar / main
+    print(f"\n  n={n}: rows {main / 1e6:.1f} MB, "
+          f"sidecar {sidecar / 1e6:.1f} MB ({ratio:.1%})")
+    assert ratio < 0.5, (
+        f"column sidecar is {ratio:.1%} of the row file "
+        f"({sidecar / 1e6:.1f} MB vs {main / 1e6:.1f} MB)"
+    )

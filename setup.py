@@ -1,6 +1,16 @@
 """Legacy shim so ``pip install -e .`` works without the ``wheel`` package
-(offline environments); all metadata lives in pyproject.toml."""
+(offline environments).
+
+The only metadata carried here is the optional-dependency sets:
+``pip install repro[columnar]`` pulls numpy for the vectorized columnar
+match kernel (the engine degrades to the row path with a one-time
+warning when numpy is absent).
+"""
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "columnar": ["numpy>=1.22"],
+    },
+)

@@ -55,15 +55,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     spec = FleetSpec(size=args.size, domain=args.domain,
                      stripe_pools=args.stripe_pools, seed=args.seed)
     records = build_fleet(spec)
+    version = args.snapshot_version
     if args.shards > 1:
         db = ShardedWhitePagesDatabase(records, shards=args.shards)
-        paths = save_sharded_database(db, args.out)
+        paths = save_sharded_database(db, args.out, version=version)
         print(f"wrote {len(db)} machines to {args.out} "
-              f"({args.shards} shards, {len(paths) - 1} shard files)")
+              f"(v{version}, {args.shards} shards, "
+              f"{len(paths) - 1} shard files)")
     else:
         db = WhitePagesDatabase(records)
-        save_database(db, args.out)
-        print(f"wrote {len(db)} machines to {args.out}")
+        save_database(db, args.out, version=version)
+        print(f"wrote {len(db)} machines to {args.out} (v{version})")
     return 0
 
 
@@ -84,7 +86,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
         records = build_fleet(FleetSpec(size=args.size))
     supervisor = ShardSupervisor(
         args.shards, host=args.host, snapshot_dir=args.snapshot_dir,
-        records=records)
+        records=records, columnar=True if args.columnar else None)
     supervisor.start()
     endpoints = ",".join(f"{h}:{p}" for h, p in supervisor.endpoints)
     print(f"shard service: {args.shards} workers, {len(records)} machines")
@@ -114,20 +116,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.pipeline import build_service
     from repro.runtime.server import ActYPServer
 
+    # --columnar forces the vectorized kernel on; without it v4
+    # snapshots still auto-enable it (the persistence tri-state).
+    columnar = True if args.columnar else None
     if args.shard_service:
         from repro.database.service import ShardServiceClient, parse_endpoints
         db = ShardServiceClient(parse_endpoints(args.shard_service))
     elif args.fleet:
         if args.shards > 1 or is_shard_manifest(args.fleet):
             db = load_sharded_database(
-                args.fleet, shards=args.shards if args.shards > 1 else None)
+                args.fleet, shards=args.shards if args.shards > 1 else None,
+                columnar=columnar)
         else:
-            db = load_database(args.fleet)
+            db = load_database(args.fleet, columnar=columnar)
     elif args.shards > 1:
         db = ShardedWhitePagesDatabase(
-            build_fleet(FleetSpec(size=args.size)), shards=args.shards)
+            build_fleet(FleetSpec(size=args.size)), shards=args.shards,
+            columnar=bool(args.columnar))
     else:
-        db = WhitePagesDatabase(build_fleet(FleetSpec(size=args.size)))
+        db = WhitePagesDatabase(build_fleet(FleetSpec(size=args.size)),
+                                columnar=bool(args.columnar))
     service = build_service(db, n_pool_managers=args.pool_managers)
 
     async def run() -> None:
@@ -187,7 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--seed", type=int, default=7)
     p_fleet.add_argument("--shards", type=int, default=1,
                          help="write a per-shard snapshot set (manifest + "
-                              "one v3 file per shard)")
+                              "one file per shard)")
+    p_fleet.add_argument("--snapshot-version", type=int, default=3,
+                         choices=(1, 2, 3, 4),
+                         help="snapshot format (4 = v3 JSON + mmap-loadable "
+                              "binary column sidecar)")
     p_fleet.add_argument("--out", required=True)
     p_fleet.set_defaults(fn=_cmd_fleet)
 
@@ -206,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "in-process database; comma-separated "
                               "host:port list in shard order (see "
                               "'shard-serve')")
+    p_serve.add_argument("--columnar", action="store_true",
+                         help="force the vectorized columnar match kernel "
+                              "on (v4 snapshots enable it automatically)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_shard = sub.add_parser(
@@ -224,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--checkpoint-interval", type=float, default=0.0,
                          help="seconds between automatic checkpoints "
                               "(0 = only the initial seed)")
+    p_shard.add_argument("--columnar", action="store_true",
+                         help="run every worker with the vectorized "
+                              "columnar match kernel")
     p_shard.set_defaults(fn=_cmd_shard_serve)
 
     p_query = sub.add_parser("query", help="query a live service")

@@ -1,0 +1,728 @@
+"""Columnar match kernel and binary column sidecar (persistence v4).
+
+PR 4-5 scaled matchmaking *across* processes; inside one shard the match
+path was still a per-record Python loop over dict-shaped views.  This
+module packs the numerically-coercible attribute values of a shard into
+contiguous ``float64`` numpy columns so range and equality clauses
+evaluate as boolean-mask vector operations — one C-speed pass over the
+column instead of one Python verification per candidate — and persists
+those columns as an mmap-loadable binary sidecar next to a format-v4
+snapshot, so a million-record worker's match path is warm after page
+faults instead of after re-deriving every column from parsed rows.
+
+Exactness
+=========
+
+The kernel never changes query semantics; it only serves the clause
+shapes for which a ``float64`` column of :func:`coerce_number` values is
+*provably* equivalent to the row path:
+
+- **Ordered clauses** (``>= > <= <`` and ranges): the language is
+  fail-closed — a machine value that does not coerce can never satisfy
+  an ordered clause.  Such values are stored as NaN, and NaN compares
+  False under every numpy comparison, so the mask is exact.
+- **Equality with a numerically-coercible query value**: a machine
+  value loosely equals a coercible query value only if it coerces to
+  the same number (two equal strings either both coerce or neither
+  does), *except* comma-separated multi-valued strings
+  (``cms=sge,pbs``), whose element-wise equality a column cannot see.
+  Rows holding comma values are tracked in a per-column **fuzzy set**
+  and re-verified through the full clause set.
+- Everything else — ``!=``, ``in``, equality against a non-coercible
+  query value — is left to the row machinery: the database verifies the
+  leftover clauses only on the rows the column masks admitted.
+
+A bound on an attribute with **no column** proves the result empty: a
+column is created the moment any record carries a coercible (or comma)
+value for that attribute, so its absence means no current record can
+satisfy an ordered or coercible-equality clause on it.
+
+Sidecar format (v4)
+===================
+
+``<snapshot>.cols`` is a length-prefixed binary file sharing the v3
+snapshot's name table (sidecar row *i* is machines row *i*):
+
+- magic ``RWPCOL1\\n``, then a u32 little-endian header length and a
+  JSON header: row count, a CRC over the machine-name table (ties the
+  sidecar to its snapshot), and per column its attribute name, dtype
+  (``<f8``), block offset, byte length, CRC-32, and fuzzy row ids.
+- each column block at an aligned offset: a u64 little-endian byte
+  length (redundant framing check) followed by the raw little-endian
+  values.
+
+The loader mmaps the file once and materialises columns *lazily*: a
+column's CRC is checked on the first clause that touches it, so cold
+start pays page faults only for the attributes queries actually use.
+Any validation failure raises :class:`ColumnDataError`, which callers
+treat as "silently rebuild from rows" — the sidecar, like the v3 index
+image, is a startup optimisation, never a source of truth.
+
+Mutations after a sidecar attach copy-on-write: a monitoring refresh
+materialises only the touched columns; adding or replacing whole
+records thaws the store (row topology changes every column).
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import math
+import struct
+import warnings
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.database.indexes import coerce_number
+from repro.errors import DatabaseError
+
+try:  # pragma: no cover - exercised via the HAVE_NUMPY branch in tests
+    import numpy as np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy-less install
+    np = None
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ColumnDataError",
+    "ColumnStore",
+    "ColumnarProgram",
+    "warn_numpy_missing",
+    "SIDECAR_MAGIC",
+]
+
+#: First bytes of every column sidecar file.
+SIDECAR_MAGIC = b"RWPCOL1\n"
+#: Column blocks start on this alignment (keeps float64 views aligned).
+_ALIGN = 16
+
+_NAN = float("nan")
+#: Characters that can open a string float() accepts (sign, digit,
+#: decimal point, inf/nan); a cheap guard so bulk column builds do not
+#: pay a try/except per non-numeric string (machine names, arches...).
+_NUM_LEAD = frozenset("0123456789+-.iInN")
+
+_warned_no_numpy = False
+
+
+def warn_numpy_missing() -> None:
+    """One-time warning that the columnar engine is degraded off."""
+    global _warned_no_numpy
+    if not _warned_no_numpy:
+        _warned_no_numpy = True
+        warnings.warn(
+            "numpy is not installed: the columnar match engine is "
+            "disabled and matching uses the row path "
+            "(pip install 'repro[columnar]' to enable it)",
+            RuntimeWarning, stacklevel=3)
+
+
+class ColumnDataError(DatabaseError):
+    """A column sidecar failed validation (magic, CRC, framing, or name
+    table mismatch).  Callers rebuild the columns from records."""
+
+
+def _fast_coerce(value: Any) -> Optional[float]:
+    """:func:`coerce_number`, with a cheap reject for the common
+    non-numeric strings so bulk builds skip the try/except."""
+    t = type(value)
+    if t is float:
+        return value
+    if t is int:
+        return float(value)
+    if t is str:
+        s = value.strip()
+        if not s:
+            return None
+        lead = s[0]
+        if lead not in _NUM_LEAD and not lead.isdigit():
+            return None  # float() could not accept this first character
+        try:
+            return float(s)
+        except ValueError:
+            return None
+    return coerce_number(value)  # bools, numeric subclasses, None, ...
+
+
+def _names_crc(names: Sequence[str]) -> int:
+    """CRC tying a sidecar to the snapshot's machine-name table."""
+    return zlib.crc32("\x00".join(names).encode("utf-8"))
+
+
+class _Column:
+    """One attribute's values (``float64``, NaN = not coercible) plus
+    the fuzzy row set (comma-separated multi-valued strings)."""
+
+    __slots__ = ("values", "fuzzy", "writable")
+
+    def __init__(self, values, fuzzy: Optional[Set[int]] = None,
+                 *, writable: bool = True):
+        self.values = values
+        self.fuzzy: Set[int] = fuzzy if fuzzy is not None else set()
+        self.writable = writable
+
+
+class _SidecarHandle:
+    """A not-yet-validated column inside the mmapped sidecar."""
+
+    __slots__ = ("buf", "offset", "nbytes", "crc", "fuzzy")
+
+    def __init__(self, buf, offset: int, nbytes: int, crc: int,
+                 fuzzy: Set[int]):
+        self.buf = buf
+        self.offset = offset
+        self.nbytes = nbytes
+        self.crc = crc
+        self.fuzzy = fuzzy
+
+
+class ColumnarProgram:
+    """A clause set compiled against a :class:`ColumnStore`.
+
+    ``bounds`` and ``col_eqs`` evaluate as column masks; ``leftover``
+    (non-coercible equalities + the residual) is verified per admitted
+    row by the database.  ``empty`` short-circuits: some columnar clause
+    references an attribute no record has ever carried a coercible
+    value for, so nothing can match.
+    """
+
+    __slots__ = ("bounds", "col_eqs", "eq_clauses", "leftover", "empty")
+
+    def __init__(self, bounds, col_eqs, eq_clauses, leftover, empty):
+        self.bounds = bounds          # Tuple[AttrBound, ...]
+        self.col_eqs = col_eqs        # [(attr, float query value), ...]
+        self.eq_clauses = eq_clauses  # non-columnar equality clauses
+        self.leftover = leftover      # ClauseSet re-verified per row
+        self.empty = empty
+
+
+class ColumnStore:
+    """Contiguous ``float64`` columns over a shard's attribute views.
+
+    Maintained incrementally by :class:`~repro.database.whitepages
+    .WhitePagesDatabase` under its registry lock (the store itself is
+    not thread-safe), mirroring the attribute-index catalog's hook
+    points: ``add``/``remove``/``replace``/``replace_dynamic`` plus
+    ``set_free`` for take/release.  Rows are slots: removal tombstones
+    a row (validity mask) and registration reuses free slots, so
+    columns never compact.
+    """
+
+    def __init__(self, records: Iterable[Any] = ()):
+        if not HAVE_NUMPY:
+            raise ColumnDataError("numpy is required for ColumnStore")
+        self._names: List[Optional[str]] = []   # row -> machine name
+        self._row_of: Optional[Dict[str, int]] = {}
+        self._free_slots: List[int] = []
+        self._cols: Dict[str, _Column] = {}
+        self._pending: Dict[str, _SidecarHandle] = {}
+        self._mmap = None                       # keeps sidecar pages alive
+        self._size = 0                          # rows allocated (<= _cap)
+        self._cap = 0
+        self._valid = np.zeros(0, dtype=bool)
+        self._free = np.zeros(0, dtype=bool)
+        records = list(records)
+        if records:
+            self._bulk_build(records)
+
+    # -- construction --------------------------------------------------------
+
+    def _bulk_build(self, records: List[Any]) -> None:
+        n = len(records)
+        self._size = self._cap = n
+        self._names = [r.machine_name for r in records]
+        self._row_of = {name: i for i, name in enumerate(self._names)}
+        self._valid = np.ones(n, dtype=bool)
+        self._free = np.ones(n, dtype=bool)
+        # Built-in numeric fields are dense: one C-speed pass each.
+        for attr, values in (
+            ("load", [r.current_load for r in records]),
+            ("jobs", [r.active_jobs for r in records]),
+            ("freememory", [r.available_memory_mb for r in records]),
+            ("freeswap", [r.available_swap_mb for r in records]),
+            ("speed", [r.effective_speed for r in records]),
+            ("cpus", [r.num_cpus for r in records]),
+            ("maxload", [r.max_allowed_load for r in records]),
+        ):
+            self._cols[attr] = _Column(np.asarray(values, dtype=np.float64))
+        # Admin parameters are sparse and may shadow the built-ins;
+        # ``name``/``state`` almost never coerce and are handled by the
+        # same per-value loop for the pathological cases that do.
+        fast = _fast_coerce
+        for row, rec in enumerate(records):
+            for attr, value in (("name", rec.machine_name),
+                                ("state", str(rec.state))):
+                num = fast(value)
+                if num is not None:
+                    self._cell(attr).values[row] = num
+            for attr, value in rec.admin_parameters.items():
+                self._set_cell(row, attr, value)
+
+    @classmethod
+    def from_records(cls, records: Iterable[Any]) -> "ColumnStore":
+        return cls(records)
+
+    # -- growth / thaw -------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_cap = max(self._cap * 2, 16)
+        self._valid = self._padded(self._valid, new_cap, False)
+        self._free = self._padded(self._free, new_cap, False)
+        for col in self._cols.values():
+            col.values = self._padded(col.values, new_cap, _NAN)
+            col.writable = True
+        self._cap = new_cap
+
+    @staticmethod
+    def _padded(arr, new_cap: int, fill):
+        out = np.full(new_cap, fill, dtype=arr.dtype)
+        out[:len(arr)] = arr
+        return out
+
+    def _thaw_column(self, attr: str) -> _Column:
+        """Materialise one column for writing (copy-on-write)."""
+        col = self._column(attr)
+        if col is None:
+            col = self._cols[attr] = _Column(
+                np.full(self._cap, _NAN, dtype=np.float64))
+        elif not col.writable:
+            col.values = self._padded(col.values, self._cap, _NAN)
+            col.writable = True
+        return col
+
+    def _thaw_all(self) -> None:
+        """Materialise every column (row topology is about to change)."""
+        for attr in list(self._pending):
+            self._thaw_column(attr)
+        for attr, col in self._cols.items():
+            if not col.writable:
+                self._thaw_column(attr)
+        self._mmap = None
+
+    def _cell(self, attr: str) -> _Column:
+        return self._thaw_column(attr)
+
+    def _rowmap(self) -> Dict[str, int]:
+        if self._row_of is None:
+            self._row_of = {name: i for i, name in enumerate(self._names)
+                            if name is not None}
+        return self._row_of
+
+    # -- column access -------------------------------------------------------
+
+    def _column(self, attr: str) -> Optional[_Column]:
+        """The live column for ``attr``, validating a pending sidecar
+        column on first touch; None when no record ever carried a
+        coercible (or comma) value for the attribute."""
+        col = self._cols.get(attr)
+        if col is not None:
+            return col
+        handle = self._pending.pop(attr, None)
+        if handle is None:
+            return None
+        buf = handle.buf
+        (framed,) = struct.unpack_from("<Q", buf, handle.offset)
+        if framed != handle.nbytes:
+            raise ColumnDataError(
+                f"column {attr!r}: frame length {framed} != header "
+                f"{handle.nbytes}")
+        start = handle.offset + 8
+        span = memoryview(buf)[start:start + handle.nbytes]
+        if len(span) != handle.nbytes:
+            raise ColumnDataError(f"column {attr!r}: truncated block")
+        if zlib.crc32(span) != handle.crc:
+            raise ColumnDataError(f"column {attr!r}: CRC mismatch")
+        values = np.frombuffer(span, dtype="<f8")
+        if len(values) != self._size:
+            raise ColumnDataError(
+                f"column {attr!r}: {len(values)} values for "
+                f"{self._size} rows")
+        col = _Column(values, handle.fuzzy, writable=False)
+        self._cols[attr] = col
+        return col
+
+    def has_column(self, attr: str) -> bool:
+        return attr in self._cols or attr in self._pending
+
+    # -- cell writes ---------------------------------------------------------
+
+    def _set_cell(self, row: int, attr: str, value: Any) -> None:
+        num = _fast_coerce(value)
+        fuzzy = type(value) is str and "," in value
+        if num is None and not fuzzy and not self.has_column(attr):
+            return  # non-coercible value on a column-less attribute
+        col = self._cell(attr)
+        col.values[row] = num if num is not None else _NAN
+        if fuzzy:
+            col.fuzzy.add(row)
+        else:
+            col.fuzzy.discard(row)
+
+    def _clear_row(self, row: int) -> None:
+        """Reset one row's cells; caller has thawed every column."""
+        for col in self._cols.values():
+            col.values[row] = _NAN
+            col.fuzzy.discard(row)
+
+    # -- database hooks (caller holds the registry lock) ---------------------
+
+    def add(self, record: Any) -> None:
+        name = record.machine_name
+        rowmap = self._rowmap()
+        self._thaw_all()  # row topology changes: every column is written
+        if self._free_slots:
+            row = self._free_slots.pop()
+            self._names[row] = name
+            self._clear_row(row)  # reused slot may hold stale cells
+        else:
+            if self._size == self._cap:
+                self._grow()
+            row = self._size
+            self._size += 1
+            self._names.append(name)
+        rowmap[name] = row
+        self._valid[row] = True
+        self._free[row] = True
+        self._fill_row(row, record)
+
+    def _fill_row(self, row: int, record: Any) -> None:
+        view = record.attribute_view()
+        for attr, value in view.items():
+            self._set_cell(row, attr, value)
+
+    def remove(self, machine_name: str) -> None:
+        row = self._rowmap().pop(machine_name, None)
+        if row is None:
+            return
+        self._valid[row] = False
+        self._free[row] = False
+        self._names[row] = None
+        # Tombstoned cells are masked out by the validity array, so the
+        # values can stay (frozen sidecar columns stay frozen); only the
+        # fuzzy bookkeeping must forget the row.
+        for col in self._cols.values():
+            col.fuzzy.discard(row)
+        for handle in self._pending.values():
+            handle.fuzzy.discard(row)
+        self._free_slots.append(row)
+
+    def replace(self, record: Any) -> None:
+        row = self._rowmap().get(record.machine_name)
+        if row is None:
+            self.add(record)
+            return
+        self._thaw_all()  # a full replace rewrites every column's cell
+        self._clear_row(row)
+        self._fill_row(row, record)
+
+    #: Dynamic record fields that surface in the attribute view, with
+    #: their view key and value transform (mirrors the catalog's
+    #: ``replace_dynamic`` map so the two hooks can never disagree on
+    #: which attribute a monitoring field feeds).
+    _DYNAMIC_VIEW_ATTRS = {
+        "current_load": ("load", lambda r: r.current_load),
+        "active_jobs": ("jobs", lambda r: r.active_jobs),
+        "available_memory_mb": ("freememory",
+                                lambda r: r.available_memory_mb),
+        "available_swap_mb": ("freeswap", lambda r: r.available_swap_mb),
+        "state": ("state", lambda r: str(r.state)),
+    }
+
+    def replace_dynamic(self, record: Any,
+                        changed_fields: Iterable[str]) -> None:
+        """Write only the columns a monitoring refresh touched.
+
+        The columnar analogue of the catalog's field-targeted
+        ``replace_dynamic``: a load refresh writes one float into one
+        (copy-on-write-materialised) column — no row-mask rebuild, and
+        sidecar-frozen columns the refresh does not name stay frozen.
+        """
+        row = self._rowmap().get(record.machine_name)
+        if row is None:
+            self.add(record)
+            return
+        admin = record.admin_parameters
+        for field_name in changed_fields:
+            spec = self._DYNAMIC_VIEW_ATTRS.get(field_name)
+            if spec is None:
+                continue  # not a view attribute (e.g. last_update_time)
+            attr, value_of = spec
+            if attr in admin:
+                continue  # admin parameter shadows the built-in field
+            self._set_cell(row, attr, value_of(record))
+
+    def set_free(self, machine_name: str, free: bool) -> None:
+        row = self._rowmap().get(machine_name)
+        if row is not None:
+            self._free[row] = free
+
+    # -- evaluation ----------------------------------------------------------
+
+    def compile_program(self, plan: Any) -> Optional[ColumnarProgram]:
+        """Partition a plan's clauses into column masks and leftovers.
+
+        None means no clause is columnar — the row path should run.
+        The returned program's ``empty`` flag proves an empty result
+        (a columnar clause on an attribute with no column).
+        """
+        from repro.core.plan import ClauseSet
+        clause_set = plan.clause_set
+        col_eqs: List[Tuple[str, float]] = []
+        eq_clauses = []
+        for clause in clause_set.equalities:
+            qnum = coerce_number(clause.value)
+            if qnum is None:
+                eq_clauses.append(clause)
+            else:
+                col_eqs.append((clause.name, qnum))
+        if not plan.bounds and not col_eqs:
+            return None
+        empty = any(not self.has_column(b.name) for b in plan.bounds) or \
+            any(not self.has_column(attr) for attr, _q in col_eqs)
+        leftover = ClauseSet(equalities=tuple(eq_clauses),
+                             residual=clause_set.residual)
+        return ColumnarProgram(plan.bounds, col_eqs, tuple(eq_clauses),
+                               leftover, empty)
+
+    def evaluate(self, program: ColumnarProgram, include_taken: bool
+                 ) -> Tuple[List[str], List[str]]:
+        """Run a program's column masks.
+
+        Returns ``(admitted, fuzzy)``: machine names passing every
+        columnar clause (plus the validity/free base mask), and names
+        of comma-valued rows the masks could not decide (the caller
+        verifies those against the *full* clause set).  Raises
+        :class:`ColumnDataError` if a sidecar column fails validation.
+        """
+        n = self._size
+        if n == 0 or program.empty:
+            return [], []
+        base = self._valid[:n] if include_taken else self._free[:n]
+        mask = base.copy()
+        fuzzy_rows: Set[int] = set()
+        for bound in program.bounds:
+            col = self._column(bound.name)
+            if col is None:
+                return [], []
+            values = col.values[:n]
+            if bound.lo != -math.inf or not bound.incl_lo:
+                mask &= (values >= bound.lo) if bound.incl_lo \
+                    else (values > bound.lo)
+            if bound.hi != math.inf or not bound.incl_hi:
+                mask &= (values <= bound.hi) if bound.incl_hi \
+                    else (values < bound.hi)
+            if bound.lo == -math.inf and bound.incl_lo \
+                    and bound.hi == math.inf and bound.incl_hi:
+                mask &= ~np.isnan(values)  # a pure-NaN guard bound
+        for attr, qnum in program.col_eqs:
+            col = self._column(attr)
+            if col is None:
+                return [], []
+            mask &= col.values[:n] == qnum
+            if col.fuzzy:
+                fuzzy_rows.update(col.fuzzy)
+        names = self._names
+        admitted = [names[row] for row in np.nonzero(mask)[0].tolist()]
+        fuzzy = [names[row] for row in fuzzy_rows
+                 if row < n and base[row] and not mask[row]
+                 and names[row] is not None]
+        return admitted, fuzzy
+
+    # -- sidecar persistence -------------------------------------------------
+
+    def column_arrays(self, ordered_names: Sequence[str]
+                      ) -> Dict[str, Tuple[Any, List[int]]]:
+        """Every column's values (and fuzzy rows) permuted into
+        ``ordered_names`` order — the snapshot's name table order."""
+        rowmap = self._rowmap()
+        perm = np.fromiter((rowmap[name] for name in ordered_names),
+                           dtype=np.int64, count=len(ordered_names))
+        inverse: Dict[int, int] = {int(old): new
+                                   for new, old in enumerate(perm.tolist())}
+        out: Dict[str, Tuple[Any, List[int]]] = {}
+        for attr in sorted(set(self._cols) | set(self._pending)):
+            col = self._column(attr)
+            values = col.values[:self._size][perm] if len(perm) else \
+                np.zeros(0, dtype=np.float64)
+            fuzzy = sorted(inverse[row] for row in col.fuzzy
+                           if row in inverse)
+            out[attr] = (values, fuzzy)
+        return out
+
+    def to_sidecar_bytes(self, ordered_names: Sequence[str]
+                         ) -> Tuple[bytes, int]:
+        """Serialise the store; returns ``(file bytes, header CRC)``."""
+        return build_sidecar(self.column_arrays(ordered_names),
+                             ordered_names)
+
+    @classmethod
+    def from_sidecar(cls, path: Any, names: Sequence[str],
+                     *, header_crc: Optional[int] = None) -> "ColumnStore":
+        """Attach the sidecar at ``path`` for a snapshot whose machine
+        names (in row order) are ``names``.
+
+        Eagerly validates the magic, header CRC, row count, and name
+        table; column blocks stay unread (and unvalidated) until first
+        touched.  Raises :class:`ColumnDataError` on any mismatch.
+        """
+        if not HAVE_NUMPY:
+            raise ColumnDataError("numpy is required for ColumnStore")
+        try:
+            fh = open(path, "rb")
+        except OSError as exc:
+            raise ColumnDataError(f"cannot open sidecar: {exc}") from exc
+        with fh:
+            try:
+                buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                # Zero-length (empty fleet) files cannot be mmapped.
+                buf = fh.read()
+        header, payload_base = _parse_sidecar_header(buf,
+                                                     header_crc=header_crc)
+        rows = header["rows"]
+        if rows != len(names):
+            raise ColumnDataError(
+                f"sidecar has {rows} rows, snapshot has {len(names)}")
+        if header["names_crc"] != _names_crc(names):
+            raise ColumnDataError("sidecar name table CRC mismatch")
+        store = cls.__new__(cls)
+        store._names = list(names)
+        store._row_of = None  # built lazily: match-only cold starts skip it
+        store._free_slots = []
+        store._cols = {}
+        store._mmap = buf if isinstance(buf, mmap.mmap) else None
+        store._size = store._cap = rows
+        store._valid = np.ones(rows, dtype=bool)
+        store._free = np.ones(rows, dtype=bool)
+        store._pending = {}
+        for entry in header["columns"]:
+            if entry.get("dtype") != "<f8":
+                raise ColumnDataError(
+                    f"column {entry.get('attr')!r}: unsupported dtype "
+                    f"{entry.get('dtype')!r}")
+            offset = payload_base + int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+            if nbytes != rows * 8:
+                raise ColumnDataError(
+                    f"column {entry['attr']!r}: {nbytes} bytes for "
+                    f"{rows} rows")
+            if offset + 8 + nbytes > len(buf):
+                raise ColumnDataError(
+                    f"column {entry['attr']!r}: block past end of file")
+            fuzzy = set(entry.get("fuzzy", ()))
+            if fuzzy and (min(fuzzy) < 0 or max(fuzzy) >= rows):
+                raise ColumnDataError(
+                    f"column {entry['attr']!r}: fuzzy row out of range")
+            store._pending[entry["attr"]] = _SidecarHandle(
+                buf, offset, nbytes, int(entry["crc"]), fuzzy)
+        return store
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "rows": int(self._valid.sum()),
+            "slots": self._size,
+            "columns": sorted(set(self._cols) | set(self._pending)),
+            "frozen_columns": sorted(
+                set(self._pending)
+                | {a for a, c in self._cols.items() if not c.writable}),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Sidecar codec
+# ---------------------------------------------------------------------------
+
+def _pad_to(offset: int, align: int = _ALIGN) -> int:
+    return (offset + align - 1) // align * align
+
+
+def build_sidecar(columns: Dict[str, Tuple[Any, List[int]]],
+                  ordered_names: Sequence[str]) -> Tuple[bytes, int]:
+    """Encode ``{attr: (values in name order, fuzzy rows)}`` as sidecar
+    file bytes; returns ``(bytes, header CRC)``."""
+    blocks: List[bytes] = []
+    entries: List[Dict[str, Any]] = []
+    rel = 0
+    for attr in sorted(columns):
+        values, fuzzy = columns[attr]
+        if HAVE_NUMPY:
+            raw = np.ascontiguousarray(values, dtype="<f8").tobytes()
+        else:  # pragma: no cover - writer requires numpy in practice
+            raise ColumnDataError("numpy is required to build a sidecar")
+        entries.append({
+            "attr": attr,
+            "dtype": "<f8",
+            "offset": rel,
+            "nbytes": len(raw),
+            "crc": zlib.crc32(raw),
+            "fuzzy": list(fuzzy),
+        })
+        block = struct.pack("<Q", len(raw)) + raw
+        padded = _pad_to(len(block))
+        blocks.append(block + b"\x00" * (padded - len(block)))
+        rel += padded
+    header = {
+        "format": "repro.whitepages.columns",
+        "version": 1,
+        "rows": len(ordered_names),
+        "names_crc": _names_crc(ordered_names),
+        "columns": entries,
+    }
+    header_bytes = json.dumps(header, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+    header_crc = zlib.crc32(header_bytes)
+    prefix = SIDECAR_MAGIC + struct.pack("<I", len(header_bytes)) \
+        + header_bytes
+    payload_base = _pad_to(len(prefix))
+    out = prefix + b"\x00" * (payload_base - len(prefix)) + b"".join(blocks)
+    return out, header_crc
+
+
+def _parse_sidecar_header(buf, *, header_crc: Optional[int] = None
+                          ) -> Tuple[Dict[str, Any], int]:
+    """Validate the fixed prefix; returns ``(header, payload base)``."""
+    if len(buf) < len(SIDECAR_MAGIC) + 4:
+        raise ColumnDataError("sidecar file truncated")
+    if bytes(buf[:len(SIDECAR_MAGIC)]) != SIDECAR_MAGIC:
+        raise ColumnDataError("bad sidecar magic")
+    (header_len,) = struct.unpack_from("<I", buf, len(SIDECAR_MAGIC))
+    start = len(SIDECAR_MAGIC) + 4
+    header_bytes = bytes(buf[start:start + header_len])
+    if len(header_bytes) != header_len:
+        raise ColumnDataError("sidecar header truncated")
+    if header_crc is not None and zlib.crc32(header_bytes) != header_crc:
+        raise ColumnDataError("sidecar header CRC mismatch")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ColumnDataError(f"malformed sidecar header: {exc}") from exc
+    if not isinstance(header, dict) or \
+            header.get("format") != "repro.whitepages.columns":
+        raise ColumnDataError("not a column sidecar header")
+    if header.get("version") != 1:
+        raise ColumnDataError(
+            f"unsupported sidecar version {header.get('version')!r}")
+    if not isinstance(header.get("rows"), int) or \
+            not isinstance(header.get("columns"), list):
+        raise ColumnDataError("sidecar header missing rows/columns")
+    return header, _pad_to(start + header_len)
+
+
+def write_sidecar_file(path: Any, columns: Dict[str, Tuple[Any, List[int]]],
+                       ordered_names: Sequence[str]) -> int:
+    """Write the sidecar next to a snapshot; returns the header CRC."""
+    data, header_crc = build_sidecar(columns, ordered_names)
+    Path(path).write_bytes(data)
+    return header_crc
+
+
+def columns_from_records(records: Sequence[Any]
+                         ) -> Dict[str, Tuple[Any, List[int]]]:
+    """Column arrays for ``records`` (already in snapshot row order),
+    for savers whose database runs without a live column store."""
+    store = ColumnStore(records)
+    return store.column_arrays([r.machine_name for r in records])

@@ -41,6 +41,22 @@ deleted from one posting list by hand): like any database file content,
 the index section is trusted once its schema, record checksum, and
 structure check out — delete the ``indexes`` key (or load with
 ``use_index_snapshot=False``) to force a rebuild after manual edits.
+
+**Format version 4** is v3 plus a binary **column sidecar**
+(``<snapshot>.cols``, see :mod:`repro.database.columnar`): the
+numerically-coercible attribute values packed as little-endian float64
+columns with per-column CRCs, which :func:`load_database` attaches by
+mmap so the columnar match engine is warm after page faults instead of
+after an O(N·attrs) rebuild.  v4 snapshots load as columnar databases
+by default (``columnar=False`` opts out; ``columnar=True`` enables the
+engine for *any* version by rebuilding columns from the rows).  The
+fallback ladder mirrors the index image: a missing, truncated, or
+CRC-mismatched sidecar silently rebuilds the columns from the rows,
+and a corrupt column surfacing later (CRCs are checked lazily, on the
+first clause that touches a column) rebuilds at that point — the main
+JSON file remains the single source of truth.  Because the sidecar is
+binary, v4 cannot be produced by :func:`dumps_database`; use
+:func:`save_database`.
 """
 
 from __future__ import annotations
@@ -67,8 +83,9 @@ __all__ = ["record_to_dict", "record_from_dict", "save_database",
 
 _FORMAT_VERSION = 3
 #: Versions this loader understands (1 = records only, no index section;
-#: 2 = verbose record dicts + index image; 3 = compact positional rows).
-_SUPPORTED_VERSIONS = (1, 2, 3)
+#: 2 = verbose record dicts + index image; 3 = compact positional rows;
+#: 4 = v3 + binary column sidecar).
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 def record_to_dict(record: MachineRecord) -> Dict[str, Any]:
@@ -211,22 +228,43 @@ def dumps_database(db: WhitePagesDatabase, *,
 
     ``version=3`` (the default) writes the compact positional-row
     format; ``version=2`` writes the pretty-printed dict-per-machine
-    format for fleets that live under version control.
+    format for fleets that live under version control.  ``version=4``
+    is rejected here — its column sidecar is a separate binary file,
+    so only the path-based :func:`save_database` can write it.
     """
+    if version == 4:
+        raise DatabaseError(
+            "format v4 writes a binary column sidecar next to the "
+            "snapshot; use save_database() with a path")
     if version not in (2, 3):
         raise DatabaseError(f"cannot write snapshot version {version!r}")
     # One atomic capture: records and catalog image from the same lock
     # hold, so the checksum can never bless an index section that
     # reflects a mutation the record section missed.
     records, catalog_image = db.snapshot_state()
-    if version == 3:
+    return _dumps_payload(records, catalog_image,
+                          include_indexes=include_indexes, version=version)
+
+
+def _dumps_payload(records: List[MachineRecord],
+                   catalog_image: Dict[str, Any], *,
+                   include_indexes: bool, version: int,
+                   columns_meta: Optional[Dict[str, Any]] = None) -> str:
+    """Serialise an already-captured (records, catalog image) pair.
+
+    v4 shares the v3 row encoding — same ``row_schema``, same index
+    section — plus a ``columns`` key pointing at the binary sidecar.
+    """
+    if version in (3, 4):
         machines: List[Any] = [record.to_row() for record in records]
         payload: Dict[str, Any] = {
             "format": "repro.whitepages",
-            "version": 3,
+            "version": version,
             "row_schema": list(RECORD_ROW_FIELDS),
             "machines": machines,
         }
+        if columns_meta is not None:
+            payload["columns"] = columns_meta
     else:
         machines = [record_to_dict(record) for record in records]
         payload = {
@@ -235,7 +273,7 @@ def dumps_database(db: WhitePagesDatabase, *,
             "machines": machines,
         }
     if include_indexes:
-        if version == 3:
+        if version in (3, 4):
             row_of = {record.machine_name: i
                       for i, record in enumerate(records)}
             index_payload = _index_image_to_row_ids(catalog_image, row_of)
@@ -243,7 +281,7 @@ def dumps_database(db: WhitePagesDatabase, *,
             index_payload = dict(catalog_image)
         index_payload["checksum"] = _machines_checksum(machines)
         payload["indexes"] = index_payload
-    if version == 3:
+    if version in (3, 4):
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -278,9 +316,19 @@ def restore_catalog(payload: Dict[str, Any],
         return None
 
 
-def loads_database(text: str, *, use_index_snapshot: bool = True
+def loads_database(text: str, *, use_index_snapshot: bool = True,
+                   columnar: Optional[bool] = None,
+                   sidecar_dir: Optional[Union[str, Path]] = None
                    ) -> WhitePagesDatabase:
     """Parse a snapshot (any supported version) into a database.
+
+    ``columnar=None`` (the default) enables the columnar engine for v4
+    snapshots; since only :func:`load_database` can reach the binary
+    sidecar, a v4 *string* rebuilds its columns from the rows unless
+    ``sidecar_dir`` names the directory holding the sidecar file (the
+    per-shard manifest loader passes it so shard files keep their mmap
+    cold start).  ``columnar=True``/``False`` force the engine on (any
+    version) or off.
 
     Collection is paused for the duration: a bulk load allocates
     millions of long-lived containers and no cycles, so letting the
@@ -291,14 +339,49 @@ def loads_database(text: str, *, use_index_snapshot: bool = True
     if gc_was_enabled:
         gc.disable()
     try:
-        return _loads_database_inner(text,
-                                     use_index_snapshot=use_index_snapshot)
+        return _loads_database_inner(
+            text, use_index_snapshot=use_index_snapshot, columnar=columnar,
+            sidecar_dir=Path(sidecar_dir) if sidecar_dir is not None else None)
     finally:
         if gc_was_enabled:
             gc.enable()
 
 
-def _loads_database_inner(text: str, *, use_index_snapshot: bool
+def _attach_columns(records: List[MachineRecord], version: int,
+                    columnar: Optional[bool],
+                    columns_meta: Optional[Dict[str, Any]],
+                    sidecar_dir: Optional[Path]):
+    """The column store for a freshly-parsed snapshot, or None.
+
+    The fallback ladder: mmap-attach the v4 sidecar (name table and
+    header eagerly validated, column CRCs lazily) → rebuild columns
+    from the rows → plain row-path database.  Every failure is silent:
+    the sidecar is an optimisation, the rows are the source of truth.
+    """
+    want = columnar if columnar is not None else version == 4
+    if not want:
+        return None
+    from repro.database import columnar as _columnar
+    if not _columnar.HAVE_NUMPY:
+        _columnar.warn_numpy_missing()
+        return None
+    if isinstance(columns_meta, dict) and sidecar_dir is not None:
+        try:
+            return _columnar.ColumnStore.from_sidecar(
+                sidecar_dir / str(columns_meta.get("file", "")),
+                [record.machine_name for record in records],
+                header_crc=columns_meta.get("header_crc"))
+        except _columnar.ColumnDataError:
+            pass  # fall through to the rebuild
+    try:
+        return _columnar.ColumnStore(records)
+    except _columnar.ColumnDataError:  # pragma: no cover - defensive
+        return None
+
+
+def _loads_database_inner(text: str, *, use_index_snapshot: bool,
+                          columnar: Optional[bool] = None,
+                          sidecar_dir: Optional[Path] = None
                           ) -> WhitePagesDatabase:
     try:
         payload = json.loads(text)
@@ -310,7 +393,7 @@ def _loads_database_inner(text: str, *, use_index_snapshot: bool
     version = payload.get("version")
     if version not in _SUPPORTED_VERSIONS:
         raise DatabaseError(f"unsupported snapshot version {version!r}")
-    if version == 3:
+    if version in (3, 4):
         if payload.get("row_schema") != list(RECORD_ROW_FIELDS):
             raise DatabaseError(
                 "v3 snapshot row schema does not match this build "
@@ -323,21 +406,72 @@ def _loads_database_inner(text: str, *, use_index_snapshot: bool
         catalog = restore_catalog(
             payload, records, machines_text=_raw_machines_span(text)) \
             if use_index_snapshot else None
-        return WhitePagesDatabase(records, catalog=catalog)
+        columns = _attach_columns(records, version, columnar,
+                                  payload.get("columns"), sidecar_dir)
+        return WhitePagesDatabase(records, catalog=catalog, columns=columns)
     records = [record_from_dict(m) for m in payload.get("machines", [])]
     catalog = restore_catalog(payload, records) if use_index_snapshot else None
-    return WhitePagesDatabase(records, catalog=catalog)
+    columns = _attach_columns(records, version, columnar, None, None)
+    return WhitePagesDatabase(records, catalog=catalog, columns=columns)
 
 
 def save_database(db: WhitePagesDatabase, path: Union[str, Path], *,
                   include_indexes: bool = True,
                   version: int = _FORMAT_VERSION) -> None:
-    Path(path).write_text(
+    """Write a snapshot file (and, for ``version=4``, its sidecar).
+
+    v4 captures the records, the catalog image, *and* the column
+    arrays under one lock hold, writes ``<path>.cols``, then the main
+    JSON (which embeds the sidecar's file name and header CRC).
+    """
+    path = Path(path)
+    if version == 4:
+        from repro.database import columnar as _columnar
+        if not _columnar.HAVE_NUMPY:
+            raise DatabaseError(
+                "format v4 requires numpy to build the column sidecar "
+                "(install 'repro[columnar]' or write version=3)")
+        with db.exclusive():
+            records, catalog_image = db.snapshot_state()
+            names = [record.machine_name for record in records]
+            columns = None
+            store = getattr(db, "_columns", None)
+            if store is not None:
+                try:
+                    columns = store.column_arrays(names)
+                except _columnar.ColumnDataError:
+                    columns = None
+            if columns is None:
+                columns = _columnar.columns_from_records(records)
+        sidecar_name = path.name + ".cols"
+        header_crc = _columnar.write_sidecar_file(
+            path.with_name(sidecar_name), columns, names)
+        text = _dumps_payload(
+            records, catalog_image, include_indexes=include_indexes,
+            version=4, columns_meta={"file": sidecar_name,
+                                     "rows": len(names),
+                                     "header_crc": header_crc})
+        path.write_text(text, encoding="utf-8")
+        return
+    path.write_text(
         dumps_database(db, include_indexes=include_indexes, version=version),
         encoding="utf-8")
 
 
-def load_database(path: Union[str, Path], *, use_index_snapshot: bool = True
-                  ) -> WhitePagesDatabase:
-    return loads_database(Path(path).read_text(encoding="utf-8"),
-                          use_index_snapshot=use_index_snapshot)
+def load_database(path: Union[str, Path], *, use_index_snapshot: bool = True,
+                  columnar: Optional[bool] = None) -> WhitePagesDatabase:
+    """Load a snapshot file; v4 snapshots mmap-attach their column
+    sidecar (``columnar=None`` = auto by version, see
+    :func:`loads_database`)."""
+    path = Path(path)
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _loads_database_inner(
+            path.read_text(encoding="utf-8"),
+            use_index_snapshot=use_index_snapshot,
+            columnar=columnar, sidecar_dir=path.parent)
+    finally:
+        if gc_was_enabled:
+            gc.enable()

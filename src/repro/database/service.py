@@ -501,12 +501,13 @@ class ShardServiceClient:
             "per_shard": per_shard,
         }
 
-    def snapshot_shard(self, shard_index: int,
-                       path: Union[str, Path]) -> Dict[str, Any]:
-        """Ask one worker to write its own v3 snapshot file."""
+    def snapshot_shard(self, shard_index: int, path: Union[str, Path],
+                       version: int = 3) -> Dict[str, Any]:
+        """Ask one worker to write its own snapshot file (``version=4``
+        adds the worker-side binary column sidecar)."""
         with self._oplock:
             return self._conns[shard_index].roundtrip(
-                {"kind": "snapshot", "path": str(path)})
+                {"kind": "snapshot", "path": str(path), "version": version})
 
     def reset(self, records: Iterable[MachineRecord] = ()) -> None:
         """Replace every worker's shard with freshly seeded state."""
@@ -562,6 +563,10 @@ class ShardSupervisor:
         ``multiprocessing`` start method (default: ``forkserver``-free
         choice — ``fork`` where available for fast spawn, else
         ``spawn``; the worker entry point is spawn-safe either way).
+    columnar:
+        Column-kernel tri-state handed to every worker (``None`` =
+        follow the snapshot version; ``True`` = vectorized matching in
+        each worker process even from v3 seeds).
 
     Recovery contract: :meth:`restart` re-spawns a dead worker **on its
     original endpoint** from the newest snapshot for its shard (last
@@ -574,11 +579,16 @@ class ShardSupervisor:
     def __init__(self, shards: int, *, host: str = "127.0.0.1",
                  snapshot_dir: Optional[Union[str, Path]] = None,
                  records: Iterable[MachineRecord] = (),
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 columnar: Optional[bool] = None):
         if shards < 1:
             raise ConfigError(f"shard count must be >= 1, got {shards}")
         self.shards = shards
         self.host = host
+        #: Persistence tri-state handed to every worker: ``None`` =
+        #: follow the snapshot version, ``True``/``False`` = force the
+        #: columnar kernel on or off.
+        self.columnar = columnar
         if start_method is None:
             start_method = ("fork" if "fork"
                             in multiprocessing.get_all_start_methods()
@@ -622,7 +632,8 @@ class ShardSupervisor:
         process = self._ctx.Process(
             target=_supervised_worker_main,
             args=(shard_index, self.shards, self.host, port,
-                  str(snapshot) if snapshot else None, child_conn),
+                  str(snapshot) if snapshot else None, child_conn,
+                  self.columnar),
             daemon=True,
             name=f"shard-worker-{shard_index}",
         )
@@ -786,8 +797,9 @@ class ShardSupervisor:
 
 def _supervised_worker_main(shard_index: int, shards: int, host: str,
                             port: int, snapshot_path: Optional[str],
-                            ready_conn: Any) -> None:
+                            ready_conn: Any,
+                            columnar: Optional[bool] = None) -> None:
     """Picklable process target (spawn-safe import path)."""
     from repro.runtime.shard_worker import run_shard_worker
     run_shard_worker(shard_index, shards, host, port, snapshot_path,
-                     ready_conn)
+                     ready_conn, columnar=columnar)

@@ -30,9 +30,10 @@ parallel.
 
 Persistence
 -----------
-:func:`save_sharded_database` dumps one v3 snapshot *per shard* plus a
-small manifest, so cold start can load (and eventually stream) shards
-independently; ``shards=1`` falls back to the plain whole-file snapshot.
+:func:`save_sharded_database` dumps one v3 (or, with ``version=4``, one
+v4-plus-column-sidecar) snapshot *per shard* plus a small manifest, so
+cold start can load (and eventually stream) shards independently;
+``shards=1`` falls back to the plain whole-file snapshot.
 :func:`load_sharded_database` accepts a manifest **or** any plain
 v1/v2/v3 snapshot, coercing it into the requested shard count
 (``shards=1`` keeps a restored index catalog; re-sharding rebuilds the
@@ -146,10 +147,17 @@ class ShardedWhitePagesDatabase:
         When >= 2 and ``shards`` > 1, fan ``match``/``count``/``scan``
         out on a shared thread pool (see module docstring for what the
         GIL does and does not allow this to buy).  ``None``/1 = serial.
+    columnar:
+        Build each shard with the columnar match kernel
+        (:mod:`repro.database.columnar`).  The numpy mask sweeps release
+        the GIL, so ``max_workers`` fan-out over columnar shards
+        overlaps on real cores — the combination the per-record Python
+        loop could never reach.
     """
 
     def __init__(self, records: Iterable[MachineRecord] = (), *,
-                 shards: int = 1, max_workers: Optional[int] = None):
+                 shards: int = 1, max_workers: Optional[int] = None,
+                 columnar: bool = False):
         if shards < 1:
             raise ConfigError(f"shard count must be >= 1, got {shards}")
         if shards > _MAX_SHARDS:
@@ -158,8 +166,9 @@ class ShardedWhitePagesDatabase:
         groups: List[List[MachineRecord]] = [[] for _ in range(shards)]
         for record in records:
             groups[shard_of(record.machine_name, shards)].append(record)
-        self._init_from_shards([WhitePagesDatabase(g) for g in groups],
-                               max_workers)
+        self._init_from_shards(
+            [WhitePagesDatabase(g, columnar=columnar) for g in groups],
+            max_workers)
 
     @classmethod
     def from_shard_databases(
@@ -211,6 +220,11 @@ class ShardedWhitePagesDatabase:
     def shards(self) -> Tuple[WhitePagesDatabase, ...]:
         """The shard databases, for persistence and fork-based fan-out."""
         return tuple(self._shards)
+
+    @property
+    def columnar(self) -> bool:
+        """True when every shard runs the columnar match kernel."""
+        return all(shard.columnar for shard in self._shards)
 
     def shard_for(self, machine_name: str) -> WhitePagesDatabase:
         """The shard that owns ``machine_name`` (whether registered or
@@ -610,26 +624,53 @@ def save_sharded_database(db: WhitePages, path: Union[str, Path], *,
     The shard files are captured under :meth:`~ShardedWhitePagesDatabase
     .exclusive`, so a concurrent writer cannot split one logical update
     across two shard snapshots.
+
+    ``version=4`` writes each shard through
+    :func:`~repro.database.persistence.save_database`, so every shard
+    file gains its own binary column sidecar (``<file>.cols``) and
+    cold-starts by mmap instead of a column rebuild.  The sidecar paths
+    are appended after the shard files in the returned list; the
+    manifest itself lists (and checksums) only the JSON shard files —
+    sidecars carry their own CRCs and fall back silently.
     """
-    from repro.database.persistence import dumps_database
+    from repro.database.persistence import dumps_database, save_database
     path = Path(path)
     if isinstance(db, WhitePagesDatabase) or db.shard_count == 1:
         single = db if isinstance(db, WhitePagesDatabase) else db.shards[0]
-        path.write_text(
-            dumps_database(single, include_indexes=include_indexes,
-                           version=version),
-            encoding="utf-8")
+        save_database(single, path, include_indexes=include_indexes,
+                      version=version)
+        if version == 4:
+            return [path, path.with_name(path.name + ".cols")]
         return [path]
-    with db.exclusive():
-        texts = [dumps_database(shard, include_indexes=include_indexes,
-                                version=version)
-                 for shard in db.shards]
-    files = [_shard_file_name(path, i) for i in range(len(texts))]
+    files = [_shard_file_name(path, i) for i in range(db.shard_count)]
     written: List[Path] = []
-    for name, text in zip(files, texts):
-        shard_path = path.parent / name
-        shard_path.write_text(text, encoding="utf-8")
-        written.append(shard_path)
+    sidecars: List[Path] = []
+    checksums: List[int] = []
+    with db.exclusive():
+        if version == 4:
+            # Shard locks are re-entrant, so each per-shard
+            # save_database (which takes its own exclusive hold to
+            # capture rows + columns coherently) nests under the
+            # cross-shard hold.
+            for name, shard in zip(files, db.shards):
+                shard_path = path.parent / name
+                save_database(shard, shard_path,
+                              include_indexes=include_indexes, version=4)
+                checksums.append(zlib.crc32(shard_path.read_bytes()))
+                written.append(shard_path)
+                sidecars.append(shard_path.with_name(shard_path.name
+                                                     + ".cols"))
+            texts = None
+        else:
+            texts = [dumps_database(shard, include_indexes=include_indexes,
+                                    version=version)
+                     for shard in db.shards]
+    if texts is not None:
+        for name, text in zip(files, texts):
+            shard_path = path.parent / name
+            shard_path.write_text(text, encoding="utf-8")
+            checksums.append(zlib.crc32(text.encode("utf-8")))
+            written.append(shard_path)
     manifest = {
         # "format" first: the loader sniffs the file head before
         # committing to a full JSON parse of what may be a 100 MB
@@ -637,19 +678,20 @@ def save_sharded_database(db: WhitePages, path: Union[str, Path], *,
         "format": _MANIFEST_FORMAT,
         "version": _MANIFEST_VERSION,
         "partition": _PARTITION_CRC32,
-        "shards": len(texts),
+        "shards": len(files),
         "snapshot_version": version,
         "machines": len(db),
         "files": files,
-        "checksums": [zlib.crc32(t.encode("utf-8")) for t in texts],
+        "checksums": checksums,
     }
     path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
-    return [path] + written
+    return [path] + written + sidecars
 
 
 def _load_manifest_shards(manifest: Dict[str, Any], base: Path, *,
                           use_index_snapshot: bool,
-                          max_workers: Optional[int]
+                          max_workers: Optional[int],
+                          columnar: Optional[bool] = None
                           ) -> List[WhitePagesDatabase]:
     from repro.database.persistence import loads_database
     if manifest.get("version") != _MANIFEST_VERSION:
@@ -673,7 +715,10 @@ def _load_manifest_shards(manifest: Dict[str, Any], base: Path, *,
         if isinstance(checksums, list) and i < len(checksums) and \
                 checksums[i] != zlib.crc32(text.encode("utf-8")):
             raise DatabaseError(f"shard file {name!r} fails its checksum")
-        return loads_database(text, use_index_snapshot=use_index_snapshot)
+        # sidecar_dir lets a v4 shard file mmap-attach its column
+        # sidecar instead of rebuilding columns from rows.
+        return loads_database(text, use_index_snapshot=use_index_snapshot,
+                              columnar=columnar, sidecar_dir=base)
 
     items = list(enumerate(files))
     workers = min(max_workers or 0, len(items))
@@ -689,7 +734,8 @@ def _load_manifest_shards(manifest: Dict[str, Any], base: Path, *,
 def load_sharded_database(path: Union[str, Path], *,
                           shards: Optional[int] = None,
                           use_index_snapshot: bool = True,
-                          max_workers: Optional[int] = None
+                          max_workers: Optional[int] = None,
+                          columnar: Optional[bool] = None
                           ) -> ShardedWhitePagesDatabase:
     """Load a shard manifest *or* any plain snapshot into a sharded DB.
 
@@ -701,6 +747,12 @@ def load_sharded_database(path: Union[str, Path], *,
     - Plain v1/v2/v3 snapshot: loaded through the normal single-file
       path, then coerced.  ``shards=1`` (or None) keeps the restored
       catalog; a larger count re-partitions and rebuilds.
+
+    ``columnar`` follows the persistence tri-state: ``None`` enables
+    the column kernel for v4 shard files (mmap-attaching their
+    sidecars), ``True``/``False`` force it on or off.  Re-partitioning
+    rebuilds columns from records, preserving whatever the loaded
+    shards ran.
     """
     path = Path(path)
     text = path.read_text(encoding="utf-8")
@@ -716,21 +768,27 @@ def load_sharded_database(path: Union[str, Path], *,
     if manifest is not None:
         shard_dbs = _load_manifest_shards(
             manifest, path.parent, use_index_snapshot=use_index_snapshot,
-            max_workers=max_workers)
+            max_workers=max_workers, columnar=columnar)
         if shards is None or shards == len(shard_dbs):
             return ShardedWhitePagesDatabase.from_shard_databases(
                 shard_dbs, max_workers=max_workers)
+        want = columnar if columnar is not None \
+            else all(db.columnar for db in shard_dbs)
         records = [rec for db in shard_dbs
                    for rec in (db.get(name) for name in db.names())]
         return ShardedWhitePagesDatabase(records, shards=shards,
-                                         max_workers=max_workers)
+                                         max_workers=max_workers,
+                                         columnar=want)
     from repro.database.persistence import loads_database
-    single = loads_database(text, use_index_snapshot=use_index_snapshot)
+    single = loads_database(text, use_index_snapshot=use_index_snapshot,
+                            columnar=columnar, sidecar_dir=path.parent)
     if shards is None or shards == 1:
         # N=1 coercion: adopt the loaded database (restored catalog and
         # all) as the only shard.
         return ShardedWhitePagesDatabase.from_shard_databases(
             [single], max_workers=max_workers)
+    want = columnar if columnar is not None else single.columnar
     records = [single.get(name) for name in single.names()]
     return ShardedWhitePagesDatabase(records, shards=shards,
-                                     max_workers=max_workers)
+                                     max_workers=max_workers,
+                                     columnar=want)

@@ -400,20 +400,34 @@ class ShardWorker:
         }
 
     def _verb_snapshot(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """Write (or return) a v3 snapshot of the live shard.
+        """Write (or return) a v3 (or path-backed v4) snapshot of the
+        live shard.
 
         With a ``path`` the text stays worker-side — the supervisor's
         checkpoint of a 100 MB shard costs one small reply, not a bulk
         transfer; without one the text rides back inline on
-        continuation frames.
+        continuation frames.  ``version=4`` needs a ``path`` (its
+        binary column sidecar lands next to the snapshot file and
+        cannot ride an inline text reply).
         """
-        from repro.database.persistence import dumps_database
+        from repro.database.persistence import dumps_database, save_database
         version = int(frame.get("version", 3))
+        path = frame.get("path")
+        if version == 4 and path:
+            try:
+                save_database(self.database, path, version=4)
+                with open(path, "rb") as fh:
+                    crc = zlib.crc32(fh.read())
+            except OSError as exc:
+                raise DatabaseError(
+                    f"snapshot write to {path!r} failed: {exc}") from exc
+            return {"kind": "snapshot", "crc": crc,
+                    "machines": len(self.database), "version": version,
+                    "path": str(path)}
         text = dumps_database(self.database, version=version)
         crc = zlib.crc32(text.encode("utf-8"))
         reply = {"kind": "snapshot", "crc": crc,
                  "machines": len(self.database), "version": version}
-        path = frame.get("path")
         if path:
             try:
                 tmp = f"{path}.tmp.{os.getpid()}"
@@ -437,7 +451,10 @@ class ShardWorker:
                    for row in frame.get("rows", [])]
         for record in records:
             self._check_routing(record.machine_name)
-        self.database = WhitePagesDatabase(records)
+        # The replacement keeps the old database's engine choice, so a
+        # columnar worker stays columnar across a test re-seed.
+        self.database = WhitePagesDatabase(records,
+                                           columnar=self.database.columnar)
         return {"kind": "ok", "machines": len(records)}
 
     def _verb_shutdown(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -449,31 +466,38 @@ class ShardWorker:
 # ---------------------------------------------------------------------------
 
 
-def _load_shard_database(snapshot_path: Optional[str]
+def _load_shard_database(snapshot_path: Optional[str],
+                         columnar: Optional[bool] = None
                          ) -> WhitePagesDatabase:
     if not snapshot_path or not os.path.exists(snapshot_path):
-        return WhitePagesDatabase()
-    from repro.database.persistence import loads_database
-    with open(snapshot_path, encoding="utf-8") as fh:
-        return loads_database(fh.read())
+        return WhitePagesDatabase(columnar=bool(columnar))
+    from repro.database.persistence import load_database
+    # load_database (not loads_database): a v4 per-shard snapshot then
+    # mmap-attaches its column sidecar instead of rebuilding columns.
+    return load_database(snapshot_path, columnar=columnar)
 
 
 def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
                      snapshot_path: Optional[str] = None,
-                     ready_conn: Any = None) -> None:
+                     ready_conn: Any = None,
+                     columnar: Optional[bool] = None) -> None:
     """Process entry: own one shard, serve verbs until ``shutdown``.
 
     Builds the shard database (empty, or cold-started from a per-shard
-    v3 snapshot file), binds the TCP endpoint, reports the bound port
-    through ``ready_conn`` (a :func:`multiprocessing.Pipe` end) so the
-    supervisor can hand out real endpoints even when ``port=0``, then
-    serves until a ``shutdown`` verb or SIGTERM.
+    v3/v4 snapshot file), binds the TCP endpoint, reports the bound
+    port through ``ready_conn`` (a :func:`multiprocessing.Pipe` end) so
+    the supervisor can hand out real endpoints even when ``port=0``,
+    then serves until a ``shutdown`` verb or SIGTERM.
+
+    ``columnar`` is the persistence tri-state: ``None`` follows the
+    snapshot version (v4 → columns on), ``True``/``False`` force the
+    column kernel on or off for this worker.
 
     Importable and picklable, so it works under both the ``fork`` and
     ``spawn`` start methods (and as a CLI foreground process via
     ``repro shard-serve``).
     """
-    database = _load_shard_database(snapshot_path)
+    database = _load_shard_database(snapshot_path, columnar)
     worker = ShardWorker(database, shard_index=shard_index, shards=shards)
 
     async def main() -> None:
