@@ -252,6 +252,29 @@ def measure() -> dict:
 
         results["columnar_cold_start_s"] = _median(columnar_cold_start, 3)
 
+    # WAL crash recovery: recover a 5k-op write-ahead log (per-record
+    # CRC check + JSON decode) and replay it into a fresh worker — the
+    # restart path a crashed shard pays before accepting traffic.
+    from repro.database.wal import WriteAheadLog, recover_wal
+    from repro.runtime.shard_worker import ShardWorker
+
+    replay_n = 5000
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_path = Path(tmp) / "smoke.wal"
+        wal, _ = WriteAheadLog.open(wal_path, mode="async")
+        replay_rows = [db.get(name).to_row()
+                       for name in db.names()[:replay_n]]
+        for row in replay_rows:
+            wal.append({"kind": "register", "row": row})
+        wal.close()
+
+        def wal_replay():
+            recovery = recover_wal(wal_path)
+            return ShardWorker().replay(recovery.entries)
+
+        assert wal_replay() == replay_n
+        results["wal_replay_s"] = _median(wal_replay, 3)
+
     from repro.database.service import ShardSupervisor
 
     with tempfile.TemporaryDirectory() as tmp:

@@ -78,18 +78,25 @@ def _load_fleet_records(path: str) -> List[MachineRecord]:
 def _cmd_shard_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.database.service import ShardSupervisor
+    from repro.fleet import build_shard_service
 
-    if args.fleet:
+    if args.resume:
+        # Adopt whatever checkpoint/seed (and write-ahead logs) the
+        # snapshot directory already holds: restart-the-world recovery.
+        records = None
+    elif args.fleet:
         records = _load_fleet_records(args.fleet)
     else:
         records = build_fleet(FleetSpec(size=args.size))
-    supervisor = ShardSupervisor(
-        args.shards, host=args.host, snapshot_dir=args.snapshot_dir,
-        records=records, columnar=True if args.columnar else None)
+    supervisor = build_shard_service(
+        args.shards, args.snapshot_dir, records=records, host=args.host,
+        wal=args.wal, wal_interval=args.wal_interval,
+        columnar=True if args.columnar else None)
     supervisor.start()
     endpoints = ",".join(f"{h}:{p}" for h, p in supervisor.endpoints)
-    print(f"shard service: {args.shards} workers, {len(records)} machines")
+    machines = len(supervisor.client())
+    print(f"shard service: {args.shards} workers, {machines} machines, "
+          f"wal={args.wal}")
     print(f"endpoints: {endpoints}")
     print(f"(connect with: repro serve --shard-service \"{endpoints}\"; "
           f"Ctrl-C to stop)")
@@ -242,6 +249,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--columnar", action="store_true",
                          help="run every worker with the vectorized "
                               "columnar match kernel")
+    p_shard.add_argument("--wal", default="fsync",
+                         choices=("off", "async", "fsync"),
+                         help="per-shard write-ahead op log: 'fsync' "
+                              "(default) makes every acknowledged mutation "
+                              "durable and restarts crash-exact; 'async' "
+                              "survives process crash only; 'off' keeps the "
+                              "lossy last-checkpoint contract")
+    p_shard.add_argument("--wal-interval", type=float, default=0.0,
+                         help="group-commit window in seconds (0 = batch "
+                              "only what shares an event-loop tick)")
+    p_shard.add_argument("--resume", action="store_true",
+                         help="skip seeding; adopt the snapshot dir's "
+                              "newest checkpoint/seed and replay the op "
+                              "logs (restart-the-world recovery)")
     p_shard.set_defaults(fn=_cmd_shard_serve)
 
     p_query = sub.add_parser("query", help="query a live service")

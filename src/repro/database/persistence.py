@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -79,7 +80,7 @@ from repro.errors import DatabaseError
 
 __all__ = ["record_to_dict", "record_from_dict", "save_database",
            "load_database", "dumps_database", "loads_database",
-           "restore_catalog"]
+           "restore_catalog", "snapshot_wal_lsn", "atomic_write_text"]
 
 _FORMAT_VERSION = 3
 #: Versions this loader understands (1 = records only, no index section;
@@ -223,7 +224,8 @@ def _raw_machines_span(text: str) -> Optional[str]:
 
 def dumps_database(db: WhitePagesDatabase, *,
                    include_indexes: bool = True,
-                   version: int = _FORMAT_VERSION) -> str:
+                   version: int = _FORMAT_VERSION,
+                   wal_lsn: Optional[int] = None) -> str:
     """Serialise the database (records + optional index image).
 
     ``version=3`` (the default) writes the compact positional-row
@@ -231,6 +233,12 @@ def dumps_database(db: WhitePagesDatabase, *,
     format for fleets that live under version control.  ``version=4``
     is rejected here — its column sidecar is a separate binary file,
     so only the path-based :func:`save_database` can write it.
+
+    ``wal_lsn`` embeds a write-ahead-log watermark (the LSN of the last
+    op this snapshot includes, see :mod:`repro.database.wal`): landing
+    it inside the snapshot makes watermark and records atomic under one
+    ``os.replace``, which is what lets a crash between checkpoint and
+    log truncation replay as a no-op instead of a double-apply.
     """
     if version == 4:
         raise DatabaseError(
@@ -241,19 +249,33 @@ def dumps_database(db: WhitePagesDatabase, *,
     # One atomic capture: records and catalog image from the same lock
     # hold, so the checksum can never bless an index section that
     # reflects a mutation the record section missed.
-    records, catalog_image = db.snapshot_state()
+    with db.exclusive():
+        records, catalog_image = db.snapshot_state()
+        taken = db.holders()
     return _dumps_payload(records, catalog_image,
-                          include_indexes=include_indexes, version=version)
+                          include_indexes=include_indexes, version=version,
+                          wal_lsn=wal_lsn, taken=taken)
 
 
 def _dumps_payload(records: List[MachineRecord],
                    catalog_image: Dict[str, Any], *,
                    include_indexes: bool, version: int,
-                   columns_meta: Optional[Dict[str, Any]] = None) -> str:
+                   columns_meta: Optional[Dict[str, Any]] = None,
+                   wal_lsn: Optional[int] = None,
+                   taken: Optional[Dict[str, str]] = None) -> str:
     """Serialise an already-captured (records, catalog image) pair.
 
     v4 shares the v3 row encoding — same ``row_schema``, same index
     section — plus a ``columns`` key pointing at the binary sidecar.
+    The optional ``wal_lsn`` and ``taken`` keys sort after
+    ``row_schema`` in the compact serialisation, so the byte-exact
+    ``machines`` span the fast loader checksums (see
+    :func:`_raw_machines_span`) is unaffected.
+
+    ``taken`` is the machine→pool holder map: take/release is mutable
+    state exactly like ``current_load``, so a snapshot that dropped it
+    could never be crash-exact (a ``take`` WAL-truncated by a
+    checkpoint would vanish on recovery).
     """
     if version in (3, 4):
         machines: List[Any] = [record.to_row() for record in records]
@@ -272,6 +294,10 @@ def _dumps_payload(records: List[MachineRecord],
             "version": 2,
             "machines": machines,
         }
+    if wal_lsn is not None:
+        payload["wal_lsn"] = int(wal_lsn)
+    if taken:
+        payload["taken"] = {str(k): str(v) for k, v in taken.items()}
     if include_indexes:
         if version in (3, 4):
             row_of = {record.machine_name: i
@@ -408,21 +434,109 @@ def _loads_database_inner(text: str, *, use_index_snapshot: bool,
             if use_index_snapshot else None
         columns = _attach_columns(records, version, columnar,
                                   payload.get("columns"), sidecar_dir)
-        return WhitePagesDatabase(records, catalog=catalog, columns=columns)
+        return _restore_taken(
+            WhitePagesDatabase(records, catalog=catalog, columns=columns),
+            payload)
     records = [record_from_dict(m) for m in payload.get("machines", [])]
     catalog = restore_catalog(payload, records) if use_index_snapshot else None
     columns = _attach_columns(records, version, columnar, None, None)
-    return WhitePagesDatabase(records, catalog=catalog, columns=columns)
+    return _restore_taken(
+        WhitePagesDatabase(records, catalog=catalog, columns=columns),
+        payload)
+
+
+def _restore_taken(db: WhitePagesDatabase,
+                   payload: Dict[str, Any]) -> WhitePagesDatabase:
+    """Re-apply the snapshot's machine→pool holder map, fail-closed."""
+    taken = payload.get("taken")
+    if not isinstance(taken, dict):
+        return db
+    for name, pool in taken.items():
+        try:
+            ok = db.take(str(name), str(pool))
+        except DatabaseError as exc:
+            raise DatabaseError(
+                f"snapshot taken-map names unknown machine {name!r}"
+            ) from exc
+        if not ok:  # pragma: no cover - single pool per name in a dict
+            raise DatabaseError(f"snapshot taken-map conflict on {name!r}")
+    return db
+
+
+def snapshot_wal_lsn(text: str) -> int:
+    """The WAL watermark of a snapshot string, or 0.
+
+    0 means "replay everything": pre-WAL snapshots (seed files, v1/v2
+    fleets) carry no watermark, and an op log found next to them is by
+    definition entirely newer than their contents.
+
+    The compact v3/v4 serialisation makes the key findable without a
+    full parse (``"wal_lsn":N`` with fixed separators, near the end of
+    the file); anything irregular falls back to ``json.loads``.
+    """
+    marker = '"wal_lsn":'
+    pos = text.rfind(marker)
+    if pos < 0:
+        return 0
+    start = pos + len(marker)
+    end = start
+    while end < len(text) and (text[end].isdigit() or text[end] in "+- "):
+        end += 1
+    try:
+        return int(text[start:end].strip())
+    except ValueError:
+        pass
+    try:
+        return int(json.loads(text).get("wal_lsn", 0))
+    except (json.JSONDecodeError, AttributeError, TypeError, ValueError):
+        return 0
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Crash-safe file replacement: tmp file, flush, fsync, rename.
+
+    A plain ``write_text`` that dies mid-write leaves a torn file *in
+    place* — for a checkpoint that means the next restart loads
+    garbage.  Writing to ``<path>.tmp.<pid>`` and ``os.replace``-ing
+    guarantees the destination only ever holds the old or the new
+    complete contents; the fsync before the rename keeps the rename
+    from being durable before the data is.
+
+    The write path is instrumented with the ``checkpoint.*`` crash
+    points (:mod:`repro.runtime.faults`) — free no-ops unless a
+    durability test has armed an injector.
+    """
+    from repro.runtime import faults
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        faults.crash_point("checkpoint.before_rename")
+        os.replace(tmp, path)
+        faults.crash_point("checkpoint.after_rename")
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
 
 
 def save_database(db: WhitePagesDatabase, path: Union[str, Path], *,
                   include_indexes: bool = True,
-                  version: int = _FORMAT_VERSION) -> None:
+                  version: int = _FORMAT_VERSION,
+                  wal_lsn: Optional[int] = None) -> None:
     """Write a snapshot file (and, for ``version=4``, its sidecar).
 
-    v4 captures the records, the catalog image, *and* the column
-    arrays under one lock hold, writes ``<path>.cols``, then the main
-    JSON (which embeds the sidecar's file name and header CRC).
+    Writes are atomic (tmp + fsync + rename, :func:`atomic_write_text`)
+    so a crash mid-save can never leave a torn snapshot that poisons
+    the next restart.  v4 captures the records, the catalog image,
+    *and* the column arrays under one lock hold, writes ``<path>.cols``,
+    then the main JSON (which embeds the sidecar's file name and header
+    CRC).
     """
     path = Path(path)
     if version == 4:
@@ -433,6 +547,7 @@ def save_database(db: WhitePagesDatabase, path: Union[str, Path], *,
                 "(install 'repro[columnar]' or write version=3)")
         with db.exclusive():
             records, catalog_image = db.snapshot_state()
+            taken = db.holders()
             names = [record.machine_name for record in records]
             columns = None
             store = getattr(db, "_columns", None)
@@ -450,12 +565,14 @@ def save_database(db: WhitePagesDatabase, path: Union[str, Path], *,
             records, catalog_image, include_indexes=include_indexes,
             version=4, columns_meta={"file": sidecar_name,
                                      "rows": len(names),
-                                     "header_crc": header_crc})
-        path.write_text(text, encoding="utf-8")
+                                     "header_crc": header_crc},
+            wal_lsn=wal_lsn, taken=taken)
+        atomic_write_text(path, text)
         return
-    path.write_text(
-        dumps_database(db, include_indexes=include_indexes, version=version),
-        encoding="utf-8")
+    atomic_write_text(
+        path,
+        dumps_database(db, include_indexes=include_indexes, version=version,
+                       wal_lsn=wal_lsn))
 
 
 def load_database(path: Union[str, Path], *, use_index_snapshot: bool = True,

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import random
 import socket
 import threading
 import time
@@ -79,6 +80,7 @@ from repro.database.sharding import (
     save_sharded_database,
     shard_of,
 )
+from repro.database.wal import WAL_MODES
 from repro.database.whitepages import Listener, Predicate
 from repro.errors import ConfigError, DatabaseError, RuntimeProtocolError
 from repro.runtime.protocol import read_frame_sock, write_frame_sock
@@ -88,10 +90,24 @@ __all__ = [
     "RemoteShardedDatabase",
     "ShardSupervisor",
     "parse_endpoints",
+    "backoff_delay",
 ]
 
 #: Seconds a worker gets to report readiness before startup fails.
 _READY_TIMEOUT_S = 30.0
+
+
+def backoff_delay(attempt: int, *, base: float = 0.05, cap: float = 2.0,
+                  jitter: float = 0.25,
+                  rng: Optional[random.Random] = None) -> float:
+    """Exponential backoff with jitter for retry loop ``attempt``
+    (0-based): ``min(cap, base·2^attempt)`` scaled by a uniform
+    ``±jitter`` factor.  The jitter de-synchronises clients hammering a
+    worker endpoint that is mid-restart — without it every retry wave
+    lands in lockstep on the exact moment the last one failed."""
+    delay = min(cap, base * (2.0 ** attempt))
+    spread = (rng or random).uniform(-jitter, jitter)
+    return max(0.0, delay * (1.0 + spread))
 
 
 def parse_endpoints(spec: str) -> List[Tuple[str, int]]:
@@ -122,22 +138,34 @@ class _WorkerConnection:
 
     A lock serialises request/response pairs (the protocol has no
     correlation ids); on a connection error the next round trip redials
-    once — a restarted worker re-binds its old endpoint, so recovery is
-    transparent to callers.
+    — with bounded exponential backoff and jitter, because the usual
+    cause is a worker mid-restart whose endpoint comes back after a
+    beat — and a restarted worker re-binds its old endpoint, so
+    recovery is transparent to callers.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0,
+                 dial_attempts: int = 5):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.dial_attempts = max(1, int(dial_attempts))
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
 
     def _dial(self) -> socket.socket:
-        sock = socket.create_connection((self.host, self.port),
-                                        timeout=self.timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
+        for attempt in range(self.dial_attempts):
+            try:
+                sock = socket.create_connection((self.host, self.port),
+                                                timeout=self.timeout)
+            except OSError:
+                if attempt + 1 >= self.dial_attempts:
+                    raise
+                time.sleep(backoff_delay(attempt))
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        raise OSError("unreachable")  # pragma: no cover - loop always exits
 
     def close(self) -> None:
         with self._lock:
@@ -501,6 +529,29 @@ class ShardServiceClient:
             "per_shard": per_shard,
         }
 
+    def inject_fault(self, shard_index: int,
+                     triggers: Dict[str, int]) -> Dict[str, Any]:
+        """Arm crash-point countdowns in one worker (empty ``triggers``
+        disarms) — the client face of the fault-injection harness, for
+        durability tests and game-day drills."""
+        return self._conns[shard_index].roundtrip(
+            {"kind": "fault", "triggers": dict(triggers)})
+
+    def wal_stats(self) -> Dict[str, Any]:
+        """Fleet-wide write-ahead-log counters (from ``health``):
+        per-shard mode/LSN/sync stats plus the aggregate append, sync,
+        and byte totals — the observability face of the durability
+        knob."""
+        per_shard = [h.get("wal", {"mode": "off"}) for h in self.health()]
+        return {
+            "shards": len(self._conns),
+            "modes": sorted({str(s.get("mode", "off")) for s in per_shard}),
+            "appended": sum(int(s.get("appended", 0)) for s in per_shard),
+            "syncs": sum(int(s.get("syncs", 0)) for s in per_shard),
+            "bytes": sum(int(s.get("bytes", 0)) for s in per_shard),
+            "per_shard": per_shard,
+        }
+
     def snapshot_shard(self, shard_index: int, path: Union[str, Path],
                        version: int = 3) -> Dict[str, Any]:
         """Ask one worker to write its own snapshot file (``version=4``
@@ -567,28 +618,51 @@ class ShardSupervisor:
         Column-kernel tri-state handed to every worker (``None`` =
         follow the snapshot version; ``True`` = vectorized matching in
         each worker process even from v3 seeds).
+    wal, wal_interval:
+        The durability knob (see :mod:`repro.database.wal`).
+        ``wal="off"`` (the default) keeps the PR 5 contract below;
+        ``"async"``/``"fsync"`` give every worker a per-shard op log
+        (``shard_<i>.wal`` in ``snapshot_dir``, which becomes
+        mandatory), with ``wal_interval`` as the group-commit window in
+        seconds (0 = batch only what shares an event-loop tick).
 
     Recovery contract: :meth:`restart` re-spawns a dead worker **on its
     original endpoint** from the newest snapshot for its shard (last
-    :meth:`checkpoint`, else the initial seed, else empty).  Mutations
-    after that snapshot are lost — the white pages is a cache of
-    monitoring state, and the paper's monitors re-populate it; the
-    scale the service buys is warm *indexes*, not durability.
+    :meth:`checkpoint`, else the initial seed, else empty).  With
+    ``wal="off"``, mutations after that snapshot are lost — the white
+    pages is a cache of monitoring state, and the paper's monitors
+    re-populate it.  With a write-ahead log, the worker replays its op
+    log tail over the snapshot and recovery is **crash-exact**: every
+    acknowledged mutation survives (``fsync`` — process and power
+    crash; ``async`` — process crash), restart converts from a
+    data-loss event into a bounded-latency one.
     """
 
     def __init__(self, shards: int, *, host: str = "127.0.0.1",
                  snapshot_dir: Optional[Union[str, Path]] = None,
                  records: Iterable[MachineRecord] = (),
                  start_method: Optional[str] = None,
-                 columnar: Optional[bool] = None):
+                 columnar: Optional[bool] = None,
+                 wal: str = "off", wal_interval: float = 0.0):
         if shards < 1:
             raise ConfigError(f"shard count must be >= 1, got {shards}")
+        if wal not in WAL_MODES:
+            raise ConfigError(
+                f"wal must be one of {'|'.join(WAL_MODES)}, got {wal!r}")
+        if wal_interval < 0:
+            raise ConfigError("wal_interval must be >= 0")
+        if wal != "off" and snapshot_dir is None:
+            raise ConfigError(
+                f"wal={wal!r} needs a snapshot_dir to hold the per-shard "
+                "op logs")
         self.shards = shards
         self.host = host
         #: Persistence tri-state handed to every worker: ``None`` =
         #: follow the snapshot version, ``True``/``False`` = force the
         #: columnar kernel on or off.
         self.columnar = columnar
+        self.wal = wal
+        self.wal_interval = float(wal_interval)
         if start_method is None:
             start_method = ("fork" if "fork"
                             in multiprocessing.get_all_start_methods()
@@ -623,6 +697,53 @@ class ShardSupervisor:
             for i, path in enumerate(written[1:]):
                 self._snapshots[i] = path
 
+    def _adopt_snapshots(self) -> Optional[str]:
+        """Point ``_snapshots`` at existing on-disk state, newest first.
+
+        The restart-the-world path: a supervisor started over a
+        ``snapshot_dir`` that already holds a checkpoint (or seed) for
+        this shard count adopts those files, so the workers cold-start
+        from them — and, with a write-ahead log, replay their op-log
+        tails on top.  Returns the adopted stem, or None.
+        """
+        if self._dir is None:
+            return None
+        for stem in ("checkpoint", "seed"):
+            manifest = self._manifest_path(stem)
+            if not manifest.exists():
+                continue
+            if self.shards == 1:
+                # Single-shard artifacts are plain snapshots written in
+                # place of the manifest; a *manifest* here belongs to a
+                # different shard count — skip it.
+                from repro.database.sharding import is_shard_manifest
+                if is_shard_manifest(manifest):
+                    continue
+                self._snapshots[0] = manifest
+                return stem
+            try:
+                meta = json.loads(manifest.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(meta, dict) or \
+                    meta.get("format") != _MANIFEST_FORMAT or \
+                    meta.get("shards") != self.shards:
+                continue
+            files = [self._dir / str(name)
+                     for name in meta.get("files", [])]
+            if len(files) != self.shards or \
+                    not all(f.exists() for f in files):
+                continue
+            for i, path in enumerate(files):
+                self._snapshots[i] = path
+            return stem
+        return None
+
+    def _wal_path(self, shard_index: int) -> Optional[str]:
+        if self.wal == "off" or self._dir is None:
+            return None
+        return str(self._dir / f"shard_{shard_index}.wal")
+
     # -- lifecycle ------------------------------------------------------------
 
     def _spawn(self, shard_index: int, port: int) -> int:
@@ -633,7 +754,8 @@ class ShardSupervisor:
             target=_supervised_worker_main,
             args=(shard_index, self.shards, self.host, port,
                   str(snapshot) if snapshot else None, child_conn,
-                  self.columnar),
+                  self.columnar, self.wal, self._wal_path(shard_index),
+                  self.wal_interval),
             daemon=True,
             name=f"shard-worker-{shard_index}",
         )
@@ -665,7 +787,24 @@ class ShardSupervisor:
             raise ConfigError(
                 "seeding from records needs a snapshot_dir to stage the "
                 "per-shard files in")
-        self._write_seed()
+        if self._seed_records:
+            # Explicit records are an explicit re-seed: they win over
+            # whatever the snapshot directory already holds — including
+            # any stale op logs, which describe the *previous* fleet
+            # and must not replay over the new seed.
+            self._write_seed()
+            for i in range(self.shards):
+                wal_path = self._wal_path(i)
+                if wal_path:
+                    try:
+                        Path(wal_path).unlink()
+                    except FileNotFoundError:
+                        pass
+        else:
+            self._adopt_snapshots()
+        if self.wal != "off":
+            assert self._dir is not None  # enforced in __init__
+            self._dir.mkdir(parents=True, exist_ok=True)
         for i in range(self.shards):
             self._spawn(i, 0)
         return self
@@ -758,8 +897,9 @@ class ShardSupervisor:
             "files": files,
             "checksums": checksums,
         }
-        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n",
-                                 encoding="utf-8")
+        from repro.database.persistence import atomic_write_text
+        atomic_write_text(manifest_path,
+                          json.dumps(manifest, indent=2) + "\n")
         return manifest_path
 
     def restart(self, shard_index: int) -> int:
@@ -773,8 +913,10 @@ class ShardSupervisor:
             self._processes[shard_index] = None
         port = self._ports[shard_index]
         # The dead listener may linger in TIME_WAIT for a beat; retry
-        # the rebind briefly rather than failing the recovery.
+        # the rebind with backoff + jitter (so N shards recovering at
+        # once don't re-collide on every wave) rather than failing.
         deadline = time.monotonic() + _READY_TIMEOUT_S
+        attempt = 0
         while True:
             try:
                 self._spawn(shard_index, port)
@@ -782,7 +924,8 @@ class ShardSupervisor:
             except DatabaseError:
                 if time.monotonic() >= deadline:
                     raise
-                time.sleep(0.2)
+                time.sleep(backoff_delay(attempt, base=0.1))
+                attempt += 1
         self.restarts += 1
         return port
 
@@ -798,8 +941,12 @@ class ShardSupervisor:
 def _supervised_worker_main(shard_index: int, shards: int, host: str,
                             port: int, snapshot_path: Optional[str],
                             ready_conn: Any,
-                            columnar: Optional[bool] = None) -> None:
+                            columnar: Optional[bool] = None,
+                            wal_mode: str = "off",
+                            wal_path: Optional[str] = None,
+                            wal_interval: float = 0.0) -> None:
     """Picklable process target (spawn-safe import path)."""
     from repro.runtime.shard_worker import run_shard_worker
     run_shard_worker(shard_index, shards, host, port, snapshot_path,
-                     ready_conn, columnar=columnar)
+                     ready_conn, columnar=columnar, wal_mode=wal_mode,
+                     wal_path=wal_path, wal_interval=wal_interval)

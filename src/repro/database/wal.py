@@ -1,0 +1,336 @@
+"""Per-shard write-ahead op log: lossless recovery between checkpoints.
+
+The shard service's checkpoint/restart loop (PR 5) recovers a crashed
+worker from its last snapshot — and silently drops every mutation since.
+This module closes that window: every mutating verb a
+:class:`~repro.runtime.shard_worker.ShardWorker` applies is also
+appended to an append-only log, so restart becomes *snapshot load + log
+tail replay* and recovery is crash-exact.
+
+File layout
+-----------
+An 8-byte magic (``RWPWAL1\\0``) followed by records::
+
+    +----------------+----------------+------------------------------+
+    | length  (>I)   | crc32   (>I)   | payload (length bytes)       |
+    +----------------+----------------+------------------------------+
+
+The payload is the compact JSON of ``[lsn, frame]`` — ``frame`` is the
+verb's wire request verbatim (rows already travel as the v3 positional
+row codec of :mod:`repro.database.persistence`, so the log reuses that
+encoding for free), and ``lsn`` is a strictly-increasing log sequence
+number.  Replay is coupled to checkpoints through the LSN **watermark**:
+a snapshot written by a WAL-enabled worker embeds the LSN of the last
+op it includes (``wal_lsn`` in the snapshot JSON — atomic with the
+snapshot because both land in one ``os.replace``), and recovery replays
+only records with a higher LSN.  A crash between the snapshot rename
+and the log truncation therefore leaves stale records that replay as
+watermark-skipped no-ops, never double-applies.
+
+Failure handling is **fail-closed**: recovery stops at the first torn
+record (short header, short payload, CRC mismatch, undecodable JSON, or
+a non-monotonic LSN) and discards it *and everything after it* — a
+half-written op is indistinguishable from garbage, and no half-applied
+op may ever become visible.  The recovered good prefix's byte length is
+returned so the worker truncates the file there before appending again.
+
+Durability modes
+----------------
+``fsync``
+    :meth:`WriteAheadLog.sync` (an ``fdatasync``) is awaited before the
+    worker acknowledges the op.  Survives process *and* machine crash.
+    The worker group-commits: concurrent ops that land in the same
+    event-loop batch (or the same ``group_commit_interval`` window)
+    share one sync.
+``async``
+    Records are written to the OS (page cache) before the reply, synced
+    on a best-effort cadence.  Survives process crash (``SIGKILL``,
+    OOM) — the bytes are the kernel's — but not power loss.
+``off``
+    No log: PR 5's lossy last-checkpoint contract, unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError, DatabaseError
+
+__all__ = [
+    "WAL_MAGIC",
+    "WAL_MODES",
+    "WriteAheadLog",
+    "WalRecoveryResult",
+    "recover_wal",
+]
+
+WAL_MAGIC = b"RWPWAL1\x00"
+WAL_MODES = ("off", "async", "fsync")
+
+_HEADER = struct.Struct(">II")  # payload length, payload crc32
+
+#: Sanity cap on one record's announced payload (a corrupt length field
+#: must not trigger a giant allocation during recovery).
+_MAX_RECORD_BYTES = 1 << 26
+
+
+class WalRecoveryResult:
+    """What :func:`recover_wal` salvaged from a log file.
+
+    ``entries`` is the good prefix as ``(lsn, frame)`` pairs in append
+    order; ``good_bytes`` is its byte length (truncate the file here
+    before appending); ``discarded_bytes`` counts the torn tail, and
+    ``reason`` says why scanning stopped (``"end"`` for a clean file).
+    """
+
+    def __init__(self, entries: List[Tuple[int, Dict[str, Any]]],
+                 good_bytes: int, discarded_bytes: int, reason: str):
+        self.entries = entries
+        self.good_bytes = good_bytes
+        self.discarded_bytes = discarded_bytes
+        self.reason = reason
+
+    @property
+    def last_lsn(self) -> int:
+        return self.entries[-1][0] if self.entries else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WalRecoveryResult(entries={len(self.entries)}, "
+                f"good_bytes={self.good_bytes}, "
+                f"discarded={self.discarded_bytes}, reason={self.reason!r})")
+
+
+def recover_wal(path: Union[str, Path]) -> WalRecoveryResult:
+    """Scan a WAL file, returning its longest valid prefix.
+
+    Fail-closed by construction: the first record that fails any guard
+    ends the scan, and everything from that offset on is reported as
+    discarded.  A missing file is an empty log; a file whose *magic* is
+    wrong is treated as wholly torn (zero entries, everything
+    discarded) — replaying bytes of unknown provenance is worse than
+    falling back to the snapshot.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return WalRecoveryResult([], 0, 0, "missing")
+    if len(data) < len(WAL_MAGIC) or not data.startswith(WAL_MAGIC):
+        return WalRecoveryResult([], 0, len(data), "bad-magic")
+    entries: List[Tuple[int, Dict[str, Any]]] = []
+    offset = len(WAL_MAGIC)
+    last_lsn = 0
+    reason = "end"
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            reason = "torn-header"
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_RECORD_BYTES:
+            reason = "bad-length"
+            break
+        body_start = offset + _HEADER.size
+        body_end = body_start + length
+        if body_end > len(data):
+            reason = "torn-payload"
+            break
+        payload = data[body_start:body_end]
+        if zlib.crc32(payload) != crc:
+            reason = "crc-mismatch"
+            break
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            reason = "bad-json"
+            break
+        if (not isinstance(decoded, list) or len(decoded) != 2
+                or not isinstance(decoded[0], int)
+                or not isinstance(decoded[1], dict)):
+            reason = "bad-record"
+            break
+        lsn, frame = decoded
+        if lsn <= last_lsn:
+            reason = "non-monotonic-lsn"
+            break
+        entries.append((lsn, frame))
+        last_lsn = lsn
+        offset = body_end
+    return WalRecoveryResult(entries, offset, len(data) - offset, reason)
+
+
+class WriteAheadLog:
+    """An open, append-only shard op log.
+
+    Use :meth:`open` to recover-then-open (the worker restart path);
+    the constructor alone assumes the file is already a valid prefix.
+    All appends go through one unbuffered file descriptor opened
+    ``O_APPEND`` — each record is a single ``os.write``, so concurrent
+    appenders (there are none today; the worker dispatch loop is
+    single-threaded) could not interleave bytes anyway.
+    """
+
+    def __init__(self, path: Union[str, Path], *, mode: str = "fsync",
+                 group_commit_interval: float = 0.0,
+                 start_lsn: int = 0):
+        if mode not in ("async", "fsync"):
+            raise ConfigError(
+                f"wal mode must be 'async' or 'fsync', got {mode!r} "
+                "(mode 'off' means: no WriteAheadLog at all)")
+        if group_commit_interval < 0:
+            raise ConfigError("group_commit_interval must be >= 0")
+        self.path = Path(path)
+        self.mode = mode
+        self.group_commit_interval = float(group_commit_interval)
+        self.last_lsn = int(start_lsn)
+        self.synced_lsn = int(start_lsn)
+        self.appended = 0
+        self.syncs = 0
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        if os.fstat(self._fd).st_size == 0:
+            os.write(self._fd, WAL_MAGIC)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, Path], *, mode: str = "fsync",
+             group_commit_interval: float = 0.0
+             ) -> Tuple["WriteAheadLog", WalRecoveryResult]:
+        """Recover ``path`` (discarding any torn tail on disk) and open
+        it for appending; returns the log and what was salvaged."""
+        recovery = recover_wal(path)
+        path = Path(path)
+        if path.exists():
+            size = path.stat().st_size
+            if recovery.good_bytes < size:
+                # Physically drop the torn tail so the next append
+                # cannot glue new bytes onto half a record.
+                with open(path, "rb+") as fh:
+                    fh.truncate(max(recovery.good_bytes, 0))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        wal = cls(path, mode=mode,
+                  group_commit_interval=group_commit_interval,
+                  start_lsn=recovery.last_lsn)
+        return wal, recovery
+
+    def close(self) -> None:
+        """Flush and close — the graceful-shutdown path.  Safe to call
+        twice; after close every append raises."""
+        if self._fd is None:
+            return
+        try:
+            self.sync()
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+    @property
+    def closed(self) -> bool:
+        return self._fd is None
+
+    # -- the write path -----------------------------------------------------
+
+    def append(self, frame: Dict[str, Any]) -> int:
+        """Serialise and append one op record; returns its LSN.
+
+        The record reaches the OS before this returns (unbuffered
+        write); it reaches the *platters* only after :meth:`sync`.
+        Instrumented with the ``wal.*`` crash points (no-ops unless a
+        fault injector is armed).
+        """
+        # Local import: the fault harness lives in the runtime package,
+        # and importing it at module scope would cycle back through
+        # repro.runtime.__init__ → shard_worker → this module.
+        from repro.runtime import faults
+        if self._fd is None:
+            raise DatabaseError(f"wal {self.path} is closed")
+        lsn = self.last_lsn + 1
+        payload = json.dumps([lsn, frame],
+                             separators=(",", ":")).encode("utf-8")
+        record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        faults.crash_point("wal.before_append")
+        if faults.should_fire("wal.mid_append"):  # pragma: no cover - fatal
+            # The torn-tail scenario: half a record reaches the disk,
+            # then the process dies.  Recovery must discard it.
+            os.write(self._fd, record[:max(1, len(record) // 2)])
+            faults.die()
+        try:
+            os.write(self._fd, record)
+        except OSError as exc:
+            raise DatabaseError(
+                f"wal append to {self.path} failed: {exc}") from exc
+        self.last_lsn = lsn
+        self.appended += 1
+        faults.crash_point("wal.after_append")
+        return lsn
+
+    @property
+    def needs_sync(self) -> bool:
+        return self.synced_lsn < self.last_lsn
+
+    def sync(self) -> None:
+        """Make every appended record durable (``fdatasync``)."""
+        if self._fd is None or not self.needs_sync:
+            return
+        target = self.last_lsn
+        try:
+            if hasattr(os, "fdatasync"):
+                os.fdatasync(self._fd)
+            else:  # pragma: no cover - non-POSIX
+                os.fsync(self._fd)
+        except OSError as exc:
+            raise DatabaseError(
+                f"wal sync of {self.path} failed: {exc}") from exc
+        self.synced_lsn = target
+        self.syncs += 1
+
+    def truncate(self) -> None:
+        """Drop every record (checkpoint took over); LSNs keep counting.
+
+        The snapshot that just landed embeds ``last_lsn`` as its
+        watermark, so even if this truncation never happens (crash in
+        the window) the stale records are skipped on replay.
+        """
+        if self._fd is None:
+            raise DatabaseError(f"wal {self.path} is closed")
+        os.ftruncate(self._fd, len(WAL_MAGIC))
+        try:
+            if hasattr(os, "fdatasync"):
+                os.fdatasync(self._fd)
+            else:  # pragma: no cover - non-POSIX
+                os.fsync(self._fd)
+        except OSError as exc:
+            raise DatabaseError(
+                f"wal truncate of {self.path} failed: {exc}") from exc
+        self.synced_lsn = self.last_lsn
+        self.syncs += 1
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        size = 0
+        if self._fd is not None:
+            try:
+                size = os.fstat(self._fd).st_size
+            except OSError:  # pragma: no cover - defensive
+                size = 0
+        return {
+            "mode": self.mode,
+            "path": str(self.path),
+            "last_lsn": self.last_lsn,
+            "synced_lsn": self.synced_lsn,
+            "appended": self.appended,
+            "syncs": self.syncs,
+            "bytes": size,
+            "group_commit_interval": self.group_commit_interval,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WriteAheadLog({str(self.path)!r}, mode={self.mode!r}, "
+                f"lsn={self.last_lsn})")

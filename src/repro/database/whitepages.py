@@ -595,6 +595,11 @@ class WhitePagesDatabase:
         with self._lock:
             return self._taken_by.get(machine_name)
 
+    def holders(self) -> Dict[str, str]:
+        """Every taken machine and the pool holding it."""
+        with self._lock:
+            return dict(self._taken_by)
+
     def taken_count(self) -> int:
         with self._lock:
             return len(self._taken_by)

@@ -21,7 +21,8 @@ from repro.database.shadow import ShadowAccountRegistry
 from repro.database.whitepages import WhitePagesDatabase
 from repro.errors import ConfigError
 
-__all__ = ["ArchProfile", "FleetSpec", "build_fleet", "build_database"]
+__all__ = ["ArchProfile", "FleetSpec", "build_fleet", "build_database",
+           "build_shard_service"]
 
 
 @dataclass(frozen=True)
@@ -165,3 +166,34 @@ def build_database(
             registry.create_pool(rec.machine_name,
                                  count=spec.shadow_accounts_per_machine)
     return db, registry
+
+
+def build_shard_service(
+    shards: int,
+    snapshot_dir,
+    *,
+    records: Optional[List[MachineRecord]] = None,
+    spec: Optional[FleetSpec] = None,
+    host: str = "127.0.0.1",
+    wal: str = "fsync",
+    wal_interval: float = 0.0,
+    columnar: Optional[bool] = None,
+):
+    """A configured (not yet started) shard-worker supervisor.
+
+    The one-stop constructor the CLI and deployments share: seed
+    records come from ``records`` verbatim, else from ``spec`` (a
+    synthetic fleet), else the supervisor adopts whatever checkpoint or
+    seed already lives in ``snapshot_dir`` (the restart-the-world
+    path).  ``wal`` defaults to ``"fsync"`` here — a *service* fleet
+    should be durable unless the operator opts out — while the library
+    :class:`~repro.database.service.ShardSupervisor` default stays
+    ``"off"`` for PR 5 compatibility.
+    """
+    from repro.database.service import ShardSupervisor
+    if records is None and spec is not None:
+        records = build_fleet(spec)
+    return ShardSupervisor(
+        shards, host=host, snapshot_dir=snapshot_dir,
+        records=records or (), columnar=columnar,
+        wal=wal, wal_interval=wal_interval)

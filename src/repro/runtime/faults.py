@@ -1,0 +1,220 @@
+"""Deterministic fault injection: seedable crash points for durability tests.
+
+The WAL durability contract (see :mod:`repro.database.wal`) is only as
+good as the crash windows it was tested against, so the shard worker's
+write path is instrumented with **named crash points** — places where a
+test can ask the process to die by ``SIGKILL``, exactly as an OOM kill
+or power loss would, with no atexit handlers, no flushes, no goodbyes:
+
+==========================  ================================================
+crash point                 window it exercises
+==========================  ================================================
+``wal.before_append``       op applied in memory, zero WAL bytes written —
+                            the op must be *absent* after recovery
+``wal.mid_append``          a torn (half-written) WAL record — recovery
+                            must discard it fail-closed
+``wal.after_append``        WAL bytes written, reply never sent — the op
+                            must be *present* after recovery (the client
+                            saw an error; at-most-once ambiguity resolved
+                            in favour of the durable log)
+``reply.mid_frame``         reply frame torn mid-write — the client must
+                            surface a protocol error, never a half-frame
+``checkpoint.before_rename``  snapshot tmp file written, not yet renamed —
+                            the old snapshot + full WAL stay authoritative
+``checkpoint.after_rename``  snapshot renamed, WAL not yet truncated — the
+                            snapshot's LSN watermark must make the stale
+                            log records no-ops on replay
+==========================  ================================================
+
+Injection is **off by default and free when off**: every instrumented
+site costs one module-global ``is None`` check.  A test arms an
+injector either in-process (:func:`install`), over the wire via the
+shard worker's ``fault`` verb (countdowns land in the worker that will
+crash), or at spawn time through the ``REPRO_FAULTS`` environment
+variable (JSON, read by :func:`install_from_env` in the worker entry
+point) for crash-during-recovery scenarios.
+
+Triggers are *countdowns*: ``{"wal.after_append": 3}`` means "die on
+the third hit of that point".  :class:`FaultPlan` derives reproducible
+kill schedules for the randomized crash-recovery property test from a
+single integer seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CRASH_POINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "crash_point",
+    "should_fire",
+    "die",
+    "install",
+    "installed",
+    "install_from_env",
+    "uninstall",
+    "FAULTS_ENV_VAR",
+]
+
+#: Every instrumented site, in write-path order.  The name is the
+#: contract: tests reference points by these strings, and an injector
+#: refuses unknown names so a typo cannot silently arm nothing.
+CRASH_POINTS = (
+    "wal.before_append",
+    "wal.mid_append",
+    "wal.after_append",
+    "reply.mid_frame",
+    "checkpoint.before_rename",
+    "checkpoint.after_rename",
+)
+
+#: Spawn-time injector config (JSON) for supervisor-spawned workers:
+#: ``{"triggers": {...}, "shard": <index or null>}``.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultInjector:
+    """Countdown triggers over the named crash points.
+
+    ``triggers`` maps crash-point name → remaining hits before firing;
+    a trigger at 1 fires on the next hit.  ``shard`` scopes the
+    injector to one worker when the config travels by environment
+    variable (every spawned worker reads the same env).
+    """
+
+    def __init__(self, triggers: Dict[str, int], *,
+                 shard: Optional[int] = None):
+        for point in triggers:
+            if point not in CRASH_POINTS:
+                raise ValueError(f"unknown crash point {point!r}")
+        self.triggers = {point: int(count)
+                         for point, count in triggers.items()}
+        self.shard = shard
+        #: Audit trail of (point, remaining-after-hit) for debugging.
+        self.hits: List[Tuple[str, int]] = []
+
+    def should_fire(self, point: str) -> bool:
+        """Count one hit of ``point``; True when its countdown expires.
+
+        The expired trigger is removed, so a caller that performs
+        preparatory damage (e.g. the torn half-record of
+        ``wal.mid_append``) before calling :func:`die` cannot re-fire.
+        """
+        remaining = self.triggers.get(point)
+        if remaining is None:
+            return False
+        remaining -= 1
+        self.hits.append((point, remaining))
+        if remaining > 0:
+            self.triggers[point] = remaining
+            return False
+        del self.triggers[point]
+        return True
+
+    def to_json(self) -> str:
+        return json.dumps({"triggers": self.triggers, "shard": self.shard})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultInjector":
+        data = json.loads(text)
+        return cls(dict(data.get("triggers", {})), shard=data.get("shard"))
+
+
+#: The active injector.  ``None`` (the default) makes every crash point
+#: a single attribute load + comparison.
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(injector: Optional[FaultInjector]) -> None:
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def installed() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    install(None)
+
+
+def install_from_env(shard_index: Optional[int] = None) -> None:
+    """Arm the injector described by ``REPRO_FAULTS``, if any.
+
+    A config carrying a ``shard`` only arms in the worker whose
+    ``shard_index`` matches — the supervisor exports one env for the
+    whole fleet, but the kill should land in exactly one process.
+    """
+    text = os.environ.get(FAULTS_ENV_VAR)
+    if not text:
+        return
+    try:
+        injector = FaultInjector.from_json(text)
+    except (ValueError, KeyError, TypeError):
+        return  # malformed env must never take a worker down
+    if injector.shard is not None and injector.shard != shard_index:
+        return
+    install(injector)
+
+
+def should_fire(point: str) -> bool:
+    """One hit of ``point``; True when the caller should now crash
+    (after performing any point-specific damage, e.g. a torn write)."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.should_fire(point)
+
+
+def die() -> None:  # pragma: no cover - the process does not survive
+    """SIGKILL this process: no cleanup, no flush — a real crash."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def crash_point(point: str) -> None:
+    """Instrumentation helper for points with no preparatory damage."""
+    if _ACTIVE is not None and _ACTIVE.should_fire(point):
+        die()  # pragma: no cover - the process does not survive
+
+
+class FaultPlan:
+    """A reproducible kill schedule for randomized crash-recovery tests.
+
+    From one integer seed, derives which operations of a history get a
+    kill and at which crash point — so a failing property run can be
+    replayed exactly by its seed.
+    """
+
+    def __init__(self, kills: Sequence[Tuple[int, str]]):
+        self.kills = sorted((int(i), str(p)) for i, p in kills)
+        for _, point in self.kills:
+            if point not in CRASH_POINTS:
+                raise ValueError(f"unknown crash point {point!r}")
+
+    @classmethod
+    def random(cls, seed: int, n_ops: int, *, kills: int = 3,
+               points: Sequence[str] = ("wal.before_append",
+                                        "wal.mid_append",
+                                        "wal.after_append",
+                                        "reply.mid_frame")) -> "FaultPlan":
+        rng = random.Random(seed)
+        n_kills = min(kills, n_ops)
+        indexes = rng.sample(range(n_ops), n_kills) if n_ops else []
+        return cls([(i, rng.choice(list(points))) for i in indexes])
+
+    def point_for(self, op_index: int) -> Optional[str]:
+        for i, point in self.kills:
+            if i == op_index:
+                return point
+        return None
+
+    def __iter__(self):
+        return iter(self.kills)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.kills!r})"

@@ -45,10 +45,27 @@ verb               request fields             reply
                    ``version``                ``machines``; ``text`` inline
                                               when no path given)
 ``health``         —                          ``health`` (pid, shard index,
-                                              machines, requests, ...)
+                                              machines, requests, wal, ...)
 ``reset``          ``rows`` (optional)        ``ok`` (fresh database)
+``fault``          ``triggers``               ``ok`` (arms crash-point
+                                              countdowns in this worker —
+                                              fault-injection tooling, see
+                                              :mod:`repro.runtime.faults`)
 ``shutdown``       —                          ``ok``, then the server stops
 =================  =========================  ==============================
+
+Durability (the write-ahead op log)
+-----------------------------------
+With a :class:`~repro.database.wal.WriteAheadLog` attached, every
+mutating verb that succeeds is appended to the log — the wire frame
+verbatim, so the log reuses the v3 row codec — and, in ``fsync`` mode,
+made durable *before the reply frame is sent*.  Concurrent connections
+group-commit: appends that land in the same event-loop batch (or the
+same ``group_commit_interval`` window) share one ``fdatasync``.
+Restart is snapshot-load + log-tail replay (:meth:`ShardWorker.replay`),
+with the snapshot's embedded LSN watermark skipping records already
+included and any torn tail discarded fail-closed.  Without a log the
+worker keeps PR 5's lossy last-checkpoint contract unchanged.
 
 Database errors cross the wire as ``{"kind": "error", "error":
 "<exception class>", "message": ...}``; the client re-raises the named
@@ -80,9 +97,16 @@ from repro.database.records import (
     _STATE_BY_VALUE,
 )
 from repro.database.sharding import shard_of
+from repro.database.wal import WriteAheadLog
 from repro.database.whitepages import WhitePagesDatabase
-from repro.errors import DatabaseError, ReproError, RuntimeProtocolError
-from repro.runtime.protocol import read_frame, write_frame
+from repro.errors import (
+    ConfigError,
+    DatabaseError,
+    ReproError,
+    RuntimeProtocolError,
+)
+from repro.runtime import faults
+from repro.runtime.protocol import encode_message, read_frame, write_frame
 from repro.runtime.wire import clause_from_dict, clause_to_dict
 
 __all__ = [
@@ -92,9 +116,17 @@ __all__ = [
     "decode_dynamic",
     "clauses_to_wire",
     "clauses_from_wire",
+    "MUTATING_VERBS",
 ]
 
 logger = logging.getLogger(__name__)
+
+#: Verbs that change shard state — exactly the set the write-ahead log
+#: records (and the only frames :meth:`ShardWorker.replay` will apply).
+MUTATING_VERBS = frozenset({
+    "register", "remove", "update", "update_dynamic",
+    "take", "take_all", "release", "release_pool", "reset",
+})
 
 #: Dynamic fields (1-7) that need a codec beyond JSON's native types.
 _STATE_KEY = "state"
@@ -169,10 +201,16 @@ class ShardWorker:
         This worker's slot in the N-shard layout; ``register`` refuses
         records that :func:`~repro.database.sharding.shard_of` routes
         elsewhere.  ``shards=1`` accepts every name.
+    wal:
+        An open :class:`~repro.database.wal.WriteAheadLog`, or ``None``
+        for PR 5's lossy last-checkpoint contract.  With a log in
+        ``fsync`` mode, mutating verbs are made durable (group-commit)
+        before their reply frame is sent.
     """
 
     def __init__(self, database: Optional[WhitePagesDatabase] = None, *,
-                 shard_index: int = 0, shards: int = 1):
+                 shard_index: int = 0, shards: int = 1,
+                 wal: Optional[WriteAheadLog] = None):
         if not 0 <= shard_index < shards:
             raise DatabaseError(
                 f"shard index {shard_index} outside 0..{shards - 1}")
@@ -180,10 +218,14 @@ class ShardWorker:
             else WhitePagesDatabase()
         self.shard_index = shard_index
         self.shards = shards
+        self.wal = wal
         self.requests = 0
         self.started_at = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
+        #: The in-flight group-commit sync, shared by every handler
+        #: whose op is waiting to become durable.
+        self._sync_task: Optional[asyncio.Task] = None
         #: Live connections, so stop() can close them instead of
         #: letting loop teardown cancel mid-read tasks (which asyncio
         #: 3.11 logs noisily).
@@ -216,6 +258,14 @@ class ShardWorker:
         if self._conn_tasks:
             await asyncio.gather(*list(self._conn_tasks),
                                  return_exceptions=True)
+        # Graceful shutdown flushes and closes the op log: no dangling
+        # fd, no unsynced tail — a clean stop is replay-free.
+        if self.wal is not None and not self.wal.closed:
+            try:
+                self.wal.close()
+            except DatabaseError:  # pragma: no cover - disk failure
+                logger.exception("shard %d: wal close failed",
+                                 self.shard_index)
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` verb arrives, then stop."""
@@ -245,7 +295,8 @@ class ShardWorker:
                 except asyncio.IncompleteReadError:
                     break  # clean disconnect
                 response = self._dispatch(frame)
-                await write_frame(writer, response)
+                response = await self._commit_wal(frame, response)
+                await self._send_reply(writer, response)
                 if frame.get("kind") == "shutdown":
                     self._shutdown.set()
                     break
@@ -268,6 +319,67 @@ class ShardWorker:
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
 
+    # -- durability plumbing ---------------------------------------------------
+
+    async def _commit_wal(self, frame: Dict[str, Any],
+                          response: Dict[str, Any]) -> Dict[str, Any]:
+        """Group-commit barrier: in ``fsync`` mode, an acknowledged
+        mutation is a durable mutation.
+
+        Only the op's own reply waits — read verbs and error replies
+        pass straight through.  Concurrent committers share one sync:
+        the first waiter schedules the sync task (optionally delayed by
+        the group-commit interval so more appends pile into the same
+        ``fdatasync``); everyone whose LSN it covers awaits the same
+        task.  A sync failure turns the success reply into an error
+        frame — the client must never believe an op is durable when the
+        disk said no.
+        """
+        wal = self.wal
+        if (wal is None or wal.mode != "fsync"
+                or response.get("kind") == "error"
+                or frame.get("kind") not in MUTATING_VERBS):
+            return response
+        target = wal.last_lsn
+        try:
+            while wal.synced_lsn < target:
+                if self._sync_task is None:
+                    self._sync_task = asyncio.ensure_future(self._run_sync())
+                await self._sync_task
+        except DatabaseError as exc:
+            return {"kind": "error", "error": "DatabaseError",
+                    "message": f"wal sync failed: {exc}"}
+        return response
+
+    async def _run_sync(self) -> None:
+        try:
+            if self.wal.group_commit_interval > 0:
+                await asyncio.sleep(self.wal.group_commit_interval)
+            else:
+                # One trip through the event loop: handlers already
+                # scheduled in this batch append before the sync runs.
+                await asyncio.sleep(0)
+            self.wal.sync()
+        finally:
+            self._sync_task = None
+
+    async def _send_reply(self, writer: asyncio.StreamWriter,
+                          response: Dict[str, Any]) -> None:
+        # The `fault` verb's own acknowledgement is immune: its reply is
+        # the first one sent after arming, so without this exemption a
+        # reply.mid_frame trigger could never survive to a real op.
+        if "armed" in response:
+            await write_frame(writer, response)
+            return
+        if faults.should_fire("reply.mid_frame"):  # pragma: no cover - fatal
+            # Torn-reply scenario: half the frame reaches the client,
+            # then the process dies.  The client must fail closed.
+            data = encode_message(response)
+            writer.write(data[:max(1, len(data) // 2)])
+            await writer.drain()
+            faults.die()
+        await write_frame(writer, response)
+
     # -- dispatch --------------------------------------------------------------
 
     def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -278,13 +390,54 @@ class ShardWorker:
             return {"kind": "error", "error": "RuntimeProtocolError",
                     "message": f"unknown shard verb {kind!r}"}
         try:
-            return handler(frame)
+            response = handler(frame)
         except ReproError as exc:
             return {"kind": "error", "error": type(exc).__name__,
                     "message": str(exc)}
         except (KeyError, TypeError, ValueError) as exc:
             return {"kind": "error", "error": "RuntimeProtocolError",
                     "message": f"malformed {kind!r} request: {exc}"}
+        if self.wal is not None and kind in MUTATING_VERBS:
+            # Apply-then-log: the handler validated and applied the op,
+            # so the log records only mutations that really happened.
+            # The reply has not been sent yet — a crash in this window
+            # loses an *unacknowledged* op, which is crash-exact.
+            try:
+                self.wal.append(frame)
+            except DatabaseError as exc:
+                logger.error("shard %d: %s", self.shard_index, exc)
+                return {"kind": "error", "error": "DatabaseError",
+                        "message": str(exc)}
+        return response
+
+    def replay(self, entries: Any, watermark: int = 0) -> int:
+        """Apply recovered WAL entries past the snapshot watermark.
+
+        ``entries`` is :attr:`WalRecoveryResult.entries` (``(lsn,
+        frame)`` pairs in append order).  Only mutating verbs are
+        legal, and every one must apply cleanly — the log records ops
+        that *succeeded* against exactly this state, so a failure means
+        the snapshot/log pair is inconsistent and recovery must stop
+        loudly rather than continue from a diverged registry.  Returns
+        the number of ops applied.
+        """
+        applied = 0
+        for lsn, frame in entries:
+            if lsn <= watermark:
+                continue
+            kind = frame.get("kind")
+            if kind not in MUTATING_VERBS:
+                raise DatabaseError(
+                    f"wal replay: non-mutating verb {kind!r} at lsn {lsn}")
+            handler = getattr(self, f"_verb_{kind}")
+            try:
+                handler(frame)
+            except (ReproError, KeyError, TypeError, ValueError) as exc:
+                raise DatabaseError(
+                    f"wal replay diverged at lsn {lsn} ({kind}): "
+                    f"{exc}") from exc
+            applied += 1
+        return applied
 
     def _check_routing(self, name: str) -> None:
         if self.shards > 1 and shard_of(name, self.shards) != self.shard_index:
@@ -397,7 +550,21 @@ class ShardWorker:
             "requests": self.requests,
             "uptime_s": time.monotonic() - self.started_at,
             "index_stats": self.database.index_stats(),
+            "wal": (self.wal.stats() if self.wal is not None
+                    else {"mode": "off"}),
         }
+
+    def _verb_fault(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Arm (or with empty ``triggers``, disarm) crash-point
+        countdowns in this worker — the wire face of the
+        fault-injection harness.  An unknown crash-point name is a
+        malformed request, so a typo'd test arms nothing silently."""
+        triggers = {str(point): int(count)
+                    for point, count in dict(
+                        frame.get("triggers", {})).items()}
+        faults.install(
+            faults.FaultInjector(triggers) if triggers else None)
+        return {"kind": "ok", "armed": sorted(triggers)}
 
     def _verb_snapshot(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         """Write (or return) a v3 (or path-backed v4) snapshot of the
@@ -409,40 +576,70 @@ class ShardWorker:
         continuation frames.  ``version=4`` needs a ``path`` (its
         binary column sidecar lands next to the snapshot file and
         cannot ride an inline text reply).
+
+        With a write-ahead log attached, the snapshot embeds
+        :attr:`~repro.database.wal.WriteAheadLog.last_lsn` as its
+        watermark (dispatch is single-threaded, so every applied op has
+        been appended by the time this verb runs) and a *path-backed*
+        snapshot — a checkpoint that durably landed worker-side —
+        truncates the log afterwards.  An inline-text snapshot leaves
+        the log alone: the worker cannot know whether the caller ever
+        persisted the reply.
         """
-        from repro.database.persistence import dumps_database, save_database
+        from repro.database.persistence import (
+            atomic_write_text,
+            dumps_database,
+            save_database,
+        )
         version = int(frame.get("version", 3))
         path = frame.get("path")
+        watermark = self.wal.last_lsn if self.wal is not None else None
         if version == 4 and path:
             try:
-                save_database(self.database, path, version=4)
+                save_database(self.database, path, version=4,
+                              wal_lsn=watermark)
                 with open(path, "rb") as fh:
                     crc = zlib.crc32(fh.read())
             except OSError as exc:
                 raise DatabaseError(
                     f"snapshot write to {path!r} failed: {exc}") from exc
+            self._truncate_wal()
             return {"kind": "snapshot", "crc": crc,
                     "machines": len(self.database), "version": version,
                     "path": str(path)}
-        text = dumps_database(self.database, version=version)
+        text = dumps_database(self.database, version=version,
+                              wal_lsn=watermark)
         crc = zlib.crc32(text.encode("utf-8"))
         reply = {"kind": "snapshot", "crc": crc,
                  "machines": len(self.database), "version": version}
         if path:
             try:
-                tmp = f"{path}.tmp.{os.getpid()}"
-                with open(tmp, "w", encoding="utf-8") as fh:
-                    fh.write(text)
-                os.replace(tmp, path)  # atomic: never a torn snapshot file
+                atomic_write_text(path, text)
             except OSError as exc:
                 # Surface filesystem failures (deleted snapshot dir,
                 # disk full) as an error frame, not a dead connection.
                 raise DatabaseError(
                     f"snapshot write to {path!r} failed: {exc}") from exc
+            self._truncate_wal()
             reply["path"] = str(path)
         else:
             reply["text"] = text
         return reply
+
+    def _truncate_wal(self) -> None:
+        """Drop the op log after a checkpoint durably landed.
+
+        Best-effort: the snapshot's embedded watermark already makes
+        every record it covers a replay no-op, so a failed truncation
+        costs disk space and replay time, never correctness.
+        """
+        if self.wal is None or self.wal.closed:
+            return
+        try:
+            self.wal.truncate()
+        except DatabaseError:  # pragma: no cover - disk failure
+            logger.exception("shard %d: wal truncate after checkpoint "
+                             "failed", self.shard_index)
 
     def _verb_reset(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         """Replace the live shard with a fresh database (optionally
@@ -467,20 +664,28 @@ class ShardWorker:
 
 
 def _load_shard_database(snapshot_path: Optional[str],
-                         columnar: Optional[bool] = None
-                         ) -> WhitePagesDatabase:
+                         columnar: Optional[bool] = None):
+    """(database, wal watermark) for a worker cold start."""
     if not snapshot_path or not os.path.exists(snapshot_path):
-        return WhitePagesDatabase(columnar=bool(columnar))
-    from repro.database.persistence import load_database
-    # load_database (not loads_database): a v4 per-shard snapshot then
+        return WhitePagesDatabase(columnar=bool(columnar)), 0
+    from repro.database.persistence import loads_database, snapshot_wal_lsn
+    with open(snapshot_path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    # sidecar_dir mirrors load_database: a v4 per-shard snapshot then
     # mmap-attaches its column sidecar instead of rebuilding columns.
-    return load_database(snapshot_path, columnar=columnar)
+    database = loads_database(
+        text, columnar=columnar,
+        sidecar_dir=os.path.dirname(os.path.abspath(snapshot_path)))
+    return database, snapshot_wal_lsn(text)
 
 
 def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
                      snapshot_path: Optional[str] = None,
                      ready_conn: Any = None,
-                     columnar: Optional[bool] = None) -> None:
+                     columnar: Optional[bool] = None,
+                     wal_mode: str = "off",
+                     wal_path: Optional[str] = None,
+                     wal_interval: float = 0.0) -> None:
     """Process entry: own one shard, serve verbs until ``shutdown``.
 
     Builds the shard database (empty, or cold-started from a per-shard
@@ -493,12 +698,50 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
     snapshot version (v4 → columns on), ``True``/``False`` force the
     column kernel on or off for this worker.
 
+    ``wal_mode``/``wal_path``/``wal_interval`` configure the write-ahead
+    op log (:mod:`repro.database.wal`).  With a mode other than
+    ``"off"``, startup is *crash-exact recovery*: load the snapshot,
+    take its embedded LSN watermark, recover the log (physically
+    truncating any torn tail), and replay the records past the
+    watermark — so the served state is identical to the pre-crash state
+    at the last acknowledged op.
+
     Importable and picklable, so it works under both the ``fork`` and
     ``spawn`` start methods (and as a CLI foreground process via
     ``repro shard-serve``).
     """
-    database = _load_shard_database(snapshot_path, columnar)
-    worker = ShardWorker(database, shard_index=shard_index, shards=shards)
+    # Crash-point countdowns can arrive by env (shard-scoped), so tests
+    # can kill a worker *during recovery* — e.g. mid-checkpoint replay.
+    faults.install_from_env(shard_index)
+    database, watermark = _load_shard_database(snapshot_path, columnar)
+    wal = None
+    replayed = 0
+    if wal_mode not in ("off", "async", "fsync"):
+        raise ConfigError(
+            f"wal mode must be off|async|fsync, got {wal_mode!r}")
+    if wal_mode != "off":
+        if not wal_path:
+            raise ConfigError(f"wal mode {wal_mode!r} needs a wal path")
+        wal, recovery = WriteAheadLog.open(
+            wal_path, mode=wal_mode, group_commit_interval=wal_interval)
+        # LSN continuity across checkpoints: a truncated (empty) log
+        # recovers at LSN 0, but the snapshot's watermark is the true
+        # high-water mark — new appends must count from there or the
+        # *next* recovery would watermark-skip them.
+        wal.last_lsn = max(wal.last_lsn, watermark)
+        wal.synced_lsn = wal.last_lsn
+        if recovery.discarded_bytes:
+            logger.warning(
+                "shard %d: wal %s: discarded %d-byte torn tail (%s)",
+                shard_index, wal_path, recovery.discarded_bytes,
+                recovery.reason)
+    worker = ShardWorker(database, shard_index=shard_index, shards=shards,
+                         wal=wal)
+    if wal is not None and recovery.entries:
+        replayed = worker.replay(recovery.entries, watermark)
+        if replayed:
+            logger.info("shard %d: replayed %d wal op(s) past lsn %d",
+                        shard_index, replayed, watermark)
 
     async def main() -> None:
         import signal
@@ -512,15 +755,19 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 break  # non-POSIX loop: fall back to KeyboardInterrupt
         await worker.start(host, port)
+        # worker.database, not the load-time local: a replayed `reset`
+        # op swaps in a fresh database object.
         if ready_conn is not None:
             ready_conn.send({"shard_index": shard_index,
                              "port": worker.port, "pid": os.getpid(),
-                             "machines": len(database)})
+                             "machines": len(worker.database),
+                             "replayed": replayed})
             ready_conn.close()
         else:  # CLI foreground mode: print the endpoint for operators
             print(json.dumps({"shard_index": shard_index,
                               "port": worker.port,
-                              "machines": len(database)}), flush=True)
+                              "machines": len(worker.database),
+                              "replayed": replayed}), flush=True)
         await worker.serve_until_shutdown()
 
     try:

@@ -47,10 +47,17 @@ class TestPersistence:
         restored = load_database(path)
         assert restored.names() == fleet_db.names()
 
-    def test_taken_state_not_persisted(self, small_db, tmp_path):
+    def test_taken_state_round_trips(self, small_db, tmp_path):
+        # take/release is mutable state like current_load: a snapshot
+        # that dropped it could never be crash-exact (ISSUE 7).
         small_db.take("sun00", "poolX")
         restored = loads_database(dumps_database(small_db))
-        assert restored.holder_of("sun00") is None
+        assert restored.holder_of("sun00") == "poolX"
+        assert restored.holders() == {"sun00": "poolX"}
+        assert "sun00" not in restored.free_names()
+
+    def test_untaken_snapshot_has_no_taken_key(self, small_db):
+        assert '"taken"' not in dumps_database(small_db)
 
     def test_malformed_json_rejected(self):
         with pytest.raises(DatabaseError):

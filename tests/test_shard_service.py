@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
 import struct
 import time
@@ -39,7 +40,9 @@ from repro.database.service import (
 from repro.database.sharding import (
     ShardedWhitePagesDatabase,
     load_sharded_database,
+    shard_of,
 )
+from repro.runtime import faults
 from repro.database.whitepages import WhitePagesDatabase
 from repro.errors import (
     ConfigError,
@@ -604,3 +607,272 @@ class TestCliWiring:
                                 result["allocation"]["access_key"])
 
                 asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Crash-exact durability (ISSUE 7): WAL + fault injection acceptance
+# ---------------------------------------------------------------------------
+
+#: Which crash points leave the in-flight op durable after recovery.
+#: ``wal.after_append`` and ``reply.mid_frame`` fire after the record
+#: reached the OS (an os.write survives SIGKILL); the two earlier
+#: points fire before a complete record exists, so the op must vanish.
+_OP_SURVIVES = {
+    "wal.before_append": False,
+    "wal.mid_append": False,
+    "wal.after_append": True,
+    "reply.mid_frame": True,
+}
+
+
+def _wait_dead(sup, shard_index, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    proc = sup._processes[shard_index]
+    while proc.is_alive() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert not proc.is_alive(), f"shard {shard_index} survived its kill"
+
+
+def _kill_through(client, sup, shard_index, point, op):
+    """Arm ``point`` on one worker, drive ``op`` into it (the worker
+    dies mid-op; the client must surface a failure, never a half
+    frame), then restart the worker."""
+    client.inject_fault(shard_index, {point: 1})
+    with pytest.raises((OSError, ReproError)):
+        op()
+    _wait_dead(sup, shard_index)
+    assert sup.ensure_alive() == [shard_index]
+
+
+def _fleet_state(db):
+    """Everything observable: rows in order, plus take/holder state."""
+    rows = [r.to_row() for r in db.match(None, include_taken=True)]
+    holders = {r[0]: db.holder_of(r[0]) for r in rows}
+    return rows, holders
+
+
+def _random_ops(rng, n_ops):
+    names = [f"b{i:02d}" for i in range(6)]
+    ops = []
+    for i in range(n_ops):
+        roll = rng.random()
+        if roll < 0.40:
+            ops.append(("add", _record(
+                f"n{i:02d}", rng.choice(_ARCHES), rng.choice(_MEMORIES),
+                round(rng.uniform(0.0, 8.0), 2), rng.random() < 0.8)))
+        elif roll < 0.55:
+            ops.append(("remove", rng.choice(names)))
+        elif roll < 0.70:
+            ops.append(("take", rng.choice(names),
+                        rng.choice(("poolA", "poolB"))))
+        elif roll < 0.85:
+            ops.append(("release", rng.choice(names),
+                        rng.choice(("poolA", "poolB"))))
+        else:
+            ops.append(("update_dynamic", rng.choice(names),
+                        round(rng.uniform(0.0, 8.0), 2)))
+    return ops
+
+
+class TestCrashExactRecovery:
+    """The acceptance property: with ``wal=fsync``, SIGKILL-ing workers
+    at seeded crash points during a randomized mutation history, then
+    supervisor restart + replay, yields a fleet record- and
+    order-identical to a never-crashed in-process oracle."""
+
+    @pytest.mark.parametrize("n", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", (11, 23))
+    def test_randomized_crash_history_matches_oracle(self, tmp_path, n,
+                                                     seed):
+        rng = random.Random(seed)
+        base = [_record(f"b{i:02d}", rng.choice(_ARCHES),
+                        rng.choice(_MEMORIES), 0.0, True)
+                for i in range(6)]
+        ops = _random_ops(rng, 30)
+        plan = faults.FaultPlan.random(seed, len(ops), kills=3)
+        checkpoint_at = len(ops) // 2
+
+        oracle = ShardedWhitePagesDatabase(base, shards=n)
+        with ShardSupervisor(n, snapshot_dir=tmp_path, records=base,
+                             wal="fsync").start() as sup:
+            client = sup.client()
+            for i, op in enumerate(ops):
+                if i == checkpoint_at:
+                    # Mid-history checkpoint: truncation + watermark
+                    # must not change what replay reconstructs.
+                    sup.checkpoint()
+                point = plan.point_for(i)
+                if point is not None:
+                    # The kill rides a guaranteed-success register, so
+                    # the countdown always fires at the armed point.
+                    rec = _record(f"kill{i:02d}", "sun", "128", 0.0, True)
+                    shard = shard_of(rec.machine_name, n)
+                    _kill_through(client, sup, shard, point,
+                                  lambda: client.add(rec))
+                    if _OP_SURVIVES[point]:
+                        oracle.add(rec)
+                _apply_both(oracle, client, op)
+
+            got_rows, got_holders = _fleet_state(client)
+            want_rows, want_holders = _fleet_state(oracle)
+            assert got_rows == want_rows, f"shards={n} seed={seed}"
+            assert got_holders == want_holders
+            assert sup.restarts == len(list(plan))
+            assert client.wal_stats()["modes"] == ["fsync"]
+
+    def test_wal_off_keeps_lossy_contract(self, tmp_path):
+        """PR 5 unchanged: without a WAL, restart = last checkpoint
+        (mutations after it roll back) and no op logs appear."""
+        records = [_record(n, "sun", "256", 0.0, True) for n in _NAMES[:4]]
+        with ShardSupervisor(1, snapshot_dir=tmp_path, records=records
+                             ).start() as sup:
+            client = sup.client()
+            sup.checkpoint()
+            client.update_dynamic(_NAMES[0], current_load=7.5)
+            assert client.health()[0]["wal"] == {"mode": "off"}
+            sup._processes[0].kill()
+            _wait_dead(sup, 0)
+            sup.ensure_alive()
+            assert client.get(_NAMES[0]).current_load == 0.0
+        assert not list(tmp_path.glob("*.wal"))
+
+    def test_async_mode_survives_sigkill(self, tmp_path):
+        """``async`` durability: records reach the page cache before
+        the reply, so a process kill (vs power loss) loses nothing."""
+        with ShardSupervisor(1, snapshot_dir=tmp_path,
+                             wal="async").start() as sup:
+            client = sup.client()
+            for i in range(5):
+                client.add(_record(f"m{i:02d}", "sun", "128", 0.0, True))
+            client.take("m00", "poolA")
+            sup._processes[0].kill()
+            _wait_dead(sup, 0)
+            sup.ensure_alive()
+            assert len(client) == 5
+            assert client.holder_of("m00") == "poolA"
+
+    def test_reply_torn_mid_frame_fails_closed(self, tmp_path):
+        """The op was durable before the torn reply: the client sees a
+        hard failure (never a half-frame decode), and after recovery
+        the mutation is present."""
+        with ShardSupervisor(1, snapshot_dir=tmp_path,
+                             wal="fsync").start() as sup:
+            client = sup.client()
+            client.add(_record("m00", "sun", "128", 0.0, True))
+            _kill_through(client, sup, 0, "reply.mid_frame",
+                          lambda: client.take("m00", "poolA"))
+            assert client.holder_of("m00") == "poolA"
+            assert client.names() == ["m00"]
+
+    def test_checkpoint_crash_before_rename_preserves_state(self, tmp_path):
+        """Die with the snapshot tmp file written but not renamed: the
+        old snapshot + full WAL stay authoritative."""
+        with ShardSupervisor(1, snapshot_dir=tmp_path,
+                             wal="fsync").start() as sup:
+            client = sup.client()
+            for i in range(8):
+                client.add(_record(f"m{i:02d}", "sun", "128", 0.0, True))
+            client.inject_fault(0, {"checkpoint.before_rename": 1})
+            with pytest.raises((OSError, ReproError)):
+                sup.checkpoint()
+            _wait_dead(sup, 0)
+            assert sup.ensure_alive() == [0]
+            assert len(client) == 8
+            # And the next checkpoint completes normally.
+            sup.checkpoint()
+            sup._processes[0].kill()
+            _wait_dead(sup, 0)
+            sup.ensure_alive()
+            assert len(client) == 8
+
+    @pytest.mark.parametrize("n", (1, 2))
+    def test_checkpoint_crash_after_rename_never_double_applies(
+            self, tmp_path, n):
+        """The watermark guard: die with the new snapshot renamed into
+        place but the WAL not yet truncated.  Recovery sees snapshot
+        records AND their WAL entries — the embedded LSN watermark must
+        make the stale records no-ops (a double-applied register would
+        blow up replay with DuplicateMachineError)."""
+        base = [_record(f"b{i:02d}", "sun", "128", 0.0, True)
+                for i in range(4)]
+        with ShardSupervisor(n, snapshot_dir=tmp_path, records=base,
+                             wal="fsync").start() as sup:
+            client = sup.client()
+            sup.checkpoint()  # snapshots[i] now point at checkpoint files
+            for i in range(6):
+                client.add(_record(f"m{i:02d}", "sun", "256", 0.0, True))
+            client.take("b00", "poolA")
+            want_rows, want_holders = _fleet_state(client)
+            victim = shard_of("m00", n)
+            client.inject_fault(victim, {"checkpoint.after_rename": 1})
+            with pytest.raises((OSError, ReproError)):
+                sup.checkpoint()
+            _wait_dead(sup, victim)
+            assert victim in sup.ensure_alive()
+            got_rows, got_holders = _fleet_state(client)
+            assert got_rows == want_rows
+            assert got_holders == want_holders
+
+    def test_restart_the_world_replays_all_shards(self, tmp_path):
+        """A brand-new supervisor over the same snapshot_dir adopts the
+        newest checkpoint and replays every shard's op-log tail — full
+        fleet recovery, not just single-worker restart."""
+        base = [_record(f"b{i:02d}", "sun", "128", 0.0, True)
+                for i in range(4)]
+        with ShardSupervisor(2, snapshot_dir=tmp_path, records=base,
+                             wal="fsync").start() as sup:
+            client = sup.client()
+            sup.checkpoint()
+            for i in range(10):
+                client.add(_record(f"m{i:02d}", "sun", "256", 0.0, True))
+            client.take("m03", "poolA")
+            want_rows, want_holders = _fleet_state(client)
+            for proc in sup._processes:
+                proc.kill()  # the whole fleet dies; nothing graceful
+            for i in range(2):
+                _wait_dead(sup, i)
+        with ShardSupervisor(2, snapshot_dir=tmp_path,
+                             wal="fsync").start() as sup2:
+            got_rows, got_holders = _fleet_state(sup2.client())
+            assert got_rows == want_rows
+            assert got_holders == want_holders
+
+    def test_explicit_reseed_discards_stale_wal(self, tmp_path):
+        """Records passed to a new supervisor are an explicit re-seed:
+        old op logs must not replay over them."""
+        with ShardSupervisor(1, snapshot_dir=tmp_path,
+                             wal="fsync").start() as sup:
+            sup.client().add(_record("old", "sun", "128", 0.0, True))
+        fresh = [_record("new", "hp", "256", 0.0, True)]
+        with ShardSupervisor(1, snapshot_dir=tmp_path, records=fresh,
+                             wal="fsync").start() as sup2:
+            assert sup2.client().names() == ["new"]
+
+    def test_wal_config_validation(self, tmp_path):
+        with pytest.raises(ConfigError, match="wal"):
+            ShardSupervisor(1, snapshot_dir=tmp_path, wal="sometimes")
+        with pytest.raises(ConfigError, match="snapshot_dir"):
+            ShardSupervisor(1, wal="fsync")
+        with pytest.raises(ConfigError, match="wal_interval"):
+            ShardSupervisor(1, snapshot_dir=tmp_path, wal="fsync",
+                            wal_interval=-0.5)
+
+    def test_wal_stats_aggregates_fleet(self, tmp_path):
+        with ShardSupervisor(2, snapshot_dir=tmp_path,
+                             wal="fsync").start() as sup:
+            client = sup.client()
+            for i in range(6):
+                client.add(_record(f"m{i:02d}", "sun", "128", 0.0, True))
+            stats = client.wal_stats()
+            assert stats["modes"] == ["fsync"]
+            assert stats["appended"] == 6
+            assert stats["syncs"] >= 1
+            assert stats["bytes"] > 0
+            assert len(stats["per_shard"]) == 2
+            assert sorted(tmp_path.glob("*.wal")) == [
+                tmp_path / "shard_0.wal", tmp_path / "shard_1.wal"]
+
+    def test_fault_verb_rejects_unknown_point(self, tmp_path):
+        with ShardSupervisor(1, snapshot_dir=tmp_path).start() as sup:
+            with pytest.raises(RuntimeProtocolError):
+                sup.client().inject_fault(0, {"wal.typo": 1})

@@ -281,6 +281,11 @@ class TestSnapshotRoundTrip:
                                                      include_taken=True)]
         for n in SHARD_COUNTS:
             sharded = ShardedWhitePagesDatabase(records, shards=n)
+            # Snapshots round-trip holder state (ISSUE 7): give the
+            # sharded copy the same takes so the oracle comparison
+            # covers the untaken-only match path too.
+            for name, pool in single.holders().items():
+                assert sharded.take(name, pool)
             path = tmp_path / f"fleet{n}.json"
             save_sharded_database(sharded, path)
             loaded = load_sharded_database(path)
