@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Render a BENCH_<date>.json timings file as a markdown ops/s table.
+"""Render BENCH_<date>.json timings files as markdown trend tables.
 
 Used by the bench-trend workflow to print the measured suite into the
-GitHub job summary::
+GitHub job summary.  With one file it renders the ops/s table; with
+several (dated archives, oldest to newest by filename) the newest run
+gains a delta column against the oldest, so the table shows the
+trajectory, not just a point::
 
     python benchmarks/render_bench_summary.py BENCH_2026-07-28.json \
-        >> "$GITHUB_STEP_SUMMARY"
+        BENCH_2026-08-04.json >> "$GITHUB_STEP_SUMMARY"
+
+A file carrying a ``scenarios`` block (written by ``repro scenarios
+--json-out``) also gets a degradation-under-load table: per-scenario
+p50/p99, deltas versus the unloaded baseline, and the budget verdict.
 """
 
 from __future__ import annotations
@@ -22,27 +29,117 @@ def _fmt_time(seconds: float) -> str:
     return f"{seconds * 1e6:.1f} us"
 
 
-def render(path: str) -> str:
+def _load(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
-    timings = data["timings_s"]
+    if not isinstance(data.get("timings_s"), dict):
+        raise ValueError(f"{path}: not a bench timings file "
+                         f"(missing 'timings_s')")
+    return data
+
+
+def _fmt_delta(now: float, old: float) -> str:
+    """Newest vs oldest as a ratio (<1x got faster, >1x got slower)."""
+    if old is None:
+        return "new"
+    if old <= 0 or now <= 0:
+        return "-"
+    return f"{now / old:.2f}x"
+
+
+def _num(value) -> float:
+    return value if isinstance(value, (int, float)) else float("nan")
+
+
+def render_timings(datasets: "list[tuple[str, dict]]") -> str:
+    """The ops/s table for the newest file, with a delta column vs the
+    oldest file when more than one is given."""
+    oldest_path, oldest = datasets[0]
+    newest_path, newest = datasets[-1]
+    timings = newest["timings_s"]
+    trend = len(datasets) > 1
     lines = [
-        f"### Smoke benchmark trend — {data['n_records']:,} records",
+        f"### Smoke benchmark trend — {newest['n_records']:,} records",
         "",
-        "| operation | time | ops/s |",
-        "|---|---:|---:|",
     ]
+    if trend:
+        lines += [
+            f"Newest: `{newest_path}` · baseline: `{oldest_path}` "
+            f"({len(datasets)} runs)",
+            "",
+            "| operation | time | ops/s | vs oldest |",
+            "|---|---:|---:|---:|",
+        ]
+    else:
+        lines += [
+            "| operation | time | ops/s |",
+            "|---|---:|---:|",
+        ]
     for op, seconds in sorted(timings.items()):
         ops = f"{1.0 / seconds:,.0f}" if seconds > 0 else "inf"
-        lines.append(f"| `{op}` | {_fmt_time(seconds)} | {ops} |")
+        row = f"| `{op}` | {_fmt_time(seconds)} | {ops} |"
+        if trend:
+            row += f" {_fmt_delta(seconds, oldest['timings_s'].get(op))} |"
+        lines.append(row)
     return "\n".join(lines) + "\n"
 
 
+def render_scenarios(data: dict) -> str:
+    """The degradation-under-load table (empty string when the file
+    carries no scenario block)."""
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        return ""
+    lines = [
+        "",
+        "### Degradation under adversarial load",
+        "",
+        "| scenario | status | p50 | p99 | p99 vs unloaded | "
+        "throughput | err rate | budget |",
+        "|---|---|---:|---:|---:|---:|---:|---|",
+    ]
+    for name in sorted(scenarios):
+        entry = scenarios[name]
+        status = entry.get("status", "?")
+        p50, p99 = _num(entry.get("p50_s")), _num(entry.get("p99_s"))
+        p99_x = _num(entry.get("p99_x"))
+        tput_x = _num(entry.get("throughput_x"))
+        err = _num(entry.get("error_rate"))
+        breaches = entry.get("breaches") or []
+        if status != "ok":
+            verdict = entry.get("reason", "")
+        elif breaches:
+            verdict = "**OVER**: " + "; ".join(breaches)
+        elif entry.get("within_budget"):
+            verdict = "within"
+        else:
+            verdict = "-"
+        lines.append(
+            f"| `{name}` | {status} "
+            f"| {_fmt_time(p50) if p50 == p50 else '-'} "
+            f"| {_fmt_time(p99) if p99 == p99 else '-'} "
+            f"| {f'{p99_x:.2f}x' if p99_x == p99_x else '-'} "
+            f"| {f'{tput_x:.2f}x' if tput_x == tput_x else '-'} "
+            f"| {f'{err * 100:.1f}%' if err == err else '-'} "
+            f"| {verdict} |")
+    return "\n".join(lines) + "\n"
+
+
+def render(paths: "list[str]") -> str:
+    """Full summary for 1..N timings files (sorted by filename, which
+    sorts ``BENCH_<ISO-date>`` names chronologically)."""
+    ordered = sorted(paths)
+    datasets = [(path, _load(path)) for path in ordered]
+    out = render_timings(datasets)
+    out += render_scenarios(datasets[-1][1])
+    return out
+
+
 def main(argv) -> int:
-    if len(argv) != 2:
+    if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    sys.stdout.write(render(argv[1]))
+    sys.stdout.write(render(argv[1:]))
     return 0
 
 

@@ -65,6 +65,19 @@ BROAD_TEXT = "punch.rsrc.memory = >=256\npunch.rsrc.load = <3.0"
 SUBSCRIBED_POOLS = 200
 
 
+def bench_json_document(timings: dict, n_records: int = N) -> dict:
+    """The archive schema: ``--json-out``, the committed baseline, and
+    ``repro scenarios --json-out`` all write/extend this exact shape
+    (``render_bench_summary.py`` and the scenario merge read it — the
+    schema test in tests/test_bench_summary.py locks it)."""
+    return {"n_records": n_records, "timings_s": dict(timings)}
+
+
+def write_bench_json(path, timings: dict, n_records: int = N) -> None:
+    Path(path).write_text(json.dumps(
+        bench_json_document(timings, n_records), indent=2) + "\n")
+
+
 def _median(fn, repeats):
     samples = []
     for _ in range(repeats):
@@ -312,12 +325,10 @@ def main() -> int:
 
     measured = measure()
     if args.json_out:
-        Path(args.json_out).write_text(json.dumps(
-            {"n_records": N, "timings_s": measured}, indent=2) + "\n")
+        write_bench_json(args.json_out, measured)
         print(f"timings written to {args.json_out}")
     if args.write_baseline:
-        BASELINE_PATH.write_text(json.dumps(
-            {"n_records": N, "timings_s": measured}, indent=2) + "\n")
+        write_bench_json(BASELINE_PATH, measured)
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 

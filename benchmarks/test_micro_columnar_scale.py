@@ -43,8 +43,11 @@ from repro.fleet import FleetSpec, build_fleet
 
 from benchmarks.conftest import timed_median
 
-pytestmark = pytest.mark.skipif(
-    not columnar_mod.HAVE_NUMPY, reason="columnar kernel needs numpy")
+pytestmark = [
+    pytest.mark.scale_gate,
+    pytest.mark.skipif(
+        not columnar_mod.HAVE_NUMPY, reason="columnar kernel needs numpy"),
+]
 
 _timed = partial(timed_median, repeats=3)
 

@@ -30,6 +30,8 @@ from repro.fleet import FleetSpec, build_database
 
 from benchmarks.conftest import timed_median as _timed
 
+pytestmark = pytest.mark.scale_gate
+
 POOLS = int(os.environ.get("REPRO_LISTENER_SCALE_POOLS", "1000"))
 MACHINES_PER_POOL = 20
 N = POOLS * MACHINES_PER_POOL

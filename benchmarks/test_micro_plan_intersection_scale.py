@@ -24,6 +24,8 @@ from repro.fleet import FleetSpec, build_database
 
 from benchmarks.conftest import timed_median
 
+pytestmark = pytest.mark.scale_gate
+
 _timed = partial(timed_median, repeats=9)
 
 N = int(os.environ.get("REPRO_MATCH_SCALE_N", "100000"))

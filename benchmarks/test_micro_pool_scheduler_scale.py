@@ -25,6 +25,8 @@ from repro.fleet import FleetSpec, build_database
 
 from benchmarks.conftest import timed_median as _timed
 
+pytestmark = pytest.mark.scale_gate
+
 N = int(os.environ.get("REPRO_POOL_SCALE_N", "100000"))
 STRIPES = 10  # N / 10 machines per pool
 

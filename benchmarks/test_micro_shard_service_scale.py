@@ -44,6 +44,8 @@ from repro.fleet import FleetSpec, build_fleet
 
 from benchmarks.conftest import timed_median as _timed
 
+pytestmark = pytest.mark.scale_gate
+
 N = int(os.environ.get("REPRO_SHARD_SERVICE_SCALE_N", "100000"))
 SHARDS = 8
 MIN_SPEEDUP = 1.5

@@ -25,6 +25,8 @@ from repro.fleet import FleetSpec, build_fleet
 
 from benchmarks.conftest import timed_median
 
+pytestmark = pytest.mark.scale_gate
+
 _timed = partial(timed_median, repeats=3)
 
 N = int(os.environ.get("REPRO_SNAPSHOT_V3_SCALE_N", "100000"))

@@ -35,6 +35,8 @@ import pytest
 from repro.database.service import ShardServiceClient, ShardSupervisor
 from repro.fleet import FleetSpec, build_fleet
 
+pytestmark = pytest.mark.scale_gate
+
 N = int(os.environ.get("REPRO_WAL_SCALE_N", "100000"))
 SHARDS = 4
 THREADS = 8

@@ -13,6 +13,10 @@ Commands
   (spawn, health-check, restart-from-checkpoint) in the foreground.
 - ``query --host H --port P "<query text>"`` — submit a query to a live
   service and print the allocation.
+- ``scenarios --all`` — run the adversarial scenario suite against a
+  live shard-service fleet and report degradation vs the unloaded
+  baseline (``--check-budgets`` turns breaches into a non-zero exit —
+  the CI degradation gate).
 """
 
 from __future__ import annotations
@@ -165,6 +169,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        ScenarioConfig,
+        ScenarioEnv,
+        StageContext,
+        default_pipeline,
+        merge_reports_into_bench_json,
+    )
+
+    pipeline = default_pipeline(checkpoint_path=args.checkpoint)
+    if args.list:
+        for stage in pipeline.stages:
+            inputs = ", ".join(stage.inputs) or "-"
+            print(f"{stage.name:<16} inputs: {inputs}")
+        return 0
+    names = None
+    if args.stages:
+        names = [n for n in args.stages.replace(",", " ").split() if n]
+    elif not getattr(args, "all", False):
+        names = None  # default: the full chain, same as --all
+
+    config = ScenarioConfig(
+        n_records=args.records, shards=args.shards, seed=args.seed,
+        duration_s=args.duration, load_threads=args.load_threads)
+    with ScenarioEnv(config) as env:
+        ctx = StageContext(env=env, config=config)
+        result = pipeline.run(names, resume=args.resume, context=ctx)
+
+    width = max((len(r.name) for r in result.reports), default=8)
+    print(f"{'scenario':<{width}}  {'status':<8} {'p50':>10} {'p99':>10} "
+          f"{'p99 x':>7} {'tput x':>7} {'err%':>6}  budget")
+    for r in result.reports:
+        m = r.metrics
+
+        def fmt(key: str, scale: float = 1e3, suffix: str = "ms") -> str:
+            value = m.get(key)
+            if not isinstance(value, (int, float)) or value != value:
+                return "-"
+            return f"{value * scale:.2f}{suffix}"
+
+        status = f"{r.status}{' *' if r.cached else ''}"
+        verdict = "-"
+        if m.get("breaches"):
+            verdict = "OVER: " + "; ".join(m["breaches"])
+        elif m.get("within_budget"):
+            verdict = "within"
+        print(f"{r.name:<{width}}  {status:<8} {fmt('p50_s'):>10} "
+              f"{fmt('p99_s'):>10} {fmt('p99_x', 1, 'x'):>7} "
+              f"{fmt('throughput_x', 1, 'x'):>7} "
+              f"{fmt('error_rate', 100, ''):>6}  {verdict}")
+        if r.reason:
+            print(f"{'':<{width}}  {r.reason}")
+
+    if args.json_out:
+        merge_reports_into_bench_json(args.json_out, result.reports,
+                                      n_records=config.n_records)
+        print(f"scenario metrics merged into {args.json_out}")
+
+    if not result.ok:
+        failed = [r.name for r in result.reports if r.status == "failed"]
+        print(f"SCENARIOS FAILED: {', '.join(failed)}")
+        return 1
+    if args.check_budgets:
+        over = [r.name for r in result.reports if r.metrics.get("breaches")]
+        if over:
+            print(f"DEGRADATION BUDGET EXCEEDED: {', '.join(over)}")
+            return 1
+        ran = [r for r in result.reports if r.status == "ok"]
+        print(f"scenarios OK: {len(ran)} stage(s) within their "
+              f"degradation budgets")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.runtime.client import ActYPClient
 
@@ -264,6 +341,41 @@ def build_parser() -> argparse.ArgumentParser:
                               "newest checkpoint/seed and replay the op "
                               "logs (restart-the-world recovery)")
     p_shard.set_defaults(fn=_cmd_shard_serve)
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="run adversarial scenarios against a live shard fleet")
+    p_scen.add_argument("--all", action="store_true",
+                        help="run the full scenario chain (the default "
+                             "when --stages is not given)")
+    p_scen.add_argument("--stages", metavar="NAMES",
+                        help="comma-separated subset of stages to run "
+                             "(missing-input stages are skipped, not "
+                             "crashed)")
+    p_scen.add_argument("--list", action="store_true",
+                        help="list the stages and their input artifacts")
+    p_scen.add_argument("--records", type=int, default=2000,
+                        help="live-fleet size (reduced-scale CI uses a "
+                             "smaller value)")
+    p_scen.add_argument("--shards", type=int, default=4,
+                        help="shard-worker count for the live fleet")
+    p_scen.add_argument("--seed", type=int, default=17)
+    p_scen.add_argument("--duration", type=float, default=1.5,
+                        help="seconds per measurement window")
+    p_scen.add_argument("--load-threads", type=int, default=4,
+                        help="background hostile-load threads")
+    p_scen.add_argument("--checkpoint", metavar="PATH",
+                        help="pipeline checkpoint file (enables --resume)")
+    p_scen.add_argument("--resume", action="store_true",
+                        help="reuse completed stages from --checkpoint "
+                             "instead of re-running them")
+    p_scen.add_argument("--json-out", metavar="PATH",
+                        help="merge scenario metrics into a bench-trend "
+                             "BENCH_<date>.json (created if missing)")
+    p_scen.add_argument("--check-budgets", action="store_true",
+                        help="exit non-zero when any scenario exceeds "
+                             "its degradation budget (the CI gate)")
+    p_scen.set_defaults(fn=_cmd_scenarios)
 
     p_query = sub.add_parser("query", help="query a live service")
     p_query.add_argument("text")

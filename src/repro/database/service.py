@@ -530,12 +530,25 @@ class ShardServiceClient:
         }
 
     def inject_fault(self, shard_index: int,
-                     triggers: Dict[str, int]) -> Dict[str, Any]:
-        """Arm crash-point countdowns in one worker (empty ``triggers``
-        disarms) — the client face of the fault-injection harness, for
-        durability tests and game-day drills."""
-        return self._conns[shard_index].roundtrip(
-            {"kind": "fault", "triggers": dict(triggers)})
+                     triggers: Optional[Dict[str, int]] = None, *,
+                     delays: Optional[Dict[str, float]] = None
+                     ) -> Dict[str, Any]:
+        """Arm fault injection in one worker — the client face of the
+        harness, for durability tests, adversarial scenarios, and
+        game-day drills.
+
+        ``triggers`` are crash-point countdowns (SIGKILL on expiry;
+        empty dict disarms); ``delays`` map shard verbs (or ``"*"``) to
+        seconds of added latency — the slow-worker brownout knob (empty
+        dict disarms).  Passing only one map leaves the other family's
+        armed state untouched.
+        """
+        frame: Dict[str, Any] = {"kind": "fault"}
+        if triggers is not None:
+            frame["triggers"] = dict(triggers)
+        if delays is not None:
+            frame["delays"] = dict(delays)
+        return self._conns[shard_index].roundtrip(frame)
 
     def wal_stats(self) -> Dict[str, Any]:
         """Fleet-wide write-ahead-log counters (from ``health``):

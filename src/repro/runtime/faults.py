@@ -60,6 +60,10 @@ __all__ = [
     "install_from_env",
     "uninstall",
     "FAULTS_ENV_VAR",
+    "DelayInjector",
+    "install_delays",
+    "installed_delays",
+    "delay_for",
 ]
 
 #: Every instrumented site, in write-path order.  The name is the
@@ -180,6 +184,62 @@ def crash_point(point: str) -> None:
     """Instrumentation helper for points with no preparatory damage."""
     if _ACTIVE is not None and _ACTIVE.should_fire(point):
         die()  # pragma: no cover - the process does not survive
+
+
+# ---------------------------------------------------------------------------
+# Delay injection: slow-worker brownouts (the non-fatal fault family)
+# ---------------------------------------------------------------------------
+
+
+class DelayInjector:
+    """Per-verb artificial service delays — a *brownout*, not a crash.
+
+    ``delays`` maps a shard-worker verb name (or ``"*"`` for every
+    verb) to seconds of added latency before dispatch.  Unlike the
+    crash points, delays are persistent once armed (no countdown):
+    the scenario engine arms one worker, measures the fan-out tail
+    under head-of-line blocking, and disarms.
+
+    Verb names are validated against the caller-supplied vocabulary
+    (the shard worker passes its verb table), so a typo'd scenario
+    slows nothing silently — same fail-loud contract as the crash
+    points.
+    """
+
+    def __init__(self, delays: Dict[str, float], *,
+                 known_verbs: Optional[Sequence[str]] = None):
+        for verb, seconds in delays.items():
+            if known_verbs is not None and verb != "*" \
+                    and verb not in known_verbs:
+                raise ValueError(f"unknown verb {verb!r} in delay map")
+            if float(seconds) < 0:
+                raise ValueError(f"delay for {verb!r} must be >= 0")
+        self.delays = {str(verb): float(seconds)
+                       for verb, seconds in delays.items()}
+
+    def delay_for(self, verb: str) -> float:
+        return self.delays.get(verb, self.delays.get("*", 0.0))
+
+
+_ACTIVE_DELAYS: Optional[DelayInjector] = None
+
+
+def install_delays(injector: Optional[DelayInjector]) -> None:
+    global _ACTIVE_DELAYS
+    _ACTIVE_DELAYS = injector
+
+
+def installed_delays() -> Optional[DelayInjector]:
+    return _ACTIVE_DELAYS
+
+
+def delay_for(verb: str) -> float:
+    """Armed delay (seconds) for ``verb``; 0.0 when off — and when off
+    this is one module-global ``is None`` check, like the crash
+    points."""
+    if _ACTIVE_DELAYS is None:
+        return 0.0
+    return _ACTIVE_DELAYS.delay_for(verb)
 
 
 class FaultPlan:

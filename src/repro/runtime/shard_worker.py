@@ -294,6 +294,13 @@ class ShardWorker:
                     frame = await read_frame(reader)
                 except asyncio.IncompleteReadError:
                     break  # clean disconnect
+                delay = faults.delay_for(str(frame.get("kind")))
+                if delay > 0:
+                    # Brownout injection: the slow-worker scenario arms
+                    # per-verb delays to measure fan-out head-of-line
+                    # blocking.  The sleep yields, so other connections
+                    # to this worker are delayed only by their own ops.
+                    await asyncio.sleep(delay)
                 response = self._dispatch(frame)
                 response = await self._commit_wal(frame, response)
                 await self._send_reply(writer, response)
@@ -552,19 +559,45 @@ class ShardWorker:
             "index_stats": self.database.index_stats(),
             "wal": (self.wal.stats() if self.wal is not None
                     else {"mode": "off"}),
+            "delays": (faults.installed_delays().delays
+                       if faults.installed_delays() is not None else {}),
         }
 
     def _verb_fault(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """Arm (or with empty ``triggers``, disarm) crash-point
-        countdowns in this worker — the wire face of the
-        fault-injection harness.  An unknown crash-point name is a
-        malformed request, so a typo'd test arms nothing silently."""
-        triggers = {str(point): int(count)
-                    for point, count in dict(
-                        frame.get("triggers", {})).items()}
-        faults.install(
-            faults.FaultInjector(triggers) if triggers else None)
-        return {"kind": "ok", "armed": sorted(triggers)}
+        """Arm (or with empty maps, disarm) fault injection in this
+        worker — the wire face of the fault-injection harness.
+
+        ``triggers`` are crash-point countdowns (SIGKILL on expiry);
+        ``delays`` are per-verb brownout latencies in seconds (the
+        slow-worker scenario's knob).  An unknown crash-point or verb
+        name is a malformed request, so a typo'd test arms nothing
+        silently.  Each map is independent: a frame carrying only
+        ``delays`` leaves armed crash triggers alone, and vice versa;
+        an *empty* map present in the frame explicitly disarms that
+        family.
+        """
+        armed: List[str] = []
+        if "triggers" in frame or "delays" not in frame:
+            triggers = {str(point): int(count)
+                        for point, count in dict(
+                            frame.get("triggers", {})).items()}
+            faults.install(
+                faults.FaultInjector(triggers) if triggers else None)
+            armed.extend(sorted(triggers))
+        if "delays" in frame:
+            delays = {str(verb): float(seconds)
+                      for verb, seconds in dict(frame["delays"]).items()}
+            faults.install_delays(
+                faults.DelayInjector(delays, known_verbs=self.verbs())
+                if delays else None)
+            armed.extend(sorted(f"delay:{v}" for v in delays))
+        return {"kind": "ok", "armed": armed}
+
+    @classmethod
+    def verbs(cls) -> List[str]:
+        """The worker's verb vocabulary (the ``_verb_*`` table)."""
+        return sorted(name[len("_verb_"):] for name in dir(cls)
+                      if name.startswith("_verb_"))
 
     def _verb_snapshot(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         """Write (or return) a v3 (or path-backed v4) snapshot of the

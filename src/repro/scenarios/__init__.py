@@ -1,0 +1,60 @@
+"""Adversarial scenario engine: hostile workloads as resumable stages.
+
+See :mod:`repro.scenarios.stage` for the stage contract,
+:mod:`repro.scenarios.pipeline` for the runner (subset runs,
+skip-don't-crash, checkpoint/resume), :mod:`repro.scenarios.metrics`
+for the degradation metrics and bench-trend bridge, and
+:mod:`repro.scenarios.library` for the scenarios themselves.
+Entry point: ``repro scenarios --all``.
+"""
+
+from repro.scenarios.library import (
+    DEFAULT_STAGE_NAMES,
+    BaselineStage,
+    ChurnStormStage,
+    FlashCrowdStage,
+    HotShardStage,
+    ScenarioConfig,
+    ScenarioEnv,
+    SlowWorkerStage,
+    WanPartitionStage,
+    default_pipeline,
+    default_stages,
+)
+from repro.scenarios.metrics import (
+    LoadMetrics,
+    check_budget,
+    degradation_vs,
+    merge_reports_into_bench_json,
+)
+from repro.scenarios.pipeline import PipelineResult, ScenarioPipeline
+from repro.scenarios.stage import (
+    Stage,
+    StageContext,
+    StageOutput,
+    StageReport,
+)
+
+__all__ = [
+    "Stage",
+    "StageContext",
+    "StageOutput",
+    "StageReport",
+    "ScenarioPipeline",
+    "PipelineResult",
+    "ScenarioConfig",
+    "ScenarioEnv",
+    "BaselineStage",
+    "ChurnStormStage",
+    "FlashCrowdStage",
+    "HotShardStage",
+    "SlowWorkerStage",
+    "WanPartitionStage",
+    "default_stages",
+    "default_pipeline",
+    "DEFAULT_STAGE_NAMES",
+    "LoadMetrics",
+    "check_budget",
+    "degradation_vs",
+    "merge_reports_into_bench_json",
+]

@@ -1,0 +1,564 @@
+"""The adversarial scenario library: hostile workloads as stages.
+
+Each scenario drives the **live** shard service — real
+:class:`~repro.runtime.shard_worker.ShardWorker` processes behind a
+:class:`~repro.database.service.ShardSupervisor`, reached through
+:class:`~repro.database.service.ShardServiceClient` over the wire
+protocol — with a production-shaped hostile load while a foreground
+probe measures latency, throughput, and error rate.  Every stage
+reports its numbers as **deltas versus the unloaded baseline** (the
+``baseline`` stage's artifact), and carries a degradation *budget* the
+CI scenarios job enforces: a PR that makes churn-storm p99 degrade past
+its budget fails the build.
+
+The chain (`default_stages`):
+
+================  ==========================================================
+stage             hostile shape
+================  ==========================================================
+``baseline``      no load — the unloaded p50/p99/throughput yardstick
+``churn_storm``   mass register/unregister of transient machines while
+                  match traffic continues (fleet membership thrash)
+``flash_crowd``   every client hammers *one* query class at once
+                  (thundering herd on a single pool stripe)
+``hot_shard``     key-skewed point writes: every update routes to one
+                  shard while the others idle
+``slow_worker``   one worker browns out (injected per-verb delay) and
+                  every fan-out query feels its head-of-line blocking
+``wan_partition`` federation peers separated by a partitioned WAN link
+                  (simulated kernel; delegation limps across the gap)
+================  ==========================================================
+
+``wan_partition`` runs on the deterministic simulation kernel
+(:mod:`repro.sim`) because a real two-domain WAN does not fit in CI;
+the other five hit live workers.  All six are resumable stages — the
+pipeline checkpoints each one's metrics as it completes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.scenarios.metrics import (
+    LoadMetrics,
+    check_budget,
+    degradation_vs,
+)
+from repro.scenarios.stage import StageContext, StageOutput
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioEnv",
+    "BaselineStage",
+    "ChurnStormStage",
+    "FlashCrowdStage",
+    "HotShardStage",
+    "SlowWorkerStage",
+    "WanPartitionStage",
+    "default_stages",
+    "default_pipeline",
+    "DEFAULT_STAGE_NAMES",
+]
+
+#: Query the foreground probe measures (selective: one pool stripe +
+#: a range clause, same shape as the smoke suite's hot op).
+_PROBE_TEXT = "punch.rsrc.pool = p07\npunch.rsrc.memory = >=128"
+#: The flash crowd's single contended query class.
+_CROWD_TEXT = "punch.rsrc.pool = p03"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs shared by every scenario (one config, reduced-scale CI
+    runs just shrink ``n_records``/``duration_s``)."""
+
+    n_records: int = 2000
+    shards: int = 4
+    seed: int = 17
+    stripe_pools: int = 32
+    #: Seconds each measurement window (baseline and per-scenario) runs.
+    duration_s: float = 1.5
+    #: Background hostile-load threads (each with a private client).
+    load_threads: int = 4
+    #: Transient machines each churn thread cycles through.
+    churn_records: int = 50
+    #: Injected per-``match`` delay for the slow-worker brownout.
+    slow_worker_delay_s: float = 0.02
+    #: One-way delay modelling the partitioned WAN link.
+    partition_s: float = 1.0
+    #: Simulated clients / queries per client for the WAN scenario.
+    wan_clients: int = 4
+    wan_queries: int = 10
+    wan_fleet_size: int = 48
+
+
+class ScenarioEnv:
+    """Runtime resources the live scenarios share: one supervised
+    shard-worker fleet, its records, and client factories.
+
+    Lives in :attr:`StageContext.env` — deliberately *outside* the
+    checkpoint (processes and sockets do not serialise; a resumed
+    pipeline builds a fresh env and re-runs only unfinished stages).
+    """
+
+    def __init__(self, config: ScenarioConfig, *,
+                 snapshot_dir: Optional[str] = None):
+        self.config = config
+        self._tmp: Optional[TemporaryDirectory] = None
+        self._snapshot_dir = snapshot_dir
+        self._supervisor = None
+        self._records = None
+        self._extra_clients: List[Any] = []
+
+    # -- fleet ----------------------------------------------------------------
+
+    @property
+    def records(self):
+        if self._records is None:
+            from repro.fleet import FleetSpec, build_fleet
+            self._records = build_fleet(FleetSpec(
+                size=self.config.n_records,
+                stripe_pools=self.config.stripe_pools,
+                seed=self.config.seed))
+        return self._records
+
+    def supervisor(self):
+        """The live fleet (lazily started on first use)."""
+        if self._supervisor is None:
+            from repro.database.service import ShardSupervisor
+            if self._snapshot_dir is None:
+                self._tmp = TemporaryDirectory(prefix="repro-scenarios-")
+                self._snapshot_dir = self._tmp.name
+            Path(self._snapshot_dir).mkdir(parents=True, exist_ok=True)
+            self._supervisor = ShardSupervisor(
+                self.config.shards, snapshot_dir=self._snapshot_dir,
+                records=self.records)
+            self._supervisor.start()
+        return self._supervisor
+
+    def client(self):
+        """The shared probe client."""
+        return self.supervisor().client()
+
+    def new_client(self):
+        """A private client (background load threads each get one, so
+        hostile traffic does not serialise on the probe client's
+        mutation lock)."""
+        from repro.database.service import ShardServiceClient
+        client = ShardServiceClient(self.supervisor().endpoints)
+        self._extra_clients.append(client)
+        return client
+
+    # -- probe plans ----------------------------------------------------------
+
+    def probe_plan(self):
+        from repro.core.language import parse_query
+        from repro.core.plan import compile_plan
+        return compile_plan(parse_query(_PROBE_TEXT).basic())
+
+    def crowd_plan(self):
+        from repro.core.language import parse_query
+        from repro.core.plan import compile_plan
+        return compile_plan(parse_query(_CROWD_TEXT).basic())
+
+    def close(self) -> None:
+        for client in self._extra_clients:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        self._extra_clients.clear()
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+            self._snapshot_dir = None
+
+    def __enter__(self) -> "ScenarioEnv":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Measurement plumbing
+# ---------------------------------------------------------------------------
+
+
+def _measure(fn: Callable[[], Any], duration_s: float,
+             label: str = "") -> Dict[str, float]:
+    """Run ``fn`` in a closed loop for ``duration_s``; per-op latency
+    samples on success, error counts on :class:`ReproError`/``OSError``
+    (anything else is a real bug and propagates)."""
+    metrics = LoadMetrics(label).start()
+    deadline = time.monotonic() + duration_s
+    while time.monotonic() < deadline:
+        t0 = time.perf_counter()
+        try:
+            fn()
+        except (ReproError, OSError):
+            metrics.record_error()
+        else:
+            metrics.record(time.perf_counter() - t0)
+    return metrics.stop().summary()
+
+
+class _BackgroundLoad:
+    """Hostile load on worker threads, each looping its own op until
+    stopped.  Ops/errors are tallied so the stage can report how much
+    adversarial work actually landed."""
+
+    def __init__(self, make_op: Callable[[int], Callable[[], Any]],
+                 threads: int):
+        self._make_op = make_op
+        self._n = threads
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self.ops = 0
+        self.errors = 0
+        self._lock = threading.Lock()
+
+    def _loop(self, index: int) -> None:
+        op = self._make_op(index)
+        ops = errors = 0
+        while not self._stop.is_set():
+            try:
+                op()
+            except (ReproError, OSError):
+                errors += 1
+            else:
+                ops += 1
+        with self._lock:
+            self.ops += ops
+            self.errors += errors
+
+    def __enter__(self) -> "_BackgroundLoad":
+        for i in range(self._n):
+            thread = threading.Thread(target=self._loop, args=(i,),
+                                      name=f"scenario-load-{i}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+
+
+def _loaded_output(summary: Dict[str, float],
+                   baseline: Dict[str, float],
+                   budget: Dict[str, float],
+                   extra: Optional[Dict[str, Any]] = None,
+                   **artifacts: Any) -> StageOutput:
+    """The shared report shape: measured summary + degradation deltas +
+    budget verdict."""
+    metrics: Dict[str, Any] = dict(summary)
+    metrics.update(degradation_vs(summary, baseline))
+    metrics.update(extra or {})
+    breaches = check_budget(metrics, budget)
+    metrics["budget"] = dict(budget)
+    metrics["within_budget"] = not breaches
+    metrics["breaches"] = breaches
+    return StageOutput.ok(metrics, **artifacts)
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+
+class BaselineStage:
+    """Unloaded yardstick: probe-query and point-write latency with no
+    hostile load.  Publishes the ``baseline`` artifact every loaded
+    scenario's deltas divide by."""
+
+    name = "baseline"
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ("baseline",)
+
+    def run(self, ctx: StageContext) -> StageOutput:
+        env: ScenarioEnv = ctx.env
+        cfg: ScenarioConfig = ctx.config
+        client = env.client()
+        plan = env.probe_plan()
+        client.match(plan)  # warm sockets and worker caches
+        match = _measure(lambda: client.match(plan), cfg.duration_s,
+                         "baseline.match")
+        names = itertools.cycle(client.names()[:200])
+
+        def point_op() -> None:
+            client.update_dynamic(next(names), current_load=0.5)
+
+        point = _measure(point_op, cfg.duration_s, "baseline.point")
+        metrics = {f"{k}": v for k, v in match.items()}
+        metrics.update({f"point_{k}": v for k, v in point.items()})
+        return StageOutput.ok(metrics,
+                              baseline={"match": match, "point": point})
+
+
+class ChurnStormStage:
+    """Mass register/unregister: every load thread cycles transient
+    machines in and out of the registry (each ``register`` re-indexes,
+    notifies, and WAL-logs) while the probe keeps matching."""
+
+    name = "churn_storm"
+    inputs = ("baseline",)
+    outputs: Tuple[str, ...] = ()
+    budget = {"p99_x_max": 10.0, "error_rate_max": 0.05}
+
+    def run(self, ctx: StageContext) -> StageOutput:
+        env: ScenarioEnv = ctx.env
+        cfg: ScenarioConfig = ctx.config
+        template = env.records[0]
+        plan = env.probe_plan()
+        probe = env.client()
+        probe.match(plan)  # warm
+
+        def make_op(index: int) -> Callable[[], Any]:
+            client = env.new_client()
+            counter = itertools.count()
+
+            def churn() -> None:
+                i = next(counter) % cfg.churn_records
+                name = f"churn-t{index}-{i:04d}.transient.edu"
+                client.add(dataclasses.replace(template,
+                                               machine_name=name))
+                client.remove(name)
+
+            return churn
+
+        with _BackgroundLoad(make_op, cfg.load_threads) as load:
+            summary = _measure(lambda: probe.match(plan),
+                               cfg.duration_s, self.name)
+        return _loaded_output(
+            summary, ctx.artifact("baseline")["match"], self.budget,
+            extra={"load_ops": load.ops, "load_errors": load.errors})
+
+
+class FlashCrowdStage:
+    """Thundering herd on one query class: every client fans the same
+    pool-stripe match to every shard at once, so one plan's postings
+    and rank caches absorb the entire crowd."""
+
+    name = "flash_crowd"
+    inputs = ("baseline",)
+    outputs: Tuple[str, ...] = ()
+    budget = {"p99_x_max": 20.0, "error_rate_max": 0.05}
+
+    def run(self, ctx: StageContext) -> StageOutput:
+        env: ScenarioEnv = ctx.env
+        cfg: ScenarioConfig = ctx.config
+        crowd_plan = env.crowd_plan()
+        probe = env.client()
+        probe.match(crowd_plan)  # warm
+
+        def make_op(index: int) -> Callable[[], Any]:
+            client = env.new_client()
+            return lambda: client.match(crowd_plan)
+
+        with _BackgroundLoad(make_op, cfg.load_threads) as load:
+            summary = _measure(lambda: probe.match(crowd_plan),
+                               cfg.duration_s, self.name)
+        return _loaded_output(
+            summary, ctx.artifact("baseline")["match"], self.budget,
+            extra={"load_ops": load.ops, "load_errors": load.errors})
+
+
+class HotShardStage:
+    """Key-skewed writes: every background update routes to shard 0
+    (CRC-picked names), so one worker's event loop absorbs the entire
+    write storm while its siblings idle — the probe writes to the same
+    hot shard and feels the queueing."""
+
+    name = "hot_shard"
+    inputs = ("baseline",)
+    outputs: Tuple[str, ...] = ()
+    budget = {"p99_x_max": 15.0, "error_rate_max": 0.05}
+    hot_shard = 0
+
+    def _hot_names(self, env: ScenarioEnv) -> List[str]:
+        from repro.database.sharding import shard_of
+        shards = env.config.shards
+        return [r.machine_name for r in env.records
+                if shard_of(r.machine_name, shards) == self.hot_shard]
+
+    def run(self, ctx: StageContext) -> StageOutput:
+        env: ScenarioEnv = ctx.env
+        cfg: ScenarioConfig = ctx.config
+        hot = self._hot_names(env)
+        if len(hot) < cfg.load_threads + 1:
+            return StageOutput.skip(
+                f"only {len(hot)} records route to shard "
+                f"{self.hot_shard}; need {cfg.load_threads + 1}")
+        # Disjoint slices: probe takes slice 0, thread i takes i+1.
+        slices = [hot[i::cfg.load_threads + 1]
+                  for i in range(cfg.load_threads + 1)]
+        probe = env.client()
+        probe_names = itertools.cycle(slices[0])
+
+        def make_op(index: int) -> Callable[[], Any]:
+            client = env.new_client()
+            names = itertools.cycle(slices[index + 1])
+
+            def storm() -> None:
+                client.update_dynamic(next(names), current_load=3.5)
+
+            return storm
+
+        def probe_op() -> None:
+            probe.update_dynamic(next(probe_names), current_load=1.0)
+
+        probe_op()  # warm
+        with _BackgroundLoad(make_op, cfg.load_threads) as load:
+            summary = _measure(probe_op, cfg.duration_s, self.name)
+        return _loaded_output(
+            summary, ctx.artifact("baseline")["point"], self.budget,
+            extra={"load_ops": load.ops, "load_errors": load.errors,
+                   "hot_shard": self.hot_shard,
+                   "hot_records": len(hot)})
+
+
+class SlowWorkerStage:
+    """Brownout: one worker serves ``match`` with an injected delay
+    (the fault harness's non-fatal family), so every fan-out query
+    waits on the straggler — the classic head-of-line tail amplifier.
+
+    The budget here is *absolute*: fan-out p99 must stay within a small
+    multiple of the injected delay (a healthy engine adds nothing on
+    top of the straggler; a regressed one stacks round trips)."""
+
+    name = "slow_worker"
+    inputs = ("baseline",)
+    outputs: Tuple[str, ...] = ()
+    slow_shard = 0
+
+    def run(self, ctx: StageContext) -> StageOutput:
+        env: ScenarioEnv = ctx.env
+        cfg: ScenarioConfig = ctx.config
+        budget = {"p99_s_max": cfg.slow_worker_delay_s * 8,
+                  "error_rate_max": 0.05}
+        plan = env.probe_plan()
+        probe = env.client()
+        probe.match(plan)  # warm before the brownout
+        probe.inject_fault(self.slow_shard,
+                           delays={"match": cfg.slow_worker_delay_s})
+        try:
+            summary = _measure(lambda: probe.match(plan),
+                               cfg.duration_s, self.name)
+        finally:
+            probe.inject_fault(self.slow_shard, delays={})
+        return _loaded_output(
+            summary, ctx.artifact("baseline")["match"], budget,
+            extra={"slow_shard": self.slow_shard,
+                   "injected_delay_s": cfg.slow_worker_delay_s})
+
+
+class WanPartitionStage:
+    """Federation peers across a partitioned WAN link.
+
+    Two single-architecture domains (every ``hp`` machine lives in the
+    remote peer) force cross-domain delegation for the measured query
+    class; the partition is modelled by overriding the inter-domain
+    latency to :attr:`ScenarioConfig.partition_s` each way on the
+    deterministic simulation kernel.  The stage runs the same client
+    load connected and partitioned and reports the degradation between
+    the two — so its baseline is internal, not the live-fleet
+    ``baseline`` artifact (inputs are empty by design: the stage also
+    demonstrates subset runs that skip the live fleet entirely)."""
+
+    name = "wan_partition"
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    budget = {"error_rate_max": 0.25}
+
+    def _federation(self, cfg: ScenarioConfig,
+                    partitioned: bool) -> Any:
+        from repro.deploy.federation import DomainSpec, FederatedDeployment
+        from repro.fleet import ArchProfile, FleetSpec, build_database
+
+        def domain_db(arch: str, seed: int):
+            db, _ = build_database(FleetSpec(
+                size=cfg.wan_fleet_size, domain=f"{arch}dom",
+                profiles=(ArchProfile(arch, "anyos", 1.0),), seed=seed))
+            return db
+
+        fed = FederatedDeployment([
+            DomainSpec("purdue", domain_db("sun", cfg.seed)),
+            DomainSpec("upc", domain_db("hp", cfg.seed + 1)),
+        ], seed=cfg.seed)
+        if partitioned:
+            # Same-seeded build, then the link goes dark: every
+            # purdue<->upc message pays the partition delay.
+            fed.transport.latency.overrides.update({
+                ("purdue", "upc"): (cfg.partition_s, 0.0),
+                ("upc", "purdue"): (cfg.partition_s, 0.0),
+            })
+        return fed
+
+    def _run_clients(self, cfg: ScenarioConfig, partitioned: bool
+                     ) -> Dict[str, float]:
+        fed = self._federation(cfg, partitioned)
+        stats = fed.run_clients(
+            client_domain="purdue", entry_domain="purdue",
+            payload_fn=lambda ci, it, rng: "punch.rsrc.arch = hp",
+            clients=cfg.wan_clients,
+            queries_per_client=cfg.wan_queries)
+        summary = stats.summary()
+        attempts = summary.count + stats.failures
+        # Virtual makespan of the whole client run (kernel clock).
+        sim_elapsed = max(float(fed.sim.now), 1e-9)
+        return {
+            "ops": float(summary.count),
+            "errors": float(stats.failures),
+            "error_rate": (stats.failures / attempts) if attempts else 0.0,
+            "p50_s": summary.p50,
+            "p99_s": summary.p99,
+            "mean_s": summary.mean,
+            # Virtual-time throughput: queries per simulated second.
+            "throughput_ops": (summary.count / sim_elapsed
+                               if summary.count else 0.0),
+            "elapsed_s": sim_elapsed,
+        }
+
+    def run(self, ctx: StageContext) -> StageOutput:
+        cfg: ScenarioConfig = ctx.config
+        connected = self._run_clients(cfg, partitioned=False)
+        partitioned = self._run_clients(cfg, partitioned=True)
+        # Delegation pays a few partitioned round trips; budget the p99
+        # in link-delay units so the gate is scale-independent.
+        budget = dict(self.budget)
+        budget["p99_s_max"] = cfg.partition_s * 16
+        return _loaded_output(
+            partitioned, connected, budget,
+            extra={"partition_s": cfg.partition_s,
+                   "connected_p99_s": connected["p99_s"],
+                   "connected_error_rate": connected["error_rate"]})
+
+
+#: Declared chain order (baseline first — it feeds everything else).
+DEFAULT_STAGE_NAMES = ("baseline", "churn_storm", "flash_crowd",
+                       "hot_shard", "slow_worker", "wan_partition")
+
+
+def default_stages() -> List[Any]:
+    return [BaselineStage(), ChurnStormStage(), FlashCrowdStage(),
+            HotShardStage(), SlowWorkerStage(), WanPartitionStage()]
+
+
+def default_pipeline(checkpoint_path: Optional[str] = None):
+    from repro.scenarios.pipeline import ScenarioPipeline
+    return ScenarioPipeline(default_stages(),
+                            checkpoint_path=checkpoint_path)

@@ -1,0 +1,219 @@
+"""Degradation metrics: latency/throughput/error-rate under hostile load.
+
+Every scenario stage answers the same three questions — *how slow did
+the service get (p50/p99), how much work still went through
+(throughput), and how much of it failed (error rate)* — and expresses
+each as a **delta versus the unloaded baseline**, so a number like
+``p99_x = 7.3`` reads directly as "churn made tail latency 7.3x worse".
+
+The module also owns the bridge into the bench-trend archive:
+:func:`merge_reports_into_bench_json` folds scenario reports into the
+same ``{"n_records": ..., "timings_s": {...}}`` JSON shape
+``benchmarks/smoke_matchmaking.py --json-out`` writes, adding a
+``scenarios`` block and per-scenario ``timings_s`` entries — one file
+per bench-trend run carries both the happy-path ops/s and the
+degradation-under-load trajectory.
+
+Percentiles are computed without numpy (nearest-rank on the sorted
+samples): scenario probes collect hundreds of samples, not millions,
+and the engine stays importable on a numpy-less interpreter just like
+the row-path match kernel.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "LoadMetrics",
+    "percentile",
+    "degradation_vs",
+    "check_budget",
+    "merge_reports_into_bench_json",
+    "BENCH_JSON_KEYS",
+]
+
+#: The archive schema contract: every BENCH_<date>.json carries these
+#: top-level keys (``scenarios`` appears once scenario stages ran).
+BENCH_JSON_KEYS = ("n_records", "timings_s")
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``."""
+    if not samples:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(q / 100.0 * len(ordered)) - 1))
+    return float(ordered[rank])
+
+
+class LoadMetrics:
+    """Latency samples + error counter over one measurement window.
+
+    ``record(seconds)`` per successful op, ``record_error()`` per
+    failure; :meth:`summary` derives p50/p99, throughput (successful
+    ops over the window), and error rate (failures over attempts).
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.samples: List[float] = []
+        self.errors = 0
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+
+    def start(self) -> "LoadMetrics":
+        self._t0 = time.monotonic()
+        return self
+
+    def stop(self) -> "LoadMetrics":
+        self._t1 = time.monotonic()
+        return self
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0 or math.isnan(seconds):
+            raise ValueError(f"invalid latency sample {seconds!r}")
+        self.samples.append(seconds)
+
+    def record_error(self) -> None:
+        self.errors += 1
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        end = self._t1 if self._t1 is not None else time.monotonic()
+        return max(0.0, end - self._t0)
+
+    def summary(self) -> Dict[str, float]:
+        ops = len(self.samples)
+        attempts = ops + self.errors
+        elapsed = self.elapsed_s
+        return {
+            "ops": float(ops),
+            "errors": float(self.errors),
+            "error_rate": (self.errors / attempts) if attempts else 0.0,
+            "p50_s": percentile(self.samples, 50.0),
+            "p99_s": percentile(self.samples, 99.0),
+            "mean_s": (sum(self.samples) / ops) if ops else float("nan"),
+            "throughput_ops": (ops / elapsed) if elapsed > 0 else 0.0,
+            "elapsed_s": elapsed,
+        }
+
+
+def _ratio(now: float, base: float) -> float:
+    """``now / base`` with NaN for undefined comparisons."""
+    if any(math.isnan(v) for v in (now, base)) or base <= 0:
+        return float("nan")
+    return now / base
+
+
+def degradation_vs(summary: Dict[str, float],
+                   baseline: Dict[str, float]) -> Dict[str, float]:
+    """Delta block: the scenario's numbers as multiples of the unloaded
+    baseline (latency ``_x`` > 1 is worse; ``throughput_x`` < 1 is
+    worse)."""
+    return {
+        "baseline_p50_s": baseline.get("p50_s", float("nan")),
+        "baseline_p99_s": baseline.get("p99_s", float("nan")),
+        "baseline_throughput_ops":
+            baseline.get("throughput_ops", float("nan")),
+        "p50_x": _ratio(summary.get("p50_s", float("nan")),
+                        baseline.get("p50_s", float("nan"))),
+        "p99_x": _ratio(summary.get("p99_s", float("nan")),
+                        baseline.get("p99_s", float("nan"))),
+        "throughput_x": _ratio(summary.get("throughput_ops", float("nan")),
+                               baseline.get("throughput_ops", float("nan"))),
+    }
+
+
+#: Budget keys → (metric key, comparison, human phrasing).  A budget is
+#: a dict like ``{"p99_x_max": 10.0, "error_rate_max": 0.05}``; CI
+#: fails the scenarios job when any bound is exceeded.
+_BUDGET_RULES = {
+    "p99_x_max": ("p99_x", "<=", "p99 degradation"),
+    "p50_x_max": ("p50_x", "<=", "p50 degradation"),
+    "p99_s_max": ("p99_s", "<=", "absolute p99"),
+    "error_rate_max": ("error_rate", "<=", "error rate"),
+    "throughput_x_min": ("throughput_x", ">=", "throughput retention"),
+}
+
+
+def check_budget(metrics: Dict[str, float],
+                 budget: Dict[str, float]) -> List[str]:
+    """Evaluate ``metrics`` against a degradation ``budget``; returns
+    human-readable breach descriptions (empty = within budget).
+
+    A metric the budget names but the stage did not measure is itself a
+    breach — a budget must never silently pass because the measurement
+    disappeared.
+    """
+    breaches: List[str] = []
+    for key, bound in budget.items():
+        rule = _BUDGET_RULES.get(key)
+        if rule is None:
+            raise ValueError(f"unknown budget key {key!r} "
+                             f"(know: {sorted(_BUDGET_RULES)})")
+        metric_key, op, label = rule
+        value = metrics.get(metric_key, float("nan"))
+        if math.isnan(value):
+            breaches.append(f"{label}: no measurement for "
+                            f"{metric_key!r} (budget {bound})")
+            continue
+        within = value <= bound if op == "<=" else value >= bound
+        if not within:
+            breaches.append(
+                f"{label}: {metric_key}={value:.3g} "
+                f"{'exceeds' if op == '<=' else 'below'} budget {bound:g}")
+    return breaches
+
+
+def _finite(value: Any) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def merge_reports_into_bench_json(
+        path: Union[str, Path], reports: Iterable[Any], *,
+        n_records: int) -> Dict[str, Any]:
+    """Fold scenario stage reports into a bench-trend JSON file.
+
+    If ``path`` already holds a smoke-suite archive (the
+    ``--json-out`` shape), the scenario data is merged into it —
+    ``timings_s`` gains ``scenario_<name>_{p50,p99}_s`` entries and a
+    ``scenarios`` block records the full per-stage metrics; otherwise a
+    fresh file with the same shape is created.  Returns the merged
+    document (also written back atomically).
+    """
+    from repro.database.persistence import atomic_write_text
+    path = Path(path)
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data.get("timings_s"), dict):
+            raise ValueError(
+                f"{path} is not a bench-trend timings file "
+                f"(want the smoke --json-out shape)")
+    else:
+        data = {"n_records": n_records, "timings_s": {}}
+    scenarios = data.setdefault("scenarios", {})
+    for report in reports:
+        entry: Dict[str, Any] = {"status": report.status}
+        if report.reason:
+            entry["reason"] = report.reason
+        entry.update({k: v for k, v in report.metrics.items()
+                      if _finite(v) or isinstance(v, (str, bool, list))})
+        scenarios[report.name] = entry
+        if report.status == "ok":
+            for stat in ("p50_s", "p99_s"):
+                value = report.metrics.get(stat)
+                if _finite(value):
+                    data["timings_s"][
+                        f"scenario_{report.name}_{stat}"] = value
+    atomic_write_text(path, json.dumps(data, indent=2) + "\n")
+    return data

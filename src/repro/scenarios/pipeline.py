@@ -1,0 +1,230 @@
+"""The scenario pipeline runner: compose stages, checkpoint, resume.
+
+:class:`ScenarioPipeline` executes an ordered list of
+:class:`~repro.scenarios.stage.Stage` objects with the engine
+guarantees the scenario library and CLI rely on:
+
+- **Full chain or any subset.**  ``run(names=[...])`` executes only the
+  named stages, in declared order.
+- **Skip, don't crash.**  A stage whose declared inputs are missing
+  from the context (because its producer was deselected, skipped, or
+  failed) is recorded as ``skipped`` with the missing keys in the
+  reason — the rest of the chain keeps running.  A stage that *raises*
+  is recorded as ``failed`` the same way; one hostile scenario blowing
+  up must not take the report for the others with it.
+- **Checkpoint after every completed stage.**  With a
+  ``checkpoint_path``, each ``ok`` stage's report and published
+  artifacts are persisted (atomic write) the moment it finishes.
+- **Resume.**  ``run(resume=True)`` restores completed stages from the
+  checkpoint — their artifacts re-enter the context, their reports are
+  returned marked ``cached`` — and execution continues mid-pipeline
+  with only the unfinished stages.
+
+Checkpoints are JSON: ``{"format": "repro-scenarios-checkpoint",
+"version": 1, "completed": {<stage>: {"report": ..., "artifacts":
+...}}}``.  Only ``ok`` stages are checkpointed — skipped and failed
+stages re-run on resume by design.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.scenarios.stage import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    Stage,
+    StageContext,
+    StageOutput,
+    StageReport,
+)
+
+__all__ = ["ScenarioPipeline", "PipelineResult"]
+
+logger = logging.getLogger(__name__)
+
+_CHECKPOINT_FORMAT = "repro-scenarios-checkpoint"
+_CHECKPOINT_VERSION = 1
+
+
+class PipelineResult:
+    """Ordered stage reports plus the final artifact map."""
+
+    def __init__(self, reports: List[StageReport],
+                 artifacts: Dict[str, Any]):
+        self.reports = reports
+        self.artifacts = artifacts
+
+    def report_for(self, name: str) -> StageReport:
+        for report in self.reports:
+            if report.name == name:
+                return report
+        raise KeyError(f"no report for stage {name!r}")
+
+    @property
+    def ok(self) -> bool:
+        """True when no stage failed (skips are allowed by contract)."""
+        return all(r.status != STATUS_FAILED for r in self.reports)
+
+    def counts(self) -> Dict[str, int]:
+        out = {STATUS_OK: 0, STATUS_SKIPPED: 0, STATUS_FAILED: 0}
+        for report in self.reports:
+            out[report.status] += 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"reports": [r.to_dict() for r in self.reports],
+                "counts": self.counts()}
+
+
+class ScenarioPipeline:
+    """Run :class:`Stage` objects in order with checkpoint/resume.
+
+    Parameters
+    ----------
+    stages:
+        The full chain, in execution order.  Names must be unique.
+    checkpoint_path:
+        Where to persist completed-stage state (optional; without it
+        the pipeline still runs, it just cannot resume).
+    """
+
+    def __init__(self, stages: Sequence[Stage], *,
+                 checkpoint_path: Optional[Union[str, Path]] = None):
+        names = [stage.name for stage in stages]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ConfigError(f"duplicate stage names: {sorted(dupes)}")
+        self.stages: List[Stage] = list(stages)
+        self.checkpoint_path = (Path(checkpoint_path)
+                                if checkpoint_path is not None else None)
+
+    # -- selection ------------------------------------------------------------
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def select(self, names: Optional[Iterable[str]]) -> List[Stage]:
+        """The stages to run, in declared order; unknown names raise."""
+        if names is None:
+            return list(self.stages)
+        wanted = list(names)
+        known = set(self.stage_names())
+        unknown = [n for n in wanted if n not in known]
+        if unknown:
+            raise ConfigError(
+                f"unknown scenario stage(s) {unknown}; "
+                f"know: {self.stage_names()}")
+        wanted_set = set(wanted)
+        return [stage for stage in self.stages if stage.name in wanted_set]
+
+    # -- checkpoint persistence ----------------------------------------------
+
+    def _load_checkpoint(self) -> Dict[str, Any]:
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return {}
+        try:
+            data = json.loads(
+                self.checkpoint_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning("ignoring unreadable checkpoint %s: %s",
+                           self.checkpoint_path, exc)
+            return {}
+        if not isinstance(data, dict) or \
+                data.get("format") != _CHECKPOINT_FORMAT or \
+                int(data.get("version", 0)) != _CHECKPOINT_VERSION:
+            logger.warning("ignoring checkpoint %s: unknown format",
+                           self.checkpoint_path)
+            return {}
+        completed = data.get("completed")
+        return completed if isinstance(completed, dict) else {}
+
+    def _save_checkpoint(self, completed: Dict[str, Any]) -> None:
+        if self.checkpoint_path is None:
+            return
+        from repro.database.persistence import atomic_write_text
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.checkpoint_path, json.dumps({
+            "format": _CHECKPOINT_FORMAT,
+            "version": _CHECKPOINT_VERSION,
+            "completed": completed,
+        }, indent=2) + "\n")
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, names: Optional[Iterable[str]] = None, *,
+            resume: bool = False,
+            context: Optional[StageContext] = None) -> PipelineResult:
+        """Execute the selected stages; returns every report in order.
+
+        With ``resume=True``, stages already completed in the
+        checkpoint are not re-run: their artifacts re-enter the context
+        (so downstream inputs resolve) and their stored reports come
+        back marked ``cached``.
+        """
+        ctx = context if context is not None else StageContext()
+        selected = self.select(names)
+        completed = self._load_checkpoint() if resume else {}
+        reports: List[StageReport] = []
+
+        for stage in selected:
+            cached = completed.get(stage.name)
+            if cached is not None:
+                report = StageReport.from_dict(cached.get("report", {}))
+                report.cached = True
+                ctx.artifacts.update(cached.get("artifacts", {}))
+                reports.append(report)
+                continue
+
+            missing = ctx.missing(tuple(stage.inputs))
+            if missing:
+                reports.append(StageReport(
+                    name=stage.name, status=STATUS_SKIPPED,
+                    reason=f"missing input artifact(s): "
+                           f"{', '.join(missing)}"))
+                continue
+
+            t0 = time.monotonic()
+            try:
+                output = stage.run(ctx)
+            except Exception as exc:  # noqa: BLE001 - containment is the contract
+                logger.exception("scenario stage %r failed", stage.name)
+                reports.append(StageReport(
+                    name=stage.name, status=STATUS_FAILED,
+                    reason=f"{type(exc).__name__}: {exc}",
+                    duration_s=time.monotonic() - t0))
+                continue
+            duration = time.monotonic() - t0
+            if not isinstance(output, StageOutput):
+                reports.append(StageReport(
+                    name=stage.name, status=STATUS_FAILED,
+                    reason=f"stage returned {type(output).__name__}, "
+                           f"not StageOutput", duration_s=duration))
+                continue
+
+            report = StageReport(
+                name=stage.name, status=output.status,
+                reason=output.reason, metrics=dict(output.metrics),
+                duration_s=duration)
+            reports.append(report)
+            if output.status != STATUS_OK:
+                continue
+            undeclared = set(output.artifacts) - set(stage.outputs)
+            if undeclared:
+                raise ConfigError(
+                    f"stage {stage.name!r} published undeclared "
+                    f"artifact(s) {sorted(undeclared)}")
+            ctx.artifacts.update(output.artifacts)
+            completed[stage.name] = {
+                "report": report.to_dict(),
+                "artifacts": dict(output.artifacts),
+            }
+            self._save_checkpoint(completed)
+
+        return PipelineResult(reports, dict(ctx.artifacts))

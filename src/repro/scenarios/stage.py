@@ -1,0 +1,168 @@
+"""The stage contract of the adversarial scenario engine.
+
+A *scenario* is a :class:`Stage`: a named unit of hostile workload with
+declared artifact ``inputs``/``outputs`` and one ``run()`` entry point
+that returns a :class:`StageOutput`.  Stages compose into a
+:class:`~repro.scenarios.pipeline.ScenarioPipeline`, which provides the
+engine-level guarantees (run the full chain or any subset, skip — don't
+crash — when a stage's inputs are missing, checkpoint after every
+completed stage, resume from a checkpoint).
+
+The contract is deliberately small, mirroring the stage protocols of
+pipeline frameworks like stageflow's ``Stage`` and shelf's
+``BaseStage``:
+
+- ``name`` — unique identifier; the CLI and checkpoint key.
+- ``inputs`` — artifact keys this stage reads from the shared
+  :class:`StageContext`.  A missing input makes the pipeline *skip*
+  the stage with a reason, never raise.
+- ``outputs`` — artifact keys an ``ok`` run promises to publish.
+- ``run(ctx)`` — do the work; return ``StageOutput.ok(...)`` /
+  ``StageOutput.skip(...)`` / ``StageOutput.fail(...)``.
+
+Artifacts and metrics must be JSON-serialisable: they are written
+verbatim into the pipeline checkpoint and into the bench-trend
+``BENCH_<date>.json`` archive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+__all__ = [
+    "Stage",
+    "StageContext",
+    "StageOutput",
+    "StageReport",
+    "STATUS_OK",
+    "STATUS_SKIPPED",
+    "STATUS_FAILED",
+]
+
+STATUS_OK = "ok"
+STATUS_SKIPPED = "skipped"
+STATUS_FAILED = "failed"
+_STATUSES = (STATUS_OK, STATUS_SKIPPED, STATUS_FAILED)
+
+
+@dataclass
+class StageContext:
+    """Shared state a pipeline threads through its stages.
+
+    ``artifacts`` is the inter-stage data plane: a stage publishes its
+    declared outputs there and later stages read them as inputs.  The
+    pipeline owns the dict; stages access it through the helpers so a
+    typo'd key fails loudly at the access site.
+
+    ``env`` is an opaque slot for runtime resources that must *not* be
+    checkpointed (live clients, supervisors, temp dirs) — the scenario
+    library stores its :class:`~repro.scenarios.library.ScenarioEnv`
+    here.  ``config`` rides along the same way for knobs.
+    """
+
+    env: Any = None
+    config: Any = None
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    def artifact(self, key: str) -> Any:
+        if key not in self.artifacts:
+            raise KeyError(f"artifact {key!r} has not been published")
+        return self.artifacts[key]
+
+    def has(self, key: str) -> bool:
+        return key in self.artifacts
+
+    def missing(self, keys: Tuple[str, ...]) -> Tuple[str, ...]:
+        return tuple(k for k in keys if k not in self.artifacts)
+
+
+@dataclass(frozen=True)
+class StageOutput:
+    """What a stage's ``run()`` returns.
+
+    Build via the classmethods; the pipeline inspects ``status`` and
+    merges ``artifacts`` into the context only for ``ok`` runs.
+    """
+
+    status: str
+    reason: str = ""
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ValueError(f"unknown stage status {self.status!r}")
+
+    @classmethod
+    def ok(cls, metrics: Optional[Dict[str, Any]] = None,
+           **artifacts: Any) -> "StageOutput":
+        return cls(STATUS_OK, metrics=dict(metrics or {}),
+                   artifacts=artifacts)
+
+    @classmethod
+    def skip(cls, reason: str) -> "StageOutput":
+        return cls(STATUS_SKIPPED, reason=reason)
+
+    @classmethod
+    def fail(cls, reason: str,
+             metrics: Optional[Dict[str, Any]] = None) -> "StageOutput":
+        return cls(STATUS_FAILED, reason=reason, metrics=dict(metrics or {}))
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """The protocol every scenario implements (structural — no base
+    class required; anything with these members is a stage)."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+    def run(self, ctx: StageContext) -> StageOutput: ...
+
+
+@dataclass
+class StageReport:
+    """One stage's outcome as recorded by the pipeline.
+
+    ``cached`` marks a result restored from a checkpoint instead of
+    re-run; ``duration_s`` is wall-clock for live runs, the original
+    run's duration for cached ones.
+    """
+
+    name: str
+    status: str
+    reason: str = ""
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    duration_s: float = 0.0
+    cached: bool = False
+    finished_at: float = field(default_factory=time.time)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "reason": self.reason,
+            "metrics": self.metrics,
+            "duration_s": self.duration_s,
+            "cached": self.cached,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageReport":
+        return cls(
+            name=str(data["name"]),
+            status=str(data["status"]),
+            reason=str(data.get("reason", "")),
+            metrics=dict(data.get("metrics", {})),
+            duration_s=float(data.get("duration_s", 0.0)),
+            cached=bool(data.get("cached", False)),
+            finished_at=float(data.get("finished_at", 0.0)),
+        )

@@ -1,0 +1,151 @@
+"""The bench-trend rendering/schema contract (ISSUE 8 satellites).
+
+Locks three things:
+
+- ``render_bench_summary.py`` renders one file, and renders N files
+  with a delta column against the oldest (sorted by filename, which
+  orders ``BENCH_<ISO-date>`` names chronologically).
+- A ``scenarios`` block (written by ``repro scenarios --json-out``)
+  renders as the degradation-under-load table with budget verdicts.
+- The ``--json-out`` archive schema itself: ``bench_json_document`` is
+  the single writer for the smoke suite, the committed baseline, and
+  the scenario merge — this test is the schema's tripwire.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.render_bench_summary import (  # noqa: E402
+    main as render_main,
+    render,
+    render_scenarios,
+    render_timings,
+)
+from benchmarks.smoke_matchmaking import bench_json_document  # noqa: E402
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _write(tmp_path, name, timings, n_records=1000, scenarios=None):
+    doc = bench_json_document(timings, n_records)
+    if scenarios is not None:
+        doc["scenarios"] = scenarios
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestJsonSchema:
+    def test_document_shape(self):
+        doc = bench_json_document({"match": 0.004}, 100)
+        assert doc == {"n_records": 100, "timings_s": {"match": 0.004}}
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_committed_baseline_matches_schema(self):
+        """The checked-in smoke baseline is the same shape the smoke
+        gate, the trend archive, and the scenario merge all read."""
+        data = json.loads(
+            (REPO / "benchmarks" / "matchmaking_baseline.json").read_text())
+        assert isinstance(data["n_records"], int)
+        assert isinstance(data["timings_s"], dict) and data["timings_s"]
+        assert all(isinstance(v, float) and v >= 0
+                   for v in data["timings_s"].values())
+
+
+class TestRenderTimings:
+    def test_single_file(self, tmp_path):
+        path = _write(tmp_path, "BENCH_2026-08-01.json",
+                      {"match_selective": 0.004, "point_update": 0.0001})
+        out = render([str(path)])
+        assert "1,000 records" in out
+        assert "| `match_selective` | 4.00 ms | 250 |" in out
+        assert "vs oldest" not in out
+
+    def test_multi_file_delta_vs_oldest(self, tmp_path):
+        old = _write(tmp_path, "BENCH_2026-07-01.json",
+                     {"match_selective": 0.004})
+        new = _write(tmp_path, "BENCH_2026-08-01.json",
+                     {"match_selective": 0.008, "fresh_op": 0.001})
+        # pass newest first: render sorts by filename itself
+        out = render([str(new), str(old)])
+        assert "vs oldest" in out
+        assert "BENCH_2026-08-01.json" in out.splitlines()[2]
+        assert "2.00x" in out   # 0.008 / 0.004 got slower
+        assert "new" in out     # fresh_op absent in the oldest run
+        assert "(2 runs)" in out
+
+    def test_render_timings_units(self, tmp_path):
+        path = _write(tmp_path, "b.json",
+                      {"slow": 2.5, "mid": 0.004, "fast": 3e-6})
+        out = render_timings([(str(path),
+                               json.loads(path.read_text()))])
+        assert "2.50 s" in out and "4.00 ms" in out and "3.0 us" in out
+
+    def test_rejects_non_timings_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="timings_s"):
+            render([str(bad)])
+
+
+class TestRenderScenarios:
+    def test_no_block_renders_nothing(self):
+        assert render_scenarios({"timings_s": {}}) == ""
+        assert render_scenarios({"timings_s": {}, "scenarios": {}}) == ""
+
+    def test_degradation_table(self, tmp_path):
+        scenarios = {
+            "churn_storm": {
+                "status": "ok", "p50_s": 0.002, "p99_s": 0.015,
+                "p99_x": 3.2, "throughput_x": 0.8, "error_rate": 0.01,
+                "within_budget": True, "breaches": [],
+            },
+            "flash_crowd": {
+                "status": "ok", "p50_s": 0.004, "p99_s": 0.4,
+                "p99_x": 25.0, "throughput_x": 0.3, "error_rate": 0.0,
+                "within_budget": False,
+                "breaches": ["p99 degradation: p99_x=25 exceeds budget 20"],
+            },
+            "hot_shard": {"status": "skipped",
+                          "reason": "missing input artifact(s): baseline"},
+        }
+        path = _write(tmp_path, "BENCH_2026-08-08.json",
+                      {"match": 0.004}, scenarios=scenarios)
+        out = render([str(path)])
+        assert "Degradation under adversarial load" in out
+        assert "| `churn_storm` | ok | 2.00 ms | 15.00 ms | 3.20x "\
+               "| 0.80x | 1.0% | within |" in out
+        assert "**OVER**: p99 degradation" in out
+        assert "missing input artifact(s): baseline" in out
+
+    def test_scenario_merge_renders_end_to_end(self, tmp_path):
+        """The real pipeline: smoke shape + merge_reports + render."""
+        from repro.scenarios.metrics import merge_reports_into_bench_json
+        from repro.scenarios.stage import StageReport
+        path = _write(tmp_path, "BENCH_2026-08-08.json", {"match": 0.004})
+        merge_reports_into_bench_json(path, [
+            StageReport(name="slow_worker", status="ok",
+                        metrics={"p50_s": 0.01, "p99_s": 0.08,
+                                 "p99_x": 4.0, "within_budget": True,
+                                 "breaches": []})], n_records=500)
+        out = render([str(path)])
+        assert "`scenario_slow_worker_p99_s`" in out
+        assert "| `slow_worker` | ok |" in out
+
+
+class TestMain:
+    def test_no_args_usage(self, capsys):
+        assert render_main(["render_bench_summary.py"]) == 2
+        assert "BENCH_<date>.json" in capsys.readouterr().err
+
+    def test_main_writes_stdout(self, tmp_path, capsys):
+        path = _write(tmp_path, "BENCH_2026-08-08.json", {"op": 0.001})
+        assert render_main(["prog", str(path)]) == 0
+        assert "| `op` |" in capsys.readouterr().out
