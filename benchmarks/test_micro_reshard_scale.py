@@ -1,0 +1,140 @@
+"""Live-resharding scale gates (ISSUE 9 tentpole).
+
+A live split is only "live" if clients barely notice.  Three gates,
+all measured on one 2 -> 4 split of a fleet under continuous point-op
+load:
+
+* **Zero failed operations**: every point op issued while the
+  migration runs must succeed.  Stale-epoch refusals are retried
+  transparently by the client; a surfaced error means the cutover
+  protocol leaked.
+
+* **Cutover pause budget**: the stop-the-world window (fence sources,
+  drain the last log records, publish the new routing table) reported
+  by :class:`~repro.database.resharding.MigrationReport` must stay
+  under ``PAUSE_BUDGET_S``.  Everything before it — source snapshots,
+  target seeding, log-tail replay — happens while the old fleet keeps
+  serving, so the pause is the only part allowed to block a client.
+
+* **Migration-window p99**: the p99 point-op latency sampled *during*
+  the migration must stay within ``P99_MULTIPLIER`` x the unloaded
+  (pre-migration) p99, floored at ``P99_FLOOR_S`` so a very fast
+  baseline on idle CI hardware does not make the gate vacuous.  The
+  cutover pause lands on at most a handful of the sampled ops, so the
+  p99 tracks steady-state catch-up overhead, not the pause itself.
+
+``REPRO_RESHARD_SCALE_N`` overrides the fleet size for quick local
+iterations; the committed gate runs at the full 20k.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.database.service import ShardSupervisor
+from repro.fleet import FleetSpec, build_fleet
+
+pytestmark = pytest.mark.scale_gate
+
+N = int(os.environ.get("REPRO_RESHARD_SCALE_N", "20000"))
+SHARDS = 2
+SAMPLE_SECONDS = 2.0
+PAUSE_BUDGET_S = 5.0
+P99_MULTIPLIER = 25.0
+P99_FLOOR_S = 0.5
+
+
+def _p99(samples):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+
+class _LatencySampler:
+    """Issues point ops on a background thread, recording latencies.
+
+    ``window()`` snapshots-and-resets the sample list so the caller
+    can carve the run into before/during phases without restarting
+    the thread (which would conflate reconnect cost with op cost).
+    """
+
+    def __init__(self, client, names):
+        self.client = client
+        self.names = names
+        self.samples = []
+        self.errors = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        i = 0
+        while not self._stop.is_set():
+            name = self.names[i % len(self.names)]
+            start = time.perf_counter()
+            try:
+                self.client.holder_of(name)
+            except Exception as exc:  # pragma: no cover - gate fails below
+                self.errors.append(exc)
+                return
+            with self._lock:
+                self.samples.append(time.perf_counter() - start)
+            i += 1
+
+    def start(self):
+        self._thread.start()
+
+    def window(self):
+        with self._lock:
+            out, self.samples = self.samples, []
+        return out
+
+    def stop(self):
+        self._stop.set()
+        self._thread.join()
+
+
+@pytest.fixture(scope="module")
+def records():
+    return build_fleet(FleetSpec(size=N, seed=13, stripe_pools=32))
+
+
+def test_split_pause_and_p99_bounded(tmp_path_factory, records):
+    snapshot_dir = tmp_path_factory.mktemp("reshard-gate")
+    supervisor = ShardSupervisor(SHARDS, snapshot_dir=snapshot_dir,
+                                 records=records, wal="async").start()
+    try:
+        client = supervisor.client()
+        names = [r.machine_name for r in records[:256]]
+        sampler = _LatencySampler(client, names)
+        sampler.start()
+
+        time.sleep(SAMPLE_SECONDS)
+        before = sampler.window()
+
+        report = supervisor.split(2)
+        during = sampler.window()
+
+        sampler.stop()
+        assert not sampler.errors, sampler.errors[0]
+        assert supervisor.shards == SHARDS * 2
+        assert len(client) == N
+
+        assert before and during, "sampler produced no ops"
+        budget = max(P99_FLOOR_S, P99_MULTIPLIER * _p99(before))
+        print(f"\nreshard gate: {len(before)} ops before "
+              f"(p99 {_p99(before) * 1e3:.2f} ms), {len(during)} ops "
+              f"during (p99 {_p99(during) * 1e3:.2f} ms, "
+              f"budget {budget * 1e3:.0f} ms); "
+              f"cutover pause {report.cutover_pause_s * 1e3:.1f} ms")
+        assert report.cutover_pause_s <= PAUSE_BUDGET_S, (
+            f"cutover pause {report.cutover_pause_s:.3f}s exceeds "
+            f"{PAUSE_BUDGET_S}s budget")
+        assert _p99(during) <= budget, (
+            f"migration-window p99 {_p99(during) * 1e3:.1f} ms exceeds "
+            f"budget {budget * 1e3:.1f} ms")
+    finally:
+        supervisor.stop()

@@ -11,6 +11,9 @@ Commands
   in already-running shard workers reached over the wire protocol.
 - ``shard-serve --shards N`` — run a supervised shard-worker fleet
   (spawn, health-check, restart-from-checkpoint) in the foreground.
+- ``reshard --snapshot-dir DIR --to M`` — ask a running ``shard-serve``
+  fleet to live-migrate to M shards (split or merge) on its op log;
+  ``--wait`` blocks until the migration report lands.
 - ``query --host H --port P "<query text>"`` — submit a query to a live
   service and print the allocation.
 - ``scenarios --all`` — run the adversarial scenario suite against a
@@ -79,6 +82,90 @@ def _load_fleet_records(path: str) -> List[MachineRecord]:
     return [db.get(name) for name in db.names()]
 
 
+#: Mailbox files for the ``reshard`` command: the CLI drops a request
+#: into the running fleet's snapshot directory; the ``shard-serve``
+#: loop executes it and answers with a report (or the error).
+_RESHARD_REQUEST = "reshard.request"
+_RESHARD_DONE = "reshard.done"
+
+
+def _check_reshard_request(supervisor, snapshot_dir) -> Optional[str]:
+    """Serve one pending ``reshard`` mailbox request, if any.
+
+    Returns a human-readable status line when a request was handled
+    (success or failure), else ``None``.  The request file is consumed
+    either way, and the outcome is written to the done-file for a
+    waiting ``repro reshard --wait``.
+    """
+    from pathlib import Path
+
+    request_path = Path(snapshot_dir) / _RESHARD_REQUEST
+    try:
+        raw = request_path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    request_path.unlink(missing_ok=True)
+    done: dict = {}
+    try:
+        request = json.loads(raw)
+        report = supervisor.rebalance(
+            int(request["to"]),
+            batch=int(request.get("batch", 512)),
+            drain_threshold=int(request.get("drain_threshold", 64)))
+        done = {"ok": True, "summary": report.summary(),
+                "shards": report.new_shards, "epoch": report.new_epoch,
+                "cutover_pause_s": report.cutover_pause_s,
+                "endpoints": [[h, p] for h, p in report.endpoints]}
+        status = report.summary()
+    except Exception as exc:
+        done = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        status = f"reshard failed: {done['error']}"
+    (Path(snapshot_dir) / _RESHARD_DONE).write_text(
+        json.dumps(done, indent=2) + "\n", encoding="utf-8")
+    return status
+
+
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path
+
+    snapshot_dir = Path(args.snapshot_dir)
+    if not snapshot_dir.is_dir():
+        print(f"no such snapshot directory: {snapshot_dir}",
+              file=sys.stderr)
+        return 2
+    done_path = snapshot_dir / _RESHARD_DONE
+    done_path.unlink(missing_ok=True)
+    request = {"to": args.to, "batch": args.batch,
+               "drain_threshold": args.drain_threshold}
+    (snapshot_dir / _RESHARD_REQUEST).write_text(
+        json.dumps(request) + "\n", encoding="utf-8")
+    print(f"reshard request queued: -> {args.to} shards "
+          f"(picked up on the fleet's next health sweep)")
+    if not args.wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        try:
+            done = json.loads(done_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            time.sleep(0.2)
+            continue
+        if done.get("ok"):
+            print(done["summary"])
+            endpoints = ",".join(
+                f"{h}:{p}" for h, p in done.get("endpoints", []))
+            if endpoints:
+                print(f"new endpoints: {endpoints}")
+            return 0
+        print(done.get("error", "reshard failed"), file=sys.stderr)
+        return 1
+    print(f"timed out after {args.timeout:.0f}s waiting for the fleet "
+          f"(is shard-serve running over {snapshot_dir}?)",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_shard_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -99,7 +186,9 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     supervisor.start()
     endpoints = ",".join(f"{h}:{p}" for h, p in supervisor.endpoints)
     machines = len(supervisor.client())
-    print(f"shard service: {args.shards} workers, {machines} machines, "
+    # supervisor.shards, not args.shards: --resume adopts the manifest
+    # topology, which after a live reshard can differ from the flag.
+    print(f"shard service: {supervisor.shards} workers, {machines} machines, "
           f"wal={args.wal}")
     print(f"endpoints: {endpoints}")
     print(f"(connect with: repro serve --shard-service \"{endpoints}\"; "
@@ -110,6 +199,12 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
             time.sleep(args.health_interval)
             for index in supervisor.ensure_alive():
                 print(f"restarted shard worker {index} from snapshot")
+            status = _check_reshard_request(supervisor, args.snapshot_dir)
+            if status is not None:
+                print(status)
+                endpoints = ",".join(
+                    f"{h}:{p}" for h, p in supervisor.endpoints)
+                print(f"endpoints: {endpoints}")
             if (args.checkpoint_interval
                     and time.monotonic() - last_checkpoint
                     >= args.checkpoint_interval):
@@ -341,6 +436,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "newest checkpoint/seed and replay the op "
                               "logs (restart-the-world recovery)")
     p_shard.set_defaults(fn=_cmd_shard_serve)
+
+    p_reshard = sub.add_parser(
+        "reshard",
+        help="live-migrate a running shard-serve fleet to a new shard "
+             "count (split or merge) on its op log")
+    p_reshard.add_argument("--snapshot-dir", default="shard-snapshots",
+                           help="the running fleet's snapshot directory "
+                                "(the request/report mailbox)")
+    p_reshard.add_argument("--to", type=int, required=True,
+                           help="target shard count")
+    p_reshard.add_argument("--batch", type=int, default=512,
+                           help="op-log records streamed per catch-up "
+                                "round trip")
+    p_reshard.add_argument("--drain-threshold", type=int, default=64,
+                           help="remaining tail length at which writes "
+                                "are fenced for the final exact drain")
+    p_reshard.add_argument("--wait", action="store_true",
+                           help="block until the fleet reports the "
+                                "migration outcome")
+    p_reshard.add_argument("--timeout", type=float, default=120.0,
+                           help="--wait limit in seconds")
+    p_reshard.set_defaults(fn=_cmd_reshard)
 
     p_scen = sub.add_parser(
         "scenarios",

@@ -42,6 +42,21 @@ documented deltas inherent to crossing a process boundary:
 Failures surface faithfully: worker-side :mod:`repro.errors` exceptions
 are re-raised by class name, so ``UnknownMachineError`` from a live
 shard behaves like one from a local registry.
+
+Routing epochs (live resharding)
+--------------------------------
+The client's view of the fleet is a versioned
+:class:`~repro.database.sharding.RoutingTable` ``(epoch, shards,
+endpoints)``.  Point ops are stamped with the table's epoch; a worker
+serving a different epoch — or retired by a live reshard — refuses the
+op with :class:`~repro.errors.StaleRoutingError`, whose error frame
+carries the worker's current table.  The client then *refreshes and
+retries transparently*: it installs the newer table (new connections,
+new fan-out pool) and re-routes the op, so a reshard driven by
+:meth:`ShardSupervisor.rebalance` (or :meth:`split` / :meth:`merge`)
+is invisible to callers beyond a bounded pause at cutover.  The refusal
+happens before the worker applies or logs anything, so the retry is
+safe even for non-idempotent verbs.
 """
 
 from __future__ import annotations
@@ -70,6 +85,7 @@ from typing import (
 import repro.errors as _errors
 from repro.database.records import MachineRecord
 from repro.database.sharding import (
+    RoutingTable,
     ShardedWhitePagesDatabase,
     _merge_by_name,
     _merge_names,
@@ -77,12 +93,17 @@ from repro.database.sharding import (
     _MANIFEST_VERSION,
     _PARTITION_CRC32,
     _shard_file_name,
+    is_shard_manifest,
     save_sharded_database,
-    shard_of,
 )
 from repro.database.wal import WAL_MODES
 from repro.database.whitepages import Listener, Predicate
-from repro.errors import ConfigError, DatabaseError, RuntimeProtocolError
+from repro.errors import (
+    ConfigError,
+    DatabaseError,
+    RuntimeProtocolError,
+    StaleRoutingError,
+)
 from repro.runtime.protocol import read_frame_sock, write_frame_sock
 
 __all__ = [
@@ -124,12 +145,21 @@ def parse_endpoints(spec: str) -> List[Tuple[str, int]]:
 
 
 def _raise_remote(reply: Dict[str, Any]) -> None:
-    """Re-raise a worker error frame as its original exception class."""
+    """Re-raise a worker error frame as its original exception class.
+
+    A ``StaleRoutingError`` frame may carry the worker's current
+    routing table; it rides along on the exception so the client can
+    refresh without a second round trip.
+    """
     name = reply.get("error", "RuntimeProtocolError")
     exc_type = getattr(_errors, str(name), None)
     if not (isinstance(exc_type, type)
             and issubclass(exc_type, _errors.ReproError)):
         exc_type = RuntimeProtocolError
+    if exc_type is StaleRoutingError:
+        raise StaleRoutingError(
+            reply.get("message", "stale routing epoch"),
+            routing=reply.get("routing"))
     raise exc_type(reply.get("message", "shard worker error"))
 
 
@@ -168,6 +198,7 @@ class _WorkerConnection:
         raise OSError("unreachable")  # pragma: no cover - loop always exits
 
     def close(self) -> None:
+        """Close the cached socket, if any; safe to call repeatedly."""
         with self._lock:
             if self._sock is not None:
                 try:
@@ -186,6 +217,25 @@ class _WorkerConnection:
 
     def roundtrip(self, frame: Dict[str, Any], *,
                   idempotent: bool = True) -> Dict[str, Any]:
+        """Send one request frame and return the worker's reply.
+
+        Redials once on a failed send (always safe: the worker never saw
+        a complete frame).  A lost *reply* is retried only when
+        ``idempotent`` is true, since the request may already have been
+        applied.
+
+        Args:
+            frame: Wire frame with at least a ``kind`` key.
+            idempotent: Whether the verb may be resent after a lost
+                reply without risking double application.
+
+        Returns:
+            The decoded reply frame.
+
+        Raises:
+            DatabaseError: Re-raised from an ``error`` reply frame.
+            OSError: When the worker stays unreachable after a redial.
+        """
         with self._lock:
             for attempt in (0, 1):
                 if self._sock is None:
@@ -219,6 +269,23 @@ class _WorkerConnection:
         return reply
 
 
+class _RouteState:
+    """One immutable routing generation: table + connections + pool.
+
+    The client swaps the whole object atomically on a refresh, so a
+    concurrent op always sees a *coherent* (table, connections) pair —
+    never a new shard count indexing into an old connection list.
+    """
+
+    __slots__ = ("table", "conns", "executor")
+
+    def __init__(self, table: RoutingTable, conns: List[_WorkerConnection],
+                 executor: Optional[ThreadPoolExecutor]):
+        self.table = table
+        self.conns = conns
+        self.executor = executor
+
+
 class ShardServiceClient:
     """``WhitePages`` surface over live out-of-process shard workers.
 
@@ -233,20 +300,38 @@ class ShardServiceClient:
         count; 1 = serial).  Unlike the in-process thread fan-out, the
         per-shard work here runs in *worker processes* on real cores —
         the client threads only overlap socket I/O and JSON decode.
+    epoch:
+        The routing epoch of ``endpoints`` (0 for a never-resharded
+        fleet).  Point ops are stamped with it; a mismatch triggers the
+        transparent refresh-and-retry described in the module
+        docstring.
+    refresh_timeout:
+        Upper bound in seconds on one routing refresh — how long an op
+        may stall inside a reshard's cutover window before the
+        ``StaleRoutingError`` is surfaced instead of retried.
     """
 
+    #: Routing-refresh retries per op.  Each retry means the table
+    #: moved *again* mid-op — more than a couple is pathological.
+    _MAX_ROUTE_RETRIES = 8
+
     def __init__(self, endpoints: Sequence[Tuple[str, int]], *,
-                 fan_out: Optional[int] = None, timeout: float = 30.0):
+                 fan_out: Optional[int] = None, timeout: float = 30.0,
+                 epoch: int = 0, refresh_timeout: float = 15.0):
         endpoints = list(endpoints)
         if not endpoints:
             raise ConfigError("need at least one shard endpoint")
-        self._conns = [_WorkerConnection(h, p, timeout=timeout)
-                       for h, p in endpoints]
-        workers = len(self._conns) if fan_out is None \
-            else max(1, min(int(fan_out), len(self._conns)))
-        self._executor = (ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="wp-remote")
-            if workers >= 2 and len(self._conns) >= 2 else None)
+        self._timeout = timeout
+        self._fan_out_size = fan_out
+        self._refresh_timeout = float(refresh_timeout)
+        #: Serialises table installs; ops never hold it.
+        self._route_lock = threading.Lock()
+        #: Superseded connection generations: an in-flight op on another
+        #: thread may still hold a stale conn, so they are closed at
+        #: :meth:`close`, not at refresh.
+        self._graveyard: List[_RouteState] = []
+        self._route = self._build_route(
+            RoutingTable(epoch, len(endpoints), endpoints))
         #: One lock for the whole client: every *mutation* acquires it,
         #: so ``exclusive()`` gives multi-op atomicity w.r.t. other
         #: writers sharing this client; reads bypass it (see module
@@ -254,24 +339,53 @@ class ShardServiceClient:
         self._oplock = threading.RLock()
         self._subscriptions: Dict[str, Tuple[Listener, ...]] = {}
 
+    def _build_route(self, table: RoutingTable) -> _RouteState:
+        conns = [_WorkerConnection(h, p, timeout=self._timeout)
+                 for h, p in table.endpoints]
+        workers = len(conns) if self._fan_out_size is None \
+            else max(1, min(int(self._fan_out_size), len(conns)))
+        executor = (ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="wp-remote")
+            if workers >= 2 and len(conns) >= 2 else None)
+        return _RouteState(table, conns, executor)
+
     # -- topology -------------------------------------------------------------
 
     @property
     def shard_count(self) -> int:
-        return len(self._conns)
+        """Shard count under the client's current routing table."""
+        return self._route.table.shards
 
     @property
     def endpoints(self) -> List[Tuple[str, int]]:
-        return [(c.host, c.port) for c in self._conns]
+        """Current ``(host, port)`` per shard, in shard order."""
+        return [(c.host, c.port) for c in self._route.conns]
+
+    @property
+    def _conns(self) -> List[_WorkerConnection]:
+        # Compatibility view of the current generation's connections
+        # (tests and the supervisor's direct pokes use it).  Multi-step
+        # routed paths capture self._route once instead.
+        return self._route.conns
+
+    def routing_table(self) -> RoutingTable:
+        """The client's current :class:`RoutingTable` (epoch, shards,
+        endpoints)."""
+        return self._route.table
 
     def _conn_for(self, machine_name: str) -> _WorkerConnection:
-        return self._conns[shard_of(machine_name, len(self._conns))]
+        state = self._route
+        return state.conns[state.table.shard_of(machine_name)]
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-        for conn in self._conns:
-            conn.close()
+        """Close every connection and fan-out pool, including
+        generations superseded by routing refreshes."""
+        for state in [self._route] + self._graveyard:
+            if state.executor is not None:
+                state.executor.shutdown(wait=True)
+            for conn in state.conns:
+                conn.close()
+        self._graveyard = []
 
     def __enter__(self) -> "ShardServiceClient":
         return self
@@ -284,21 +398,150 @@ class ShardServiceClient:
         client-scoped atomicity contract)."""
         return self._oplock
 
-    def _fan_out(self, make_frame: Callable[[int], Dict[str, Any]]
-                 ) -> List[Dict[str, Any]]:
-        """One round trip per worker; replies in shard order."""
-        if self._executor is not None:
+    # -- routing refresh ------------------------------------------------------
+
+    def _install_table(self, table: RoutingTable) -> None:
+        """Swap in a newer routing generation (old one → graveyard)."""
+        with self._route_lock:
+            if table.epoch <= self._route.table.epoch:
+                return  # another thread won the race with a newer table
+            self._graveyard.append(self._route)
+            self._route = self._build_route(table)
+
+    def _poll_routing(self, state: _RouteState) -> Optional[Dict[str, Any]]:
+        """Ask the old fleet for the new table (``routing`` verb)."""
+        for conn in state.conns:
+            try:
+                reply = conn.roundtrip({"kind": "routing"})
+            except (OSError, _errors.ReproError):
+                continue
+            if reply.get("routing") is not None:
+                return reply["routing"]
+        return None
+
+    def _refresh_routing(self,
+                         exc: Optional[StaleRoutingError] = None) -> None:
+        """Install a newer routing table after a stale-epoch refusal.
+
+        Prefers the table carried on the error frame; during the
+        cutover window — fenced sources, table not yet published — it
+        polls the old endpoints' ``routing`` verb with backoff until the
+        migrator publishes, bounded by ``refresh_timeout``.
+
+        Raises:
+            StaleRoutingError: when no newer table appears in time.
+        """
+        payload = getattr(exc, "routing", None) if exc is not None else None
+        before = self._route
+        deadline = time.monotonic() + self._refresh_timeout
+        attempt = 0
+        while True:
+            if payload is not None:
+                table = RoutingTable.from_wire(payload)
+                if table.epoch > self._route.table.epoch and table.endpoints:
+                    self._install_table(table)
+                    return
+                payload = None
+            if self._route is not before:
+                return  # another thread refreshed while we waited
+            if time.monotonic() >= deadline:
+                raise StaleRoutingError(
+                    "routing table refresh timed out after "
+                    f"{self._refresh_timeout:.1f}s (still at epoch "
+                    f"{self._route.table.epoch}, "
+                    f"{self._route.table.shards} shards)")
+            time.sleep(backoff_delay(attempt, base=0.02, cap=0.25))
+            attempt += 1
+            payload = self._poll_routing(before)
+
+    def refresh_routing(self) -> RoutingTable:
+        """Force a routing refresh against the current endpoints and
+        return the (possibly unchanged) table.
+
+        Returns the newest table any worker advertises; on a quiescent
+        fleet this is a no-op round trip.
+        """
+        payload = self._poll_routing(self._route)
+        if payload is not None:
+            table = RoutingTable.from_wire(payload)
+            if table.epoch > self._route.table.epoch and table.endpoints:
+                self._install_table(table)
+        return self._route.table
+
+    def _point(self, machine_name: str, frame: Dict[str, Any], *,
+               idempotent: bool = True) -> Dict[str, Any]:
+        """Route one epoch-stamped point op; refresh-and-retry on a
+        stale-epoch refusal (safe for every verb — a refused op was
+        never applied or logged)."""
+        for _ in range(self._MAX_ROUTE_RETRIES):
+            state = self._route
+            stamped = dict(frame)
+            stamped["epoch"] = state.table.epoch
+            conn = state.conns[state.table.shard_of(machine_name)]
+            try:
+                return conn.roundtrip(stamped, idempotent=idempotent)
+            except StaleRoutingError as exc:
+                self._refresh_routing(exc)
+        raise StaleRoutingError(
+            f"routing kept moving: {self._MAX_ROUTE_RETRIES} epoch bumps "
+            "during one op")
+
+    def _shard_roundtrip(self, shard_index: int, frame: Dict[str, Any], *,
+                         idempotent: bool = True) -> Dict[str, Any]:
+        """One round trip to shard ``shard_index`` *of the current
+        table*, with the same refresh-and-retry as point ops."""
+        for _ in range(self._MAX_ROUTE_RETRIES):
+            state = self._route
+            try:
+                return state.conns[shard_index].roundtrip(
+                    frame, idempotent=idempotent)
+            except StaleRoutingError as exc:
+                self._refresh_routing(exc)
+        raise StaleRoutingError(
+            f"routing kept moving: {self._MAX_ROUTE_RETRIES} epoch bumps "
+            "during one op")
+
+    def _fan_out_once(self, state: _RouteState,
+                      make_frame: Callable[[int], Dict[str, Any]]
+                      ) -> List[Dict[str, Any]]:
+        """One epoch-stamped round trip per worker of ``state``;
+        replies in shard order."""
+        def stamped(i: int) -> Dict[str, Any]:
+            """Shard ``i``'s frame with the generation's epoch applied."""
+            frame = dict(make_frame(i))
+            frame["epoch"] = state.table.epoch
+            return frame
+        if state.executor is not None:
             futures = [
-                self._executor.submit(conn.roundtrip, make_frame(i))
-                for i, conn in enumerate(self._conns)
+                state.executor.submit(conn.roundtrip, stamped(i))
+                for i, conn in enumerate(state.conns)
             ]
             return [f.result() for f in futures]
-        return [conn.roundtrip(make_frame(i))
-                for i, conn in enumerate(self._conns)]
+        return [conn.roundtrip(stamped(i))
+                for i, conn in enumerate(state.conns)]
+
+    def _fan_out(self, make_frame: Callable[[int], Dict[str, Any]]
+                 ) -> List[Dict[str, Any]]:
+        """One round trip per worker; replies in shard order.  A stale
+        routing refusal refreshes the table and re-fans the whole
+        request over the new fleet."""
+        for _ in range(self._MAX_ROUTE_RETRIES):
+            state = self._route
+            try:
+                return self._fan_out_once(state, make_frame)
+            except StaleRoutingError as exc:
+                self._refresh_routing(exc)
+        raise StaleRoutingError(
+            f"routing kept moving: {self._MAX_ROUTE_RETRIES} epoch bumps "
+            "during one fan-out")
 
     # -- client-side listeners ------------------------------------------------
 
     def subscribe(self, machine_names: Iterable[str], fn: Listener) -> None:
+        """Register a client-side listener for mutations *through this
+        client* to the named machines (see the module docstring's
+        single-writer caveat).  Survives routing refreshes — the
+        subscription map is client state, not worker state."""
         with self._oplock:
             for name in machine_names:
                 self._subscriptions[name] = \
@@ -306,6 +549,8 @@ class ShardServiceClient:
 
     def unsubscribe(self, machine_names: Iterable[str],
                     fn: Listener) -> None:
+        """Drop ``fn``'s subscription on the named machines (a no-op
+        for names it never subscribed to)."""
         with self._oplock:
             for name in machine_names:
                 subs = self._subscriptions.get(name)
@@ -318,6 +563,7 @@ class ShardServiceClient:
                     del self._subscriptions[name]
 
     def remove_listener(self, fn: Listener) -> None:
+        """Drop ``fn`` from every machine it is subscribed to."""
         with self._oplock:
             for name in [n for n, subs in self._subscriptions.items()
                          if any(l == fn for l in subs)]:
@@ -329,6 +575,7 @@ class ShardServiceClient:
                     del self._subscriptions[name]
 
     def listener_stats(self) -> Dict[str, int]:
+        """Client-side subscription counters (machines and entries)."""
         with self._oplock:
             return {
                 "subscribed_machines": len(self._subscriptions),
@@ -344,37 +591,62 @@ class ShardServiceClient:
     # -- registry CRUD --------------------------------------------------------
 
     def add(self, record: MachineRecord) -> None:
+        """Register a machine (point op, WAL-durable worker-side).
+
+        Args: record — routed by CRC-32 of its name under the current
+            table, epoch-stamped.
+        Raises: ``DuplicateMachineError``.
+        """
         with self._oplock:
             # Not idempotent: a retried register that actually applied
             # would raise DuplicateMachineError for successful work.
-            self._conn_for(record.machine_name).roundtrip(
-                {"kind": "register", "row": record.to_row()},
-                idempotent=False)
+            self._point(record.machine_name,
+                        {"kind": "register", "row": record.to_row()},
+                        idempotent=False)
             self._notify(record.machine_name, record)
 
     def remove(self, machine_name: str) -> MachineRecord:
+        """Remove a machine by name (point op, WAL-durable).
+
+        Returns: the removed record.
+        Raises: ``UnknownMachineError``.
+        """
         with self._oplock:
-            reply = self._conn_for(machine_name).roundtrip(
-                {"kind": "remove", "name": machine_name}, idempotent=False)
+            reply = self._point(machine_name,
+                                {"kind": "remove", "name": machine_name},
+                                idempotent=False)
             record = MachineRecord.from_row(reply["row"])
             self._notify(machine_name, None)
             return record
 
     def get(self, machine_name: str) -> MachineRecord:
-        reply = self._conn_for(machine_name).roundtrip(
-            {"kind": "get", "name": machine_name})
+        """Fetch one record by name (point read, epoch-stamped).
+
+        Raises: ``UnknownMachineError``.
+        """
+        reply = self._point(machine_name,
+                            {"kind": "get", "name": machine_name})
         return MachineRecord.from_row(reply["row"])
 
     def update(self, record: MachineRecord) -> None:
+        """Replace a record wholesale (point op, WAL-durable).
+
+        Raises: ``UnknownMachineError``.
+        """
         with self._oplock:
-            self._conn_for(record.machine_name).roundtrip(
-                {"kind": "update", "row": record.to_row()})
+            self._point(record.machine_name,
+                        {"kind": "update", "row": record.to_row()})
             self._notify(record.machine_name, record)
 
     def update_dynamic(self, machine_name: str, **dynamic) -> MachineRecord:
+        """Update a record's dynamic fields (point op, WAL-durable).
+
+        Returns: the authoritative post-update record from the worker.
+        Raises: ``UnknownMachineError``.
+        """
         from repro.runtime.shard_worker import encode_dynamic
         with self._oplock:
-            reply = self._conn_for(machine_name).roundtrip({
+            reply = self._point(machine_name, {
                 "kind": "update_dynamic", "name": machine_name,
                 "dynamic": encode_dynamic(dynamic)})
             record = MachineRecord.from_row(reply["row"])
@@ -386,10 +658,13 @@ class ShardServiceClient:
                    for r in self._fan_out(lambda i: {"kind": "len"}))
 
     def __contains__(self, machine_name: str) -> bool:
-        return bool(self._conn_for(machine_name).roundtrip(
+        return bool(self._point(
+            machine_name,
             {"kind": "contains", "name": machine_name})["contains"])
 
     def names(self) -> List[str]:
+        """Every machine name in the fleet, in global name order
+        (per-shard sorted runs merged client-side)."""
         return _merge_names(
             [r["names"] for r in self._fan_out(lambda i: {"kind": "names"})])
 
@@ -432,6 +707,7 @@ class ShardServiceClient:
             [r["names"] for r in self._fan_out(lambda i: frame)])
 
     def count(self, plan: Any = None, *, include_taken: bool = False) -> int:
+        """Count matches fleet-wide (fan-out; per-shard counts summed)."""
         from repro.core.plan import QueryPlan, compile_plan
         from repro.runtime.shard_worker import clauses_to_wire
         if not isinstance(plan, QueryPlan):
@@ -456,14 +732,21 @@ class ShardServiceClient:
         return [rec for rec in records if predicate(rec)]
 
     def count_up(self) -> int:
+        """Count of machines in the ``up`` state fleet-wide (fan-out)."""
         return sum(r["count"]
                    for r in self._fan_out(lambda i: {"kind": "count_up"}))
 
     # -- take / release -------------------------------------------------------
 
     def take(self, machine_name: str, pool_name: str) -> bool:
+        """Mark one machine taken by a pool (point op, WAL-durable).
+
+        Returns: ``True`` when this call took it; ``False`` when it was
+        already held (no exception — a losing race is a normal outcome).
+        Raises: ``UnknownMachineError``.
+        """
         with self._oplock:
-            return bool(self._conn_for(machine_name).roundtrip({
+            return bool(self._point(machine_name, {
                 "kind": "take", "name": machine_name,
                 "pool": pool_name})["taken"])
 
@@ -471,41 +754,81 @@ class ShardServiceClient:
                  pool_name: str) -> List[str]:
         """Bulk take: one ``take_all`` round trip per involved shard,
         result in the caller's name order (matching the in-process
-        loop's semantics without a per-machine round trip)."""
+        loop's semantics without a per-machine round trip).
+
+        Routing-epoch safe: on a stale refusal mid-batch, only the
+        not-yet-attempted names re-route under the refreshed table —
+        names a previous group already took are never re-sent (their
+        takes are WAL-replayed onto the new fleet by the migrator).
+        """
         names = list(machine_names)
         if not names:
             return []
-        groups: Dict[int, List[str]] = {}
-        for name in names:
-            groups.setdefault(shard_of(name, len(self._conns)),
-                              []).append(name)
         taken: Set[str] = set()
         with self._oplock:
-            for i, group in groups.items():
-                reply = self._conns[i].roundtrip({
-                    "kind": "take_all", "names": group, "pool": pool_name})
-                taken.update(reply["names"])
+            remaining = names
+            for _ in range(self._MAX_ROUTE_RETRIES):
+                if not remaining:
+                    break
+                state = self._route
+                groups: Dict[int, List[str]] = {}
+                for name in remaining:
+                    groups.setdefault(state.table.shard_of(name),
+                                      []).append(name)
+                done: Set[str] = set()
+                try:
+                    for i, group in groups.items():
+                        reply = state.conns[i].roundtrip({
+                            "kind": "take_all", "names": group,
+                            "pool": pool_name,
+                            "epoch": state.table.epoch})
+                        taken.update(reply["names"])
+                        done.update(group)
+                except StaleRoutingError as exc:
+                    remaining = [n for n in remaining if n not in done]
+                    self._refresh_routing(exc)
+                    continue
+                remaining = []
+            else:
+                raise StaleRoutingError(
+                    f"routing kept moving: {self._MAX_ROUTE_RETRIES} "
+                    "epoch bumps during one take_all")
         return [name for name in names if name in taken]
 
     def release(self, machine_name: str, pool_name: str) -> None:
+        """Release one machine from a pool (point op, WAL-durable).
+
+        Raises: ``UnknownMachineError``; ``MachineTakenError`` when a
+            different pool holds it.
+        """
         with self._oplock:
-            self._conn_for(machine_name).roundtrip({
+            self._point(machine_name, {
                 "kind": "release", "name": machine_name, "pool": pool_name})
 
     def release_pool(self, pool_name: str) -> int:
+        """Release every machine a pool holds (fan-out mutation;
+        per-shard release counts summed)."""
         frame = {"kind": "release_pool", "pool": pool_name}
         with self._oplock:
             return sum(r["count"] for r in self._fan_out(lambda i: frame))
 
     def holder_of(self, machine_name: str) -> Optional[str]:
-        return self._conn_for(machine_name).roundtrip(
+        """The pool holding a machine, or ``None`` (point read).
+
+        Raises: ``UnknownMachineError``.
+        """
+        return self._point(
+            machine_name,
             {"kind": "holder_of", "name": machine_name})["holder"]
 
     def taken_count(self) -> int:
+        """How many machines are taken fleet-wide (fan-out)."""
         frame = {"kind": "taken_count"}
         return sum(r["count"] for r in self._fan_out(lambda i: frame))
 
     def free_names(self) -> Set[str]:
+        """The set of free (not-taken) machine names (fan-out; the
+        per-shard sets union — unordered by contract)."""
         frame = {"kind": "free_names"}
         replies = self._fan_out(lambda i: frame)
         free: Set[str] = set()
@@ -520,6 +843,7 @@ class ShardServiceClient:
         return self._fan_out(lambda i: {"kind": "health"})
 
     def index_stats(self) -> Dict[str, Any]:
+        """Fleet-wide index/record counters aggregated from ``health``."""
         per_shard = [h["index_stats"] for h in self.health()]
         return {
             "shards": len(self._conns),
@@ -548,7 +872,7 @@ class ShardServiceClient:
             frame["triggers"] = dict(triggers)
         if delays is not None:
             frame["delays"] = dict(delays)
-        return self._conns[shard_index].roundtrip(frame)
+        return self._shard_roundtrip(shard_index, frame)
 
     def wal_stats(self) -> Dict[str, Any]:
         """Fleet-wide write-ahead-log counters (from ``health``):
@@ -568,28 +892,94 @@ class ShardServiceClient:
     def snapshot_shard(self, shard_index: int, path: Union[str, Path],
                        version: int = 3) -> Dict[str, Any]:
         """Ask one worker to write its own snapshot file (``version=4``
-        adds the worker-side binary column sidecar)."""
+        adds the worker-side binary column sidecar).
+
+        ``shard_index`` names a shard of the *current* routing table;
+        with a WAL attached the worker truncates its log after the
+        checkpoint durably lands (unless a live migration pins it).
+        """
         with self._oplock:
-            return self._conns[shard_index].roundtrip(
+            return self._shard_roundtrip(
+                shard_index,
                 {"kind": "snapshot", "path": str(path), "version": version})
 
     def reset(self, records: Iterable[MachineRecord] = ()) -> None:
-        """Replace every worker's shard with freshly seeded state."""
-        groups: List[List[List[Any]]] = [[] for _ in self._conns]
-        for record in records:
-            groups[shard_of(record.machine_name,
-                            len(self._conns))].append(record.to_row())
+        """Replace every worker's shard with freshly seeded state
+        (test and re-seed tooling; rows are pre-routed per shard under
+        the current table and re-grouped if it moves mid-call)."""
+        records = list(records)
         with self._oplock:
-            self._fan_out(lambda i: {"kind": "reset", "rows": groups[i]})
+            for _ in range(self._MAX_ROUTE_RETRIES):
+                state = self._route
+                groups: List[List[List[Any]]] = [[] for _ in state.conns]
+                for record in records:
+                    groups[state.table.shard_of(
+                        record.machine_name)].append(record.to_row())
+                try:
+                    self._fan_out_once(
+                        state, lambda i: {"kind": "reset", "rows": groups[i]})
+                    break
+                except StaleRoutingError as exc:
+                    self._refresh_routing(exc)
+            else:
+                raise StaleRoutingError(
+                    f"routing kept moving: {self._MAX_ROUTE_RETRIES} "
+                    "epoch bumps during one reset")
             self._subscriptions.clear()
 
     def shutdown_workers(self) -> None:
-        """Best-effort ``shutdown`` verb to every worker."""
+        """Best-effort ``shutdown`` verb to every worker of the current
+        table (retired workers of older epochs are the supervisor's to
+        reap, not the client's)."""
         for conn in self._conns:
             try:
                 conn.roundtrip({"kind": "shutdown"})
             except (OSError, _errors.ReproError):
                 pass
+
+    # -- migration plumbing (used by ShardMigrator) ---------------------------
+
+    def migrate_begin(self, shard_index: int,
+                      path: Union[str, Path]) -> Dict[str, Any]:
+        """Ask one worker to write its migration snapshot (no WAL
+        truncation; the log is pinned until cutover).
+
+        Returns: the worker's ``snapshot`` reply, including the
+        ``watermark`` LSN that anchors the tail stream.
+        Raises: ``DatabaseError`` when the worker runs without a WAL.
+        """
+        return self._route.conns[shard_index].roundtrip(
+            {"kind": "migrate_begin", "path": str(path)})
+
+    def migrate_tail(self, shard_index: int, *, after_lsn: int = 0,
+                     max_records: int = 512) -> Dict[str, Any]:
+        """Stream one bounded slice of a worker's op-log tail
+        (entries with LSN > ``after_lsn``; served even when retired).
+
+        Returns: the ``tail`` reply — ``entries``, the worker's
+        authoritative ``wal_lsn``, and the scan-stop ``reason``.
+        """
+        return self._route.conns[shard_index].roundtrip(
+            {"kind": "migrate_tail", "after_lsn": int(after_lsn),
+             "max_records": int(max_records)})
+
+    def migrate_cutover(self, shard_index: int, *,
+                        epoch: Optional[int] = None,
+                        retire: Optional[bool] = None,
+                        routing: Optional[Dict[str, Any]] = None
+                        ) -> Dict[str, Any]:
+        """Flip one worker's migration role: fence/unfence a source
+        (``retire``), adopt an ``epoch``, and/or publish a ``routing``
+        table (see the worker verb's docstring for the ordering
+        contract).  Returns the worker's acknowledgement."""
+        frame: Dict[str, Any] = {"kind": "migrate_cutover"}
+        if epoch is not None:
+            frame["epoch"] = int(epoch)
+        if retire is not None:
+            frame["retire"] = bool(retire)
+        if routing is not None:
+            frame["routing"] = dict(routing)
+        return self._route.conns[shard_index].roundtrip(frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ShardServiceClient(shards={len(self._conns)}, "
@@ -649,6 +1039,17 @@ class ShardSupervisor:
     acknowledged mutation survives (``fsync`` — process and power
     crash; ``async`` — process crash), restart converts from a
     data-loss event into a bounded-latency one.
+
+    Live resharding: :meth:`rebalance` (and the :meth:`split` /
+    :meth:`merge` wrappers) changes the shard count **under traffic**
+    via :class:`~repro.database.resharding.ShardMigrator` — snapshot at
+    a WAL watermark, warm the new fleet, replay the log tail, flip the
+    routing epoch.  Afterwards :attr:`shards`, :attr:`epoch`, and the
+    endpoints describe the new fleet; retired source processes linger
+    as tombstones (redirecting stale clients) until :meth:`stop` or the
+    next reshard reaps them.  Checkpoint manifests record the epoch, so
+    a *resumed* supervisor adopts the post-reshard topology from disk
+    even when constructed with the old shard count.
     """
 
     def __init__(self, shards: int, *, host: str = "127.0.0.1",
@@ -689,6 +1090,16 @@ class ShardSupervisor:
         self._snapshots: List[Optional[Path]] = [None] * shards
         self._client: Optional[ShardServiceClient] = None
         self.restarts = 0
+        #: Routing epoch of the current fleet (0 until the first
+        #: reshard; adopted from the checkpoint manifest on resume).
+        self.epoch = 0
+        #: Retired source processes from past reshards — kept alive as
+        #: tombstones that redirect stale clients, reaped at stop() or
+        #: by the next rebalance.
+        self._retired: List[Any] = []
+        #: Guards checkpoint-vs-migration interleaving supervisor-side
+        #: (the workers also pin their logs during migration).
+        self._migrating = False
 
     # -- seeding --------------------------------------------------------------
 
@@ -710,14 +1121,31 @@ class ShardSupervisor:
             for i, path in enumerate(written[1:]):
                 self._snapshots[i] = path
 
+    def _resize(self, shards: int) -> None:
+        """Re-shape the per-shard bookkeeping for a new shard count
+        (no processes may be running)."""
+        self.shards = shards
+        self._processes = [None] * shards
+        self._ports = [0] * shards
+        self._snapshots = [None] * shards
+
     def _adopt_snapshots(self) -> Optional[str]:
         """Point ``_snapshots`` at existing on-disk state, newest first.
 
         The restart-the-world path: a supervisor started over a
-        ``snapshot_dir`` that already holds a checkpoint (or seed) for
-        this shard count adopts those files, so the workers cold-start
-        from them — and, with a write-ahead log, replay their op-log
-        tails on top.  Returns the adopted stem, or None.
+        ``snapshot_dir`` that already holds a checkpoint (or seed)
+        adopts those files, so the workers cold-start from them — and,
+        with a write-ahead log, replay their op-log tails on top.
+
+        Migration-aware: a manifest that records an ``epoch`` (written
+        by any checkpoint after a live reshard, or any new checkpoint)
+        is authoritative about the fleet *topology* — the supervisor
+        adopts its shard count and epoch even when constructed with a
+        different ``shards``, because the on-disk truth is what the op
+        logs (``shard_<i>.e<epoch>.wal``) belong to.  Legacy manifests
+        without the field keep the old contract: a different shard
+        count is somebody else's layout, skip it.  Returns the adopted
+        stem, or None.
         """
         if self._dir is None:
             return None
@@ -725,12 +1153,10 @@ class ShardSupervisor:
             manifest = self._manifest_path(stem)
             if not manifest.exists():
                 continue
-            if self.shards == 1:
-                # Single-shard artifacts are plain snapshots written in
-                # place of the manifest; a *manifest* here belongs to a
-                # different shard count — skip it.
-                from repro.database.sharding import is_shard_manifest
-                if is_shard_manifest(manifest):
+            if not is_shard_manifest(manifest):
+                # A plain snapshot written in place of the manifest:
+                # the single-shard, epoch-0 artifact.
+                if self.shards != 1:
                     continue
                 self._snapshots[0] = manifest
                 return stem
@@ -739,38 +1165,57 @@ class ShardSupervisor:
             except (OSError, json.JSONDecodeError):
                 continue
             if not isinstance(meta, dict) or \
-                    meta.get("format") != _MANIFEST_FORMAT or \
-                    meta.get("shards") != self.shards:
+                    meta.get("format") != _MANIFEST_FORMAT:
+                continue
+            shards_meta = meta.get("shards")
+            epoch_meta = meta.get("epoch")
+            if not isinstance(shards_meta, int) or shards_meta < 1:
+                continue
+            if shards_meta != self.shards and epoch_meta is None:
                 continue
             files = [self._dir / str(name)
                      for name in meta.get("files", [])]
-            if len(files) != self.shards or \
+            if len(files) != shards_meta or \
                     not all(f.exists() for f in files):
                 continue
+            if shards_meta != self.shards:
+                self._resize(shards_meta)
+            self.epoch = int(epoch_meta or 0)
             for i, path in enumerate(files):
                 self._snapshots[i] = path
             return stem
         return None
 
-    def _wal_path(self, shard_index: int) -> Optional[str]:
+    def _wal_path(self, shard_index: int,
+                  epoch: Optional[int] = None) -> Optional[str]:
+        """This shard's op-log path; epoch-qualified after a reshard so
+        a target fleet's logs never collide with the fleet it replaces
+        (epoch 0 keeps the bare name for seed compatibility)."""
         if self.wal == "off" or self._dir is None:
             return None
-        return str(self._dir / f"shard_{shard_index}.wal")
+        epoch = self.epoch if epoch is None else epoch
+        suffix = "" if epoch == 0 else f".e{epoch}"
+        return str(self._dir / f"shard_{shard_index}{suffix}.wal")
 
     # -- lifecycle ------------------------------------------------------------
 
-    def _spawn(self, shard_index: int, port: int) -> int:
-        """Start worker ``shard_index``; returns the bound port."""
+    def _spawn_worker(self, shard_index: int, port: int, *, shards: int,
+                      epoch: int, snapshot_path: Optional[str],
+                      wal_path: Optional[str]) -> Tuple[Any, int]:
+        """Start one worker process with an explicit geometry (used both
+        for the supervisor's own fleet and for a migration's target
+        fleet); returns ``(process, bound_port)`` without touching the
+        supervisor's bookkeeping."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        snapshot = self._snapshots[shard_index]
         process = self._ctx.Process(
             target=_supervised_worker_main,
-            args=(shard_index, self.shards, self.host, port,
-                  str(snapshot) if snapshot else None, child_conn,
-                  self.columnar, self.wal, self._wal_path(shard_index),
-                  self.wal_interval),
+            args=(shard_index, shards, self.host, port,
+                  snapshot_path, child_conn,
+                  self.columnar, self.wal, wal_path,
+                  self.wal_interval, epoch),
             daemon=True,
-            name=f"shard-worker-{shard_index}",
+            name=(f"shard-worker-{shard_index}" if epoch == 0
+                  else f"shard-worker-{shard_index}.e{epoch}"),
         )
         process.start()
         child_conn.close()
@@ -789,11 +1234,30 @@ class ShardSupervisor:
                 f"shard worker {shard_index} died during startup") from exc
         finally:
             parent_conn.close()
+        return process, ready["port"]
+
+    def _spawn(self, shard_index: int, port: int) -> int:
+        """Start worker ``shard_index``; returns the bound port."""
+        snapshot = self._snapshots[shard_index]
+        process, bound = self._spawn_worker(
+            shard_index, port, shards=self.shards, epoch=self.epoch,
+            snapshot_path=str(snapshot) if snapshot else None,
+            wal_path=self._wal_path(shard_index))
         self._processes[shard_index] = process
-        self._ports[shard_index] = ready["port"]
-        return ready["port"]
+        self._ports[shard_index] = bound
+        return bound
 
     def start(self) -> "ShardSupervisor":
+        """Seed (or adopt on-disk state) and spawn the worker fleet;
+        returns ``self`` for chaining.
+
+        Explicit ``records`` re-seed the directory (stale op logs are
+        deleted — they describe the previous fleet); without records,
+        existing checkpoints/seeds are adopted, including a
+        post-reshard topology recorded in the manifest.
+        Raises ``DatabaseError`` if already started, ``ConfigError``
+        when seeding without a ``snapshot_dir``.
+        """
         if any(p is not None for p in self._processes):
             raise DatabaseError("supervisor already started")
         if self._seed_records and self._dir is None:
@@ -824,18 +1288,46 @@ class ShardSupervisor:
 
     @property
     def endpoints(self) -> List[Tuple[str, int]]:
+        """The ``(host, port)`` pairs of the current fleet, shard order."""
         return [(self.host, port) for port in self._ports]
 
     def client(self, **kwargs: Any) -> ShardServiceClient:
         """A connected client over this supervisor's endpoints (one
-        shared instance; pass kwargs through for a private one)."""
+        shared instance; pass kwargs through for a private one).
+
+        The client is created at the supervisor's current routing
+        epoch, so it survives live reshards: workers retired by a
+        migration answer with the new routing table and the client
+        re-routes transparently.
+        """
         if kwargs:
+            kwargs.setdefault("epoch", self.epoch)
             return ShardServiceClient(self.endpoints, **kwargs)
         if self._client is None:
-            self._client = ShardServiceClient(self.endpoints)
+            self._client = ShardServiceClient(self.endpoints,
+                                              epoch=self.epoch)
         return self._client
 
+    def reap_retired(self) -> int:
+        """Terminate and join every worker retired by a past reshard
+        (they linger only to redirect stale clients); returns the
+        number reaped."""
+        reaped = 0
+        for process in self._retired:
+            if process is None:
+                continue
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+            reaped += 1
+        self._retired.clear()
+        return reaped
+
     def stop(self) -> None:
+        """Shut the fleet down: polite ``shutdown`` to every worker,
+        then join (terminate on timeout); retired workers from past
+        reshards are reaped too.  Idempotent."""
+        self.reap_retired()
         if self._client is not None:
             self._client.shutdown_workers()
             self._client.close()
@@ -864,9 +1356,11 @@ class ShardSupervisor:
     # -- health / recovery ----------------------------------------------------
 
     def alive(self) -> List[bool]:
+        """Per-shard liveness of the worker processes (no network I/O)."""
         return [p is not None and p.is_alive() for p in self._processes]
 
     def health(self) -> List[Dict[str, Any]]:
+        """Per-shard ``health`` replies from the live fleet."""
         return self.client().health()
 
     def checkpoint(self, stem: str = "checkpoint") -> Path:
@@ -880,13 +1374,21 @@ class ShardSupervisor:
         hold, mirroring :func:`save_sharded_database`'s guarantee that
         a concurrent multi-shard mutation (through this client) cannot
         straddle two shard files.
+
+        After a live reshard the manifest also records the routing
+        ``epoch``, so a cold restart adopts the post-reshard topology.
+        Raises ``DatabaseError`` while a migration is in flight (a
+        checkpoint taken mid-cutover could name a fleet that no longer
+        exists by the time it is read back).
         """
+        if self._migrating:
+            raise DatabaseError("checkpoint refused: reshard in progress")
         if self._dir is None:
             raise ConfigError("checkpoint needs a snapshot_dir")
         self._dir.mkdir(parents=True, exist_ok=True)
         manifest_path = self._manifest_path(stem)
         client = self.client()
-        if self.shards == 1:
+        if self.shards == 1 and self.epoch == 0:
             reply = client.snapshot_shard(0, manifest_path)
             self._snapshots[0] = Path(reply["path"])
             return manifest_path
@@ -905,6 +1407,7 @@ class ShardSupervisor:
             "version": _MANIFEST_VERSION,
             "partition": _PARTITION_CRC32,
             "shards": self.shards,
+            "epoch": self.epoch,
             "snapshot_version": 3,
             "machines": machines,
             "files": files,
@@ -950,6 +1453,63 @@ class ShardSupervisor:
             self.restart(i)
         return restarted
 
+    # -- live resharding ------------------------------------------------------
+
+    def rebalance(self, new_shards: int, *, batch: int = 512,
+                  drain_threshold: int = 64,
+                  max_rounds: int = 256) -> "Any":
+        """Live-migrate the fleet to ``new_shards`` workers on the op
+        log, without stopping service.
+
+        The old workers keep serving while a new fleet is seeded from
+        an LSN-watermarked snapshot and caught up by replaying the WAL
+        tail; only the final drain-and-cutover pauses writes (the pause
+        is reported in the returned
+        :class:`~repro.database.resharding.MigrationReport`).  The old
+        workers linger retired — answering every op with the new
+        routing table so stale clients re-route — until
+        :meth:`reap_retired` or :meth:`stop`.
+
+        Args:
+            new_shards: Target shard count (>= 1; may be smaller than
+                the current count — that is a merge).
+            batch: Max WAL records fetched per ``migrate_tail`` call.
+            drain_threshold: Tail lag (records) under which the
+                migrator fences writes for the final exact drain.
+            max_rounds: Catch-up round budget before aborting.
+
+        Returns:
+            The :class:`~repro.database.resharding.MigrationReport`.
+
+        Raises:
+            DatabaseError: If a migration is already in flight, the
+                fleet is not running, or the migration aborts (the old
+                fleet keeps serving in that case).
+            ConfigError: If the supervisor runs without a WAL or
+                ``snapshot_dir`` (live resharding replays the op log).
+        """
+        from repro.database.resharding import ShardMigrator
+        return ShardMigrator(self, new_shards, batch=batch,
+                             drain_threshold=drain_threshold,
+                             max_rounds=max_rounds).run()
+
+    def split(self, factor: int = 2, **kwargs: Any) -> "Any":
+        """Live-split every shard ``factor`` ways (N -> N*factor); see
+        :meth:`rebalance` for kwargs and semantics."""
+        return self.rebalance(self.shards * factor, **kwargs)
+
+    def merge(self, factor: int = 2, **kwargs: Any) -> "Any":
+        """Live-merge ``factor`` shards into one (N -> N//factor); see
+        :meth:`rebalance` for kwargs and semantics.
+
+        Raises ``DatabaseError`` when the current count does not divide
+        evenly by ``factor``.
+        """
+        if factor < 1 or self.shards % factor:
+            raise DatabaseError(
+                f"cannot merge {self.shards} shards by factor {factor}")
+        return self.rebalance(self.shards // factor, **kwargs)
+
 
 def _supervised_worker_main(shard_index: int, shards: int, host: str,
                             port: int, snapshot_path: Optional[str],
@@ -957,9 +1517,11 @@ def _supervised_worker_main(shard_index: int, shards: int, host: str,
                             columnar: Optional[bool] = None,
                             wal_mode: str = "off",
                             wal_path: Optional[str] = None,
-                            wal_interval: float = 0.0) -> None:
+                            wal_interval: float = 0.0,
+                            epoch: int = 0) -> None:
     """Picklable process target (spawn-safe import path)."""
     from repro.runtime.shard_worker import run_shard_worker
     run_shard_worker(shard_index, shards, host, port, snapshot_path,
                      ready_conn, columnar=columnar, wal_mode=wal_mode,
-                     wal_path=wal_path, wal_interval=wal_interval)
+                     wal_path=wal_path, wal_interval=wal_interval,
+                     epoch=epoch)

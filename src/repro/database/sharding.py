@@ -75,6 +75,7 @@ from repro.errors import ConfigError, DatabaseError
 
 __all__ = [
     "shard_of",
+    "RoutingTable",
     "ShardedWhitePagesDatabase",
     "ParallelMatcher",
     "save_sharded_database",
@@ -108,6 +109,66 @@ def shard_of(machine_name: str, shards: int) -> int:
     if shards == 1:
         return 0
     return zlib.crc32(machine_name.encode("utf-8")) % shards
+
+
+class RoutingTable:
+    """A versioned shard-routing layout: ``(epoch, shards, endpoints)``.
+
+    PR 4 fixed the shard count at creation; live resharding makes it an
+    online knob, so routing is now parameterized by a *table* rather
+    than a bare N.  The ``epoch`` is a monotonically increasing version:
+    every live reshard bumps it, point-op frames carry it, and a worker
+    that sees a frame stamped with a different epoch refuses it with
+    :class:`~repro.errors.StaleRoutingError` so the client refreshes
+    this table and retries.  ``endpoints`` may be empty for in-process
+    (serviceless) uses where only the partition function matters.
+    """
+
+    __slots__ = ("epoch", "shards", "endpoints")
+
+    def __init__(self, epoch: int, shards: int,
+                 endpoints: Sequence[Tuple[str, int]] = ()):
+        if shards < 1 or shards > _MAX_SHARDS:
+            raise ConfigError(
+                f"routing table shard count must be 1..{_MAX_SHARDS}, "
+                f"got {shards}")
+        if endpoints and len(endpoints) != shards:
+            raise ConfigError(
+                f"routing table has {shards} shards but "
+                f"{len(endpoints)} endpoints")
+        self.epoch = int(epoch)
+        self.shards = int(shards)
+        self.endpoints = tuple((str(h), int(p)) for h, p in endpoints)
+
+    def shard_of(self, machine_name: str) -> int:
+        """The shard index owning ``machine_name`` under this table."""
+        return shard_of(machine_name, self.shards)
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe encoding carried on ``routing`` reply frames."""
+        return {"epoch": self.epoch, "shards": self.shards,
+                "endpoints": [list(ep) for ep in self.endpoints]}
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "RoutingTable":
+        """Decode a :meth:`to_wire` payload (raises on malformed input)."""
+        try:
+            return cls(int(data["epoch"]), int(data["shards"]),
+                       [(str(h), int(p)) for h, p in
+                        data.get("endpoints") or ()])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatabaseError(
+                f"malformed routing table payload: {data!r}") from exc
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RoutingTable)
+                and self.epoch == other.epoch
+                and self.shards == other.shards
+                and self.endpoints == other.endpoints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RoutingTable(epoch={self.epoch}, shards={self.shards}, "
+                f"endpoints={len(self.endpoints)})")
 
 
 def _merge_by_name(parts: Sequence[List[MachineRecord]]

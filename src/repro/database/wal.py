@@ -66,7 +66,9 @@ __all__ = [
     "WAL_MODES",
     "WriteAheadLog",
     "WalRecoveryResult",
+    "WalTail",
     "recover_wal",
+    "read_wal_tail",
 ]
 
 WAL_MAGIC = b"RWPWAL1\x00"
@@ -161,6 +163,125 @@ def recover_wal(path: Union[str, Path]) -> WalRecoveryResult:
         last_lsn = lsn
         offset = body_end
     return WalRecoveryResult(entries, offset, len(data) - offset, reason)
+
+
+class WalTail:
+    """One bounded slice of a live WAL, as read by :func:`read_wal_tail`.
+
+    ``entries`` holds the ``(lsn, frame)`` pairs with LSN strictly
+    greater than the requested ``after_lsn``, in append order.
+    ``next_offset`` is the byte offset just past the last *decoded*
+    record (pass it back as ``from_offset`` to resume the scan without
+    re-reading the prefix).  ``reason`` mirrors the
+    :func:`recover_wal` stop reasons, plus ``"bounded"`` when
+    ``max_records`` capped the slice; ``complete`` is true only when
+    the scan reached a clean end of file — a torn tail at the streamed
+    boundary usually means a concurrent append raced the read and the
+    caller should simply retry from ``next_offset``.
+    """
+
+    def __init__(self, entries: List[Tuple[int, Dict[str, Any]]],
+                 next_offset: int, reason: str):
+        self.entries = entries
+        self.next_offset = next_offset
+        self.reason = reason
+
+    @property
+    def complete(self) -> bool:
+        return self.reason == "end"
+
+    @property
+    def last_lsn(self) -> int:
+        return self.entries[-1][0] if self.entries else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WalTail(entries={len(self.entries)}, "
+                f"next_offset={self.next_offset}, reason={self.reason!r})")
+
+
+def read_wal_tail(path: Union[str, Path], *, after_lsn: int = 0,
+                  from_offset: Optional[int] = None,
+                  max_records: Optional[int] = None) -> WalTail:
+    """Read a bounded slice of a WAL that may be growing concurrently.
+
+    This is the live-migration read path: a :class:`ShardMigrator`
+    streams the source shard's log tail in batches while the source
+    keeps appending.  Unlike :func:`recover_wal` it never judges the
+    file — a torn record at the end of the scan is reported (``reason``)
+    but is expected, because the writer's ``os.write`` may be mid-flight
+    when we read.  The caller polls again; only the *writer* decides
+    what is torn at recovery time.
+
+    Args:
+        path: WAL file to read.  A missing file yields an empty,
+            complete tail (``reason="missing"`` — the shard never
+            logged, e.g. right after a checkpoint truncation).
+        after_lsn: only entries with ``lsn > after_lsn`` are returned
+            (the snapshot watermark, or the last LSN already replayed).
+        from_offset: byte offset to resume scanning from (a previous
+            slice's ``next_offset``).  Must point at a record boundary;
+            offsets past the current end of file mean the log was
+            truncated by a checkpoint underneath us, and the scan
+            restarts from the head (the LSN filter keeps replay exact —
+            LSNs never reset).
+        max_records: cap on returned entries (``reason="bounded"`` when
+            hit); ``None`` reads to the end of file.
+
+    Returns:
+        A :class:`WalTail`.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return WalTail([], len(WAL_MAGIC), "missing")
+    if len(data) < len(WAL_MAGIC) or not data.startswith(WAL_MAGIC):
+        return WalTail([], len(WAL_MAGIC), "bad-magic")
+    offset = len(WAL_MAGIC)
+    if from_offset is not None and len(WAL_MAGIC) <= from_offset <= len(data):
+        offset = from_offset
+    entries: List[Tuple[int, Dict[str, Any]]] = []
+    last_lsn = 0
+    reason = "end"
+    while offset < len(data):
+        if max_records is not None and len(entries) >= max_records:
+            reason = "bounded"
+            break
+        if offset + _HEADER.size > len(data):
+            reason = "torn-header"
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_RECORD_BYTES:
+            reason = "bad-length"
+            break
+        body_start = offset + _HEADER.size
+        body_end = body_start + length
+        if body_end > len(data):
+            reason = "torn-payload"
+            break
+        payload = data[body_start:body_end]
+        if zlib.crc32(payload) != crc:
+            reason = "crc-mismatch"
+            break
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            reason = "bad-json"
+            break
+        if (not isinstance(decoded, list) or len(decoded) != 2
+                or not isinstance(decoded[0], int)
+                or not isinstance(decoded[1], dict)):
+            reason = "bad-record"
+            break
+        lsn, frame = decoded
+        if last_lsn and lsn <= last_lsn:
+            reason = "non-monotonic-lsn"
+            break
+        if lsn > after_lsn:
+            entries.append((lsn, frame))
+        last_lsn = lsn
+        offset = body_end
+    return WalTail(entries, offset, reason)
 
 
 class WriteAheadLog:

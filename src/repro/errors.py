@@ -28,6 +28,7 @@ __all__ = [
     "UnknownMachineError",
     "MachineTakenError",
     "ShadowAccountError",
+    "StaleRoutingError",
     "DirectoryError",
     "PolicyError",
     "MonitoringError",
@@ -126,6 +127,23 @@ class MachineTakenError(DatabaseError):
 
 class ShadowAccountError(DatabaseError):
     """No shadow account could be allocated on the selected machine."""
+
+
+class StaleRoutingError(DatabaseError):
+    """The op carried a routing epoch the worker no longer serves.
+
+    Raised by a shard worker when a point op is stamped with an epoch
+    older than the worker's own, or when the worker has been retired by
+    a live reshard (its shard moved to a new fleet).  The error frame
+    carries the worker's current routing table (when it knows one) in
+    ``routing``, so clients refresh their table and retry transparently
+    instead of surfacing the error.
+    """
+
+    def __init__(self, message: str = "stale routing epoch",
+                 routing: "dict | None" = None):
+        super().__init__(message)
+        self.routing = routing
 
 
 class DirectoryError(ReproError):

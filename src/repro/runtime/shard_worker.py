@@ -51,8 +51,30 @@ verb               request fields             reply
                                               countdowns in this worker —
                                               fault-injection tooling, see
                                               :mod:`repro.runtime.faults`)
+``routing``        —                          ``routing`` (epoch, shards,
+                                              routing table if known)
+``migrate_begin``  ``path``, ``version``      ``snapshot`` with ``watermark``
+                                              (no WAL truncation — the tail
+                                              stays streamable)
+``migrate_tail``   ``after_lsn``,             ``tail`` (``entries``,
+                   ``max_records``            ``wal_lsn``, ``reason``)
+``migrate_cutover`` ``epoch``; ``retire``     ``ok`` (fence/unfence a source,
+                    and/or ``routing``        or activate a target's table)
 ``shutdown``       —                          ``ok``, then the server stops
 =================  =========================  ==============================
+
+Routing epochs (live resharding)
+--------------------------------
+A worker is born into a routing **epoch** (0 for a fleet that never
+resharded).  Point-op frames may carry ``"epoch"``: when it differs
+from the worker's own, the op is refused with ``StaleRoutingError`` —
+the client refreshes its routing table (the error frame carries the
+worker's table when it knows one) and retries against the right fleet.
+A **retired** worker (its shard migrated away by
+:class:`~repro.database.resharding.ShardMigrator`) refuses everything
+except ``health``/``routing``/``fault``/``migrate_tail``/
+``migrate_cutover``/``shutdown`` the same way, so stale clients can
+never read or write a dead shard.
 
 Durability (the write-ahead op log)
 -----------------------------------
@@ -128,6 +150,15 @@ MUTATING_VERBS = frozenset({
     "take", "take_all", "release", "release_pool", "reset",
 })
 
+#: Verbs a *retired* worker (shard migrated away) still serves: health
+#: and fault tooling for the supervisor, ``migrate_tail`` for the final
+#: post-fence drain, ``migrate_cutover`` so the migrator can publish the
+#: new routing table (or roll the fence back), and ``shutdown``.
+_RETIRED_VERBS = frozenset({
+    "health", "routing", "fault", "migrate_tail", "migrate_cutover",
+    "shutdown",
+})
+
 #: Dynamic fields (1-7) that need a codec beyond JSON's native types.
 _STATE_KEY = "state"
 _FLAGS_KEY = "service_status_flags"
@@ -150,6 +181,8 @@ def encode_dynamic(dynamic: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def decode_dynamic(dynamic: Dict[str, Any]) -> Dict[str, Any]:
+    """Inverse of :func:`encode_dynamic`: wire values back to the
+    :class:`MachineRecord` domain types (state enum, flags object)."""
     out: Dict[str, Any] = {}
     for key, value in dynamic.items():
         if key == _STATE_KEY and value is not None:
@@ -184,6 +217,8 @@ def clauses_to_wire(plan: Any) -> Optional[List[Dict[str, Any]]]:
 
 
 def clauses_from_wire(data: Optional[List[Dict[str, Any]]]) -> Any:
+    """Decode a wire clause list back to clause objects (``None`` stays
+    the match-all plan)."""
     if data is None:
         return None
     return [clause_from_dict(c) for c in data]
@@ -206,11 +241,16 @@ class ShardWorker:
         for PR 5's lossy last-checkpoint contract.  With a log in
         ``fsync`` mode, mutating verbs are made durable (group-commit)
         before their reply frame is sent.
+    epoch:
+        The routing epoch this worker serves (0 for a fleet that never
+        resharded).  Point-op frames carrying a different ``"epoch"``
+        are refused with :class:`~repro.errors.StaleRoutingError`.
     """
 
     def __init__(self, database: Optional[WhitePagesDatabase] = None, *,
                  shard_index: int = 0, shards: int = 1,
-                 wal: Optional[WriteAheadLog] = None):
+                 wal: Optional[WriteAheadLog] = None,
+                 epoch: int = 0):
         if not 0 <= shard_index < shards:
             raise DatabaseError(
                 f"shard index {shard_index} outside 0..{shards - 1}")
@@ -219,6 +259,18 @@ class ShardWorker:
         self.shard_index = shard_index
         self.shards = shards
         self.wal = wal
+        self.epoch = int(epoch)
+        #: Set by ``migrate_cutover {retire: true}``: this shard's data
+        #: has moved to a new fleet; refuse (almost) everything.
+        self.retired = False
+        #: The current routing table as a wire dict, once known (set at
+        #: cutover).  Carried on StaleRoutingError frames so refused
+        #: clients can refresh without a second round trip.
+        self.routing: Optional[Dict[str, Any]] = None
+        #: ``migrate_begin`` pins the log: checkpoint-triggered
+        #: truncation is deferred until cutover/rollback so the
+        #: migrator's tail stream can never lose records underneath it.
+        self._wal_pinned = False
         self.requests = 0
         self.started_at = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -235,6 +287,10 @@ class ShardWorker:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the worker's TCP endpoint and begin accepting
+        connections (``port=0`` picks a free port; read it back from
+        :attr:`port`).  Raises ``RuntimeProtocolError`` if already
+        started."""
         if self._server is not None:
             raise RuntimeProtocolError("shard worker already started")
         self._server = await asyncio.start_server(self._on_connect,
@@ -242,11 +298,16 @@ class ShardWorker:
 
     @property
     def port(self) -> int:
+        """The bound TCP port (raises ``RuntimeProtocolError`` before
+        :meth:`start`)."""
         if self._server is None or not self._server.sockets:
             raise RuntimeProtocolError("shard worker is not listening")
         return self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        """Close the listener, drain live connections, and flush/close
+        the op log — the graceful-shutdown path (a clean stop is
+        replay-free)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -389,6 +450,16 @@ class ShardWorker:
 
     # -- dispatch --------------------------------------------------------------
 
+    def _stale_routing(self, message: str) -> Dict[str, Any]:
+        """An error frame that carries the worker's routing table (when
+        known) so the refused client can refresh in one round trip."""
+        reply: Dict[str, Any] = {"kind": "error",
+                                 "error": "StaleRoutingError",
+                                 "message": message}
+        if self.routing is not None:
+            reply["routing"] = self.routing
+        return reply
+
     def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         self.requests += 1
         kind = frame.get("kind")
@@ -396,6 +467,20 @@ class ShardWorker:
         if handler is None:
             return {"kind": "error", "error": "RuntimeProtocolError",
                     "message": f"unknown shard verb {kind!r}"}
+        if self.retired and kind not in _RETIRED_VERBS:
+            return self._stale_routing(
+                f"shard {self.shard_index} (epoch {self.epoch}) is "
+                "retired: its records migrated to a newer fleet")
+        if "epoch" in frame and kind not in _RETIRED_VERBS:
+            try:
+                frame_epoch = int(frame["epoch"])
+            except (TypeError, ValueError):
+                return {"kind": "error", "error": "RuntimeProtocolError",
+                        "message": f"malformed epoch {frame['epoch']!r}"}
+            if frame_epoch != self.epoch:
+                return self._stale_routing(
+                    f"op stamped epoch {frame_epoch}, worker serves "
+                    f"epoch {self.epoch}")
         try:
             response = handler(frame)
         except ReproError as exc:
@@ -455,26 +540,61 @@ class ShardWorker:
     # -- registry CRUD ---------------------------------------------------------
 
     def _verb_register(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Add a machine record (point op; WAL-logged, epoch-checked).
+
+        Args (frame fields): ``row`` — the v3 positional record row.
+        Returns: ``{"kind": "ok"}``.
+        Raises: ``DuplicateMachineError``; ``DatabaseError`` when the
+            name CRC-routes to a different shard (misroute guard).
+        """
         record = MachineRecord.from_row(frame["row"])
         self._check_routing(record.machine_name)
         self.database.add(record)
         return {"kind": "ok"}
 
     def _verb_remove(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Remove a machine by name (point op; WAL-logged,
+        epoch-checked).
+
+        Args (frame fields): ``name``.
+        Returns: ``{"kind": "record", "row"}`` — the removed record.
+        Raises: ``UnknownMachineError``.
+        """
         record = self.database.remove(str(frame["name"]))
         return {"kind": "record", "row": record.to_row()}
 
     def _verb_get(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Fetch one record by name (point read; epoch-checked).
+
+        Args (frame fields): ``name``.
+        Returns: ``{"kind": "record", "row"}``.
+        Raises: ``UnknownMachineError``.
+        """
         record = self.database.get(str(frame["name"]))
         return {"kind": "record", "row": record.to_row()}
 
     def _verb_update(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Replace a record wholesale (point op; WAL-logged,
+        epoch-checked, misroute-guarded like ``register``).
+
+        Args (frame fields): ``row``.
+        Returns: ``{"kind": "ok"}``.
+        Raises: ``UnknownMachineError``; ``DatabaseError`` on misroute.
+        """
         record = MachineRecord.from_row(frame["row"])
         self._check_routing(record.machine_name)
         self.database.update(record)
         return {"kind": "ok"}
 
     def _verb_update_dynamic(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Update a record's dynamic fields (point op; WAL-logged,
+        epoch-checked).
+
+        Args (frame fields): ``name``; ``dynamic`` — the
+        :func:`encode_dynamic` wire map.
+        Returns: ``{"kind": "record", "row"}`` — the updated record.
+        Raises: ``UnknownMachineError``.
+        """
         dynamic = decode_dynamic(dict(frame.get("dynamic", {})))
         record = self.database.update_dynamic(str(frame["name"]), **dynamic)
         return {"kind": "record", "row": record.to_row()}
@@ -482,6 +602,15 @@ class ShardWorker:
     # -- matching --------------------------------------------------------------
 
     def _verb_match(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Run a query against this shard (fan-out read; the client
+        merges per-shard name-ordered results, so no epoch stamp — a
+        retired worker refuses it instead).
+
+        Args (frame fields): ``clauses`` (wire clause list or null for
+        match-all); ``include_taken``; ``names_only``.
+        Returns: ``{"kind": "records", "rows"}`` in name order, or
+        ``{"kind": "names"}`` with ``names_only``.
+        """
         clauses = clauses_from_wire(frame.get("clauses"))
         include_taken = bool(frame.get("include_taken", False))
         matches = self.database.match(clauses, include_taken=include_taken)
@@ -491,68 +620,162 @@ class ShardWorker:
         return {"kind": "records", "rows": [r.to_row() for r in matches]}
 
     def _verb_count(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Count query matches on this shard (fan-out read; the client
+        sums the per-shard counts).
+
+        Args (frame fields): ``clauses``; ``include_taken``.
+        Returns: ``{"kind": "count", "count"}``.
+        """
         clauses = clauses_from_wire(frame.get("clauses"))
         return {"kind": "count", "count": self.database.count(
             clauses, include_taken=bool(frame.get("include_taken", False)))}
 
     def _verb_names(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """All machine names on this shard, name-ordered (fan-out
+        read; merged client-side).  Returns ``{"kind": "names"}``."""
         return {"kind": "names", "names": self.database.names()}
 
     def _verb_scan(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Every record on this shard in name order (fan-out read).
+
+        Args (frame fields): ``include_taken``.
+        Returns: ``{"kind": "records", "rows"}``.
+        """
         records = self.database.scan(
             None, include_taken=bool(frame.get("include_taken", False)))
         return {"kind": "records", "rows": [r.to_row() for r in records]}
 
     def _verb_count_up(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Count of machines in the ``up`` state on this shard (fan-out
+        read).  Returns ``{"kind": "count"}``."""
         return {"kind": "count", "count": self.database.count_up()}
 
     def _verb_len(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Total records on this shard (fan-out read).  Returns
+        ``{"kind": "count"}``."""
         return {"kind": "count", "count": len(self.database)}
 
     def _verb_contains(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Membership test for one name (point read; epoch-checked).
+
+        Args (frame fields): ``name``.
+        Returns: ``{"kind": "ok", "contains": bool}``.
+        """
         return {"kind": "ok",
                 "contains": str(frame["name"]) in self.database}
 
     # -- take / release --------------------------------------------------------
 
     def _verb_take(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Mark a machine taken by a pool (point op; WAL-logged,
+        epoch-checked).  A losing race returns ``taken=false`` rather
+        than raising — and is still logged, so replay reproduces the
+        same no-op.
+
+        Args (frame fields): ``name``; ``pool``.
+        Returns: ``{"kind": "ok", "taken": bool}``.
+        Raises: ``UnknownMachineError``.
+        """
         taken = self.database.take(str(frame["name"]), str(frame["pool"]))
         return {"kind": "ok", "taken": taken}
 
     def _verb_take_all(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Take every still-free machine of a list (bulk point op;
+        WAL-logged, epoch-checked; the client pre-routes the names so
+        each shard sees only its own).
+
+        Args (frame fields): ``names``; ``pool``.
+        Returns: ``{"kind": "names", "names"}`` — the subset actually
+        taken.
+        """
         got = self.database.take_all(
             [str(n) for n in frame.get("names", [])], str(frame["pool"]))
         return {"kind": "names", "names": got}
 
     def _verb_release(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Release one machine from a pool (point op; WAL-logged,
+        epoch-checked).
+
+        Args (frame fields): ``name``; ``pool``.
+        Returns: ``{"kind": "ok"}``.
+        Raises: ``UnknownMachineError``; ``MachineTakenError`` when a
+            different pool holds it.
+        """
         self.database.release(str(frame["name"]), str(frame["pool"]))
         return {"kind": "ok"}
 
     def _verb_release_pool(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        return {"kind": "count",
-                "count": self.database.release_pool(str(frame["pool"]))}
+        """Release every machine a pool holds on this shard (fan-out
+        mutation; WAL-logged; the client sums the per-shard counts).
+
+        Args (frame fields):
+            ``pool``: the releasing pool's name.
+            ``only_from``: optional ``[old_shards, source_index]`` pair
+            — release only machines that the *old* partition routed to
+            ``source_index``.  A live reshard replays each source
+            shard's ``release_pool`` copy scoped this way: each
+            record's op history is totally ordered by its old owner's
+            log, so an unscoped replay of another source's copy could
+            release a machine re-taken later in its own log.
+
+        Returns: ``{"kind": "count", "count"}`` released here.
+        """
+        pool = str(frame["pool"])
+        only_from = frame.get("only_from")
+        if only_from is None:
+            return {"kind": "count",
+                    "count": self.database.release_pool(pool)}
+        old_shards, source_index = int(only_from[0]), int(only_from[1])
+        count = 0
+        for name in self.database.names():
+            if shard_of(name, old_shards) != source_index:
+                continue
+            if self.database.holder_of(name) == pool:
+                self.database.release(name, pool)
+                count += 1
+        return {"kind": "count", "count": count}
 
     def _verb_holder_of(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """The pool currently holding a machine (point read;
+        epoch-checked).
+
+        Args (frame fields): ``name``.
+        Returns: ``{"kind": "holder", "holder": name-or-null}``.
+        Raises: ``UnknownMachineError``.
+        """
         return {"kind": "holder",
                 "holder": self.database.holder_of(str(frame["name"]))}
 
     def _verb_taken_count(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """How many machines on this shard are taken (fan-out read).
+        Returns ``{"kind": "count"}``."""
         return {"kind": "count", "count": self.database.taken_count()}
 
     def _verb_free_names(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        # Unsorted by contract (see the verb table): the client unions
-        # the per-shard sets, so ordering here is wasted work.
+        """Names of free (not-taken) machines on this shard (fan-out
+        read).  Returns ``{"kind": "names"}``, unsorted by contract:
+        the client unions the per-shard sets, so ordering here is
+        wasted work."""
         return {"kind": "names",
                 "names": list(self.database.free_names())}
 
     # -- observability / persistence / lifecycle -------------------------------
 
     def _verb_health(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Liveness/observability probe (served even when retired).
+
+        Returns: ``{"kind": "health"}`` with pid, shard geometry,
+        routing ``epoch`` and ``retired`` flag, record/request counts,
+        index stats, WAL stats (``{"mode": "off"}`` without a log),
+        and armed brownout delays.
+        """
         return {
             "kind": "health",
             "pid": os.getpid(),
             "shard_index": self.shard_index,
             "shards": self.shards,
+            "epoch": self.epoch,
+            "retired": self.retired,
             "machines": len(self.database),
             "requests": self.requests,
             "uptime_s": time.monotonic() - self.started_at,
@@ -668,15 +891,153 @@ class ShardWorker:
         """
         if self.wal is None or self.wal.closed:
             return
+        if self._wal_pinned:
+            # A live migration is streaming this log's tail; dropping
+            # records now would lose ops the target has not replayed.
+            # The watermark makes deferral safe (covered records replay
+            # as no-ops), so truncation simply waits for cutover.
+            logger.info("shard %d: wal truncate deferred (migration "
+                        "in progress)", self.shard_index)
+            return
         try:
             self.wal.truncate()
         except DatabaseError:  # pragma: no cover - disk failure
             logger.exception("shard %d: wal truncate after checkpoint "
                              "failed", self.shard_index)
 
+    # -- live migration --------------------------------------------------------
+
+    def _verb_routing(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Report this worker's routing view.
+
+        Returns:
+            ``{"kind": "routing", "epoch", "shards", "retired",
+            "routing"}`` — ``routing`` is the full table wire dict once
+            a cutover published one, else ``None``.  Clients use this
+            to refresh after a :class:`~repro.errors.StaleRoutingError`
+            whose frame carried no table yet (mid-cutover window).
+        """
+        return {"kind": "routing", "epoch": self.epoch,
+                "shards": self.shards, "retired": self.retired,
+                "routing": self.routing}
+
+    def _verb_migrate_begin(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Snapshot this shard for migration, *without* truncating the
+        op log.
+
+        Args (frame fields):
+            ``path``: where the worker writes the v3 snapshot
+            (worker-side, like a checkpoint).
+
+        Returns:
+            ``{"kind": "snapshot", "path", "machines", "watermark"}`` —
+            ``watermark`` is the log LSN the snapshot embeds; the
+            migrator streams entries *after* it with ``migrate_tail``.
+
+        Raises:
+            DatabaseError: when this worker has no write-ahead log
+                (live migration needs the tail) or the write fails.
+
+        Unlike ``snapshot``, the log is left intact **and pinned**:
+        checkpoints racing the migration defer their truncation until
+        ``migrate_cutover`` unpins, so the tail stays streamable.
+        """
+        if self.wal is None:
+            raise DatabaseError(
+                f"shard {self.shard_index}: live migration needs a "
+                "write-ahead log (wal mode is 'off')")
+        from repro.database.persistence import save_database
+        path = str(frame["path"])
+        watermark = self.wal.last_lsn
+        try:
+            save_database(self.database, path, version=3,
+                          wal_lsn=watermark)
+        except OSError as exc:
+            raise DatabaseError(
+                f"migration snapshot write to {path!r} failed: "
+                f"{exc}") from exc
+        self._wal_pinned = True
+        return {"kind": "snapshot", "path": path,
+                "machines": len(self.database), "watermark": watermark}
+
+    def _verb_migrate_tail(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Stream a bounded slice of this shard's op-log tail.
+
+        Args (frame fields):
+            ``after_lsn``: return only entries with a higher LSN (the
+            migration watermark, then the last LSN already replayed).
+            ``max_records``: cap per reply (default 512).
+
+        Returns:
+            ``{"kind": "tail", "entries": [[lsn, frame], ...],
+            "wal_lsn": <last LSN the worker acknowledged>, "reason"}``.
+            The stream is drained when the last returned (or requested)
+            LSN reaches ``wal_lsn``; a torn ``reason`` at the boundary
+            means a concurrent append raced the read — poll again.
+
+        Raises:
+            DatabaseError: when this worker has no write-ahead log.
+
+        Served even when retired: the post-fence drain uses it to hand
+        over the final in-flight ops.
+        """
+        if self.wal is None:
+            raise DatabaseError(
+                f"shard {self.shard_index}: no write-ahead log to "
+                "stream (wal mode is 'off')")
+        from repro.database.wal import read_wal_tail
+        after_lsn = int(frame.get("after_lsn", 0))
+        max_records = int(frame.get("max_records", 512))
+        tail = read_wal_tail(self.wal.path, after_lsn=after_lsn,
+                             max_records=max_records)
+        return {"kind": "tail",
+                "entries": [[lsn, f] for lsn, f in tail.entries],
+                "wal_lsn": self.wal.last_lsn,
+                "reason": tail.reason}
+
+    def _verb_migrate_cutover(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Flip this worker's role in a live reshard.
+
+        Args (frame fields):
+            ``retire``: ``true`` fences a source (refuse all ops except
+            :data:`_RETIRED_VERBS` with ``StaleRoutingError`` from now
+            on); ``false`` rolls a fence back (the migrator's abort
+            path).
+            ``epoch``: the new routing epoch to adopt (targets are
+            spawned already carrying it; retired sources adopt it so
+            their error frames name the current epoch).
+            ``routing``: the full routing-table wire dict to publish to
+            refused clients.  The migrator sends it to targets first,
+            then to the fenced sources — so a client can never learn an
+            endpoint that is not yet serving.
+
+        Returns:
+            ``{"kind": "ok", "epoch", "retired"}``.
+
+        Unpins the op log (see ``migrate_begin``); a deferred
+        checkpoint truncation becomes effective at the next checkpoint.
+        """
+        if "epoch" in frame:
+            self.epoch = int(frame["epoch"])
+        if frame.get("routing") is not None:
+            self.routing = dict(frame["routing"])
+        if "retire" in frame:
+            self.retired = bool(frame["retire"])
+        self._wal_pinned = False
+        return {"kind": "ok", "epoch": self.epoch,
+                "retired": self.retired}
+
     def _verb_reset(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         """Replace the live shard with a fresh database (optionally
-        seeded from ``rows``) — test and re-seed tooling."""
+        seeded from ``rows``) — test and re-seed tooling.
+
+        Args (frame fields): ``rows`` — v3 record rows, pre-routed to
+        this shard (misroutes are refused).
+        Returns: ``{"kind": "ok", "machines"}``.
+        WAL-logged like any mutation; a ``reset`` observed in a log
+        tail aborts a live migration (it cannot be re-partitioned as a
+        single-shard frame).
+        """
         records = [MachineRecord.from_row(row)
                    for row in frame.get("rows", [])]
         for record in records:
@@ -688,6 +1049,9 @@ class ShardWorker:
         return {"kind": "ok", "machines": len(records)}
 
     def _verb_shutdown(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Acknowledge, then stop the worker's server loop (graceful:
+        connections drain, the WAL flushes and closes).  Served even
+        when retired.  Returns ``{"kind": "ok"}``."""
         return {"kind": "ok"}
 
 
@@ -718,7 +1082,8 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
                      columnar: Optional[bool] = None,
                      wal_mode: str = "off",
                      wal_path: Optional[str] = None,
-                     wal_interval: float = 0.0) -> None:
+                     wal_interval: float = 0.0,
+                     epoch: int = 0) -> None:
     """Process entry: own one shard, serve verbs until ``shutdown``.
 
     Builds the shard database (empty, or cold-started from a per-shard
@@ -738,6 +1103,9 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
     truncating any torn tail), and replay the records past the
     watermark — so the served state is identical to the pre-crash state
     at the last acknowledged op.
+
+    ``epoch`` is the routing epoch the worker serves (bumped by every
+    live reshard; see the module docstring's epoch protocol).
 
     Importable and picklable, so it works under both the ``fork`` and
     ``spawn`` start methods (and as a CLI foreground process via
@@ -769,7 +1137,7 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
                 shard_index, wal_path, recovery.discarded_bytes,
                 recovery.reason)
     worker = ShardWorker(database, shard_index=shard_index, shards=shards,
-                         wal=wal)
+                         wal=wal, epoch=epoch)
     if wal is not None and recovery.entries:
         replayed = worker.replay(recovery.entries, watermark)
         if replayed:
@@ -777,6 +1145,7 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
                         shard_index, replayed, watermark)
 
     async def main() -> None:
+        """Serve until a signal or ``shutdown`` verb stops the loop."""
         import signal
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):

@@ -44,6 +44,7 @@ from repro.database.wal import (
     WAL_MAGIC,
     WalRecoveryResult,
     WriteAheadLog,
+    read_wal_tail,
     recover_wal,
 )
 from repro.database.whitepages import WhitePagesDatabase
@@ -558,3 +559,105 @@ class TestRecoveryResultRepr:
         r = WalRecoveryResult([(1, {"kind": "reset"})], 30, 4, "torn-header")
         assert r.last_lsn == 1
         assert r.good_bytes == 30 and r.discarded_bytes == 4
+
+
+# ---------------------------------------------------------------------------
+# Bounded tail streaming (the live-migration read path)
+# ---------------------------------------------------------------------------
+
+
+class TestWalTailStreaming:
+    """``read_wal_tail``: reads of a log that may be growing under the
+    reader.  Unlike recovery, a torn record at the streamed boundary is
+    *expected* (a racing ``os.write``) and reported, never judged."""
+
+    def _log(self, path, n, start=0):
+        wal, _ = WriteAheadLog.open(path, mode="async")
+        for frame in _frames(n)[start:]:
+            wal.append(frame)
+        wal.close()
+        return wal
+
+    def test_streams_from_arbitrary_lsn(self, tmp_path):
+        path = tmp_path / "t.wal"
+        self._log(path, 10)
+        for after in (0, 1, 5, 9, 10, 99):
+            tail = read_wal_tail(path, after_lsn=after)
+            want = [i for i in range(1, 11) if i > after]
+            assert [lsn for lsn, _ in tail.entries] == want
+            assert tail.complete and tail.reason == "end"
+        # The frames themselves round-trip exactly.
+        tail = read_wal_tail(path, after_lsn=7)
+        assert [f for _, f in tail.entries] == _frames(10)[7:]
+
+    def test_max_records_bounds_each_slice(self, tmp_path):
+        path = tmp_path / "t.wal"
+        self._log(path, 10)
+        tail = read_wal_tail(path, after_lsn=0, max_records=4)
+        assert [lsn for lsn, _ in tail.entries] == [1, 2, 3, 4]
+        assert tail.reason == "bounded" and not tail.complete
+        rest = read_wal_tail(path, after_lsn=tail.last_lsn,
+                             from_offset=tail.next_offset)
+        assert [lsn for lsn, _ in rest.entries] == list(range(5, 11))
+        assert rest.complete
+
+    def test_resume_offset_skips_reparsing_and_sees_appends(self, tmp_path):
+        """The concurrent-append shape: read, writer appends more,
+        resume from next_offset picks up exactly the new records."""
+        path = tmp_path / "t.wal"
+        wal, _ = WriteAheadLog.open(path, mode="async")
+        for frame in _frames(3):
+            wal.append(frame)
+        first = read_wal_tail(path)
+        assert [lsn for lsn, _ in first.entries] == [1, 2, 3]
+        for frame in _frames(6)[3:]:
+            wal.append(frame)
+        second = read_wal_tail(path, after_lsn=first.last_lsn,
+                               from_offset=first.next_offset)
+        assert [lsn for lsn, _ in second.entries] == [4, 5, 6]
+        wal.close()
+
+    def test_torn_tail_at_streamed_boundary_then_retry(self, tmp_path):
+        """Truncate the file at every byte of the last record: the
+        scan returns the intact prefix with a torn reason; once the
+        record lands whole, the retry from next_offset completes."""
+        path = tmp_path / "t.wal"
+        self._log(path, 4)
+        whole = path.read_bytes()
+        last = read_wal_tail(path, after_lsn=3).next_offset
+        # Where record 4 starts: stream the first three, note the offset.
+        start4 = read_wal_tail(path, max_records=3).next_offset
+        for cut in range(start4 + 1, len(whole)):
+            path.write_bytes(whole[:cut])
+            tail = read_wal_tail(path, after_lsn=0)
+            assert [lsn for lsn, _ in tail.entries] == [1, 2, 3], cut
+            assert not tail.complete
+            assert tail.reason in ("torn-header", "torn-payload",
+                                   "crc-mismatch", "bad-length")
+            # The "append" completes; resuming drains the stream.
+            path.write_bytes(whole)
+            retry = read_wal_tail(path, after_lsn=tail.last_lsn,
+                                  from_offset=tail.next_offset)
+            assert [lsn for lsn, _ in retry.entries] == [4]
+            assert retry.complete and retry.next_offset == last
+
+    def test_missing_file_is_an_empty_complete_stream(self, tmp_path):
+        tail = read_wal_tail(tmp_path / "absent.wal")
+        assert tail.entries == [] and tail.reason == "missing"
+        assert not tail.complete
+
+    def test_truncated_log_restarts_from_head(self, tmp_path):
+        """A from_offset past EOF (the log shrank under the reader —
+        e.g. checkpoint truncation raced a slow stream) falls back to a
+        full rescan; the LSN filter keeps the result exact."""
+        path = tmp_path / "t.wal"
+        self._log(path, 6)
+        size = path.stat().st_size
+        wal, _ = WriteAheadLog.open(path, mode="async")
+        wal.truncate()
+        for frame in _frames(9)[6:]:
+            wal.append(frame)
+        wal.close()
+        tail = read_wal_tail(path, after_lsn=6, from_offset=size + 512)
+        assert [lsn for lsn, _ in tail.entries] == [7, 8, 9]
+        assert tail.complete
