@@ -86,7 +86,13 @@ def render_timings(datasets: "list[tuple[str, dict]]") -> str:
 
 def render_scenarios(data: dict) -> str:
     """The degradation-under-load table (empty string when the file
-    carries no scenario block)."""
+    carries no scenario block).
+
+    ``server p50``/``server p99`` are the worker-side percentiles of
+    the same window (the stages snapshot the fleet's per-verb
+    histograms around each measured loop); live stages report them,
+    simulated ones render ``-``.
+    """
     scenarios = data.get("scenarios")
     if not isinstance(scenarios, dict) or not scenarios:
         return ""
@@ -94,14 +100,16 @@ def render_scenarios(data: dict) -> str:
         "",
         "### Degradation under adversarial load",
         "",
-        "| scenario | status | p50 | p99 | p99 vs unloaded | "
-        "throughput | err rate | budget |",
-        "|---|---|---:|---:|---:|---:|---:|---|",
+        "| scenario | status | p50 | p99 | server p50 | server p99 | "
+        "p99 vs unloaded | throughput | err rate | budget |",
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|---|",
     ]
     for name in sorted(scenarios):
         entry = scenarios[name]
         status = entry.get("status", "?")
         p50, p99 = _num(entry.get("p50_s")), _num(entry.get("p99_s"))
+        sp50 = _num(entry.get("server_p50_s"))
+        sp99 = _num(entry.get("server_p99_s"))
         p99_x = _num(entry.get("p99_x"))
         tput_x = _num(entry.get("throughput_x"))
         err = _num(entry.get("error_rate"))
@@ -118,6 +126,8 @@ def render_scenarios(data: dict) -> str:
             f"| `{name}` | {status} "
             f"| {_fmt_time(p50) if p50 == p50 else '-'} "
             f"| {_fmt_time(p99) if p99 == p99 else '-'} "
+            f"| {_fmt_time(sp50) if sp50 == sp50 else '-'} "
+            f"| {_fmt_time(sp99) if sp99 == sp99 else '-'} "
             f"| {f'{p99_x:.2f}x' if p99_x == p99_x else '-'} "
             f"| {f'{tput_x:.2f}x' if tput_x == tput_x else '-'} "
             f"| {f'{err * 100:.1f}%' if err == err else '-'} "

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""End-to-end telemetry tour: find a browned-out shard from the metrics.
+
+Stands up a 3-shard supervised white-pages fleet, runs a mixed
+match + point-write load to establish a healthy baseline, then arms a
+brownout (an injected per-``match`` delay) on one shard — the same
+non-fatal fault family the adversarial scenario engine uses — and runs
+the load again.  The tour then plays operator:
+
+1. ``client.metrics()`` — the fleet sweep the ``repro metrics`` / ``repro
+   top`` commands render.  Per-shard ``verb.match`` p99 singles out the
+   slow shard; the fault block on that shard proves the delay actually
+   fired.
+2. The client's own wire view — per-shard RTT histograms and the
+   fan-out straggler counters point at the same shard from the other
+   side of the socket.
+3. The slow shard's slow-op JSONL — the durable tail, carrying the
+   exact spans with the trace ids this client stamped on its frames.
+
+Asserts all three views agree before printing the closing sentinel, so
+the example doubles as an end-to-end attribution check.
+
+Run:  PYTHONPATH=src python examples/observability_tour.py
+      (add --machines 600 --seconds 0.4 for a quick pass)
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import tempfile
+import time
+
+from repro.core.operators import Op
+from repro.core.plan import compile_plan
+from repro.core.query import Clause, Query
+from repro.database.service import ShardSupervisor
+from repro.fleet import FleetSpec, build_fleet
+from repro.obs.telemetry import merge_histograms, summarize_histogram
+
+QUERY = Query(clauses=(
+    Clause("punch", "rsrc", "arch", Op.EQ, "sun"),
+    Clause("punch", "rsrc", "memory", Op.GE, 64.0),
+))
+
+SHARDS = 3
+SLOW_SHARD = 1
+
+
+def mixed_load(client, names, seconds: float) -> int:
+    """Fan-out matches interleaved with routed point writes."""
+    plan = compile_plan(QUERY)
+    cycle = itertools.cycle(names)
+    ops = 0
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        client.match_names(plan)
+        client.update_dynamic(next(cycle), current_load=float(ops % 4))
+        ops += 2
+    return ops
+
+
+def match_p99_by_shard(snapshot) -> list:
+    """Per-shard ``verb.match`` p99 seconds from a ``metrics()`` sweep."""
+    out = []
+    for shard in snapshot["per_shard"]:
+        hist = shard["metrics"]["histograms"].get("verb.match")
+        out.append(summarize_histogram(hist)["p99_s"] if hist else 0.0)
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--machines", type=int, default=5000)
+    parser.add_argument("--seconds", type=float, default=1.5,
+                        help="load window before and during the brownout")
+    parser.add_argument("--delay", type=float, default=0.08,
+                        help="injected per-match delay on the slow shard")
+    args = parser.parse_args()
+
+    records = build_fleet(FleetSpec(size=args.machines, seed=7))
+    names = [r.machine_name for r in records[:64]]
+
+    with tempfile.TemporaryDirectory() as snapshot_dir:
+        supervisor = ShardSupervisor(
+            SHARDS, snapshot_dir=snapshot_dir, records=records,
+            slow_op_threshold=args.delay / 2).start()
+        try:
+            client = supervisor.client()
+            print(f"fleet: {len(client)} machines on {SHARDS} shard "
+                  f"workers; client trace prefix {client.trace_prefix}")
+
+            ops = mixed_load(client, names, args.seconds)
+            healthy = client.metrics(max_spans=0)
+            healthy_p99 = match_p99_by_shard(healthy)
+            print(f"healthy window: {ops} ops, per-shard match p99 "
+                  f"{[f'{p * 1e3:.1f}ms' for p in healthy_p99]}")
+
+            print(f"\narming brownout: shard {SLOW_SHARD} serves match "
+                  f"{args.delay * 1e3:.0f} ms slow")
+            client.inject_fault(SLOW_SHARD, delays={"match": args.delay})
+            try:
+                mixed_load(client, names, args.seconds)
+                snapshot = client.metrics(max_spans=8)
+            finally:
+                client.inject_fault(SLOW_SHARD, delays={})
+
+            # 1. Server-side attribution: worker verb histograms.
+            p99 = match_p99_by_shard(snapshot)
+            suspect = max(range(SHARDS), key=lambda i: p99[i])
+            print(f"per-shard match p99 now "
+                  f"{[f'{p * 1e3:.1f}ms' for p in p99]} "
+                  f"-> suspect shard {suspect}")
+            fired = snapshot["per_shard"][suspect]["faults"]["delays_fired"]
+            print(f"shard {suspect} fault block: delays fired {fired}")
+            fleet_match = summarize_histogram(merge_histograms(
+                s["metrics"]["histograms"].get("verb.match")
+                for s in snapshot["per_shard"]))
+            print(f"fleet match p99 (exact bucket merge): "
+                  f"{fleet_match['p99_s'] * 1e3:.1f} ms")
+
+            # 2. Client-side attribution: RTTs + fan-out stragglers.
+            client_view = snapshot["client"]
+            rtt = client_view["histograms"].get(
+                f"rtt.shard{suspect}", {"p99_s": 0.0})
+            stragglers = {k: v for k, v in client_view["counters"].items()
+                          if k.startswith("straggler.")}
+            print(f"client rtt.shard{suspect} p99 "
+                  f"{rtt['p99_s'] * 1e3:.1f} ms; "
+                  f"fan-out stragglers {stragglers}")
+
+            # 3. The durable tail: the slow shard's slow-op JSONL.
+            slow_spans = supervisor.slow_ops(suspect)
+            ours = [s for s in slow_spans
+                    if str(s.get("trace", "")).startswith(
+                        client.trace_prefix)]
+            print(f"slow-op log of shard {suspect}: {len(slow_spans)} "
+                  f"spans, {len(ours)} stamped with this client's "
+                  f"trace prefix; tail:")
+            for span in slow_spans[-3:]:
+                print(f"  {span['verb']} {span['duration_s'] * 1e3:.1f} ms "
+                      f"trace={span['trace']}")
+
+            assert suspect == SLOW_SHARD, \
+                f"p99 singled out shard {suspect}, expected {SLOW_SHARD}"
+            assert fired.get("match", 0) > 0, "brownout never fired"
+            assert ours, "slow-op log carries none of our trace ids"
+            print(f"\nOK: slow shard {SLOW_SHARD} identified by worker "
+                  f"p99, client RTT, and the slow-op log")
+        finally:
+            supervisor.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,17 @@ Commands
   live shard-service fleet and report degradation vs the unloaded
   baseline (``--check-budgets`` turns breaches into a non-zero exit —
   the CI degradation gate).
+- ``metrics --endpoints "H:P,H:P"`` — fleet telemetry snapshot:
+  per-verb server-side percentiles (exact histogram merge), counters,
+  WAL lag, slow-op totals; ``--json`` for machines, ``--prom`` for
+  Prometheus text exposition.
+- ``top --endpoints "H:P,H:P"`` — live curses-free dashboard over the
+  ``metrics`` verb: per-shard ops/s, p50/p99 by verb, WAL lag, the
+  slow-op tail, and a hotspot attribution line.
+
+Global flags: ``repro --log-level debug --log-json <command>``
+configures structured logging for every ``repro.*`` module before the
+command runs (see :mod:`repro.obs.logconfig`).
 """
 
 from __future__ import annotations
@@ -182,7 +193,8 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     supervisor = build_shard_service(
         args.shards, args.snapshot_dir, records=records, host=args.host,
         wal=args.wal, wal_interval=args.wal_interval,
-        columnar=True if args.columnar else None)
+        columnar=True if args.columnar else None,
+        slow_op_threshold=args.slow_op_threshold)
     supervisor.start()
     endpoints = ",".join(f"{h}:{p}" for h, p in supervisor.endpoints)
     machines = len(supervisor.client())
@@ -337,6 +349,141 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ms(value) -> str:
+    """Milliseconds with two decimals, or ``-`` for missing/NaN."""
+    if not isinstance(value, (int, float)) or value != value:
+        return "-"
+    return f"{value * 1e3:.2f}"
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.database.service import ShardServiceClient, parse_endpoints
+
+    with ShardServiceClient(parse_endpoints(args.endpoints)) as client:
+        snapshot = client.metrics(max_spans=args.max_spans)
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    if args.prom:
+        seen_types = set()
+        for reply in snapshot["per_shard"]:
+            from repro.obs.telemetry import prometheus_lines
+            labels = {"shard": str(reply.get("shard_index", 0))}
+            for line in prometheus_lines(reply.get("metrics", {}), labels):
+                if line.startswith("# TYPE"):
+                    # One TYPE declaration per metric across the fleet.
+                    if line in seen_types:
+                        continue
+                    seen_types.add(line)
+                print(line)
+        return 0
+    fleet = snapshot["fleet"]
+    print(f"fleet: {snapshot['shards']} shards, epoch "
+          f"{snapshot['epoch']}, {fleet['requests']} requests, "
+          f"{fleet['slow_ops']} slow ops, wal lag {fleet['wal_lag']}")
+    print(f"{'series':<24} {'count':>8} {'p50 ms':>9} {'p99 ms':>9} "
+          f"{'max ms':>9}")
+    for name, stats in fleet["histograms"].items():
+        print(f"{name:<24} {int(stats['count']):>8} "
+              f"{_ms(stats['p50_s']):>9} {_ms(stats['p99_s']):>9} "
+              f"{_ms(stats['max_s']):>9}")
+    if fleet["counters"]:
+        print("counters: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(fleet["counters"].items())))
+    client_side = snapshot["client"]
+    for name, stats in client_side["histograms"].items():
+        print(f"client {name:<17} {int(stats['count']):>8} "
+              f"{_ms(stats['p50_s']):>9} {_ms(stats['p99_s']):>9} "
+              f"{_ms(stats['max_s']):>9}")
+    return 0
+
+
+def _top_frame(snapshot: dict, rates: List[str]) -> List[str]:
+    """Render one ``repro top`` refresh as a list of lines.
+
+    Pure function of the ``client.metrics()`` snapshot (plus the
+    pre-computed per-shard ops/s strings), so tests can assert on the
+    hotspot attribution without a TTY.
+    """
+    import time as _time
+
+    from repro.obs.telemetry import merge_histograms, summarize_histogram
+
+    lines = [f"repro top — {snapshot['shards']} shards, epoch "
+             f"{snapshot['epoch']} — "
+             f"{_time.strftime('%H:%M:%S')}"]
+    lines.append(f"{'shard':>5} {'ops/s':>9} {'p50 ms':>9} {'p99 ms':>9} "
+                 f"{'worst verb':<16} {'wal lag':>7} {'slow':>5}")
+    hot: Optional[tuple] = None  # (p99, shard, verb)
+    for i, reply in enumerate(snapshot["per_shard"]):
+        hists = reply.get("metrics", {}).get("histograms", {})
+        verb_hists = {name[len("verb."):]: data
+                      for name, data in hists.items()
+                      if name.startswith("verb.")}
+        overall = summarize_histogram(
+            merge_histograms(verb_hists.values()))
+        worst_verb, worst_p99 = "-", float("nan")
+        for verb, data in sorted(verb_hists.items()):
+            p99 = summarize_histogram(data)["p99_s"]
+            if worst_p99 != worst_p99 or p99 > worst_p99:
+                worst_verb, worst_p99 = verb, p99
+        if worst_verb != "-" and \
+                (hot is None or worst_p99 > hot[0]):
+            hot = (worst_p99, i, worst_verb)
+        wal = reply.get("wal", {})
+        lag = max(0, int(wal.get("last_lsn", 0))
+                  - int(wal.get("synced_lsn", 0)))
+        lines.append(f"{i:>5} {rates[i]:>9} {_ms(overall['p50_s']):>9} "
+                     f"{_ms(overall['p99_s']):>9} {worst_verb:<16} "
+                     f"{lag:>7} {int(reply.get('slow_ops', 0)):>5}")
+    if hot is not None:
+        lines.append(f"hotspot: shard {hot[1]} / {hot[2]} "
+                     f"p99 {_ms(hot[0])} ms")
+    slow_tail = []
+    for reply in snapshot["per_shard"]:
+        threshold = float(reply.get("slow_op_threshold", 0.25))
+        slow_tail.extend(s for s in reply.get("spans", [])
+                         if float(s.get("duration_s", 0.0)) >= threshold)
+    slow_tail.sort(key=lambda s: -float(s.get("duration_s", 0.0)))
+    if slow_tail:
+        lines.append("slow-op tail:")
+        for span in slow_tail[:8]:
+            lines.append(
+                f"  shard {span.get('shard')} {span.get('verb')} "
+                f"{_ms(span.get('duration_s'))} ms "
+                f"trace={span.get('trace')}")
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.database.service import ShardServiceClient, parse_endpoints
+
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    previous: Optional[tuple] = None  # (monotonic, per-shard requests)
+    iteration = 0
+    with ShardServiceClient(parse_endpoints(args.endpoints)) as client:
+        while True:
+            snapshot = client.metrics(max_spans=args.max_spans)
+            now = time.monotonic()
+            requests = [int(r.get("requests", 0))
+                        for r in snapshot["per_shard"]]
+            rates = ["-"] * len(requests)
+            if previous is not None and now > previous[0]:
+                dt = now - previous[0]
+                rates = [f"{max(0, cur - old) / dt:.1f}"
+                         for cur, old in zip(requests, previous[1])]
+            previous = (now, requests)
+            if clear:
+                print(clear, end="")
+            print("\n".join(_top_frame(snapshot, rates)), flush=True)
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.runtime.client import ActYPClient
 
@@ -357,6 +504,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Active Yellow Pages reproduction toolkit",
     )
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="configure structured logging for every "
+                             "repro.* module before the command runs")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as one JSON object per "
+                             "line (implies --log-level info unless set)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
@@ -431,6 +585,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--wal-interval", type=float, default=0.0,
                          help="group-commit window in seconds (0 = batch "
                               "only what shares an event-loop tick)")
+    p_shard.add_argument("--slow-op-threshold", type=float, default=0.25,
+                         help="seconds at or above which an op is "
+                              "appended to the shard's slow-op JSONL "
+                              "(beside its WAL)")
     p_shard.add_argument("--resume", action="store_true",
                          help="skip seeding; adopt the snapshot dir's "
                               "newest checkpoint/seed and replay the op "
@@ -504,11 +662,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="release the allocation immediately")
     p_query.set_defaults(fn=_cmd_query)
 
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="fleet telemetry snapshot from live shard workers")
+    p_metrics.add_argument("--endpoints", required=True,
+                           help="comma-separated host:port list in shard "
+                                "order (see 'shard-serve')")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="print the full snapshot as JSON")
+    p_metrics.add_argument("--prom", action="store_true",
+                           help="print Prometheus text exposition "
+                                "(per-shard labels)")
+    p_metrics.add_argument("--max-spans", type=int, default=32,
+                           help="recent spans to fetch per shard")
+    p_metrics.set_defaults(fn=_cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard: per-shard ops/s, p50/p99 by verb, WAL "
+             "lag, slow-op tail")
+    p_top.add_argument("--endpoints", required=True,
+                       help="comma-separated host:port list in shard "
+                            "order (see 'shard-serve')")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes")
+    p_top.add_argument("--iterations", type=int, default=0,
+                       help="stop after N refreshes (0 = run until "
+                            "Ctrl-C)")
+    p_top.add_argument("--max-spans", type=int, default=64,
+                       help="recent spans to fetch per shard for the "
+                            "slow-op tail")
+    p_top.set_defaults(fn=_cmd_top)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level or args.log_json:
+        from repro.obs.logconfig import configure_logging
+        configure_logging(args.log_level or "info",
+                          json_mode=args.log_json)
     return args.fn(args)
 
 

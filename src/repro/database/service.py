@@ -61,6 +61,7 @@ safe even for non-idempotent verbs.
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing
 import random
@@ -104,6 +105,13 @@ from repro.errors import (
     RuntimeProtocolError,
     StaleRoutingError,
 )
+from repro.obs.telemetry import (
+    MetricsRegistry,
+    merge_counters,
+    merge_histograms,
+    summarize_histogram,
+)
+from repro.obs.tracing import new_trace_id
 from repro.runtime.protocol import read_frame_sock, write_frame_sock
 
 __all__ = [
@@ -175,13 +183,17 @@ class _WorkerConnection:
     """
 
     def __init__(self, host: str, port: int, *, timeout: float = 30.0,
-                 dial_attempts: int = 5):
+                 dial_attempts: int = 5,
+                 metrics: Optional[MetricsRegistry] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.dial_attempts = max(1, int(dial_attempts))
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
+        #: Shared client registry; each dropped-socket redial bumps its
+        #: ``reconnects`` counter for the fleet-health view.
+        self._metrics = metrics
 
     def _dial(self) -> socket.socket:
         for attempt in range(self.dial_attempts):
@@ -249,6 +261,8 @@ class _WorkerConnection:
                     # for every verb.  Common after a worker restart
                     # invalidates a cached socket.
                     self._drop()
+                    if self._metrics is not None:
+                        self._metrics.inc("reconnects")
                     if attempt:
                         raise
                     continue
@@ -262,6 +276,8 @@ class _WorkerConnection:
                     # raising DuplicateMachineError for work that
                     # succeeded), so only idempotent requests retry.
                     self._drop()
+                    if self._metrics is not None:
+                        self._metrics.inc("reconnects")
                     if attempt or not idempotent:
                         raise
         if reply.get("kind") == "error":
@@ -324,6 +340,14 @@ class ShardServiceClient:
         self._timeout = timeout
         self._fan_out_size = fan_out
         self._refresh_timeout = float(refresh_timeout)
+        #: Client-side telemetry: per-shard RTT histograms, reconnect /
+        #: stale-routing / fan-out-straggler counters.
+        self._metrics = MetricsRegistry()
+        #: Trace identity: one random prefix per client, one sequence
+        #: number per logical op (a whole fan-out shares one id, so the
+        #: straggler shard's span is findable from the client's trace).
+        self._trace_prefix = new_trace_id()
+        self._trace_seq = itertools.count(1)
         #: Serialises table installs; ops never hold it.
         self._route_lock = threading.Lock()
         #: Superseded connection generations: an in-flight op on another
@@ -340,7 +364,8 @@ class ShardServiceClient:
         self._subscriptions: Dict[str, Tuple[Listener, ...]] = {}
 
     def _build_route(self, table: RoutingTable) -> _RouteState:
-        conns = [_WorkerConnection(h, p, timeout=self._timeout)
+        conns = [_WorkerConnection(h, p, timeout=self._timeout,
+                                   metrics=self._metrics)
                  for h, p in table.endpoints]
         workers = len(conns) if self._fan_out_size is None \
             else max(1, min(int(self._fan_out_size), len(conns)))
@@ -398,6 +423,20 @@ class ShardServiceClient:
         client-scoped atomicity contract)."""
         return self._oplock
 
+    # -- tracing --------------------------------------------------------------
+
+    @property
+    def trace_prefix(self) -> str:
+        """This client's trace-id prefix: every frame it stamps carries
+        ``<prefix>-<seq>``, so its ops are greppable in any shard's
+        slow-op JSONL."""
+        return self._trace_prefix
+
+    def _next_trace(self) -> str:
+        """Mint the next trace id (one per logical op; a fan-out's
+        shards all carry the same id)."""
+        return new_trace_id(self._trace_prefix, next(self._trace_seq))
+
     # -- routing refresh ------------------------------------------------------
 
     def _install_table(self, table: RoutingTable) -> None:
@@ -431,6 +470,7 @@ class ShardServiceClient:
         Raises:
             StaleRoutingError: when no newer table appears in time.
         """
+        self._metrics.inc("stale_routing_retries")
         payload = getattr(exc, "routing", None) if exc is not None else None
         before = self._route
         deadline = time.monotonic() + self._refresh_timeout
@@ -477,11 +517,18 @@ class ShardServiceClient:
             state = self._route
             stamped = dict(frame)
             stamped["epoch"] = state.table.epoch
-            conn = state.conns[state.table.shard_of(machine_name)]
+            stamped["trace"] = self._next_trace()
+            shard = state.table.shard_of(machine_name)
+            conn = state.conns[shard]
             try:
-                return conn.roundtrip(stamped, idempotent=idempotent)
+                t0 = time.perf_counter()
+                reply = conn.roundtrip(stamped, idempotent=idempotent)
             except StaleRoutingError as exc:
                 self._refresh_routing(exc)
+                continue
+            self._metrics.observe(f"rtt.shard{shard}",
+                                  time.perf_counter() - t0)
+            return reply
         raise StaleRoutingError(
             f"routing kept moving: {self._MAX_ROUTE_RETRIES} epoch bumps "
             "during one op")
@@ -492,11 +539,18 @@ class ShardServiceClient:
         table*, with the same refresh-and-retry as point ops."""
         for _ in range(self._MAX_ROUTE_RETRIES):
             state = self._route
+            stamped = dict(frame)
+            stamped.setdefault("trace", self._next_trace())
             try:
-                return state.conns[shard_index].roundtrip(
-                    frame, idempotent=idempotent)
+                t0 = time.perf_counter()
+                reply = state.conns[shard_index].roundtrip(
+                    stamped, idempotent=idempotent)
             except StaleRoutingError as exc:
                 self._refresh_routing(exc)
+                continue
+            self._metrics.observe(f"rtt.shard{shard_index}",
+                                  time.perf_counter() - t0)
+            return reply
         raise StaleRoutingError(
             f"routing kept moving: {self._MAX_ROUTE_RETRIES} epoch bumps "
             "during one op")
@@ -505,20 +559,44 @@ class ShardServiceClient:
                       make_frame: Callable[[int], Dict[str, Any]]
                       ) -> List[Dict[str, Any]]:
         """One epoch-stamped round trip per worker of ``state``;
-        replies in shard order."""
+        replies in shard order.  The whole fan-out shares one trace id
+        (so the straggler's worker-side span matches the client's op),
+        and each shard's RTT feeds its histogram — the slowest shard
+        takes the per-fan-out ``straggler.shard<i>`` attribution."""
+        trace = self._next_trace()
+
         def stamped(i: int) -> Dict[str, Any]:
             """Shard ``i``'s frame with the generation's epoch applied."""
             frame = dict(make_frame(i))
             frame["epoch"] = state.table.epoch
+            frame["trace"] = trace
             return frame
+
+        def timed(i: int, conn: _WorkerConnection
+                  ) -> Tuple[Dict[str, Any], float]:
+            """(reply, RTT seconds) for shard ``i``'s round trip."""
+            t0 = time.perf_counter()
+            reply = conn.roundtrip(stamped(i))
+            return reply, time.perf_counter() - t0
         if state.executor is not None:
             futures = [
-                state.executor.submit(conn.roundtrip, stamped(i))
+                state.executor.submit(timed, i, conn)
                 for i, conn in enumerate(state.conns)
             ]
-            return [f.result() for f in futures]
-        return [conn.roundtrip(stamped(i))
-                for i, conn in enumerate(state.conns)]
+            results = [f.result() for f in futures]
+        else:
+            results = [timed(i, conn)
+                       for i, conn in enumerate(state.conns)]
+        self._metrics.inc("fanouts")
+        slowest, slowest_rtt = 0, -1.0
+        for i, (_, rtt) in enumerate(results):
+            self._metrics.observe(f"rtt.shard{i}", rtt)
+            if rtt > slowest_rtt:
+                slowest, slowest_rtt = i, rtt
+        if len(results) > 1:
+            # Straggler attribution: which shard bounded this fan-out.
+            self._metrics.inc(f"straggler.shard{slowest}")
+        return [reply for reply, _ in results]
 
     def _fan_out(self, make_frame: Callable[[int], Dict[str, Any]]
                  ) -> List[Dict[str, Any]]:
@@ -765,6 +843,7 @@ class ShardServiceClient:
         if not names:
             return []
         taken: Set[str] = set()
+        trace = self._next_trace()  # one logical op, however many groups
         with self._oplock:
             remaining = names
             for _ in range(self._MAX_ROUTE_RETRIES):
@@ -781,7 +860,8 @@ class ShardServiceClient:
                         reply = state.conns[i].roundtrip({
                             "kind": "take_all", "names": group,
                             "pool": pool_name,
-                            "epoch": state.table.epoch})
+                            "epoch": state.table.epoch,
+                            "trace": trace})
                         taken.update(reply["names"])
                         done.update(group)
                 except StaleRoutingError as exc:
@@ -874,6 +954,19 @@ class ShardServiceClient:
             frame["delays"] = dict(delays)
         return self._shard_roundtrip(shard_index, frame)
 
+    def set_telemetry(self, enabled: bool) -> List[Dict[str, Any]]:
+        """Flip worker-side telemetry recording fleet-wide at runtime.
+
+        Existing series are kept either way — re-enabling resumes the
+        same histograms.  The telemetry overhead scale gate A/B-times
+        one live fleet with this toggle (two separate fleets never
+        share process placement, so their baseline spread can exceed
+        the per-op tax under test); operators get the same lever for
+        ruling telemetry in or out during an incident.
+        """
+        return self._fan_out(
+            lambda i: {"kind": "set_telemetry", "enabled": bool(enabled)})
+
     def wal_stats(self) -> Dict[str, Any]:
         """Fleet-wide write-ahead-log counters (from ``health``):
         per-shard mode/LSN/sync stats plus the aggregate append, sync,
@@ -888,6 +981,74 @@ class ShardServiceClient:
             "bytes": sum(int(s.get("bytes", 0)) for s in per_shard),
             "per_shard": per_shard,
         }
+
+    def metrics(self, *, max_spans: int = 32) -> Dict[str, Any]:
+        """Fleet telemetry: per-shard ``metrics`` replies plus exact
+        fleet aggregation and the client's own wire-level view.
+
+        Because every shard's histograms share the fixed bucket edges
+        of :mod:`repro.obs.telemetry`, the fleet percentiles here are
+        computed from an *exact* bucket-wise merge — identical to one
+        histogram over the pooled samples, not an approximation.
+
+        Args:
+            max_spans: Recent spans each worker returns (0 for none).
+
+        Returns:
+            ``{"shards", "epoch", "per_shard", "fleet", "client"}`` —
+            ``per_shard`` is the raw worker replies in shard order;
+            ``fleet`` has merged histogram summaries (p50/p99/max per
+            series), summed counters, total ``requests``/``slow_ops``,
+            and per-shard WAL lag (``last_lsn - synced_lsn``);
+            ``client`` has this client's RTT summaries per shard, its
+            reconnect/stale-routing/straggler counters, and its
+            ``trace_prefix``.
+        """
+        per_shard = self._fan_out(
+            lambda i: {"kind": "metrics", "max_spans": int(max_spans)})
+        hist_maps = [r.get("metrics", {}).get("histograms", {})
+                     for r in per_shard]
+        names: Set[str] = set()
+        for hists in hist_maps:
+            names.update(hists)
+        fleet_hists = {
+            name: summarize_histogram(
+                merge_histograms(hists.get(name) for hists in hist_maps))
+            for name in sorted(names)
+        }
+        wal_lag = [max(0, int(r.get("wal", {}).get("last_lsn", 0))
+                       - int(r.get("wal", {}).get("synced_lsn", 0)))
+                   for r in per_shard]
+        client_snap = self._metrics.snapshot()
+        return {
+            "shards": len(per_shard),
+            "epoch": self._route.table.epoch,
+            "per_shard": per_shard,
+            "fleet": {
+                "histograms": fleet_hists,
+                "counters": merge_counters(
+                    [r.get("metrics", {}).get("counters", {})
+                     for r in per_shard]),
+                "requests": sum(int(r.get("requests", 0))
+                                for r in per_shard),
+                "slow_ops": sum(int(r.get("slow_ops", 0))
+                                for r in per_shard),
+                "wal_lag": wal_lag,
+            },
+            "client": {
+                "trace_prefix": self._trace_prefix,
+                "histograms": {
+                    name: summarize_histogram(data)
+                    for name, data in sorted(
+                        client_snap["histograms"].items())},
+                "counters": client_snap["counters"],
+            },
+        }
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The client's own registry (RTTs, reconnects, stragglers)."""
+        return self._metrics
 
     def snapshot_shard(self, shard_index: int, path: Union[str, Path],
                        version: int = 3) -> Dict[str, Any]:
@@ -1057,7 +1218,9 @@ class ShardSupervisor:
                  records: Iterable[MachineRecord] = (),
                  start_method: Optional[str] = None,
                  columnar: Optional[bool] = None,
-                 wal: str = "off", wal_interval: float = 0.0):
+                 wal: str = "off", wal_interval: float = 0.0,
+                 telemetry: bool = True,
+                 slow_op_threshold: float = 0.25):
         if shards < 1:
             raise ConfigError(f"shard count must be >= 1, got {shards}")
         if wal not in WAL_MODES:
@@ -1077,6 +1240,12 @@ class ShardSupervisor:
         self.columnar = columnar
         self.wal = wal
         self.wal_interval = float(wal_interval)
+        #: Worker observability: ``telemetry=False`` spawns workers
+        #: with the registry disabled (the overhead gate's off arm);
+        #: ops at or above ``slow_op_threshold`` seconds land in each
+        #: shard's slow-op JSONL beside its WAL (see :mod:`repro.obs`).
+        self.telemetry = bool(telemetry)
+        self.slow_op_threshold = float(slow_op_threshold)
         if start_method is None:
             start_method = ("fork" if "fork"
                             in multiprocessing.get_all_start_methods()
@@ -1197,22 +1366,45 @@ class ShardSupervisor:
         suffix = "" if epoch == 0 else f".e{epoch}"
         return str(self._dir / f"shard_{shard_index}{suffix}.wal")
 
+    def _slow_op_path(self, shard_index: int,
+                      epoch: Optional[int] = None) -> Optional[str]:
+        """This shard's slow-op JSONL path, beside its WAL (same
+        epoch-qualified naming); ``None`` without a snapshot dir or
+        with telemetry off."""
+        if self._dir is None or not self.telemetry:
+            return None
+        epoch = self.epoch if epoch is None else epoch
+        suffix = "" if epoch == 0 else f".e{epoch}"
+        return str(self._dir / f"shard_{shard_index}{suffix}.slow.jsonl")
+
+    def slow_ops(self, shard_index: int) -> List[Dict[str, Any]]:
+        """Parse one shard's on-disk slow-op JSONL (empty when the
+        shard never logged a slow op or telemetry is off)."""
+        from repro.obs.tracing import read_slow_ops
+        path = self._slow_op_path(shard_index)
+        return read_slow_ops(path) if path else []
+
     # -- lifecycle ------------------------------------------------------------
 
     def _spawn_worker(self, shard_index: int, port: int, *, shards: int,
                       epoch: int, snapshot_path: Optional[str],
-                      wal_path: Optional[str]) -> Tuple[Any, int]:
+                      wal_path: Optional[str],
+                      slow_op_path: Optional[str] = None
+                      ) -> Tuple[Any, int]:
         """Start one worker process with an explicit geometry (used both
         for the supervisor's own fleet and for a migration's target
         fleet); returns ``(process, bound_port)`` without touching the
-        supervisor's bookkeeping."""
+        supervisor's bookkeeping.  Without an explicit ``slow_op_path``
+        the worker derives one beside its WAL (migration targets get
+        theirs that way)."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_supervised_worker_main,
             args=(shard_index, shards, self.host, port,
                   snapshot_path, child_conn,
                   self.columnar, self.wal, wal_path,
-                  self.wal_interval, epoch),
+                  self.wal_interval, epoch,
+                  self.telemetry, self.slow_op_threshold, slow_op_path),
             daemon=True,
             name=(f"shard-worker-{shard_index}" if epoch == 0
                   else f"shard-worker-{shard_index}.e{epoch}"),
@@ -1242,7 +1434,8 @@ class ShardSupervisor:
         process, bound = self._spawn_worker(
             shard_index, port, shards=self.shards, epoch=self.epoch,
             snapshot_path=str(snapshot) if snapshot else None,
-            wal_path=self._wal_path(shard_index))
+            wal_path=self._wal_path(shard_index),
+            slow_op_path=self._slow_op_path(shard_index))
         self._processes[shard_index] = process
         self._ports[shard_index] = bound
         return bound
@@ -1518,10 +1711,15 @@ def _supervised_worker_main(shard_index: int, shards: int, host: str,
                             wal_mode: str = "off",
                             wal_path: Optional[str] = None,
                             wal_interval: float = 0.0,
-                            epoch: int = 0) -> None:
+                            epoch: int = 0,
+                            telemetry: bool = True,
+                            slow_op_threshold: float = 0.25,
+                            slow_op_path: Optional[str] = None) -> None:
     """Picklable process target (spawn-safe import path)."""
     from repro.runtime.shard_worker import run_shard_worker
     run_shard_worker(shard_index, shards, host, port, snapshot_path,
                      ready_conn, columnar=columnar, wal_mode=wal_mode,
                      wal_path=wal_path, wal_interval=wal_interval,
-                     epoch=epoch)
+                     epoch=epoch, telemetry=telemetry,
+                     slow_op_threshold=slow_op_threshold,
+                     slow_op_path=slow_op_path)

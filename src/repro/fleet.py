@@ -178,6 +178,7 @@ def build_shard_service(
     wal: str = "fsync",
     wal_interval: float = 0.0,
     columnar: Optional[bool] = None,
+    slow_op_threshold: float = 0.25,
 ):
     """A configured (not yet started) shard-worker supervisor.
 
@@ -196,4 +197,5 @@ def build_shard_service(
     return ShardSupervisor(
         shards, host=host, snapshot_dir=snapshot_dir,
         records=records or (), columnar=columnar,
-        wal=wal, wal_interval=wal_interval)
+        wal=wal, wal_interval=wal_interval,
+        slow_op_threshold=slow_op_threshold)

@@ -1,0 +1,34 @@
+"""Observability: metrics registry, trace spans, slow-op log, logging.
+
+See :mod:`repro.obs.telemetry` for the mergeable-histogram registry,
+:mod:`repro.obs.tracing` for trace ids and the slow-op JSONL, and
+:mod:`repro.obs.logconfig` for the ``--log-level/--log-json`` wiring.
+"""
+
+from repro.obs.logconfig import configure_logging
+from repro.obs.telemetry import (
+    BUCKET_EDGES,
+    LatencyHistogram,
+    MetricsRegistry,
+    histogram_delta,
+    merge_counters,
+    merge_histograms,
+    prometheus_lines,
+    summarize_histogram,
+)
+from repro.obs.tracing import SpanRecorder, new_trace_id, read_slow_ops
+
+__all__ = [
+    "BUCKET_EDGES",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "configure_logging",
+    "histogram_delta",
+    "merge_counters",
+    "merge_histograms",
+    "new_trace_id",
+    "prometheus_lines",
+    "read_slow_ops",
+    "summarize_histogram",
+]

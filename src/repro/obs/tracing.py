@@ -1,0 +1,134 @@
+"""Trace ids, per-verb span records, and the slow-op JSONL log.
+
+The client stamps every frame with a ``trace`` id
+(:func:`new_trace_id`); one logical operation — including all shards
+of a fan-out — shares a single id, so a fleet-wide ``match`` that went
+slow can be chased to the one worker span that bounded it.  Workers
+feed each completed verb into a :class:`SpanRecorder`, which keeps a
+bounded in-memory ring of recent spans (served by the ``metrics``
+verb) and appends any span at or above the slow-op threshold to a
+JSONL file beside the shard's WAL — the durable tail an operator greps
+after the incident, when the ring has long since wrapped.
+
+Slow-op log format (one JSON object per line)::
+
+    {"ts": <unix seconds>, "shard": 0, "verb": "match",
+     "trace": "ab12…-42", "duration_s": 0.031, "error": null}
+
+``error`` carries the reply's error class (e.g. ``"EpochMismatch"``)
+when the op failed, ``null`` otherwise.  Lines are flushed per append
+so the log survives a worker crash mid-incident.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["new_trace_id", "SpanRecorder", "read_slow_ops"]
+
+
+def new_trace_id(prefix: Optional[str] = None, seq: Optional[int] = None
+                 ) -> str:
+    """Mint a trace id: ``<8-hex-byte prefix>-<sequence>``.
+
+    The client mints one random prefix per process and a monotonically
+    increasing ``seq`` per logical operation, so ids are unique across
+    clients without coordination and ``startswith(prefix)`` identifies
+    one client's traffic in a shard's slow-op log.
+    """
+    if prefix is None:
+        prefix = os.urandom(8).hex()
+    if seq is None:
+        return prefix
+    return f"{prefix}-{seq}"
+
+
+class SpanRecorder:
+    """Bounded ring of recent spans plus a slow-op JSONL appender.
+
+    Single-threaded by design (the worker's asyncio loop is the only
+    writer).  The JSONL file is opened lazily on the first slow op —
+    a healthy shard never touches the filesystem — and flushed per
+    line.
+    """
+
+    def __init__(self, shard_index: int = 0, *,
+                 ring_size: int = 256,
+                 slow_op_threshold: float = 0.25,
+                 slow_op_path: Optional[str] = None):
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.shard_index = int(shard_index)
+        self.slow_op_threshold = float(slow_op_threshold)
+        self.slow_op_path = str(slow_op_path) if slow_op_path else None
+        self.slow_ops = 0
+        self._ring: deque = deque(maxlen=int(ring_size))
+        self._file = None
+
+    def record(self, verb: str, duration_s: float, *,
+               trace: Optional[str] = None,
+               error: Optional[str] = None) -> None:
+        """Record one completed verb; spill to the slow-op log when the
+        duration is at or above the threshold.
+
+        The ring stores compact tuples — every served op runs through
+        here, and a flat tuple of atomics costs the hot path one
+        allocation the garbage collector unlinks on its first pass,
+        where a per-span dict stays GC-tracked.  :meth:`tail` rebuilds
+        the wire-shaped dicts on demand.
+        """
+        span = (time.time(), str(verb), trace, float(duration_s), error)
+        self._ring.append(span)
+        if duration_s >= self.slow_op_threshold:
+            self.slow_ops += 1
+            self._append_slow(self._as_dict(span))
+
+    def _as_dict(self, span: Any) -> Dict[str, Any]:
+        """The wire shape of one ring tuple (the slow-op log format)."""
+        ts, verb, trace, duration_s, error = span
+        return {"ts": ts, "shard": self.shard_index, "verb": verb,
+                "trace": trace, "duration_s": duration_s, "error": error}
+
+    def tail(self, limit: int = 32) -> List[Dict[str, Any]]:
+        """The most recent ``limit`` spans, oldest first."""
+        if limit <= 0:
+            return []
+        spans = list(self._ring)
+        return [self._as_dict(span) for span in spans[-limit:]]
+
+    def _append_slow(self, span: Dict[str, Any]) -> None:
+        if self.slow_op_path is None:
+            return
+        if self._file is None:
+            self._file = open(self.slow_op_path, "a", encoding="utf-8")
+        self._file.write(json.dumps(span, separators=(",", ":")) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        """Close the slow-op log file if it was ever opened."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_slow_ops(path: str) -> List[Dict[str, Any]]:
+    """Parse a slow-op JSONL file (skipping a torn final line, which a
+    crash mid-append can leave behind)."""
+    spans: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    spans.append(json.loads(line))
+                except ValueError:
+                    continue
+    except FileNotFoundError:
+        return []
+    return spans

@@ -103,6 +103,14 @@ class FaultInjector:
         #: Audit trail of (point, remaining-after-hit) for debugging.
         self.hits: List[Tuple[str, int]] = []
 
+    def hit_counts(self) -> Dict[str, int]:
+        """Hits per crash point so far — the ``metrics`` verb surfaces
+        this so a scenario can assert a countdown is actually ticking."""
+        counts: Dict[str, int] = {}
+        for point, _ in self.hits:
+            counts[point] = counts.get(point, 0) + 1
+        return counts
+
     def should_fire(self, point: str) -> bool:
         """Count one hit of ``point``; True when its countdown expires.
 
@@ -216,9 +224,18 @@ class DelayInjector:
                 raise ValueError(f"delay for {verb!r} must be >= 0")
         self.delays = {str(verb): float(seconds)
                        for verb, seconds in delays.items()}
+        #: Times each verb's delay actually fired (non-zero delay
+        #: returned), keyed by the verb that was slowed.  The shard
+        #: worker's ``metrics`` verb surfaces this so a scenario can
+        #: assert its brownout landed where intended — and capture the
+        #: evidence *before* disarming resets it.
+        self.fired: Dict[str, int] = {}
 
     def delay_for(self, verb: str) -> float:
-        return self.delays.get(verb, self.delays.get("*", 0.0))
+        delay = self.delays.get(verb, self.delays.get("*", 0.0))
+        if delay > 0:
+            self.fired[verb] = self.fired.get(verb, 0) + 1
+        return delay
 
 
 _ACTIVE_DELAYS: Optional[DelayInjector] = None

@@ -46,6 +46,16 @@ verb               request fields             reply
                                               when no path given)
 ``health``         —                          ``health`` (pid, shard index,
                                               machines, requests, wal, ...)
+``metrics``        ``max_spans`` (optional)   ``metrics`` (registry snapshot
+                                              with per-verb latency
+                                              histograms, recent span tail,
+                                              slow-op count, WAL stats,
+                                              fault-injection counts; see
+                                              :mod:`repro.obs.telemetry`)
+``set_telemetry``  ``enabled``                ``set_telemetry`` (flips the
+                                              worker's per-op recording at
+                                              runtime; the overhead gate
+                                              A/B-times one live fleet)
 ``reset``          ``rows`` (optional)        ``ok`` (fresh database)
 ``fault``          ``triggers``               ``ok`` (arms crash-point
                                               countdowns in this worker —
@@ -127,6 +137,8 @@ from repro.errors import (
     ReproError,
     RuntimeProtocolError,
 )
+from repro.obs.telemetry import MetricsRegistry
+from repro.obs.tracing import SpanRecorder
 from repro.runtime import faults
 from repro.runtime.protocol import encode_message, read_frame, write_frame
 from repro.runtime.wire import clause_from_dict, clause_to_dict
@@ -151,12 +163,14 @@ MUTATING_VERBS = frozenset({
 })
 
 #: Verbs a *retired* worker (shard migrated away) still serves: health
-#: and fault tooling for the supervisor, ``migrate_tail`` for the final
-#: post-fence drain, ``migrate_cutover`` so the migrator can publish the
-#: new routing table (or roll the fence back), and ``shutdown``.
+#: and fault tooling for the supervisor, ``metrics`` so a fleet sweep
+#: never loses a retired shard's telemetry, ``migrate_tail`` for the
+#: final post-fence drain, ``migrate_cutover`` so the migrator can
+#: publish the new routing table (or roll the fence back), and
+#: ``shutdown``.
 _RETIRED_VERBS = frozenset({
-    "health", "routing", "fault", "migrate_tail", "migrate_cutover",
-    "shutdown",
+    "health", "routing", "fault", "metrics", "migrate_tail",
+    "migrate_cutover", "shutdown",
 })
 
 #: Dynamic fields (1-7) that need a codec beyond JSON's native types.
@@ -245,12 +259,26 @@ class ShardWorker:
         The routing epoch this worker serves (0 for a fleet that never
         resharded).  Point-op frames carrying a different ``"epoch"``
         are refused with :class:`~repro.errors.StaleRoutingError`.
+    telemetry:
+        ``False`` disables the metrics registry and span recording —
+        the off arm of the overhead scale gate.  The ``metrics`` verb
+        still answers (with empty series).
+    slow_op_threshold:
+        Ops taking at least this many seconds (injected delay, WAL
+        commit wait, and reply write included) are appended to the
+        slow-op JSONL at ``slow_op_path``.
+    slow_op_path:
+        Where slow spans are logged, conventionally beside the shard's
+        WAL.  ``None`` keeps the in-memory span ring only.
     """
 
     def __init__(self, database: Optional[WhitePagesDatabase] = None, *,
                  shard_index: int = 0, shards: int = 1,
                  wal: Optional[WriteAheadLog] = None,
-                 epoch: int = 0):
+                 epoch: int = 0,
+                 telemetry: bool = True,
+                 slow_op_threshold: float = 0.25,
+                 slow_op_path: Optional[str] = None):
         if not 0 <= shard_index < shards:
             raise DatabaseError(
                 f"shard index {shard_index} outside 0..{shards - 1}")
@@ -283,6 +311,16 @@ class ShardWorker:
         #: 3.11 logs noisily).
         self._writers: set = set()
         self._conn_tasks: set = set()
+        #: Per-verb latency histograms, WAL append/fsync timings, reply
+        #: bytes, and error-class counters (see :mod:`repro.obs`).
+        self.metrics = MetricsRegistry(enabled=telemetry)
+        #: Recent-span ring + slow-op JSONL appender.
+        self.spans = SpanRecorder(shard_index,
+                                  slow_op_threshold=slow_op_threshold,
+                                  slow_op_path=slow_op_path)
+        #: Interned ``verb.<kind>`` series names (one per verb ever
+        #: served — avoids an f-string allocation per op).
+        self._verb_series: Dict[str, str] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -327,6 +365,7 @@ class ShardWorker:
             except DatabaseError:  # pragma: no cover - disk failure
                 logger.exception("shard %d: wal close failed",
                                  self.shard_index)
+        self.spans.close()
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` verb arrives, then stop."""
@@ -355,6 +394,12 @@ class ShardWorker:
                     frame = await read_frame(reader)
                 except asyncio.IncompleteReadError:
                     break  # clean disconnect
+                # The verb clock starts here, before the injected
+                # brownout delay and the group-commit wait — so a
+                # DelayInjector on `match` shows up in *this shard's*
+                # match histogram, which is the whole point of
+                # server-side attribution.
+                t0 = time.perf_counter()
                 delay = faults.delay_for(str(frame.get("kind")))
                 if delay > 0:
                     # Brownout injection: the slow-worker scenario arms
@@ -364,7 +409,10 @@ class ShardWorker:
                     await asyncio.sleep(delay)
                 response = self._dispatch(frame)
                 response = await self._commit_wal(frame, response)
-                await self._send_reply(writer, response)
+                reply_bytes = await self._send_reply(writer, response)
+                if self.metrics.enabled:
+                    self._observe_op(frame, response,
+                                     time.perf_counter() - t0, reply_bytes)
                 if frame.get("kind") == "shutdown":
                     self._shutdown.set()
                     break
@@ -427,26 +475,49 @@ class ShardWorker:
                 # One trip through the event loop: handlers already
                 # scheduled in this batch append before the sync runs.
                 await asyncio.sleep(0)
+            t0 = time.perf_counter()
             self.wal.sync()
+            self.metrics.observe("wal.fsync", time.perf_counter() - t0)
         finally:
             self._sync_task = None
 
     async def _send_reply(self, writer: asyncio.StreamWriter,
-                          response: Dict[str, Any]) -> None:
+                          response: Dict[str, Any]) -> int:
+        # Encode once (write_frame would encode again) so the reply's
+        # wire size feeds the reply_bytes counter for free.
+        data = encode_message(response)
         # The `fault` verb's own acknowledgement is immune: its reply is
         # the first one sent after arming, so without this exemption a
         # reply.mid_frame trigger could never survive to a real op.
-        if "armed" in response:
-            await write_frame(writer, response)
-            return
-        if faults.should_fire("reply.mid_frame"):  # pragma: no cover - fatal
+        if "armed" not in response and \
+                faults.should_fire("reply.mid_frame"):  # pragma: no cover
             # Torn-reply scenario: half the frame reaches the client,
             # then the process dies.  The client must fail closed.
-            data = encode_message(response)
             writer.write(data[:max(1, len(data) // 2)])
             await writer.drain()
             faults.die()
-        await write_frame(writer, response)
+        writer.write(data)
+        await writer.drain()
+        return len(data)
+
+    def _observe_op(self, frame: Dict[str, Any], response: Dict[str, Any],
+                    duration_s: float, reply_bytes: int) -> None:
+        """Fold one completed op into the registry and the span ring."""
+        kind = str(frame.get("kind"))
+        error = response.get("error") \
+            if response.get("kind") == "error" else None
+        # Series names are interned per verb — this runs once per
+        # served op, and a fresh f-string per op is measurable churn.
+        series = self._verb_series.get(kind)
+        if series is None:
+            series = self._verb_series.setdefault(kind, "verb." + kind)
+        self.metrics.observe_op(series, duration_s, reply_bytes)
+        if error is not None:
+            self.metrics.inc(f"errors.{error}")
+        trace = frame.get("trace")
+        self.spans.record(kind, duration_s,
+                          trace=str(trace) if trace is not None else None,
+                          error=error)
 
     # -- dispatch --------------------------------------------------------------
 
@@ -495,7 +566,10 @@ class ShardWorker:
             # The reply has not been sent yet — a crash in this window
             # loses an *unacknowledged* op, which is crash-exact.
             try:
+                t0 = time.perf_counter()
                 self.wal.append(frame)
+                self.metrics.observe("wal.append",
+                                     time.perf_counter() - t0)
             except DatabaseError as exc:
                 logger.error("shard %d: %s", self.shard_index, exc)
                 return {"kind": "error", "error": "DatabaseError",
@@ -785,6 +859,64 @@ class ShardWorker:
             "delays": (faults.installed_delays().delays
                        if faults.installed_delays() is not None else {}),
         }
+
+    def _verb_metrics(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Telemetry snapshot: registry series, span tail, fault counts
+        (served even when retired, so fleet sweeps stay complete).
+
+        Args (frame fields): ``max_spans`` — how many recent spans to
+        return (default 32, 0 for none).
+        Returns: ``{"kind": "metrics"}`` with shard geometry, the
+        :class:`~repro.obs.telemetry.MetricsRegistry` snapshot
+        (``counters``/``gauges``/``histograms`` — per-verb latency,
+        WAL append/fsync, reply bytes, error classes), the recent-span
+        ``spans`` tail, ``slow_ops`` count + ``slow_op_path`` +
+        ``slow_op_threshold``, WAL stats, and a ``faults`` block
+        (armed/fired brownout delays per verb, crash-point hit counts)
+        so a scenario can assert its injection landed where intended.
+        """
+        delays = faults.installed_delays()
+        injector = faults.installed()
+        return {
+            "kind": "metrics",
+            "shard_index": self.shard_index,
+            "shards": self.shards,
+            "epoch": self.epoch,
+            "retired": self.retired,
+            "machines": len(self.database),
+            "requests": self.requests,
+            "uptime_s": time.monotonic() - self.started_at,
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans.tail(int(frame.get("max_spans", 32))),
+            "slow_ops": self.spans.slow_ops,
+            "slow_op_path": self.spans.slow_op_path,
+            "slow_op_threshold": self.spans.slow_op_threshold,
+            "wal": (self.wal.stats() if self.wal is not None
+                    else {"mode": "off"}),
+            "faults": {
+                "delays_armed": (delays.delays
+                                 if delays is not None else {}),
+                "delays_fired": (delays.fired
+                                 if delays is not None else {}),
+                "crash_hits": (injector.hit_counts()
+                               if injector is not None else {}),
+            },
+        }
+
+    def _verb_set_telemetry(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Flip per-op telemetry recording at runtime.
+
+        Args (frame fields): ``enabled`` — bool.
+        Returns: ``{"kind": "set_telemetry", "enabled": <now>}``.
+
+        Already-recorded series are kept (re-enabling resumes the same
+        histograms).  The overhead scale gate uses this to A/B-time a
+        *single* live fleet — two separate fleets never share process
+        placement, so their baseline difference can exceed the
+        telemetry tax being measured.
+        """
+        self.metrics.enabled = bool(frame["enabled"])
+        return {"kind": "set_telemetry", "enabled": self.metrics.enabled}
 
     def _verb_fault(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         """Arm (or with empty maps, disarm) fault injection in this
@@ -1083,7 +1215,10 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
                      wal_mode: str = "off",
                      wal_path: Optional[str] = None,
                      wal_interval: float = 0.0,
-                     epoch: int = 0) -> None:
+                     epoch: int = 0,
+                     telemetry: bool = True,
+                     slow_op_threshold: float = 0.25,
+                     slow_op_path: Optional[str] = None) -> None:
     """Process entry: own one shard, serve verbs until ``shutdown``.
 
     Builds the shard database (empty, or cold-started from a per-shard
@@ -1106,6 +1241,12 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
 
     ``epoch`` is the routing epoch the worker serves (bumped by every
     live reshard; see the module docstring's epoch protocol).
+
+    ``telemetry``/``slow_op_threshold``/``slow_op_path`` configure the
+    worker's observability (:mod:`repro.obs`): per-verb histograms via
+    the ``metrics`` verb, and a slow-op JSONL.  When no explicit
+    ``slow_op_path`` is given but the worker has a WAL, the log lands
+    beside it (``<wal stem>.slow.jsonl``).
 
     Importable and picklable, so it works under both the ``fork`` and
     ``spawn`` start methods (and as a CLI foreground process via
@@ -1136,8 +1277,12 @@ def run_shard_worker(shard_index: int, shards: int, host: str, port: int,
                 "shard %d: wal %s: discarded %d-byte torn tail (%s)",
                 shard_index, wal_path, recovery.discarded_bytes,
                 recovery.reason)
+    if slow_op_path is None and wal_path:
+        slow_op_path = os.path.splitext(wal_path)[0] + ".slow.jsonl"
     worker = ShardWorker(database, shard_index=shard_index, shards=shards,
-                         wal=wal, epoch=epoch)
+                         wal=wal, epoch=epoch, telemetry=telemetry,
+                         slow_op_threshold=slow_op_threshold,
+                         slow_op_path=slow_op_path)
     if wal is not None and recovery.entries:
         replayed = worker.replay(recovery.entries, watermark)
         if replayed:

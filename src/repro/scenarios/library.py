@@ -7,7 +7,12 @@ Each scenario drives the **live** shard service — real
 protocol — with a production-shaped hostile load while a foreground
 probe measures latency, throughput, and error rate.  Every stage
 reports its numbers as **deltas versus the unloaded baseline** (the
-``baseline`` stage's artifact), and carries a degradation *budget* the
+``baseline`` stage's artifact), and — via the workers' ``metrics``
+verb — as **server-side** percentiles of the same window
+(``server_p50_s``/``server_p99_s``: a fleet histogram snapshot before
+and after the measured loop, bucket-delta'd, so client-vs-server p99
+separates queueing/transport cost from slow dispatch).  Each carries
+a degradation *budget* the
 CI scenarios job enforces: a PR that makes churn-storm p99 degrade past
 its budget fails the build.
 
@@ -214,6 +219,41 @@ def _measure(fn: Callable[[], Any], duration_s: float,
     return metrics.stop().summary()
 
 
+def _fleet_verb_snapshot(client: Any, verb: str) -> Dict[str, Any]:
+    """The fleet-merged ``verb.<verb>`` histogram wire dict *right now*
+    (exact bucket-wise merge across shards — fixed edges make it equal
+    to one histogram over the pooled worker samples)."""
+    from repro.obs.telemetry import merge_histograms
+    per_shard = client.metrics(max_spans=0)["per_shard"]
+    return merge_histograms(
+        shard.get("metrics", {}).get("histograms", {}).get(f"verb.{verb}")
+        for shard in per_shard).to_dict()
+
+
+def _measure_with_server(client: Any, verb: str, fn: Callable[[], Any],
+                         duration_s: float, label: str = ""
+                         ) -> Dict[str, float]:
+    """:func:`_measure`, plus the *server-side* view of the window.
+
+    Snapshots the fleet's merged ``verb.<verb>`` histogram before and
+    after the measured loop; the bucket-wise delta is exactly the
+    worker-observed latency distribution of the window (probe **and**
+    any background load hitting the same verb), so a stage reports
+    ``server_p50_s``/``server_p99_s`` next to the client-observed
+    percentiles.  Client p99 >> server p99 reads as queueing/transport
+    cost; both high reads as slow dispatch on the workers.
+    """
+    from repro.obs.telemetry import histogram_delta, summarize_histogram
+    before = _fleet_verb_snapshot(client, verb)
+    summary = _measure(fn, duration_s, label)
+    window = summarize_histogram(
+        histogram_delta(_fleet_verb_snapshot(client, verb), before))
+    summary["server_ops"] = window["count"]
+    summary["server_p50_s"] = window["p50_s"]
+    summary["server_p99_s"] = window["p99_s"]
+    return summary
+
+
 class _BackgroundLoad:
     """Hostile load on worker threads, each looping its own op until
     stopped.  Ops/errors are tallied so the stage can report how much
@@ -295,14 +335,16 @@ class BaselineStage:
         client = env.client()
         plan = env.probe_plan()
         client.match(plan)  # warm sockets and worker caches
-        match = _measure(lambda: client.match(plan), cfg.duration_s,
-                         "baseline.match")
+        match = _measure_with_server(client, "match",
+                                     lambda: client.match(plan),
+                                     cfg.duration_s, "baseline.match")
         names = itertools.cycle(client.names()[:200])
 
         def point_op() -> None:
             client.update_dynamic(next(names), current_load=0.5)
 
-        point = _measure(point_op, cfg.duration_s, "baseline.point")
+        point = _measure_with_server(client, "update_dynamic", point_op,
+                                     cfg.duration_s, "baseline.point")
         metrics = {f"{k}": v for k, v in match.items()}
         metrics.update({f"point_{k}": v for k, v in point.items()})
         return StageOutput.ok(metrics,
@@ -341,8 +383,9 @@ class ChurnStormStage:
             return churn
 
         with _BackgroundLoad(make_op, cfg.load_threads) as load:
-            summary = _measure(lambda: probe.match(plan),
-                               cfg.duration_s, self.name)
+            summary = _measure_with_server(probe, "match",
+                                           lambda: probe.match(plan),
+                                           cfg.duration_s, self.name)
         return _loaded_output(
             summary, ctx.artifact("baseline")["match"], self.budget,
             extra={"load_ops": load.ops, "load_errors": load.errors})
@@ -370,8 +413,9 @@ class FlashCrowdStage:
             return lambda: client.match(crowd_plan)
 
         with _BackgroundLoad(make_op, cfg.load_threads) as load:
-            summary = _measure(lambda: probe.match(crowd_plan),
-                               cfg.duration_s, self.name)
+            summary = _measure_with_server(probe, "match",
+                                           lambda: probe.match(crowd_plan),
+                                           cfg.duration_s, self.name)
         return _loaded_output(
             summary, ctx.artifact("baseline")["match"], self.budget,
             extra={"load_ops": load.ops, "load_errors": load.errors})
@@ -423,7 +467,9 @@ class HotShardStage:
 
         probe_op()  # warm
         with _BackgroundLoad(make_op, cfg.load_threads) as load:
-            summary = _measure(probe_op, cfg.duration_s, self.name)
+            summary = _measure_with_server(probe, "update_dynamic",
+                                           probe_op, cfg.duration_s,
+                                           self.name)
         return _loaded_output(
             summary, ctx.artifact("baseline")["point"], self.budget,
             extra={"load_ops": load.ops, "load_errors": load.errors,
@@ -455,15 +501,29 @@ class SlowWorkerStage:
         probe.match(plan)  # warm before the brownout
         probe.inject_fault(self.slow_shard,
                            delays={"match": cfg.slow_worker_delay_s})
+        brownout_fired = 0
         try:
-            summary = _measure(lambda: probe.match(plan),
-                               cfg.duration_s, self.name)
+            summary = _measure_with_server(probe, "match",
+                                           lambda: probe.match(plan),
+                                           cfg.duration_s, self.name)
+            # Evidence must be read *before* the disarm below: arming an
+            # empty delay map replaces the injector, resetting its
+            # fired counts.
+            slow = probe.metrics(max_spans=0)["per_shard"][self.slow_shard]
+            brownout_fired = int(
+                slow["faults"]["delays_fired"].get("match", 0))
         finally:
             probe.inject_fault(self.slow_shard, delays={})
+        if brownout_fired == 0:
+            return StageOutput.fail(
+                f"brownout never fired: shard {self.slow_shard} reports "
+                f"zero delayed match ops — the scenario measured an "
+                f"unloaded fleet", metrics=summary)
         return _loaded_output(
             summary, ctx.artifact("baseline")["match"], budget,
             extra={"slow_shard": self.slow_shard,
-                   "injected_delay_s": cfg.slow_worker_delay_s})
+                   "injected_delay_s": cfg.slow_worker_delay_s,
+                   "brownout_fired": brownout_fired})
 
 
 class WanPartitionStage:

@@ -186,7 +186,9 @@ def merge_reports_into_bench_json(
 
     If ``path`` already holds a smoke-suite archive (the
     ``--json-out`` shape), the scenario data is merged into it —
-    ``timings_s`` gains ``scenario_<name>_{p50,p99}_s`` entries and a
+    ``timings_s`` gains ``scenario_<name>_{p50,p99}_s`` entries (plus
+    ``scenario_<name>_server_{p50,p99}_s`` when the stage captured
+    worker-side percentiles over the wire) and a
     ``scenarios`` block records the full per-stage metrics; otherwise a
     fresh file with the same shape is created.  Returns the merged
     document (also written back atomically).
@@ -210,7 +212,7 @@ def merge_reports_into_bench_json(
                       if _finite(v) or isinstance(v, (str, bool, list))})
         scenarios[report.name] = entry
         if report.status == "ok":
-            for stat in ("p50_s", "p99_s"):
+            for stat in ("p50_s", "p99_s", "server_p50_s", "server_p99_s"):
                 value = report.metrics.get(stat)
                 if _finite(value):
                     data["timings_s"][

@@ -104,6 +104,7 @@ class TestRenderScenarios:
         scenarios = {
             "churn_storm": {
                 "status": "ok", "p50_s": 0.002, "p99_s": 0.015,
+                "server_p50_s": 0.001, "server_p99_s": 0.012,
                 "p99_x": 3.2, "throughput_x": 0.8, "error_rate": 0.01,
                 "within_budget": True, "breaches": [],
             },
@@ -120,8 +121,13 @@ class TestRenderScenarios:
                       {"match": 0.004}, scenarios=scenarios)
         out = render([str(path)])
         assert "Degradation under adversarial load" in out
-        assert "| `churn_storm` | ok | 2.00 ms | 15.00 ms | 3.20x "\
+        assert "| server p50 | server p99 |" in out
+        assert "| `churn_storm` | ok | 2.00 ms | 15.00 ms "\
+               "| 1.00 ms | 12.00 ms | 3.20x "\
                "| 0.80x | 1.0% | within |" in out
+        # A stage without server-side capture renders "-" columns.
+        assert "| `flash_crowd` | ok | 4.00 ms | 400.00 ms | - | - "\
+               "| 25.00x" in out
         assert "**OVER**: p99 degradation" in out
         assert "missing input artifact(s): baseline" in out
 
@@ -133,11 +139,15 @@ class TestRenderScenarios:
         merge_reports_into_bench_json(path, [
             StageReport(name="slow_worker", status="ok",
                         metrics={"p50_s": 0.01, "p99_s": 0.08,
+                                 "server_p50_s": 0.008,
+                                 "server_p99_s": 0.07,
                                  "p99_x": 4.0, "within_budget": True,
                                  "breaches": []})], n_records=500)
         out = render([str(path)])
         assert "`scenario_slow_worker_p99_s`" in out
-        assert "| `slow_worker` | ok |" in out
+        assert "`scenario_slow_worker_server_p99_s`" in out
+        assert "| `slow_worker` | ok | 10.00 ms | 80.00 ms "\
+               "| 8.00 ms | 70.00 ms |" in out
 
 
 class TestMain:

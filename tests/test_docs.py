@@ -157,6 +157,9 @@ class TestServiceLayerDocstrings:
         "src/repro/runtime/shard_worker.py",
         "src/repro/database/service.py",
         "src/repro/database/resharding.py",
+        "src/repro/obs/telemetry.py",
+        "src/repro/obs/tracing.py",
+        "src/repro/obs/logconfig.py",
     )
 
     @pytest.mark.parametrize("rel", ENFORCED)
